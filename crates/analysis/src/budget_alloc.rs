@@ -1,0 +1,268 @@
+//! Optimal division of a total cache budget across tree levels (§2.2).
+//!
+//! The paper extends its tree optimization "with another degree of freedom,
+//! where we also vary the sizes of the cache allocated to different
+//! locations. The results showed that the optimal solution under a Zipf
+//! workload involves assigning a majority of the total caching budget to
+//! the leaves of the tree." The result itself is not shown "due to space
+//! limitations" — this module reproduces it.
+//!
+//! Model: a complete k-ary tree with `levels` levels, requests arrive at a
+//! uniformly random leaf (level 1), the origin at level `levels` holds
+//! everything. A *level-uniform* allocation gives every node at level `l`
+//! the same capacity `c_l`; the per-request expected hops under the optimal
+//! static placement for a given `(c_1, …)` follows the same per-path
+//! packing argument as [`crate::tree_opt`]: level `l` serves the Zipf mass
+//! of objects ranked after those cached below it. The optimizer allocates
+//! a total budget of `B` object-slots greedily, one slot at a time, to the
+//! level with the best marginal reduction in expected hops per budget
+//! unit; the objective is separable-concave in per-level coverage, so the
+//! greedy is near-optimal (within integer-knapsack rounding), which
+//! [`validate_by_enumeration`] bounds exhaustively on small instances.
+//!
+//! **Finding.** The leaf level's budget share is the largest of any level
+//! once α ≥ 1 (the regime of all three fitted CDN traces) and becomes an
+//! outright majority as α grows — each leaf slot is paid for once per
+//! leaf (every leaf duplicates the same head objects), but a leaf hit
+//! saves the entire path. For flatter popularity (α ≈ 0.7) the optimum
+//! shifts budget upward, where one slot covers a whole subtree. This
+//! refines the paper's summary that the optimum "assigns a majority of
+//! the total caching budget to the leaves".
+
+use icn_workload::zipf::Zipf;
+
+/// The outcome of allocating a budget across levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelAllocation {
+    /// Per-node capacity at each cache level (`alloc[0]` = leaves = level 1).
+    pub per_node: Vec<usize>,
+    /// Total slots spent at each level (`per_node[l] × nodes_at_level`).
+    pub per_level_total: Vec<usize>,
+    /// Expected hops per request under the allocation.
+    pub expected_hops: f64,
+}
+
+impl LevelAllocation {
+    /// Fraction of the total budget assigned to the leaves.
+    pub fn leaf_budget_share(&self) -> f64 {
+        let total: usize = self.per_level_total.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.per_level_total[0] as f64 / total as f64
+        }
+    }
+}
+
+/// Number of nodes at cache level `l` (1-based from the leaves) in a
+/// complete k-ary tree whose leaves sit at level 1 and whose origin is at
+/// level `levels`: the leaves level has `k^(levels-1)` nodes... — but for
+/// the per-path argument only the *ratio* between level populations
+/// matters, and in a complete k-ary tree level `l` has `k^(levels-l)`
+/// nodes.
+fn nodes_at_level(arity: u32, levels: u32, level: u32) -> usize {
+    debug_assert!(level >= 1 && level < levels);
+    (arity as usize).pow(levels - level)
+}
+
+/// Expected hops when the per-node capacities are `per_node[l-1]` at level
+/// `l` (cache levels `1..levels`), under the optimal static placement:
+/// each root path sees one node per level, and level `l` serves the Zipf
+/// mass of ranks `[sum below, sum below + c_l)`.
+pub fn expected_hops(per_node: &[usize], levels: u32, zipf: &Zipf) -> f64 {
+    debug_assert_eq!(per_node.len() as u32, levels - 1);
+    let o = zipf.len();
+    let mut below = 0usize;
+    let mut hops = 0.0;
+    for (i, &c) in per_node.iter().enumerate() {
+        let lo = below.min(o);
+        let hi = (below + c).min(o);
+        hops += (i + 1) as f64 * zipf.mass(lo, hi);
+        below += c;
+    }
+    let covered = zipf.mass(0, below.min(o));
+    hops + levels as f64 * (1.0 - covered)
+}
+
+/// Greedily allocates `budget` object-slots across cache levels to minimize
+/// expected hops. Each step buys one more *per-node* slot at some level,
+/// costing `nodes_at_level` budget units; steps that no longer fit the
+/// remaining budget are skipped.
+pub fn optimize(arity: u32, levels: u32, budget: usize, zipf: &Zipf) -> LevelAllocation {
+    assert!(levels >= 2);
+    assert!(arity >= 1);
+    let cache_levels = (levels - 1) as usize;
+    let costs: Vec<usize> = (1..levels).map(|l| nodes_at_level(arity, levels, l)).collect();
+    let mut per_node = vec![0usize; cache_levels];
+    let mut remaining = budget;
+    let mut current = expected_hops(&per_node, levels, zipf);
+    loop {
+        let mut best: Option<(f64, usize)> = None; // (gain per budget unit, level idx)
+        for l in 0..cache_levels {
+            if costs[l] > remaining {
+                continue;
+            }
+            per_node[l] += 1;
+            let h = expected_hops(&per_node, levels, zipf);
+            per_node[l] -= 1;
+            let gain = (current - h) / costs[l] as f64;
+            if gain > 0.0 && best.map_or(true, |(g, _)| gain > g) {
+                best = Some((gain, l));
+            }
+        }
+        match best {
+            Some((_, l)) => {
+                per_node[l] += 1;
+                remaining -= costs[l];
+                current = expected_hops(&per_node, levels, zipf);
+            }
+            None => break,
+        }
+    }
+    let per_level_total: Vec<usize> =
+        per_node.iter().zip(&costs).map(|(&c, &n)| c * n).collect();
+    LevelAllocation { per_node, per_level_total, expected_hops: current }
+}
+
+/// Exhaustively enumerates all level allocations of `budget` slots for a
+/// small instance and returns the minimum expected hops (to validate the
+/// greedy). Search is over per-node capacities bounded by the budget.
+pub fn validate_by_enumeration(arity: u32, levels: u32, budget: usize, zipf: &Zipf) -> f64 {
+    let cache_levels = (levels - 1) as usize;
+    assert!(cache_levels <= 3 && budget <= 64, "keep enumeration small");
+    let costs: Vec<usize> = (1..levels).map(|l| nodes_at_level(arity, levels, l)).collect();
+    let mut best = f64::INFINITY;
+    let mut per_node = vec![0usize; cache_levels];
+    fn recurse(
+        level: usize,
+        remaining: usize,
+        costs: &[usize],
+        per_node: &mut Vec<usize>,
+        levels: u32,
+        zipf: &Zipf,
+        best: &mut f64,
+    ) {
+        if level == costs.len() {
+            let h = expected_hops(per_node, levels, zipf);
+            if h < *best {
+                *best = h;
+            }
+            return;
+        }
+        let max_here = remaining / costs[level];
+        for c in 0..=max_here {
+            per_node[level] = c;
+            recurse(
+                level + 1,
+                remaining - c * costs[level],
+                costs,
+                per_node,
+                levels,
+                zipf,
+                best,
+            );
+        }
+        per_node[level] = 0;
+    }
+    recurse(0, budget, &costs, &mut per_node, levels, zipf, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_dominate_for_fitted_trace_alphas() {
+        // The paper's (unshown) §2.2 result, refined: at the fitted-trace
+        // exponents (α ≈ 1) the leaf level receives the largest share of
+        // any level, and the share grows toward a strict majority with α.
+        let total_nodes: usize = (1..6u32).map(|l| nodes_at_level(2, 6, l)).sum();
+        let budget = total_nodes * 500; // the Fig. 2 total (5% per node)
+        let mut last_share = 0.0;
+        for alpha in [1.0, 1.1, 1.3, 1.5] {
+            let zipf = Zipf::new(10_000, alpha);
+            let alloc = optimize(2, 6, budget, &zipf);
+            let share = alloc.leaf_budget_share();
+            let max_interior = alloc.per_level_total[1..]
+                .iter()
+                .copied()
+                .max()
+                .unwrap() as f64
+                / alloc.per_level_total.iter().sum::<usize>() as f64;
+            assert!(
+                share > max_interior,
+                "alpha {alpha}: leaf share {share:.2} vs max interior {max_interior:.2}"
+            );
+            assert!(share >= last_share - 0.01, "leaf share should grow with alpha");
+            last_share = share;
+        }
+        assert!(last_share > 0.5, "strict majority at alpha 1.5: {last_share:.2}");
+    }
+
+    #[test]
+    fn optimized_beats_uniform_split() {
+        let zipf = Zipf::new(5_000, 1.0);
+        let total_nodes: usize = (1..6u32).map(|l| nodes_at_level(2, 6, l)).sum();
+        let budget = total_nodes * 100;
+        let alloc = optimize(2, 6, budget, &zipf);
+        let uniform = expected_hops(&[100, 100, 100, 100, 100], 6, &zipf);
+        assert!(
+            alloc.expected_hops <= uniform + 1e-9,
+            "optimized {} vs uniform {uniform}",
+            alloc.expected_hops
+        );
+    }
+
+    #[test]
+    fn greedy_matches_enumeration_on_small_instances() {
+        for &(arity, levels, budget, alpha) in &[
+            (2u32, 3u32, 12usize, 0.8),
+            (2, 3, 20, 1.2),
+            (2, 4, 30, 1.0),
+            (3, 3, 24, 0.6),
+        ] {
+            let zipf = Zipf::new(40, alpha);
+            let greedy = optimize(arity, levels, budget, &zipf);
+            let brute = validate_by_enumeration(arity, levels, budget, &zipf);
+            // Greedy is near-optimal: integer-knapsack rounding can leave
+            // a sub-1% gap to the exhaustive optimum.
+            assert!(
+                greedy.expected_hops >= brute - 1e-9,
+                "greedy beat the enumeration?! {} vs {brute}",
+                greedy.expected_hops
+            );
+            assert!(
+                (greedy.expected_hops - brute) / brute < 0.01,
+                "k={arity} L={levels} B={budget} a={alpha}: greedy {} vs brute {brute}",
+                greedy.expected_hops
+            );
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let zipf = Zipf::new(1_000, 1.0);
+        let alloc = optimize(2, 5, 137, &zipf);
+        let spent: usize = alloc.per_level_total.iter().sum();
+        assert!(spent <= 137, "spent {spent}");
+    }
+
+    #[test]
+    fn zero_budget_all_origin() {
+        let zipf = Zipf::new(100, 1.0);
+        let alloc = optimize(2, 4, 0, &zipf);
+        assert_eq!(alloc.expected_hops, 4.0);
+        assert!(alloc.per_node.iter().all(|&c| c == 0));
+        assert_eq!(alloc.leaf_budget_share(), 0.0);
+    }
+
+    #[test]
+    fn huge_budget_serves_everything_at_edge() {
+        let zipf = Zipf::new(50, 1.0);
+        // Enough budget for every leaf to hold the whole universe.
+        let alloc = optimize(2, 4, 8 * 50 + 1_000, &zipf);
+        assert!((alloc.expected_hops - 1.0).abs() < 1e-9);
+        assert_eq!(alloc.per_node[0], 50);
+    }
+}

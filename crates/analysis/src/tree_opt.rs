@@ -1,0 +1,212 @@
+//! Optimal static cache placement on a distribution tree (§2.2, Figure 2).
+//!
+//! The model: a complete k-ary tree with `levels` levels. Requests arrive at
+//! a uniformly random leaf (level 1) and climb toward the root; the node at
+//! level `levels` is the origin and holds everything. Every cache node holds
+//! at most `cache_per_node` objects; serving a request at level `l` costs
+//! `l` hops. The question is the best *static* placement of objects.
+//!
+//! **Optimal structure.** Each request only ever sees the caches on its own
+//! leaf-to-root path — one node per level — and demand is identical at every
+//! leaf. Placing object `o` at a node only helps requests whose path passes
+//! that node and that were not already served below it. Hence, for each
+//! root-path independently, the problem reduces to packing the per-level
+//! capacity `C` with probability mass, cheapest levels first: level 1 takes
+//! the `C` most popular objects, level 2 the next `C`, and so on, with the
+//! identical placement repeated across nodes of the same level. Duplicating
+//! an object already placed at a lower level is wasted capacity (requests
+//! for it never climb that high). [`validate_by_exhaustion`] checks this
+//! argument by brute force on small instances.
+
+use icn_workload::zipf::Zipf;
+
+/// Per-level outcome of the optimal static placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreePlacement {
+    /// `served[l-1]` = fraction of requests served at level `l`
+    /// (`served[levels-1]` is the origin's share).
+    pub served: Vec<f64>,
+    /// Expected hops per request (`Σ l · served[l-1]`).
+    pub expected_hops: f64,
+    /// Expected hops when only level-1 (edge) caches are kept and all other
+    /// cache levels are removed — the §2.2 "extreme scenario".
+    pub edge_only_expected_hops: f64,
+}
+
+/// Computes the optimal static placement outcome for a tree with `levels`
+/// levels (the origin being level `levels`), `cache_per_node` objects per
+/// cache, and a Zipf workload.
+///
+/// # Panics
+/// Panics if `levels < 2` (there must be at least an edge level and the
+/// origin).
+pub fn optimal_levels(levels: u32, cache_per_node: usize, zipf: &Zipf) -> TreePlacement {
+    assert!(levels >= 2, "need at least an edge level and the origin");
+    let o = zipf.len();
+    let c = cache_per_node;
+    let mut served = Vec::with_capacity(levels as usize);
+    let mut acc = 0usize; // objects placed so far (most popular first)
+    for _level in 1..levels {
+        let lo = acc.min(o);
+        let hi = (acc + c).min(o);
+        served.push(zipf.mass(lo, hi));
+        acc += c;
+    }
+    // Origin serves the remaining mass.
+    let cached_mass: f64 = served.iter().sum();
+    served.push((1.0 - cached_mass).max(0.0));
+
+    let expected_hops: f64 = served
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (i + 1) as f64 * f)
+        .sum();
+    let edge_mass = served[0];
+    let edge_only_expected_hops = edge_mass * 1.0 + (1.0 - edge_mass) * levels as f64;
+    TreePlacement { served, expected_hops, edge_only_expected_hops }
+}
+
+/// The latency improvement (as a fraction) that the full multi-level
+/// placement achieves over the edge-only configuration — the §2.2 worked
+/// example concludes this is only ~25% for α = 0.7 on a 6-level tree.
+pub fn interior_cache_benefit(p: &TreePlacement) -> f64 {
+    (p.edge_only_expected_hops - p.expected_hops) / p.edge_only_expected_hops
+}
+
+/// Exhaustively verifies on a small instance that no static placement beats
+/// the per-level greedy. The instance is a single root path (which the
+/// symmetric argument reduces to): `levels - 1` cache nodes each holding
+/// `cache_per_node` of `objects` objects. Returns the optimal expected hops
+/// found by brute force (which must equal [`optimal_levels`]'s).
+///
+/// Search space is `C(O, C)^(levels-1)`; keep the parameters tiny.
+pub fn validate_by_exhaustion(levels: u32, cache_per_node: usize, zipf: &Zipf) -> f64 {
+    assert!(levels >= 2 && levels <= 5, "keep exhaustion small");
+    let o = zipf.len();
+    assert!(o <= 10, "keep exhaustion small");
+    let c = cache_per_node;
+    let cache_levels = (levels - 1) as usize;
+
+    // Enumerate subsets of size <= c as bitmasks.
+    let subsets: Vec<u32> = (0u32..(1 << o))
+        .filter(|m| (m.count_ones() as usize) <= c)
+        .collect();
+
+    let mut best = f64::INFINITY;
+    let mut stack: Vec<u32> = Vec::with_capacity(cache_levels);
+    fn recurse(
+        subsets: &[u32],
+        stack: &mut Vec<u32>,
+        cache_levels: usize,
+        levels: u32,
+        zipf: &Zipf,
+        best: &mut f64,
+    ) {
+        if stack.len() == cache_levels {
+            // Expected hops: each object served at the first level whose
+            // node contains it; origin otherwise.
+            let mut hops = 0.0;
+            for obj in 0..zipf.len() {
+                let p = zipf.pmf(obj);
+                let mut served_at = levels as f64;
+                for (i, &mask) in stack.iter().enumerate() {
+                    if mask & (1 << obj) != 0 {
+                        served_at = (i + 1) as f64;
+                        break;
+                    }
+                }
+                hops += p * served_at;
+            }
+            if hops < *best {
+                *best = hops;
+            }
+            return;
+        }
+        for &s in subsets {
+            stack.push(s);
+            recurse(subsets, stack, cache_levels, levels, zipf, best);
+            stack.pop();
+        }
+    }
+    recurse(&subsets, &mut stack, cache_levels, levels, zipf, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_fractions_sum_to_one() {
+        let z = Zipf::new(1_000, 0.7);
+        let p = optimal_levels(6, 50, &z);
+        assert_eq!(p.served.len(), 6);
+        let total: f64 = p.served.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_shape_alpha_07() {
+        // Figure 2, α = 0.7: edge serves ~0.4, interior levels small,
+        // origin large; expected hops ≈ 3.
+        let z = Zipf::new(100_000, 0.7);
+        let c = 5_000; // 5% per node
+        let p = optimal_levels(6, c, &z);
+        assert!(p.served[0] > 0.3 && p.served[0] < 0.55, "edge {}", p.served[0]);
+        // Interior levels each serve less than the edge.
+        for l in 1..5 {
+            assert!(p.served[l] < p.served[0]);
+        }
+        assert!(p.served[5] > 0.1, "origin share {}", p.served[5]);
+        assert!((p.expected_hops - 3.0).abs() < 0.8, "hops {}", p.expected_hops);
+        // The worked example: interior caching buys only ~25%.
+        let benefit = interior_cache_benefit(&p);
+        assert!(benefit > 0.1 && benefit < 0.35, "benefit {benefit}");
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_at_edge() {
+        let z_lo = Zipf::new(10_000, 0.7);
+        let z_hi = Zipf::new(10_000, 1.5);
+        let p_lo = optimal_levels(6, 500, &z_lo);
+        let p_hi = optimal_levels(6, 500, &z_hi);
+        assert!(p_hi.served[0] > p_lo.served[0]);
+        assert!(p_hi.expected_hops < p_lo.expected_hops);
+        // Figure 2: at α = 1.5 the edge dominates.
+        assert!(p_hi.served[0] > 0.75, "edge at alpha 1.5: {}", p_hi.served[0]);
+    }
+
+    #[test]
+    fn capacity_larger_than_universe() {
+        let z = Zipf::new(50, 1.0);
+        let p = optimal_levels(4, 100, &z);
+        // Everything fits at the edge.
+        assert!((p.served[0] - 1.0).abs() < 1e-12);
+        assert!((p.expected_hops - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_all_origin() {
+        let z = Zipf::new(50, 1.0);
+        let p = optimal_levels(4, 0, &z);
+        assert!((p.served[3] - 1.0).abs() < 1e-12);
+        assert_eq!(p.expected_hops, 4.0);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_optimum() {
+        // Small instances across alphas and shapes.
+        for &(o, c, levels, alpha) in
+            &[(6usize, 1usize, 3u32, 0.8), (6, 2, 3, 1.2), (8, 2, 4, 0.5), (5, 1, 4, 1.0)]
+        {
+            let z = Zipf::new(o, alpha);
+            let greedy = optimal_levels(levels, c, &z);
+            let brute = validate_by_exhaustion(levels, c, &z);
+            assert!(
+                (greedy.expected_hops - brute).abs() < 1e-9,
+                "greedy {} vs brute {brute} (O={o} C={c} L={levels} a={alpha})",
+                greedy.expected_hops
+            );
+        }
+    }
+}

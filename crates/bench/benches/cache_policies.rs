@@ -1,0 +1,88 @@
+//! Microbenchmarks for the per-router cache policies — the simulator's
+//! hottest data structure (hundreds of millions of probes per figure run).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icn_cache::policy::CachePolicy;
+use icn_cache::{CompactLru, Fifo, Lfu, Lru};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CAPACITY: usize = 4096;
+const OPS: usize = 100_000;
+
+fn zipf_keys(n: usize) -> Vec<u64> {
+    let z = icn_workload::zipf::Zipf::new(50_000, 1.04);
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| z.sample(&mut rng) as u64).collect()
+}
+
+fn bench_policy<C: CachePolicy>(cache: &mut C, keys: &[u64]) -> u64 {
+    let mut hits = 0;
+    for &k in keys {
+        if cache.contains(k) {
+            cache.touch(k);
+            hits += 1;
+        } else {
+            cache.insert(k);
+        }
+    }
+    hits
+}
+
+fn cache_benches(c: &mut Criterion) {
+    let keys = zipf_keys(OPS);
+    let mut group = c.benchmark_group("cache_policies");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(OPS as u64));
+
+    group.bench_function("compact_lru", |b| {
+        b.iter(|| {
+            let mut cache = CompactLru::new(CAPACITY);
+            black_box(bench_policy(&mut cache, &keys))
+        })
+    });
+    group.bench_function("generic_lru", |b| {
+        b.iter(|| {
+            let mut cache: Lru<u64> = Lru::new(CAPACITY);
+            let mut hits = 0;
+            for &k in &keys {
+                if cache.contains(&k) {
+                    cache.touch(&k);
+                    hits += 1;
+                } else {
+                    cache.insert(k);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("lfu", |b| {
+        b.iter(|| {
+            let mut cache = Lfu::new(CAPACITY);
+            black_box(bench_policy(&mut cache, &keys))
+        })
+    });
+    group.bench_function("fifo", |b| {
+        b.iter(|| {
+            let mut cache = Fifo::new(CAPACITY);
+            black_box(bench_policy(&mut cache, &keys))
+        })
+    });
+
+    // Steady-state probe cost on a warm cache.
+    group.bench_function("compact_lru_warm_probe", |b| {
+        let mut cache = CompactLru::new(CAPACITY);
+        for &k in &keys {
+            cache.insert(k);
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let k = rng.gen_range(0..50_000u64);
+            black_box(cache.contains(k))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cache_benches);
+criterion_main!(benches);

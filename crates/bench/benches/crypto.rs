@@ -1,0 +1,46 @@
+//! Microbenchmarks for the in-repo hash-based cryptography.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use idicn::crypto::lamport::KeyPair;
+use idicn::crypto::mss::Identity;
+use idicn::crypto::sha256::digest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20);
+
+    for size in [1usize << 10, 1 << 16, 1 << 20] {
+        let data = vec![0xabu8; size];
+        group.throughput(criterion::Throughput::Bytes(size as u64));
+        group.bench_function(format!("sha256_{}k", size >> 10), |b| {
+            b.iter(|| black_box(digest(&data)))
+        });
+    }
+
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("lamport_keygen", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(KeyPair::generate(&mut rng)))
+    });
+
+    let kp = KeyPair::generate(&mut StdRng::seed_from_u64(2));
+    let msg = digest(b"benchmark message");
+    group.bench_function("lamport_sign", |b| b.iter(|| black_box(kp.secret.sign(&msg))));
+    let sig = kp.secret.sign(&msg);
+    group.bench_function("lamport_verify", |b| {
+        b.iter(|| black_box(kp.public.verify(&msg, &sig)))
+    });
+
+    let mut id = Identity::generate(&mut StdRng::seed_from_u64(3), 4);
+    let mss_sig = id.sign(&msg);
+    let root = id.root();
+    group.bench_function("mss_verify_h4", |b| {
+        b.iter(|| black_box(mss_sig.verify(&msg, &root)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, crypto_benches);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks for HTTP message parsing/serialization and the
+//! Metalink metadata header roundtrip.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use idicn::chunk::ChunkedDigests;
+use idicn::crypto::mss::Identity;
+use idicn::crypto::sha256::digest;
+use idicn::http::{read_request, write_request, Headers, HttpRequest};
+use idicn::metalink::Metadata;
+use idicn::name::{ContentName, Principal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Cursor;
+
+fn http_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("http");
+    group.sample_size(30);
+
+    let mut req = HttpRequest::get("http://label.principal.idicn.org/");
+    req.headers.set("Host", "label.principal.idicn.org");
+    req.headers.set("User-Agent", "idicn-bench/0.1");
+    req.headers.set("Accept", "*/*");
+    let mut wire = Vec::new();
+    write_request(&mut wire, &req).unwrap();
+
+    group.throughput(criterion::Throughput::Bytes(wire.len() as u64));
+    group.bench_function("parse_request", |b| {
+        b.iter(|| {
+            let parsed = read_request(&mut Cursor::new(&wire)).unwrap().unwrap();
+            black_box(parsed.target.len())
+        })
+    });
+    group.bench_function("serialize_request", |b| {
+        let mut buf = Vec::with_capacity(wire.len());
+        b.iter(|| {
+            buf.clear();
+            write_request(&mut buf, &req).unwrap();
+            black_box(buf.len())
+        })
+    });
+
+    // Metalink metadata roundtrip through headers (signature-heavy).
+    let mut id = Identity::generate(&mut StdRng::seed_from_u64(5), 2);
+    let content = vec![7u8; 256 * 1024];
+    let digests = ChunkedDigests::compute(&content, 64 * 1024);
+    let name = ContentName::new("bench", Principal(id.principal_digest())).unwrap();
+    let binding = name.binding_bytes(&digests.full);
+    let metadata = Metadata {
+        signature: id.sign(&digest(&binding)),
+        publisher_root: id.root(),
+        name,
+        digests,
+        mirrors: vec!["http://127.0.0.1:1/m".into()],
+    };
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("metadata_to_headers", |b| {
+        b.iter(|| {
+            let mut h = Headers::new();
+            metadata.to_headers(&mut h);
+            black_box(h.len())
+        })
+    });
+    let mut headers = Headers::new();
+    metadata.to_headers(&mut headers);
+    group.bench_function("metadata_from_headers", |b| {
+        b.iter(|| black_box(Metadata::from_headers(&headers).unwrap().digests.piece_size))
+    });
+    group.bench_function("metadata_verify_256k", |b| {
+        b.iter(|| metadata.verify(&content).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, http_benches);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks for the topology layer: distances, path enumeration,
+//! and latency-model path costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icn_core::latency::LatencyModel;
+use icn_topology::{pop, AccessTree, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn routing_benches(c: &mut Criterion) {
+    let net = Network::new(pop::att(), AccessTree::baseline());
+    let mut rng = StdRng::seed_from_u64(9);
+    let pairs: Vec<(u32, u32)> = (0..1024)
+        .map(|_| {
+            (
+                rng.gen_range(0..net.node_count()),
+                rng.gen_range(0..net.node_count()),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(30);
+
+    group.bench_function("network_build_att", |b| {
+        b.iter(|| black_box(Network::new(pop::att(), AccessTree::baseline())))
+    });
+
+    group.bench_function("distance", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (a, x) = pairs[i & 1023];
+            i += 1;
+            black_box(net.distance(a, x))
+        })
+    });
+
+    group.bench_function("path_cost_progression", |b| {
+        let model = LatencyModel::Progression;
+        let mut i = 0;
+        b.iter(|| {
+            let (a, x) = pairs[i & 1023];
+            i += 1;
+            black_box(model.path_cost(&net, a, x))
+        })
+    });
+
+    group.bench_function("path_links", |b| {
+        let mut links = Vec::with_capacity(32);
+        let mut i = 0;
+        b.iter(|| {
+            let (a, x) = pairs[i & 1023];
+            i += 1;
+            links.clear();
+            net.path_links_into(a, x, &mut links);
+            black_box(links.len())
+        })
+    });
+
+    group.bench_function("sp_path_nodes", |b| {
+        let mut nodes = Vec::with_capacity(32);
+        let mut i = 0;
+        b.iter(|| {
+            let (a, x) = pairs[i & 1023];
+            i += 1;
+            nodes.clear();
+            net.sp_path_nodes_into(a, net.pop_of(x), &mut nodes);
+            black_box(nodes.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, routing_benches);
+criterion_main!(benches);

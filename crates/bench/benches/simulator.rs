@@ -1,0 +1,54 @@
+//! End-to-end simulator throughput (requests/second) per design.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sim::Simulator;
+use icn_topology::{pop, AccessTree, Network};
+use icn_workload::origin::{assign_origins, OriginPolicy};
+use icn_workload::trace::{Trace, TraceConfig};
+
+const REQUESTS: usize = 50_000;
+
+fn simulator_benches(c: &mut Criterion) {
+    let net = Network::new(pop::abilene(), AccessTree::baseline());
+    let mut trace_cfg = TraceConfig::small();
+    trace_cfg.requests = REQUESTS;
+    trace_cfg.objects = 10_000;
+    trace_cfg.alpha = 1.04;
+    let trace = Trace::synthesize(trace_cfg, &net.core.populations, net.leaves_per_pop());
+    let origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        trace.config.objects,
+        &net.core.populations,
+        1,
+    );
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(REQUESTS as u64));
+    for design in [
+        DesignKind::NoCache,
+        DesignKind::Edge,
+        DesignKind::EdgeCoop,
+        DesignKind::IcnSp,
+        DesignKind::IcnNr,
+    ] {
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    &net,
+                    ExperimentConfig::baseline(design),
+                    &origins,
+                    &trace.object_sizes,
+                );
+                sim.run(&trace.requests);
+                black_box(sim.metrics().cache_hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmarks for workload synthesis: Zipf sampling, trace
+//! generation, skew model construction, and Zipf fitting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icn_workload::fit::fit_zipf;
+use icn_workload::skew::SpatialModel;
+use icn_workload::trace::{Locality, Trace, TraceConfig};
+use icn_workload::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(20);
+
+    let zipf = Zipf::new(100_000, 1.04);
+    let mut rng = StdRng::seed_from_u64(1);
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("zipf_sample", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+
+    let populations: Vec<u64> = icn_topology::pop::att().populations.clone();
+    let mut cfg = TraceConfig::small();
+    cfg.requests = 100_000;
+    cfg.objects = 20_000;
+    group.throughput(criterion::Throughput::Elements(cfg.requests as u64));
+    group.bench_function("trace_synthesis_irm", |b| {
+        b.iter(|| black_box(Trace::synthesize(cfg.clone(), &populations, 32).len()))
+    });
+    let mut loc_cfg = cfg.clone();
+    loc_cfg.locality = Some(Locality::cdn_default());
+    group.bench_function("trace_synthesis_locality", |b| {
+        b.iter(|| black_box(Trace::synthesize(loc_cfg.clone(), &populations, 32).len()))
+    });
+
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("spatial_model_skewed", |b| {
+        b.iter(|| {
+            black_box(SpatialModel::new(20_000, 108, 0.5, 3))
+        })
+    });
+
+    let trace = Trace::synthesize(cfg.clone(), &populations, 32);
+    let counts = trace.object_counts();
+    group.bench_function("fit_zipf_100k", |b| {
+        b.iter(|| black_box(fit_zipf(&counts).unwrap().alpha_mle))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, workload_benches);
+criterion_main!(benches);

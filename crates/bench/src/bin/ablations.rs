@@ -1,0 +1,107 @@
+//! §5.1 "Other parameters" ablations, each of which the paper reports as
+//! having a small effect on the ICN-NR vs EDGE gap:
+//!
+//! 1. latency models favoring ICN-NR (arithmetic progression toward the
+//!    core; core-multiplier d) — gap change < 2%;
+//! 2. per-node request-serving capacity with overflow redirection — < 2%;
+//! 3. heterogeneous object sizes (size-weighted congestion) — < 1%;
+//! 4. (extension) replacement policy: LFU and FIFO vs LRU — the paper
+//!    notes LFU "yielded qualitatively similar results".
+
+use icn_core::capacity::ServingCapacity;
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::latency::LatencyModel;
+use icn_core::sweep::Scenario;
+use icn_workload::origin::OriginPolicy;
+use icn_workload::sizes::SizeModel;
+
+fn att_scenario(sizes: SizeModel) -> Scenario {
+    let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
+    trace_cfg.sizes = sizes;
+    Scenario::build(
+        icn_topology::pop::att(),
+        icn_bench::baseline_tree(),
+        trace_cfg,
+        OriginPolicy::PopulationProportional,
+    )
+}
+
+fn print_gap(label: &str, gap: icn_core::metrics::Improvement) {
+    println!(
+        "{label:<34} {:>10.2} {:>12.2} {:>14.2}",
+        gap.latency_pct, gap.congestion_pct, gap.origin_pct
+    );
+}
+
+fn main() {
+    icn_bench::banner("Ablations (§5.1)", "latency models, serving capacity, sizes, policies");
+    println!(
+        "{:<34} {:>10} {:>12} {:>14}",
+        "ICN-NR − EDGE gap under", "Latency", "Congestion", "Origin-Load"
+    );
+    icn_bench::rule(74);
+
+    let s = att_scenario(SizeModel::Unit);
+    let base_template = ExperimentConfig::baseline(DesignKind::Edge);
+    print_gap("unit hop cost (baseline)", s.nr_vs_edge_gap(&base_template));
+
+    // 1. Latency models chosen to magnify ICN-NR's advantage.
+    let mut prog = base_template.clone();
+    prog.latency = LatencyModel::Progression;
+    print_gap("arithmetic progression to core", s.nr_vs_edge_gap(&prog));
+    for d in [4, 16] {
+        let mut core = base_template.clone();
+        core.latency = LatencyModel::CoreMultiplier { d };
+        print_gap(&format!("core links cost {d}x"), s.nr_vs_edge_gap(&core));
+    }
+
+    // 2. Request-serving capacity with redirection.
+    for per_node in [50u32, 200] {
+        let mut cap = base_template.clone();
+        cap.capacity = Some(ServingCapacity { per_node, window: 10_000 });
+        print_gap(
+            &format!("capacity {per_node}/10k-request window"),
+            s.nr_vs_edge_gap(&cap),
+        );
+    }
+
+    // 3. Heterogeneous object sizes: congestion counts bytes, not objects.
+    eprintln!("... resynthesizing with Pareto sizes");
+    let s_sizes = att_scenario(SizeModel::web_default());
+    let mut sized = base_template.clone();
+    sized.weight_by_size = true;
+    print_gap("bounded-Pareto sizes (byte-weighted)", s_sizes.nr_vs_edge_gap(&sized));
+
+    // 4. Insertion-policy ablation (extension): the ICN literature's
+    //    leave-copy-down and probabilistic caching vs the paper's
+    //    leave-copy-everywhere. These only affect the ICN side (EDGE has a
+    //    single cache level), so the gap shifts slightly.
+    for (label, ins) in [
+        ("leave-copy-down insertion", icn_core::config::InsertionPolicy::LeaveCopyDown),
+        (
+            "probabilistic insertion p=0.3",
+            icn_core::config::InsertionPolicy::Probabilistic { p: 0.3 },
+        ),
+    ] {
+        let mut cfgi = base_template.clone();
+        cfgi.insertion = ins;
+        print_gap(label, s.nr_vs_edge_gap(&cfgi));
+    }
+
+    // 5. Replacement policy ablation (extension beyond the paper's text).
+    for policy in [
+        icn_cache::policy::PolicyKind::Lfu,
+        icn_cache::policy::PolicyKind::Fifo,
+    ] {
+        let mut p = base_template.clone();
+        p.policy = policy;
+        print_gap(&format!("{policy:?} replacement"), s.nr_vs_edge_gap(&p));
+    }
+
+    println!(
+        "\nPaper reference: the latency-model and serving-capacity ablations move\n\
+         the gap by < 2%, heterogeneous sizes by < 1%, and LFU is qualitatively\n\
+         like LRU — none changes the conclusion."
+    );
+}

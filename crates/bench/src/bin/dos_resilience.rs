@@ -1,0 +1,104 @@
+//! §7 claim check: edge caching provides "much of the same request flood
+//! protection as pervasively deployed ICNs".
+//!
+//! Injects a request flood (bot leaves hammering one victim publisher's
+//! catalog) into the Asia baseline and reports the victim origin's load
+//! under EDGE, EDGE-Coop, ICN-SP, and ICN-NR, relative to no caching. If
+//! the paper is right, EDGE absorbs nearly the same fraction of the flood
+//! as pervasive ICN: the flood is maximally cacheable traffic (few objects,
+//! huge request rate), which is exactly what edge caches eat.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sim::Simulator;
+use icn_topology::{AccessTree, Network};
+use icn_workload::flood::{inject_flood, FloodConfig};
+use icn_workload::origin::{assign_origins, OriginPolicy};
+use icn_workload::trace::Trace;
+
+fn main() {
+    icn_bench::banner(
+        "DoS resilience (§7)",
+        "victim origin load under a request flood, per design",
+    );
+    let net = Network::new(icn_topology::pop::abilene(), AccessTree::baseline());
+    let base = Trace::synthesize(
+        icn_bench::asia_trace(icn_bench::scale() * 0.5),
+        &net.core.populations,
+        net.leaves_per_pop(),
+    );
+    let mut origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        base.config.objects,
+        &net.core.populations,
+        base.config.seed ^ 0x0_12c_0de,
+    );
+    // Victim: one content provider (origin PoP 3, Denver); we report that
+    // origin's load. Two regimes: a flood whose working set fits even the
+    // smallest edge cache (the paper's claim), and one that overflows it
+    // (an extension finding: cache-overflow floods re-open the gap).
+    const VICTIM_POP: u16 = 3;
+    for victim_objects in [15u32, 50] {
+        let victim_range = base.config.objects - victim_objects..base.config.objects;
+        for o in victim_range.clone() {
+            origins[o as usize] = VICTIM_POP;
+        }
+        let flood = FloodConfig {
+            intensity: 10.0,
+            ..FloodConfig::new(victim_range.clone())
+        };
+        let flooded = inject_flood(
+            &base,
+            net.pops() as u16,
+            net.leaves_per_pop() as u16,
+            &flood,
+        );
+        println!(
+            "\n--- flood of {} requests over {} victim objects ---",
+            flooded.len() - base.len(),
+            victim_range.len()
+        );
+
+        let victim_load = |design: DesignKind| -> (u64, f64) {
+            let mut sim = Simulator::new(
+                &net,
+                ExperimentConfig::baseline(design),
+                &origins,
+                &flooded.object_sizes,
+            );
+            sim.run(&flooded.requests);
+            let m = sim.metrics();
+            (m.origin_served[VICTIM_POP as usize], m.hit_ratio())
+        };
+        let (base_load, _) = victim_load(DesignKind::NoCache);
+
+        println!(
+            "{:<12} {:>18} {:>20} {:>12}",
+            "design", "victim origin load", "flood absorbed (%)", "hit ratio"
+        );
+        icn_bench::rule(66);
+        println!("{:<12} {:>18} {:>20} {:>12}", "NoCache", base_load, "0.00", "-");
+        for design in [
+            DesignKind::Edge,
+            DesignKind::EdgeCoop,
+            DesignKind::IcnSp,
+            DesignKind::IcnNr,
+        ] {
+            let (load, hit) = victim_load(design);
+            let absorbed = (base_load - load) as f64 / base_load as f64 * 100.0;
+            println!(
+                "{:<12} {:>18} {:>20.2} {:>11.1}%",
+                design.name(),
+                load,
+                absorbed,
+                hit * 100.0
+            );
+        }
+    }
+    println!(
+        "\nPaper reference (§7): edge caching provides approximately the same\n\
+         request-flood protection as pervasive ICN when the flood's working set\n\
+         is cacheable at the edge; a working set larger than the smallest edge\n\
+         caches re-opens the gap (our extension measurement)."
+    );
+}

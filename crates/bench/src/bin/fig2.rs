@@ -1,0 +1,49 @@
+//! Figure 2: utility of cache levels on a 6-level binary tree under the
+//! optimal static placement, for α ∈ {0.7, 1.1, 1.5}.
+//!
+//! Level 6 is the origin. The headline is the §2.2 worked example: at
+//! α = 0.7 removing every interior cache level costs only ~25% in expected
+//! hops.
+
+use icn_analysis::tree_opt::{interior_cache_benefit, optimal_levels};
+use icn_workload::zipf::Zipf;
+
+fn main() {
+    icn_bench::banner(
+        "Figure 2",
+        "fraction of requests served per tree level (optimal static placement)",
+    );
+    const LEVELS: u32 = 6;
+    const OBJECTS: usize = 100_000;
+    const CACHE_PER_NODE: usize = 5_000; // 5% of the universe, the F baseline
+
+    println!(
+        "binary tree, {LEVELS} levels (level {LEVELS} = origin), {OBJECTS} objects, \
+         {CACHE_PER_NODE} objects per cache\n"
+    );
+    println!(
+        "{:<8} {}",
+        "alpha",
+        (1..=LEVELS)
+            .map(|l| format!("  lvl{l}"))
+            .collect::<String>()
+            + "   E[hops]  edge-only  interior gain"
+    );
+    icn_bench::rule(78);
+    for alpha in [0.7, 1.1, 1.5] {
+        let zipf = Zipf::new(OBJECTS, alpha);
+        let p = optimal_levels(LEVELS, CACHE_PER_NODE, &zipf);
+        let cells: String = p.served.iter().map(|f| format!("{f:6.2}")).collect();
+        println!(
+            "{alpha:<8}{cells}   {:7.2}  {:9.2}  {:12.1}%",
+            p.expected_hops,
+            p.edge_only_expected_hops,
+            interior_cache_benefit(&p) * 100.0
+        );
+    }
+    println!(
+        "\nPaper reference (α = 0.7): expected hops ≈ 3 with all levels vs 4 with\n\
+         edge-only caching — interior levels buy only ~25%. Levels 2–5 individually\n\
+         serve small fractions; the edge and the origin dominate."
+    );
+}

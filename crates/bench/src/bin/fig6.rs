@@ -1,0 +1,68 @@
+//! Figure 6: % improvement in (a) query latency, (b) congestion, and
+//! (c) max origin load for the five designs across eight topologies, with
+//! **population-proportional** cache budgets and origin assignment.
+
+use icn_core::design::DesignKind;
+
+fn main() {
+    icn_bench::banner(
+        "Figure 6",
+        "design improvements over no caching, population-proportional budgets",
+    );
+    run(icn_cache::budget::BudgetPolicy::PopulationProportional);
+}
+
+/// Shared by fig6 (proportional) and fig7 (uniform).
+pub fn run(budget: icn_cache::budget::BudgetPolicy) {
+    let designs = DesignKind::figure6_designs();
+    let mut rows: Vec<(String, Vec<icn_core::metrics::Improvement>)> = Vec::new();
+    for topo in icn_bench::paper_topologies() {
+        let name = topo.name.clone();
+        eprintln!("... simulating {name}");
+        let s = icn_bench::baseline_scenario(topo);
+        let imps = designs
+            .iter()
+            .map(|&d| {
+                let mut cfg = icn_core::config::ExperimentConfig::baseline(d);
+                cfg.budget_policy = budget;
+                s.improvement(cfg)
+            })
+            .collect();
+        rows.push((name, imps));
+    }
+
+    for (metric, pick) in [
+        ("(a) Query latency improvement (%)", 0usize),
+        ("(b) Congestion improvement (%)", 1),
+        ("(c) Origin server load improvement (%)", 2),
+    ] {
+        println!("\n{metric}");
+        print!("{:<10}", "Topology");
+        for d in designs {
+            print!("{:>12}", d.name());
+        }
+        println!("{:>10}", "max gap");
+        icn_bench::rule(80);
+        for (name, imps) in &rows {
+            print!("{name:<10}");
+            let vals: Vec<f64> = imps
+                .iter()
+                .map(|i| match pick {
+                    0 => i.latency_pct,
+                    1 => i.congestion_pct,
+                    _ => i.origin_pct,
+                })
+                .collect();
+            for v in &vals {
+                print!("{v:>12.2}");
+            }
+            let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+            let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+            println!("{:>10.2}", max - min);
+        }
+    }
+    println!(
+        "\nPaper reference: the gap between architectures is small (≤ ~9%);\n\
+         EDGE-Coop tracks ICN-NR within ~3% on latency; ICN-NR adds ≤ 2% over ICN-SP."
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 8(a): ICN-NR − EDGE gap vs Zipf α (three metrics), on the
+//! largest topology (AT&T), baseline budgets.
+//!
+//! Expected shape: the gap shrinks as α grows — popular objects concentrate
+//! at the edge, so pervasive caching + nearest-replica routing add less.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sweep::Scenario;
+use icn_workload::origin::OriginPolicy;
+
+fn main() {
+    icn_bench::banner("Figure 8(a)", "ICN-NR gain over EDGE vs Zipf alpha (AT&T)");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14}",
+        "alpha", "Delay", "Congestion", "Origin load"
+    );
+    icn_bench::rule(46);
+    for alpha in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6] {
+        let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
+        trace_cfg.alpha = alpha;
+        let s = Scenario::build(
+            icn_topology::pop::att(),
+            icn_bench::baseline_tree(),
+            trace_cfg,
+            OriginPolicy::PopulationProportional,
+        );
+        let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+        println!(
+            "{alpha:>6.1} {:>10.2} {:>12.2} {:>14.2}",
+            gap.latency_pct, gap.congestion_pct, gap.origin_pct
+        );
+    }
+    println!(
+        "\nPaper reference: with increasing alpha the gap becomes less positive —\n\
+         most requests are already served from edge caches."
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 8(b): ICN-NR − EDGE gap vs per-cache budget fraction `F`
+//! (log-spaced sweep), on AT&T.
+//!
+//! Expected shape: non-monotone — with tiny caches neither design works;
+//! past ~10% the edge captures most requests and interior caches add
+//! little; the gap peaks at a small intermediate F (paper: ~2%, max ~10%).
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sweep::Scenario;
+use icn_workload::origin::OriginPolicy;
+
+fn main() {
+    icn_bench::banner("Figure 8(b)", "ICN-NR gain over EDGE vs cache budget F (AT&T)");
+    let s = Scenario::build(
+        icn_topology::pop::att(),
+        icn_bench::baseline_tree(),
+        icn_bench::asia_trace(icn_bench::scale()),
+        OriginPolicy::PopulationProportional,
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>14}",
+        "F", "Delay", "Congestion", "Origin load"
+    );
+    icn_bench::rule(50);
+    for f in [1e-5, 1e-4, 1e-3, 5e-3, 0.02, 0.05, 0.1, 0.3, 1.0] {
+        let mut template = ExperimentConfig::baseline(DesignKind::Edge);
+        template.f_fraction = f;
+        let gap = s.nr_vs_edge_gap(&template);
+        println!(
+            "{f:>10.5} {:>10.2} {:>12.2} {:>14.2}",
+            gap.latency_pct, gap.congestion_pct, gap.origin_pct
+        );
+    }
+    println!(
+        "\nPaper reference: the gap is non-monotone in cache size, peaking near\n\
+         F ≈ 2% (~10%) and collapsing once per-cache budgets exceed ~10% of the\n\
+         object universe."
+    );
+}

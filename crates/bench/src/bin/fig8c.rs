@@ -1,0 +1,47 @@
+//! Figure 8(c): ICN-NR − EDGE gap vs spatial popularity skew, on AT&T.
+//!
+//! Expected shape: the gap grows with skew — an object unpopular at one
+//! PoP may be popular nearby, so cross-tree replicas (which only ICN-NR
+//! can exploit) become valuable.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sweep::Scenario;
+use icn_workload::origin::OriginPolicy;
+use icn_workload::skew::SpatialModel;
+
+fn main() {
+    icn_bench::banner("Figure 8(c)", "ICN-NR gain over EDGE vs spatial skew (AT&T)");
+    println!(
+        "{:>6} {:>14} {:>10} {:>12} {:>14}",
+        "skew", "measured skew", "Delay", "Congestion", "Origin load"
+    );
+    icn_bench::rule(60);
+    for skew in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
+        trace_cfg.skew = skew;
+        // Report the paper's skew metric for this setting.
+        let measured = SpatialModel::new(
+            trace_cfg.objects,
+            icn_topology::pop::att().len() as u32,
+            skew,
+            trace_cfg.seed ^ 0x5b5b_5b5b,
+        )
+        .measured_skew();
+        let s = Scenario::build(
+            icn_topology::pop::att(),
+            icn_bench::baseline_tree(),
+            trace_cfg,
+            OriginPolicy::PopulationProportional,
+        );
+        let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+        println!(
+            "{skew:>6.1} {measured:>14.3} {:>10.2} {:>12.2} {:>14.2}",
+            gap.latency_pct, gap.congestion_pct, gap.origin_pct
+        );
+    }
+    println!(
+        "\nPaper reference: as spatial skew increases, ICN-NR increasingly\n\
+         outperforms EDGE (up to ~15% at skew 1 in the paper's setting)."
+    );
+}

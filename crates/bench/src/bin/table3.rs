@@ -1,0 +1,75 @@
+//! Table 3: ICN-NR − EDGE latency-improvement gap, "trace" vs synthetic.
+//!
+//! The paper compares real CDN traces against best-fit-Zipf synthetic logs.
+//! Our stand-in (DESIGN.md): the locality-calibrated trace plays the role
+//! of the real trace, and a pure-IRM Zipf trace with the same fitted
+//! exponent plays the synthetic. The paper's direction — synthetic (IRM)
+//! shows a slightly *larger* gap than the trace — should reproduce.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::metrics::Improvement;
+use icn_core::sweep::Scenario;
+use icn_workload::origin::OriginPolicy;
+
+/// Paper's Table 3 (query latency gap, %): (topology, trace, synthetic).
+const PAPER: [(&str, f64, f64); 8] = [
+    ("Abilene", 6.89, 7.81),
+    ("Geant", 5.92, 6.96),
+    ("Telstra", 7.44, 8.63),
+    ("Sprint", 7.09, 8.76),
+    ("Verio", 7.40, 8.94),
+    ("Tiscali", 7.11, 8.05),
+    ("Level3", 6.18, 7.32),
+    ("ATT", 7.25, 8.04),
+];
+
+fn main() {
+    icn_bench::banner("Table 3", "ICN-NR vs EDGE latency gap: trace vs best-fit synthetic");
+    println!(
+        "{:<10} {:>8} {:>10} {:>6} | {:>8} {:>10} {:>6}",
+        "", "ours", "", "", "paper", "", ""
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>6} | {:>8} {:>10} {:>6}",
+        "Topology", "Trace", "Synthetic", "Diff", "Trace", "Synthetic", "Diff"
+    );
+    icn_bench::rule(72);
+    for (i, topo) in icn_bench::paper_topologies().into_iter().enumerate() {
+        let name = topo.name.clone();
+        eprintln!("... simulating {name}");
+        let trace_gap = gap(topo.clone(), true);
+        let synth_gap = gap(topo, false);
+        let (pname, pt, ps) = PAPER[i];
+        assert_eq!(pname, name);
+        println!(
+            "{name:<10} {:>8.2} {:>10.2} {:>6.2} | {pt:>8.2} {ps:>10.2} {:>6.2}",
+            trace_gap,
+            synth_gap,
+            synth_gap - trace_gap,
+            ps - pt,
+        );
+    }
+    println!(
+        "\nPaper reference: the synthetic (IRM) gap exceeds the trace gap by ≤ 1.67%,\n\
+         validating Zipf-based synthesis. The same direction should hold above\n\
+         (our 'trace' is the locality-calibrated generator; see DESIGN.md)."
+    );
+}
+
+/// ICN-NR − EDGE latency gap for one topology.
+fn gap(topo: icn_topology::PopGraph, with_locality: bool) -> f64 {
+    let mut cfg = icn_bench::asia_trace(icn_bench::scale());
+    if !with_locality {
+        cfg.locality = None;
+    }
+    let s = Scenario::build(
+        topo,
+        icn_bench::baseline_tree(),
+        cfg,
+        OriginPolicy::PopulationProportional,
+    );
+    let nr = s.improvement(ExperimentConfig::baseline(DesignKind::IcnNr));
+    let edge = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
+    Improvement::gap(&nr, &edge).latency_pct
+}

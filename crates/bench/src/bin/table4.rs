@@ -1,0 +1,47 @@
+//! Table 4: effect of access-tree arity on the ICN-NR over EDGE gap.
+//!
+//! Arity ranges over {2, 4, 8, 64} with the leaves per tree fixed at 64
+//! (so depth adjusts). With higher arity the leaf share of the total cache
+//! budget approaches 1, implicitly "normalizing" EDGE — the gap shrinks.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sweep::Scenario;
+use icn_topology::AccessTree;
+use icn_workload::origin::OriginPolicy;
+
+/// Paper's Table 4: (arity, latency gain %, congestion gain %, origin %).
+const PAPER: [(u32, f64, f64, f64); 4] = [
+    (2, 10.29, 9.14, 6.27),
+    (4, 9.12, 8.28, 5.35),
+    (8, 7.95, 7.01, 4.66),
+    (64, 1.76, 0.90, 0.34),
+];
+
+fn main() {
+    icn_bench::banner("Table 4", "ICN-NR over EDGE vs access-tree arity (64 leaves/tree)");
+    println!(
+        "{:>6} {:>8} {:>10} {:>8} | {:>8} {:>10} {:>8}",
+        "arity", "Latency", "Congestion", "Origin", "p.Lat", "p.Cong", "p.Orig"
+    );
+    icn_bench::rule(70);
+    for (arity, p_lat, p_cong, p_orig) in PAPER {
+        eprintln!("... simulating arity {arity}");
+        let tree = AccessTree::with_fixed_leaves(arity, 64);
+        let s = Scenario::build(
+            icn_topology::pop::att(),
+            tree,
+            icn_bench::asia_trace(icn_bench::scale()),
+            OriginPolicy::PopulationProportional,
+        );
+        let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+        println!(
+            "{arity:>6} {:>8.2} {:>10.2} {:>8.2} | {p_lat:>8.2} {p_cong:>10.2} {p_orig:>8.2}",
+            gap.latency_pct, gap.congestion_pct, gap.origin_pct
+        );
+    }
+    println!(
+        "\nPaper reference: the gap shrinks monotonically with arity; at arity 64\n\
+         (a one-level tree) EDGE holds nearly the whole budget and the gap ~vanishes."
+    );
+}

@@ -1,0 +1,75 @@
+//! Utility: generate a synthetic CDN request trace as CSV on stdout.
+//!
+//! ```console
+//! $ cargo run --release -p icn-bench --bin trace_gen -- \
+//!       --region asia --scale 0.05 --topology abilene > trace.csv
+//! ```
+//!
+//! Options (all optional):
+//! `--region us|europe|asia` (default asia), `--scale <0..1]` (default
+//! 0.05), `--topology <name>` (default abilene), `--alpha <f>`,
+//! `--skew <0..1>`, `--seed <u64>`, `--irm` (disable temporal locality).
+
+use icn_topology::pop;
+use icn_workload::trace::{Region, Trace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    let region = match get("--region").as_deref() {
+        None | Some("asia") => Region::Asia,
+        Some("us") => Region::Us,
+        Some("europe") => Region::Europe,
+        Some(other) => {
+            eprintln!("unknown region {other:?} (us|europe|asia)");
+            std::process::exit(2);
+        }
+    };
+    let scale: f64 = get("--scale").and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let topo = match get("--topology").as_deref() {
+        None | Some("abilene") => pop::abilene(),
+        Some("geant") => pop::geant(),
+        Some("telstra") => pop::telstra(),
+        Some("sprint") => pop::sprint(),
+        Some("verio") => pop::verio(),
+        Some("tiscali") => pop::tiscali(),
+        Some("level3") => pop::level3(),
+        Some("att") => pop::att(),
+        Some(other) => {
+            eprintln!("unknown topology {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cfg = region.config(scale);
+    if let Some(a) = get("--alpha").and_then(|s| s.parse().ok()) {
+        cfg.alpha = a;
+    }
+    if let Some(s) = get("--skew").and_then(|s| s.parse().ok()) {
+        cfg.skew = s;
+    }
+    if let Some(s) = get("--seed").and_then(|s| s.parse().ok()) {
+        cfg.seed = s;
+    }
+    if has("--irm") {
+        cfg.locality = None;
+    }
+
+    eprintln!(
+        "generating {} requests over {} objects (alpha {}, skew {}, topology {})",
+        cfg.requests, cfg.objects, cfg.alpha, cfg.skew, topo.name
+    );
+    let leaves = icn_topology::AccessTree::baseline().leaves();
+    let trace = Trace::synthesize(cfg, &topo.populations, leaves);
+    let stdout = std::io::stdout();
+    trace
+        .write_csv(std::io::BufWriter::new(stdout.lock()))
+        .expect("write CSV to stdout");
+}

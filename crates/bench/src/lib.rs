@@ -1,0 +1,111 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary in
+//! `src/bin/` (`fig1`, `table2`, `fig2`, `fig6`, `fig7`, `table3`,
+//! `fig8a`–`fig8c`, `table4`, `fig9`, `fig10`, `ablations`). Each prints
+//! the measured rows next to the paper's reference values where the paper
+//! states them. Criterion micro-benchmarks for the hot paths live in
+//! `benches/`.
+//!
+//! Scale: the paper's runs use the full Asia trace (1.8M requests). The
+//! binaries default to `SCALE=0.25` of that (set the `SCALE` env var to
+//! `1.0` to match the paper's volume; results are stable in scale — see
+//! EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::metrics::Improvement;
+use icn_core::sweep::Scenario;
+use icn_topology::{pop, AccessTree, PopGraph};
+use icn_workload::origin::OriginPolicy;
+use icn_workload::trace::{Region, TraceConfig};
+
+/// The experiment scale factor (fraction of the paper's trace volume).
+pub fn scale() -> f64 {
+    std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// The §4 baseline workload: Asia-region synthetic trace at [`scale`].
+pub fn asia_trace(scale: f64) -> TraceConfig {
+    Region::Asia.config(scale)
+}
+
+/// The paper's eight topologies (Figures 6/7 order).
+pub fn paper_topologies() -> Vec<PopGraph> {
+    pop::paper_topologies()
+}
+
+/// The §4 baseline access tree (binary, depth 5 — 32 leaves per PoP).
+pub fn baseline_tree() -> AccessTree {
+    AccessTree::baseline()
+}
+
+/// Builds the §4 baseline scenario for one topology.
+pub fn baseline_scenario(core: PopGraph) -> Scenario {
+    Scenario::build(
+        core,
+        baseline_tree(),
+        asia_trace(scale()),
+        OriginPolicy::PopulationProportional,
+    )
+}
+
+/// Runs one design under the baseline config and returns its improvements.
+pub fn improvements(s: &Scenario, design: DesignKind) -> Improvement {
+    s.improvement(ExperimentConfig::baseline(design))
+}
+
+/// Formats a percentage cell.
+pub fn pct(x: f64) -> String {
+    format!("{x:6.2}")
+}
+
+/// Prints a rule line of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, what: &str) {
+    rule(78);
+    println!("{id}: {what}");
+    println!(
+        "(scale = {} of the paper's 1.8M-request Asia trace; SCALE env overrides)",
+        scale()
+    );
+    rule(78);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default() {
+        // Unless the environment overrides, the default is 0.25.
+        if std::env::var("SCALE").is_err() {
+            assert_eq!(scale(), 0.25);
+        }
+    }
+
+    #[test]
+    fn asia_trace_parameters() {
+        let cfg = asia_trace(0.1);
+        assert_eq!(cfg.requests, 180_000);
+        assert_eq!(cfg.alpha, 1.04);
+        assert!(cfg.locality.is_some());
+    }
+
+    #[test]
+    fn eight_paper_topologies() {
+        let topos = paper_topologies();
+        assert_eq!(topos.len(), 8);
+        assert_eq!(topos[0].name, "Abilene");
+        assert_eq!(topos[7].name, "ATT");
+    }
+}

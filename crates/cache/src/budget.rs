@@ -1,0 +1,122 @@
+//! Cache-budget provisioning (§4.1 of the paper).
+//!
+//! If `O` objects are requested across a network of `R` routers, the total
+//! network cache budget is `F × R × O` for a provisioning fraction
+//! `F ∈ [0, 1]` (the paper's baseline is `F = 5%`, "based roughly on the CDN
+//! provisioning we observe"). The total is split per router either
+//! uniformly or proportionally to PoP population.
+//!
+//! The budget is computed for **every** router regardless of which routers a
+//! design actually equips with caches; EDGE simply uses only the leaf
+//! entries, which is why its total capacity is about half of ICN's on binary
+//! trees. [`edge_norm_factor`] is the constant EDGE-Norm multiplies leaf
+//! budgets by to equalize totals.
+
+use serde::{Deserialize, Serialize};
+
+/// How the total cache budget is split across routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetPolicy {
+    /// Every router stores `F × O` objects.
+    Uniform,
+    /// Each PoP receives a share of `F × R × O` proportional to its
+    /// population, divided equally within its access tree.
+    PopulationProportional,
+}
+
+/// Computes the per-router cache budget (in objects), indexed by global
+/// node id (`pop * nodes_per_pop + tree_index`).
+///
+/// * `f_fraction` — the provisioning fraction `F`.
+/// * `objects` — the universe size `O`.
+/// * `populations` — metro population per PoP.
+/// * `nodes_per_pop` — routers per access tree (including the PoP root).
+pub fn per_node_budgets(
+    policy: BudgetPolicy,
+    f_fraction: f64,
+    objects: u64,
+    populations: &[u64],
+    nodes_per_pop: u32,
+) -> Vec<usize> {
+    assert!(f_fraction >= 0.0, "negative budget fraction");
+    assert!(nodes_per_pop >= 1);
+    let pops = populations.len();
+    let routers = pops as u64 * nodes_per_pop as u64;
+    match policy {
+        BudgetPolicy::Uniform => {
+            let per_node = (f_fraction * objects as f64).round() as usize;
+            vec![per_node; routers as usize]
+        }
+        BudgetPolicy::PopulationProportional => {
+            let total_budget = f_fraction * routers as f64 * objects as f64;
+            let total_pop: u64 = populations.iter().sum();
+            assert!(total_pop > 0, "zero total population");
+            let mut out = Vec::with_capacity(routers as usize);
+            for &p in populations {
+                let pop_budget = total_budget * (p as f64 / total_pop as f64);
+                let per_node = (pop_budget / nodes_per_pop as f64).round() as usize;
+                out.extend(std::iter::repeat(per_node).take(nodes_per_pop as usize));
+            }
+            out
+        }
+    }
+}
+
+/// The EDGE-Norm multiplier: the constant the leaf budgets are scaled by so
+/// the total leaf capacity matches the total all-router capacity (×2 for
+/// binary trees, approaching ×1 as arity grows — the Table 4 effect).
+pub fn edge_norm_factor(nodes_per_pop: u32, leaves_per_pop: u32) -> f64 {
+    assert!(leaves_per_pop >= 1 && leaves_per_pop <= nodes_per_pop);
+    nodes_per_pop as f64 / leaves_per_pop as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_budget() {
+        let b = per_node_budgets(BudgetPolicy::Uniform, 0.05, 1000, &[10, 20, 30], 7);
+        assert_eq!(b.len(), 21);
+        assert!(b.iter().all(|&x| x == 50));
+    }
+
+    #[test]
+    fn proportional_total_is_conserved() {
+        let pops = [100u64, 300, 600];
+        let b = per_node_budgets(BudgetPolicy::PopulationProportional, 0.05, 1000, &pops, 7);
+        assert_eq!(b.len(), 21);
+        let total: usize = b.iter().sum();
+        let expected = 0.05 * 21.0 * 1000.0;
+        assert!(
+            (total as f64 - expected).abs() / expected < 0.01,
+            "total {total} vs expected {expected}"
+        );
+        // Nodes within one PoP are equal; bigger PoP gets bigger caches.
+        assert!(b[0..7].iter().all(|&x| x == b[0]));
+        assert!(b[0] < b[7] && b[7] < b[14]);
+    }
+
+    #[test]
+    fn proportional_ratio_matches_population() {
+        let pops = [100u64, 400];
+        let b = per_node_budgets(BudgetPolicy::PopulationProportional, 0.1, 10_000, &pops, 3);
+        assert_eq!(b[3] as f64 / b[0] as f64, 4.0);
+    }
+
+    #[test]
+    fn zero_fraction_means_no_cache() {
+        let b = per_node_budgets(BudgetPolicy::Uniform, 0.0, 1000, &[1, 1], 7);
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn norm_factor_binary_tree() {
+        // Depth-5 binary tree: 63 nodes, 32 leaves -> ~2x.
+        let f = edge_norm_factor(63, 32);
+        assert!((f - 63.0 / 32.0).abs() < 1e-12);
+        // High arity approaches 1 (Table 4 intuition).
+        let f64ary = edge_norm_factor(65, 64);
+        assert!(f64ary < 1.02);
+    }
+}

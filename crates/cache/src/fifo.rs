@@ -1,0 +1,105 @@
+//! First-in-first-out cache: evicts in insertion order, ignoring hits.
+//!
+//! FIFO is the classic lower-bound comparator for recency-aware policies;
+//! the ablation benches use it to show how much of the caching benefit is
+//! policy-independent (almost all of it, under Zipf workloads).
+
+use crate::hash::FastSet;
+use crate::policy::{CachePolicy, Key};
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO cache.
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    set: FastSet<Key>,
+    queue: VecDeque<Key>,
+    capacity: usize,
+}
+
+impl Fifo {
+    /// Creates an empty cache holding at most `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, ..Default::default() }
+    }
+}
+
+impl CachePolicy for Fifo {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.set.contains(&key)
+    }
+
+    fn touch(&mut self, _key: Key) {
+        // FIFO ignores hits by definition.
+    }
+
+    fn insert(&mut self, key: Key) -> Option<Key> {
+        if self.capacity == 0 || self.set.contains(&key) {
+            return None;
+        }
+        let evicted = if self.set.len() == self.capacity {
+            let victim = self.queue.pop_front().expect("full cache has a queue head");
+            self.set.remove(&victim);
+            Some(victim)
+        } else {
+            None
+        };
+        self.set.insert(key);
+        self.queue.push_back(key);
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.set.clear();
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_arrival_order() {
+        let mut c = Fifo::new(2);
+        c.insert(1);
+        c.insert(2);
+        c.touch(1); // must not matter
+        assert_eq!(c.insert(3), Some(1));
+        assert_eq!(c.insert(4), Some(2));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut c = Fifo::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.insert(1), None);
+        // 1 keeps its original queue position.
+        assert_eq!(c.insert(3), Some(1));
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let mut c = Fifo::new(0);
+        assert_eq!(c.insert(9), None);
+        assert!(!c.contains(9));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = Fifo::new(2);
+        c.insert(1);
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(2);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Experiment configuration.
+
+use crate::capacity::ServingCapacity;
+use crate::design::DesignKind;
+use crate::latency::LatencyModel;
+use icn_cache::budget::BudgetPolicy;
+use icn_cache::policy::PolicyKind;
+use serde::{Deserialize, Serialize};
+
+/// How objects are inserted along the response path.
+///
+/// The paper's designs cache at *every* router on the response path
+/// ("leave-copy-everywhere", §4.1). The ICN caching literature studies two
+/// classic alternatives, exposed here as an ablation axis (§3 notes cache
+/// resource management as a third dimension of the design space):
+///
+/// * **leave-copy-down** — only the router one hop below the serving
+///   location (toward the client) stores the copy, so popular objects
+///   migrate one level per request instead of flooding the path;
+/// * **probabilistic** — each router on the path stores the copy
+///   independently with probability `p` (CCN's "cache with probability"
+///   knob).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InsertionPolicy {
+    /// Every cache-equipped router on the response path stores the object
+    /// (the paper's default).
+    Everywhere,
+    /// Only the next router below the server stores it.
+    LeaveCopyDown,
+    /// Each router stores it with probability `p`.
+    Probabilistic {
+        /// Per-router insertion probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+/// Everything that parameterizes one simulator run besides the network and
+/// the trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The caching design under test.
+    pub design: DesignKind,
+    /// How the total cache budget is split across routers.
+    pub budget_policy: BudgetPolicy,
+    /// Provisioning fraction `F` (the paper's baseline is 0.05).
+    pub f_fraction: f64,
+    /// Replacement policy (the paper's default is LRU).
+    pub policy: PolicyKind,
+    /// Hop cost model.
+    pub latency: LatencyModel,
+    /// Optional per-node serving capacity limit.
+    pub capacity: Option<ServingCapacity>,
+    /// Weight congestion by object size instead of counting transfers.
+    pub weight_by_size: bool,
+    /// Response-path insertion policy (the paper uses `Everywhere`).
+    pub insertion: InsertionPolicy,
+}
+
+impl ExperimentConfig {
+    /// The §4 baseline for a given design: `F = 5%`, LRU, unit latency,
+    /// population-proportional budgets, no capacity limit.
+    pub fn baseline(design: DesignKind) -> Self {
+        Self {
+            design,
+            budget_policy: BudgetPolicy::PopulationProportional,
+            f_fraction: 0.05,
+            policy: PolicyKind::Lru,
+            latency: LatencyModel::Unit,
+            capacity: None,
+            weight_by_size: false,
+            insertion: InsertionPolicy::Everywhere,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_section4() {
+        let c = ExperimentConfig::baseline(DesignKind::Edge);
+        assert_eq!(c.f_fraction, 0.05);
+        assert_eq!(c.budget_policy, BudgetPolicy::PopulationProportional);
+        assert_eq!(c.policy, PolicyKind::Lru);
+        assert_eq!(c.latency, LatencyModel::Unit);
+        assert!(c.capacity.is_none());
+        assert!(!c.weight_by_size);
+        assert_eq!(c.insertion, InsertionPolicy::Everywhere);
+    }
+}

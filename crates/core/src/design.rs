@@ -1,0 +1,241 @@
+//! The representative caching designs (§4.1) and the EDGE extensions (§5.2).
+//!
+//! Every design decomposes into four orthogonal knobs:
+//!
+//! * **cache placement** ([`CacheSet`]) — which routers carry content caches;
+//! * **request routing** ([`Routing`]) — shortest path to origin vs nearest
+//!   replica;
+//! * **sibling cooperation** — whether a cache that misses does a scoped
+//!   lookup in its access-tree siblings before forwarding upward;
+//! * **budget scaling** — the multiplier applied to equipped routers'
+//!   budgets (EDGE-Norm's ×(R/leaves), Double-Budget's ×2 on top), or an
+//!   infinite budget for the Figure 10 reference point.
+
+use icn_topology::Network;
+use serde::{Deserialize, Serialize};
+
+/// Which routers are equipped with content caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheSet {
+    /// No caches anywhere (the normalization baseline).
+    None,
+    /// Leaves of every access tree only ("edge").
+    Leaves,
+    /// Leaves plus their immediate parents (the 2-Levels extension).
+    LeavesAndParents,
+    /// Every router, including PoP roots (pervasive caching).
+    All,
+}
+
+impl CacheSet {
+    /// True when router `n` carries a cache under this placement.
+    #[inline]
+    pub fn has_cache(self, net: &Network, n: icn_topology::NodeId) -> bool {
+        match self {
+            CacheSet::None => false,
+            CacheSet::All => true,
+            CacheSet::Leaves => net.is_leaf(n),
+            CacheSet::LeavesAndParents => {
+                let level = net.level_of(n);
+                level + 1 >= net.tree.depth
+            }
+        }
+    }
+}
+
+/// How requests find content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Routing {
+    /// Route along the shortest path toward the origin server; any cache on
+    /// that path may answer.
+    ShortestPathToOrigin,
+    /// Route to the nearest cached replica (the origin counts as a
+    /// replica), with zero lookup overhead — the ICN ideal.
+    NearestReplica,
+}
+
+/// A fully resolved design: placement + routing + cooperation + budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpec {
+    /// Which routers have caches.
+    pub cache_set: CacheSet,
+    /// How requests are routed.
+    pub routing: Routing,
+    /// Scoped sibling lookup on miss at cached tree nodes.
+    pub sibling_coop: bool,
+    /// Multiplier applied to the per-router budget of equipped routers.
+    pub budget_multiplier: f64,
+    /// Every cache can hold the entire object universe (Figure 10's
+    /// Inf-Budget reference).
+    pub infinite_budget: bool,
+}
+
+/// The named designs evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignKind {
+    /// No caching; the normalization baseline for all improvement metrics.
+    NoCache,
+    /// Pervasive caches, shortest-path-to-origin routing (§4.1).
+    IcnSp,
+    /// Pervasive caches, nearest-replica routing (§4.1).
+    IcnNr,
+    /// Caches at access-tree leaves only (§4.1).
+    Edge,
+    /// EDGE plus scoped sibling cooperation (§4.1).
+    EdgeCoop,
+    /// EDGE with leaf budgets scaled so total capacity matches ICN (§4.1).
+    EdgeNorm,
+    /// EDGE plus one more caching level above the edge (Figure 10).
+    TwoLevels,
+    /// 2-Levels plus sibling cooperation (Figure 10).
+    TwoLevelsCoop,
+    /// EDGE-Norm plus sibling cooperation (Figure 10).
+    NormCoop,
+    /// Norm-Coop with the budget doubled again (Figure 10).
+    DoubleBudgetCoop,
+    /// EDGE with infinite caches (Figure 10's Inf-Budget, EDGE side).
+    InfiniteEdge,
+    /// ICN-NR with infinite caches (Figure 10's Inf-Budget, ICN side).
+    InfiniteIcnNr,
+}
+
+impl DesignKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::NoCache => "NoCache",
+            DesignKind::IcnSp => "ICN-SP",
+            DesignKind::IcnNr => "ICN-NR",
+            DesignKind::Edge => "EDGE",
+            DesignKind::EdgeCoop => "EDGE-Coop",
+            DesignKind::EdgeNorm => "EDGE-Norm",
+            DesignKind::TwoLevels => "2-Levels",
+            DesignKind::TwoLevelsCoop => "2-Levels-Coop",
+            DesignKind::NormCoop => "Norm-Coop",
+            DesignKind::DoubleBudgetCoop => "Double-Budget-Coop",
+            DesignKind::InfiniteEdge => "Inf-Budget-EDGE",
+            DesignKind::InfiniteIcnNr => "Inf-Budget-ICN-NR",
+        }
+    }
+
+    /// The five designs of Figures 6 and 7, in plot order.
+    pub fn figure6_designs() -> [DesignKind; 5] {
+        [
+            DesignKind::IcnSp,
+            DesignKind::IcnNr,
+            DesignKind::Edge,
+            DesignKind::EdgeCoop,
+            DesignKind::EdgeNorm,
+        ]
+    }
+
+    /// Resolves the named design to its knob settings for a given network
+    /// (the EDGE-Norm multiplier depends on the tree shape).
+    pub fn spec(self, net: &Network) -> DesignSpec {
+        let norm = icn_cache::budget::edge_norm_factor(net.nodes_per_pop(), net.leaves_per_pop());
+        let base = DesignSpec {
+            cache_set: CacheSet::Leaves,
+            routing: Routing::ShortestPathToOrigin,
+            sibling_coop: false,
+            budget_multiplier: 1.0,
+            infinite_budget: false,
+        };
+        match self {
+            DesignKind::NoCache => DesignSpec { cache_set: CacheSet::None, ..base },
+            DesignKind::IcnSp => DesignSpec { cache_set: CacheSet::All, ..base },
+            DesignKind::IcnNr => DesignSpec {
+                cache_set: CacheSet::All,
+                routing: Routing::NearestReplica,
+                ..base
+            },
+            DesignKind::Edge => base,
+            DesignKind::EdgeCoop => DesignSpec { sibling_coop: true, ..base },
+            DesignKind::EdgeNorm => DesignSpec { budget_multiplier: norm, ..base },
+            DesignKind::TwoLevels => DesignSpec {
+                cache_set: CacheSet::LeavesAndParents,
+                ..base
+            },
+            DesignKind::TwoLevelsCoop => DesignSpec {
+                cache_set: CacheSet::LeavesAndParents,
+                sibling_coop: true,
+                ..base
+            },
+            DesignKind::NormCoop => DesignSpec {
+                sibling_coop: true,
+                budget_multiplier: norm,
+                ..base
+            },
+            DesignKind::DoubleBudgetCoop => DesignSpec {
+                sibling_coop: true,
+                budget_multiplier: 2.0 * norm,
+                ..base
+            },
+            DesignKind::InfiniteEdge => DesignSpec { infinite_budget: true, ..base },
+            DesignKind::InfiniteIcnNr => DesignSpec {
+                cache_set: CacheSet::All,
+                routing: Routing::NearestReplica,
+                infinite_budget: true,
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_topology::{pop, AccessTree};
+
+    fn net() -> Network {
+        Network::new(pop::abilene(), AccessTree::new(2, 3))
+    }
+
+    #[test]
+    fn cache_set_membership() {
+        let net = net();
+        let leaf = net.leaf(0, 0);
+        let parent = net.parent(leaf).unwrap();
+        let root = net.pop_root(0);
+        assert!(!CacheSet::None.has_cache(&net, leaf));
+        assert!(CacheSet::Leaves.has_cache(&net, leaf));
+        assert!(!CacheSet::Leaves.has_cache(&net, parent));
+        assert!(CacheSet::LeavesAndParents.has_cache(&net, leaf));
+        assert!(CacheSet::LeavesAndParents.has_cache(&net, parent));
+        assert!(!CacheSet::LeavesAndParents.has_cache(&net, root));
+        assert!(CacheSet::All.has_cache(&net, root));
+    }
+
+    #[test]
+    fn edge_norm_multiplier_matches_tree() {
+        let net = net(); // 15 nodes, 8 leaves
+        let spec = DesignKind::EdgeNorm.spec(&net);
+        assert!((spec.budget_multiplier - 15.0 / 8.0).abs() < 1e-12);
+        let dbl = DesignKind::DoubleBudgetCoop.spec(&net);
+        assert!((dbl.budget_multiplier - 2.0 * 15.0 / 8.0).abs() < 1e-12);
+        assert!(dbl.sibling_coop);
+    }
+
+    #[test]
+    fn icn_designs_are_pervasive() {
+        let net = net();
+        for kind in [DesignKind::IcnSp, DesignKind::IcnNr, DesignKind::InfiniteIcnNr] {
+            assert_eq!(kind.spec(&net).cache_set, CacheSet::All);
+        }
+        assert_eq!(DesignKind::IcnNr.spec(&net).routing, Routing::NearestReplica);
+        assert_eq!(
+            DesignKind::IcnSp.spec(&net).routing,
+            Routing::ShortestPathToOrigin
+        );
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(DesignKind::IcnNr.name(), "ICN-NR");
+        assert_eq!(DesignKind::EdgeCoop.name(), "EDGE-Coop");
+        let names: Vec<&str> = DesignKind::figure6_designs().iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            vec!["ICN-SP", "ICN-NR", "EDGE", "EDGE-Coop", "EDGE-Norm"]
+        );
+    }
+}

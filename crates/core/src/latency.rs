@@ -1,0 +1,150 @@
+//! Hop-cost models (§5.1, "Other parameters").
+//!
+//! The paper's default charges one unit per hop. Two alternative models are
+//! meant to *favor* ICN-NR by making core hops expensive: an arithmetic
+//! progression of per-hop cost toward the core, and a flat multiplier `d`
+//! on core links. The paper reports both change the ICN-NR-vs-EDGE gap by
+//! less than 2%.
+//!
+//! Latency of a served request = sum of traversed link costs **plus one**
+//! (the serving hop), so a hit in the requesting leaf's own cache costs 1 —
+//! matching Figure 2's level indexing where the edge is "level 1".
+
+use icn_topology::Network;
+use serde::{Deserialize, Serialize};
+
+/// Per-link cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every link costs 1 (the paper's default).
+    Unit,
+    /// Cost grows linearly toward the core: a tree link whose deeper
+    /// endpoint is at level `l` costs `depth - l + 1` (leaf links cost 1),
+    /// and core links cost `depth + 1`.
+    Progression,
+    /// Tree links cost 1; core links cost `d`.
+    CoreMultiplier {
+        /// Core-link cost multiplier.
+        d: u32,
+    },
+}
+
+impl LatencyModel {
+    /// Cost of the tree link whose deeper endpoint is at `deeper_level`
+    /// (1 ..= depth).
+    #[inline]
+    pub fn tree_link_cost(&self, deeper_level: u32, depth: u32) -> f64 {
+        debug_assert!(deeper_level >= 1 && deeper_level <= depth);
+        match *self {
+            LatencyModel::Unit | LatencyModel::CoreMultiplier { .. } => 1.0,
+            LatencyModel::Progression => (depth - deeper_level + 1) as f64,
+        }
+    }
+
+    /// Cost of one core link.
+    #[inline]
+    pub fn core_link_cost(&self, depth: u32) -> f64 {
+        match *self {
+            LatencyModel::Unit => 1.0,
+            LatencyModel::Progression => (depth + 1) as f64,
+            LatencyModel::CoreMultiplier { d } => d as f64,
+        }
+    }
+
+    /// Cost of climbing within a tree from `from_level` up to `to_level`
+    /// (`from_level >= to_level`).
+    pub fn climb_cost(&self, from_level: u32, to_level: u32, depth: u32) -> f64 {
+        debug_assert!(from_level >= to_level);
+        match *self {
+            LatencyModel::Unit | LatencyModel::CoreMultiplier { .. } => {
+                (from_level - to_level) as f64
+            }
+            LatencyModel::Progression => (to_level + 1..=from_level)
+                .map(|l| self.tree_link_cost(l, depth))
+                .sum(),
+        }
+    }
+
+    /// Total link cost of the shortest path between routers `a` and `b`.
+    pub fn path_cost(&self, net: &Network, a: u32, b: u32) -> f64 {
+        let depth = net.tree.depth;
+        let (pa, pb) = (net.pop_of(a), net.pop_of(b));
+        let (ta, tb) = (net.tree_index(a), net.tree_index(b));
+        if pa == pb {
+            let lca_level = net.tree.level_of(net.tree.lca(ta, tb));
+            self.climb_cost(net.tree.level_of(ta), lca_level, depth)
+                + self.climb_cost(net.tree.level_of(tb), lca_level, depth)
+        } else {
+            self.climb_cost(net.tree.level_of(ta), 0, depth)
+                + self.climb_cost(net.tree.level_of(tb), 0, depth)
+                + net.core_distance(pa, pb) as f64 * self.core_link_cost(depth)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_topology::{pop, AccessTree};
+
+    fn net() -> Network {
+        Network::new(pop::abilene(), AccessTree::new(2, 3))
+    }
+
+    #[test]
+    fn unit_cost_equals_hop_distance() {
+        let net = net();
+        let m = LatencyModel::Unit;
+        let cases = [
+            (net.leaf(0, 0), net.leaf(0, 7)),
+            (net.leaf(0, 0), net.pop_root(0)),
+            (net.leaf(2, 1), net.leaf(9, 3)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(m.path_cost(&net, a, b), net.distance(a, b) as f64);
+        }
+    }
+
+    #[test]
+    fn progression_costs() {
+        let net = net(); // depth 3
+        let m = LatencyModel::Progression;
+        // Leaf link = 1, level-2 link = 2, level-1 link = 3, core link = 4.
+        assert_eq!(m.tree_link_cost(3, 3), 1.0);
+        assert_eq!(m.tree_link_cost(1, 3), 3.0);
+        assert_eq!(m.core_link_cost(3), 4.0);
+        // Leaf to own root: 1 + 2 + 3 = 6.
+        assert_eq!(m.path_cost(&net, net.leaf(0, 0), net.pop_root(0)), 6.0);
+        // Sibling leaves: 1 + 1 = 2 (both at leaf level).
+        assert_eq!(m.path_cost(&net, net.leaf(0, 0), net.leaf(0, 1)), 2.0);
+        // Cross-pop (adjacent pops 0-1): 6 + 4 + 6 = 16.
+        assert_eq!(m.path_cost(&net, net.leaf(0, 0), net.leaf(1, 0)), 16.0);
+    }
+
+    #[test]
+    fn core_multiplier_costs() {
+        let net = net();
+        let m = LatencyModel::CoreMultiplier { d: 5 };
+        // Within a pop, identical to unit.
+        assert_eq!(
+            m.path_cost(&net, net.leaf(0, 0), net.leaf(0, 7)),
+            net.distance(net.leaf(0, 0), net.leaf(0, 7)) as f64
+        );
+        // Cross-pop: tree hops + 5 per core hop.
+        let a = net.leaf(0, 0);
+        let b = net.leaf(1, 0);
+        let core_hops = net.core_distance(0, 1) as f64;
+        assert_eq!(m.path_cost(&net, a, b), 3.0 + 3.0 + 5.0 * core_hops);
+    }
+
+    #[test]
+    fn climb_cost_zero_when_same_level() {
+        for m in [
+            LatencyModel::Unit,
+            LatencyModel::Progression,
+            LatencyModel::CoreMultiplier { d: 3 },
+        ] {
+            assert_eq!(m.climb_cost(2, 2, 5), 0.0);
+        }
+    }
+}

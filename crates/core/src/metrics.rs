@@ -1,0 +1,182 @@
+//! Metric accumulation and the paper's improvement-over-no-caching scores.
+//!
+//! The three reported metrics (§4):
+//!
+//! * **query latency** — mean request latency (link costs + 1 serving hop);
+//! * **network congestion** — transfers over the *most congested* link;
+//! * **origin server load** — requests served by the *most loaded* origin.
+//!
+//! Each is reported as the percentage improvement relative to the identical
+//! run with no caches.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw per-run counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Requests processed.
+    pub requests: u64,
+    /// Sum of request latencies.
+    pub total_latency: f64,
+    /// Transfers (or bytes, when size-weighted) per link.
+    pub link_transfers: Vec<u64>,
+    /// Requests served by each PoP acting as an origin.
+    pub origin_served: Vec<u64>,
+    /// Requests answered by a cache.
+    pub cache_hits: u64,
+    /// Requests answered by an origin server.
+    pub origin_hits: u64,
+    /// Cache hits by the serving router's tree level (index 0 = PoP root).
+    pub hits_by_level: Vec<u64>,
+    /// Cache hits served by a sibling after a scoped cooperative lookup.
+    pub coop_hits: u64,
+}
+
+impl RunMetrics {
+    /// Creates zeroed counters for a network with `links` links, `pops`
+    /// PoPs, and trees of `depth` levels below the root.
+    pub fn new(links: usize, pops: usize, depth: u32) -> Self {
+        Self {
+            requests: 0,
+            total_latency: 0.0,
+            link_transfers: vec![0; links],
+            origin_served: vec![0; pops],
+            cache_hits: 0,
+            origin_hits: 0,
+            hits_by_level: vec![0; depth as usize + 1],
+            coop_hits: 0,
+        }
+    }
+
+    /// Mean request latency.
+    pub fn avg_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency / self.requests as f64
+        }
+    }
+
+    /// Transfers over the most congested link.
+    pub fn max_congestion(&self) -> u64 {
+        self.link_transfers.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Load on the most loaded origin.
+    pub fn max_origin_load(&self) -> u64 {
+        self.origin_served.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Cache hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Percentage improvements of a run over the no-caching baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Improvement {
+    /// Query latency improvement, percent.
+    pub latency_pct: f64,
+    /// Max-link congestion improvement, percent.
+    pub congestion_pct: f64,
+    /// Max-origin load improvement, percent.
+    pub origin_pct: f64,
+}
+
+impl Improvement {
+    /// Computes `(base - run) / base × 100` per metric. A zero baseline
+    /// yields 0% (nothing to improve).
+    pub fn over_baseline(base: &RunMetrics, run: &RunMetrics) -> Self {
+        fn pct(base: f64, run: f64) -> f64 {
+            if base <= 0.0 {
+                0.0
+            } else {
+                (base - run) / base * 100.0
+            }
+        }
+        Self {
+            latency_pct: pct(base.avg_latency(), run.avg_latency()),
+            congestion_pct: pct(base.max_congestion() as f64, run.max_congestion() as f64),
+            origin_pct: pct(base.max_origin_load() as f64, run.max_origin_load() as f64),
+        }
+    }
+
+    /// The §5 sensitivity score: `RelImprov(a) − RelImprov(b)` per metric.
+    pub fn gap(a: &Improvement, b: &Improvement) -> Improvement {
+        Improvement {
+            latency_pct: a.latency_pct - b.latency_pct,
+            congestion_pct: a.congestion_pct - b.congestion_pct,
+            origin_pct: a.origin_pct - b.origin_pct,
+        }
+    }
+
+    /// Largest of the three improvements (used by "on all metrics" claims).
+    pub fn max_metric(&self) -> f64 {
+        self.latency_pct.max(self.congestion_pct).max(self.origin_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(latency: f64, requests: u64, links: Vec<u64>, origins: Vec<u64>) -> RunMetrics {
+        let mut m = RunMetrics::new(links.len(), origins.len(), 2);
+        m.requests = requests;
+        m.total_latency = latency;
+        m.link_transfers = links;
+        m.origin_served = origins;
+        m
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = metrics(300.0, 100, vec![5, 9, 2], vec![10, 40]);
+        assert_eq!(m.avg_latency(), 3.0);
+        assert_eq!(m.max_congestion(), 9);
+        assert_eq!(m.max_origin_load(), 40);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let m = RunMetrics::new(0, 0, 2);
+        assert_eq!(m.avg_latency(), 0.0);
+        assert_eq!(m.max_congestion(), 0);
+        assert_eq!(m.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn improvement_math() {
+        let base = metrics(1000.0, 100, vec![100], vec![100]);
+        let run = metrics(600.0, 100, vec![50], vec![75]);
+        let imp = Improvement::over_baseline(&base, &run);
+        assert!((imp.latency_pct - 40.0).abs() < 1e-12);
+        assert!((imp.congestion_pct - 50.0).abs() < 1e-12);
+        assert!((imp.origin_pct - 25.0).abs() < 1e-12);
+        assert_eq!(imp.max_metric(), 50.0);
+    }
+
+    #[test]
+    fn gap_is_signed() {
+        let a = Improvement { latency_pct: 50.0, congestion_pct: 60.0, origin_pct: 70.0 };
+        let b = Improvement { latency_pct: 45.0, congestion_pct: 65.0, origin_pct: 70.0 };
+        let g = Improvement::gap(&a, &b);
+        assert_eq!(g.latency_pct, 5.0);
+        assert_eq!(g.congestion_pct, -5.0);
+        assert_eq!(g.origin_pct, 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_guard() {
+        let base = metrics(0.0, 0, vec![0], vec![0]);
+        let run = metrics(10.0, 10, vec![1], vec![1]);
+        let imp = Improvement::over_baseline(&base, &run);
+        assert_eq!(imp.latency_pct, 0.0);
+        assert_eq!(imp.congestion_pct, 0.0);
+    }
+}

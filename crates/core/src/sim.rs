@@ -1,0 +1,755 @@
+//! The request-level simulation loop (§4.1).
+//!
+//! For every request the simulator:
+//!
+//! 1. routes it per the design — along the shortest path toward the origin
+//!    (any on-path cache may answer, with an optional scoped sibling lookup
+//!    at cache-equipped tree routers), or directly to the nearest replica
+//!    (zero lookup cost, the ICN ideal);
+//! 2. serves it at the first eligible cache, or at the origin;
+//! 3. transfers the object back along the response path, counting one
+//!    transfer (or the object's bytes) on every traversed link, and
+//!    **stores the object in every cache-equipped router on that path**;
+//! 4. accounts latency = sum of traversed link costs + 1 (the serving hop,
+//!    so a hit in the requesting leaf's own cache costs 1).
+//!
+//! The simulator is request-granular by design: no packets, TCP, or queueing
+//! ("we use a request-level simulator and thus we do not model packet-level,
+//! TCP, or router queueing effects", §4.1).
+
+use crate::capacity::CapacityTracker;
+use crate::config::{ExperimentConfig, InsertionPolicy};
+use crate::design::{DesignSpec, Routing};
+use crate::metrics::RunMetrics;
+use icn_cache::budget::per_node_budgets;
+use icn_cache::policy::CachePolicy;
+use icn_topology::{Network, NodeId};
+use icn_workload::trace::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where a request was ultimately served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Server {
+    /// A cache at this router, reached on the request path.
+    Cache(NodeId),
+    /// A sibling cache reached by a scoped cooperative lookup from the
+    /// router at this path index.
+    Sibling { sibling: NodeId, via_idx: usize },
+    /// The origin PoP root.
+    Origin(NodeId),
+}
+
+/// A configured simulator bound to a network, an origin map, and object
+/// sizes. Feed it a request stream with [`Simulator::run`].
+pub struct Simulator<'a> {
+    net: &'a Network,
+    spec: DesignSpec,
+    cfg: ExperimentConfig,
+    caches: Vec<Option<Box<dyn CachePolicy + Send>>>,
+    /// `replica_dir[object]` = cache-equipped routers currently holding the
+    /// object. Maintained only under nearest-replica routing.
+    replica_dir: Vec<Vec<NodeId>>,
+    origins: &'a [u16],
+    object_sizes: &'a [u32],
+    capacity: Option<CapacityTracker>,
+    /// Drives probabilistic insertion decisions; fixed seed keeps runs
+    /// reproducible.
+    rng: StdRng,
+    metrics: RunMetrics,
+    path_buf: Vec<NodeId>,
+    nodes_buf: Vec<NodeId>,
+    links_buf: Vec<u32>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator. `origins[object]` is the owning PoP;
+    /// `object_sizes[object]` is used when `cfg.weight_by_size` is set.
+    pub fn new(
+        net: &'a Network,
+        cfg: ExperimentConfig,
+        origins: &'a [u16],
+        object_sizes: &'a [u32],
+    ) -> Self {
+        assert_eq!(origins.len(), object_sizes.len(), "origins/sizes mismatch");
+        let objects = origins.len() as u64;
+        let spec = cfg.design.spec(net);
+        let budgets = per_node_budgets(
+            cfg.budget_policy,
+            cfg.f_fraction,
+            objects,
+            &net.core.populations,
+            net.nodes_per_pop(),
+        );
+        let mut caches: Vec<Option<Box<dyn CachePolicy + Send>>> =
+            Vec::with_capacity(net.node_count() as usize);
+        for n in 0..net.node_count() {
+            if spec.cache_set.has_cache(net, n) {
+                let cap = if spec.infinite_budget {
+                    objects as usize
+                } else {
+                    (budgets[n as usize] as f64 * spec.budget_multiplier).round() as usize
+                };
+                caches.push(Some(cfg.policy.build(cap)));
+            } else {
+                caches.push(None);
+            }
+        }
+        let replica_dir = if spec.routing == Routing::NearestReplica {
+            vec![Vec::new(); origins.len()]
+        } else {
+            Vec::new()
+        };
+        let capacity = cfg
+            .capacity
+            .map(|c| CapacityTracker::new(c, net.node_count() as usize));
+        let metrics = RunMetrics::new(
+            net.link_count() as usize,
+            net.pops() as usize,
+            net.tree.depth,
+        );
+        Self {
+            net,
+            spec,
+            cfg,
+            caches,
+            replica_dir,
+            origins,
+            object_sizes,
+            capacity,
+            rng: StdRng::seed_from_u64(0xd1ce_cafe),
+            metrics,
+            path_buf: Vec::new(),
+            nodes_buf: Vec::new(),
+            links_buf: Vec::new(),
+        }
+    }
+
+    /// Processes a request stream and returns the accumulated metrics.
+    pub fn run(&mut self, requests: &[Request]) -> &RunMetrics {
+        for (idx, req) in requests.iter().enumerate() {
+            self.process(idx as u64, req);
+        }
+        &self.metrics
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The resolved design knobs.
+    pub fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    fn process(&mut self, idx: u64, req: &Request) {
+        let leaf = self.net.leaf(req.pop as u32, req.leaf as u32);
+        let origin_pop = self.origins[req.object as usize] as u32;
+        self.metrics.requests += 1;
+        match self.spec.routing {
+            Routing::ShortestPathToOrigin => self.process_sp(idx, leaf, req.object, origin_pop),
+            Routing::NearestReplica => self.process_nr(idx, leaf, req.object, origin_pop),
+        }
+    }
+
+    /// Shortest-path-to-origin routing: walk the unique path from the leaf
+    /// to the origin PoP root; the first cache containing the object
+    /// answers; cache-equipped tree routers optionally do a scoped sibling
+    /// lookup on miss.
+    fn process_sp(&mut self, idx: u64, leaf: NodeId, object: u32, origin_pop: u32) {
+        let mut path = std::mem::take(&mut self.path_buf);
+        self.net.sp_path_nodes_into(leaf, origin_pop, &mut path);
+        let last = path.len() - 1;
+
+        let mut server = Server::Origin(path[last]);
+        'walk: for (i, &node) in path.iter().enumerate() {
+            if i == last {
+                break; // the origin always serves what it owns
+            }
+            if self.cache_contains(node, object) && self.try_capacity(node, idx) {
+                server = Server::Cache(node);
+                break;
+            }
+            if self.spec.sibling_coop
+                && self.caches[node as usize].is_some()
+                && self.net.tree_index(node) != 0
+            {
+                // Scoped cooperative lookup in the access-tree siblings.
+                let pop = self.net.pop_of(node);
+                let t = self.net.tree_index(node);
+                for st in self.net.tree.siblings(t).collect::<Vec<_>>() {
+                    let sib = self.net.node(pop, st);
+                    if self.cache_contains(sib, object) && self.try_capacity(sib, idx) {
+                        server = Server::Sibling { sibling: sib, via_idx: i };
+                        break 'walk;
+                    }
+                }
+            }
+        }
+
+        self.account_sp(&path, server, leaf, object, origin_pop);
+        self.path_buf = path;
+    }
+
+    /// Accounts latency, congestion, response-path caching, and server load
+    /// for a shortest-path serve.
+    fn account_sp(
+        &mut self,
+        path: &[NodeId],
+        server: Server,
+        _leaf: NodeId,
+        object: u32,
+        origin_pop: u32,
+    ) {
+        let depth = self.net.tree.depth;
+        let weight = self.transfer_weight(object);
+        let (serve_idx, detour_cost, detour_links) = match server {
+            Server::Cache(node) => {
+                let i = path.iter().position(|&n| n == node).expect("server on path");
+                (i, 0.0, 0)
+            }
+            Server::Origin(_) => (path.len() - 1, 0.0, 0),
+            Server::Sibling { sibling, via_idx } => {
+                // Detour: node -> parent -> sibling, two tree links at the
+                // node's level.
+                let level = self.net.level_of(path[via_idx]);
+                let link_cost = self.cfg.latency.tree_link_cost(level, depth);
+                // Congestion: the sibling's uplink and the via node's
+                // uplink both carry the transfer.
+                self.add_transfer(self.net.tree_link(sibling), weight);
+                self.add_transfer(self.net.tree_link(path[via_idx]), weight);
+                (via_idx, 2.0 * link_cost, 2)
+            }
+        };
+
+        // Latency: cost of the climbed prefix plus any detour plus the
+        // serving hop; congestion on every climbed link.
+        let mut cost = 0.0;
+        for j in 1..=serve_idx {
+            let (a, b) = (path[j - 1], path[j]);
+            let (pa, pb) = (self.net.pop_of(a), self.net.pop_of(b));
+            if pa == pb {
+                cost += self.cfg.latency.tree_link_cost(self.net.level_of(a), depth);
+                self.add_transfer(self.net.tree_link(a), weight);
+            } else {
+                cost += self.cfg.latency.core_link_cost(depth);
+                self.add_transfer(self.net.core_link(pa, pb), weight);
+            }
+        }
+        self.metrics.total_latency += cost + detour_cost + 1.0;
+        let _ = detour_links;
+
+        // Server-side bookkeeping.
+        match server {
+            Server::Cache(node) => {
+                self.metrics.cache_hits += 1;
+                let level = self.net.level_of(node);
+                self.metrics.hits_by_level[level as usize] += 1;
+                self.cache_touch(node, object);
+            }
+            Server::Sibling { sibling, .. } => {
+                self.metrics.cache_hits += 1;
+                self.metrics.coop_hits += 1;
+                let level = self.net.level_of(sibling);
+                self.metrics.hits_by_level[level as usize] += 1;
+                self.cache_touch(sibling, object);
+            }
+            Server::Origin(_) => {
+                self.metrics.origin_hits += 1;
+                self.metrics.origin_served[origin_pop as usize] += 1;
+            }
+        }
+
+        // Response-path caching per the insertion policy. Under the
+        // paper's default every cache-equipped router between the server
+        // and the leaf stores the object; for a sibling serve the response
+        // additionally descends through the via node's parent.
+        // "First below the server" for leave-copy-down means the first
+        // *cache-equipped* router downstream of the server (standard LCD
+        // semantics in cache hierarchies — copies descend one cache level
+        // per request).
+        let mut lcd_available = true;
+        match server {
+            Server::Sibling { via_idx, .. } => {
+                // Response: sibling -> parent -> via node -> ... -> leaf.
+                if via_idx + 1 < path.len() {
+                    self.insert_on_response(path[via_idx + 1], object, &mut lcd_available);
+                }
+                self.insert_on_response(path[via_idx], object, &mut lcd_available);
+                for j in (0..via_idx).rev() {
+                    self.insert_on_response(path[j], object, &mut lcd_available);
+                }
+            }
+            _ => {
+                // Walk downstream from the server toward the leaf.
+                for j in (0..serve_idx).rev() {
+                    self.insert_on_response(path[j], object, &mut lcd_available);
+                }
+            }
+        }
+    }
+
+    /// Nearest-replica routing: serve at the replica (or origin) with the
+    /// minimum path cost from the leaf, with zero lookup overhead.
+    fn process_nr(&mut self, idx: u64, leaf: NodeId, object: u32, origin_pop: u32) {
+        let origin_root = self.net.pop_root(origin_pop);
+
+        // Fast path: the requesting leaf's own cache.
+        if self.cache_contains(leaf, object) && self.try_capacity(leaf, idx) {
+            self.metrics.total_latency += 1.0;
+            self.metrics.cache_hits += 1;
+            let level = self.net.level_of(leaf) as usize;
+            self.metrics.hits_by_level[level] += 1;
+            self.cache_touch(leaf, object);
+            return;
+        }
+
+        let origin_cost = self.cfg.latency.path_cost(self.net, leaf, origin_root);
+        let server = if self.capacity.is_some() {
+            // Capacity-limited: try candidates in cost order; overloaded
+            // replicas are skipped; the origin always serves.
+            let mut cands: Vec<(f64, NodeId)> = self.replica_dir[object as usize]
+                .iter()
+                .filter(|&&n| n != leaf)
+                .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
+                .collect();
+            cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut chosen = None;
+            for (cost, node) in cands {
+                if cost >= origin_cost {
+                    break; // origin is at least as close; prefer it
+                }
+                if self.try_capacity(node, idx) {
+                    chosen = Some((cost, node));
+                    break;
+                }
+            }
+            chosen
+        } else {
+            // Single pass for the minimum-cost replica.
+            let mut best: Option<(f64, NodeId)> = None;
+            for &n in &self.replica_dir[object as usize] {
+                if n == leaf {
+                    continue; // leaf already checked (capacity may have failed)
+                }
+                let c = self.cfg.latency.path_cost(self.net, leaf, n);
+                if best.map_or(true, |(bc, _)| c < bc) {
+                    best = Some((c, n));
+                }
+            }
+            best.filter(|&(c, _)| c < origin_cost)
+        };
+
+        let (cost, server_node, is_origin) = match server {
+            Some((c, n)) => (c, n, false),
+            None => (origin_cost, origin_root, true),
+        };
+
+        self.metrics.total_latency += cost + 1.0;
+        if is_origin {
+            self.metrics.origin_hits += 1;
+            self.metrics.origin_served[origin_pop as usize] += 1;
+        } else {
+            self.metrics.cache_hits += 1;
+            let level = self.net.level_of(server_node) as usize;
+            self.metrics.hits_by_level[level] += 1;
+            self.cache_touch(server_node, object);
+        }
+
+        // Congestion along the response path.
+        let weight = self.transfer_weight(object);
+        let mut links = std::mem::take(&mut self.links_buf);
+        links.clear();
+        self.net.path_links_into(leaf, server_node, &mut links);
+        for &l in &links {
+            self.add_transfer(l, weight);
+        }
+        self.links_buf = links;
+
+        // Response-path caching per the insertion policy (the server
+        // itself is skipped; it already has the object).
+        let mut nodes = std::mem::take(&mut self.nodes_buf);
+        nodes.clear();
+        self.net.path_nodes_into(server_node, leaf, &mut nodes);
+        let mut lcd_available = true;
+        for &n in nodes.iter().skip(1) {
+            self.insert_on_response(n, object, &mut lcd_available);
+        }
+        self.nodes_buf = nodes;
+    }
+
+    #[inline]
+    fn transfer_weight(&self, object: u32) -> u64 {
+        if self.cfg.weight_by_size {
+            self.object_sizes[object as usize] as u64
+        } else {
+            1
+        }
+    }
+
+    #[inline]
+    fn add_transfer(&mut self, link: u32, weight: u64) {
+        self.metrics.link_transfers[link as usize] += weight;
+    }
+
+    #[inline]
+    fn cache_contains(&self, node: NodeId, object: u32) -> bool {
+        self.caches[node as usize]
+            .as_ref()
+            .map_or(false, |c| c.contains(object as u64))
+    }
+
+    #[inline]
+    fn cache_touch(&mut self, node: NodeId, object: u32) {
+        if let Some(c) = &mut self.caches[node as usize] {
+            c.touch(object as u64);
+        }
+    }
+
+    /// Inserts `object` into the cache at `node` (if any), keeping the
+    /// nearest-replica directory in sync. The origin PoP root never caches
+    /// its own objects — it already hosts them in its (infinite) origin
+    /// store.
+    fn cache_insert(&mut self, node: NodeId, object: u32) {
+        if self.origins[object as usize] as u32 == self.net.pop_of(node)
+            && self.net.tree_index(node) == 0
+        {
+            return;
+        }
+        let track = self.spec.routing == Routing::NearestReplica;
+        if let Some(c) = &mut self.caches[node as usize] {
+            let had = c.contains(object as u64);
+            let evicted = c.insert(object as u64);
+            if track {
+                if let Some(e) = evicted {
+                    let dir = &mut self.replica_dir[e as usize];
+                    if let Some(pos) = dir.iter().position(|&n| n == node) {
+                        dir.swap_remove(pos);
+                    }
+                }
+                if !had && c.contains(object as u64) {
+                    self.replica_dir[object as usize].push(node);
+                }
+            }
+        }
+    }
+
+    /// Applies the insertion policy to one router on the response path,
+    /// walked from the server toward the client. `lcd_available` tracks
+    /// whether the leave-copy-down slot (the first cache-equipped router
+    /// below the server) is still unclaimed.
+    #[inline]
+    fn insert_on_response(&mut self, node: NodeId, object: u32, lcd_available: &mut bool) {
+        let equipped = self.caches[node as usize].is_some();
+        let insert = match self.cfg.insertion {
+            InsertionPolicy::Everywhere => true,
+            InsertionPolicy::LeaveCopyDown => {
+                let take = equipped && *lcd_available;
+                if take {
+                    *lcd_available = false;
+                }
+                take
+            }
+            InsertionPolicy::Probabilistic { p } => equipped && self.rng.gen::<f64>() < p,
+        };
+        if insert {
+            self.cache_insert(node, object);
+        }
+    }
+
+    /// Capacity gate: true when the node may serve this request (and
+    /// reserves a slot). Unlimited when no capacity model is configured.
+    #[inline]
+    fn try_capacity(&mut self, node: NodeId, idx: u64) -> bool {
+        match &mut self.capacity {
+            None => true,
+            Some(t) => t.try_serve(node, idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignKind;
+    use icn_topology::{pop::PopGraph, AccessTree};
+    use icn_workload::trace::Request;
+
+    /// Two PoPs joined by one core link, binary trees of depth 2:
+    /// 7 routers per pop, leaves at tree indices 3..=6.
+    fn two_pop_net() -> Network {
+        let core = PopGraph::new(
+            "pair",
+            vec!["A".into(), "B".into()],
+            vec![1_000, 1_000],
+            vec![(0, 1)],
+        );
+        Network::new(core, AccessTree::new(2, 2))
+    }
+
+    fn req(pop: u16, leaf: u16, object: u32) -> Request {
+        Request { pop, leaf, object }
+    }
+
+    /// All objects owned by pop 1 ("B"), unit sizes.
+    fn sim_with<'a>(
+        net: &'a Network,
+        design: DesignKind,
+        origins: &'a [u16],
+        sizes: &'a [u32],
+    ) -> Simulator<'a> {
+        let mut cfg = ExperimentConfig::baseline(design);
+        // Plenty of budget so tests control hits explicitly.
+        cfg.f_fraction = 0.5;
+        cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+        Simulator::new(net, cfg, origins, sizes)
+    }
+
+    #[test]
+    fn nocache_latency_is_distance_plus_one() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::NoCache, &origins, &sizes);
+        // Leaf 0 of pop 0 to origin root of pop 1: 2 (climb) + 1 (core) = 3
+        // links, latency 4.
+        let m = sim.run(&[req(0, 0, 0)]);
+        assert_eq!(m.total_latency, 4.0);
+        assert_eq!(m.origin_hits, 1);
+        assert_eq!(m.cache_hits, 0);
+        assert_eq!(m.origin_served[1], 1);
+        // Congestion: exactly the three links on the path carry 1 transfer.
+        assert_eq!(m.link_transfers.iter().sum::<u64>(), 3);
+        assert_eq!(m.max_congestion(), 1);
+    }
+
+    #[test]
+    fn edge_caches_at_leaf_after_first_request() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::Edge, &origins, &sizes);
+        let m = sim.run(&[req(0, 0, 0), req(0, 0, 0)]);
+        // First: miss -> origin (latency 4); second: leaf hit (latency 1).
+        assert_eq!(m.total_latency, 5.0);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.origin_hits, 1);
+        assert_eq!(m.hits_by_level[2], 1);
+    }
+
+    #[test]
+    fn edge_does_not_use_interior_caches() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::Edge, &origins, &sizes);
+        // Same object from two different leaves of pop 0: both go to
+        // origin (no interior caching, no cooperation).
+        let m = sim.run(&[req(0, 0, 0), req(0, 2, 0)]);
+        assert_eq!(m.origin_hits, 2);
+        assert_eq!(m.cache_hits, 0);
+    }
+
+    #[test]
+    fn edge_coop_serves_from_sibling() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::EdgeCoop, &origins, &sizes);
+        // Leaf 0 warms its cache; leaf 1 is its sibling (same parent).
+        let m = sim.run(&[req(0, 0, 0), req(0, 1, 0)]);
+        assert_eq!(m.origin_hits, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.coop_hits, 1);
+        // Sibling serve: 2 links + serving hop = 3; total 4 + 3.
+        assert_eq!(m.total_latency, 7.0);
+        // Non-sibling leaf 2 cannot cooperate with leaf 0.
+        let mut sim2 = sim_with(&net, DesignKind::EdgeCoop, &origins, &sizes);
+        let m2 = sim2.run(&[req(0, 0, 0), req(0, 2, 0)]);
+        assert_eq!(m2.coop_hits, 0);
+        assert_eq!(m2.origin_hits, 2);
+    }
+
+    #[test]
+    fn icn_sp_hits_on_path_interior_cache() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::IcnSp, &origins, &sizes);
+        // Leaf 0 (tree index 3) warms every router on its path.
+        // Leaf 2 (tree index 5) shares only the pop root with that path:
+        // expect a hit at the root, latency 2 + 1.
+        let m = sim.run(&[req(0, 0, 0), req(0, 2, 0)]);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.total_latency, 4.0 + 3.0);
+        assert_eq!(m.hits_by_level[0], 1);
+    }
+
+    #[test]
+    fn icn_nr_finds_cross_tree_replica() {
+        let net = two_pop_net();
+        // Object 0 owned by pop 1; both requests from pop 0.
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::IcnNr, &origins, &sizes);
+        // First request from leaf 0 warms the whole path including pop 0's
+        // root and the leaf. Second request from leaf 2 (different subtree):
+        // nearest replica is pop 0's root at distance 2 (vs origin at 3).
+        let m = sim.run(&[req(0, 0, 0), req(0, 2, 0)]);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.origin_hits, 1);
+        assert_eq!(m.total_latency, 4.0 + 3.0);
+    }
+
+    #[test]
+    fn icn_nr_prefers_closer_replica_over_origin() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::IcnNr, &origins, &sizes);
+        // Warm leaf 0's sibling subtree: request from leaf 1 (tree index 4,
+        // sibling of leaf 0). NR then serves leaf 0's request from the
+        // shared parent at distance 1 (latency 2).
+        let m = sim.run(&[req(0, 1, 0), req(0, 0, 0)]);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.total_latency, 4.0 + 2.0);
+    }
+
+    #[test]
+    fn origin_pop_requests_are_cheap() {
+        let net = two_pop_net();
+        let origins = vec![0u16; 4]; // owned by pop 0
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::NoCache, &origins, &sizes);
+        // Leaf 0 of pop 0 to its own root: 2 links, latency 3.
+        let m = sim.run(&[req(0, 0, 0)]);
+        assert_eq!(m.total_latency, 3.0);
+        assert_eq!(m.origin_served[0], 1);
+    }
+
+    #[test]
+    fn origin_root_does_not_cache_own_objects() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut sim = sim_with(&net, DesignKind::IcnNr, &origins, &sizes);
+        sim.run(&[req(1, 0, 0)]);
+        // The origin root (pop 1, tree index 0) must not appear in the
+        // replica directory for its own object.
+        let root = net.pop_root(1);
+        assert!(!sim.replica_dir[0].contains(&root));
+        // But the leaf of pop 1 does cache it.
+        assert!(sim.replica_dir[0].contains(&net.leaf(1, 0)));
+    }
+
+    #[test]
+    fn replica_directory_tracks_evictions() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 10];
+        let sizes = vec![1u32; 10];
+        let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+        cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+        cfg.f_fraction = 0.1; // capacity 1 per cache
+        let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+        sim.run(&[req(0, 0, 0), req(0, 0, 1)]);
+        let leaf = net.leaf(0, 0);
+        // Object 0 was evicted from the leaf by object 1.
+        assert!(!sim.replica_dir[0].contains(&leaf));
+        assert!(sim.replica_dir[1].contains(&leaf));
+    }
+
+    #[test]
+    fn infinite_budget_never_evicts() {
+        let net = two_pop_net();
+        let origins: Vec<u16> = vec![1; 50];
+        let sizes = vec![1u32; 50];
+        let mut sim = sim_with(&net, DesignKind::InfiniteEdge, &origins, &sizes);
+        let reqs: Vec<Request> = (0..50).map(|o| req(0, 0, o)).collect();
+        sim.run(&reqs);
+        let repeat: Vec<Request> = (0..50).map(|o| req(0, 0, o)).collect();
+        let before = sim.metrics().cache_hits;
+        sim.run(&repeat);
+        assert_eq!(sim.metrics().cache_hits - before, 50, "all repeats hit");
+    }
+
+    #[test]
+    fn capacity_overload_redirects_to_origin() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
+        cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+        cfg.f_fraction = 0.5;
+        cfg.capacity = Some(crate::capacity::ServingCapacity { per_node: 1, window: 1000 });
+        let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+        // Warm the leaf (origin serve), then two hits: only one allowed.
+        let m = sim.run(&[req(0, 0, 0), req(0, 0, 0), req(0, 0, 0)]);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.origin_hits, 2);
+    }
+
+    #[test]
+    fn size_weighted_congestion() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 2];
+        let sizes = vec![100u32, 1];
+        let mut cfg = ExperimentConfig::baseline(DesignKind::NoCache);
+        cfg.weight_by_size = true;
+        let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+        let m = sim.run(&[req(0, 0, 0), req(0, 0, 1)]);
+        // Both requests traverse the same 3 links; weights 100 + 1.
+        assert_eq!(m.max_congestion(), 101);
+    }
+
+    #[test]
+    fn leave_copy_down_inserts_only_below_server() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut cfg = ExperimentConfig::baseline(DesignKind::IcnSp);
+        cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+        cfg.f_fraction = 0.5;
+        cfg.insertion = crate::config::InsertionPolicy::LeaveCopyDown;
+        let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+        // First request from pop-0 leaf 0: origin (pop 1 root) serves; LCD
+        // stores only at the router one hop below the origin — pop 0's
+        // root (the core neighbor on the response path).
+        let m = sim.run(&[req(0, 0, 0), req(0, 0, 0)]);
+        // Second identical request: the leaf still has no copy, so it must
+        // climb to pop 0's root (distance 2, latency 3) instead of hitting
+        // at the leaf (latency 1 under Everywhere).
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.total_latency, 4.0 + 3.0);
+    }
+
+    #[test]
+    fn probabilistic_insertion_extremes() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        for (p, expect_hits) in [(0.0, 0u64), (1.0, 1u64)] {
+            let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.f_fraction = 0.5;
+            cfg.insertion = crate::config::InsertionPolicy::Probabilistic { p };
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = sim.run(&[req(0, 0, 0), req(0, 0, 0)]);
+            assert_eq!(m.cache_hits, expect_hits, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn lfu_policy_also_works() {
+        let net = two_pop_net();
+        let origins = vec![1u16; 4];
+        let sizes = vec![1u32; 4];
+        let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
+        cfg.policy = icn_cache::policy::PolicyKind::Lfu;
+        cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+        cfg.f_fraction = 0.5;
+        let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+        let m = sim.run(&[req(0, 0, 0), req(0, 0, 0)]);
+        assert_eq!(m.cache_hits, 1);
+    }
+}

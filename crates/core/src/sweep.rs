@@ -1,0 +1,193 @@
+//! Scenario bundling and parameter sweeps (the §5 machinery).
+//!
+//! A [`Scenario`] binds a topology, an access-tree shape, a synthesized
+//! trace, and an origin assignment, and can evaluate any design on it. The
+//! improvement metrics are always computed against a no-caching run of the
+//! *same* scenario, as the paper does.
+
+use crate::config::ExperimentConfig;
+use crate::design::DesignKind;
+use crate::metrics::{Improvement, RunMetrics};
+use crate::sim::Simulator;
+use icn_topology::{AccessTree, Network, PopGraph};
+use icn_workload::origin::{assign_origins, OriginPolicy};
+use icn_workload::trace::{Trace, TraceConfig};
+
+/// A reusable experiment setting: network + trace + origin map.
+pub struct Scenario {
+    /// The router-level network.
+    pub net: Network,
+    /// The request trace.
+    pub trace: Trace,
+    /// `origins[object]` = owning PoP.
+    pub origins: Vec<u16>,
+    baseline: std::cell::OnceCell<RunMetrics>,
+}
+
+impl Scenario {
+    /// Builds a scenario: network from `core` + `tree`, trace synthesized
+    /// over it, origins assigned per `origin_policy`.
+    pub fn build(
+        core: PopGraph,
+        tree: AccessTree,
+        trace_cfg: TraceConfig,
+        origin_policy: OriginPolicy,
+    ) -> Self {
+        let net = Network::new(core, tree);
+        let trace = Trace::synthesize(trace_cfg, &net.core.populations, net.leaves_per_pop());
+        let origins = assign_origins(
+            origin_policy,
+            trace.config.objects,
+            &net.core.populations,
+            trace.config.seed ^ 0x0_12c_0de,
+        );
+        Self { net, trace, origins, baseline: std::cell::OnceCell::new() }
+    }
+
+    /// Builds a scenario around an existing trace (e.g. a loaded one).
+    pub fn with_trace(
+        core: PopGraph,
+        tree: AccessTree,
+        trace: Trace,
+        origin_policy: OriginPolicy,
+        origin_seed: u64,
+    ) -> Self {
+        let net = Network::new(core, tree);
+        assert!(
+            trace.requests.iter().all(|r| (r.pop as usize) < net.core.populations.len()
+                && (r.leaf as u32) < net.leaves_per_pop()),
+            "trace does not fit the network"
+        );
+        let origins = assign_origins(
+            origin_policy,
+            trace.config.objects,
+            &net.core.populations,
+            origin_seed,
+        );
+        Self { net, trace, origins, baseline: std::cell::OnceCell::new() }
+    }
+
+    /// Runs one design with an explicit configuration.
+    pub fn run_config(&self, cfg: ExperimentConfig) -> RunMetrics {
+        let mut sim = Simulator::new(&self.net, cfg, &self.origins, &self.trace.object_sizes);
+        sim.run(&self.trace.requests);
+        sim.metrics().clone()
+    }
+
+    /// Runs one design with the §4 baseline configuration.
+    pub fn run_design(&self, design: DesignKind) -> RunMetrics {
+        self.run_config(ExperimentConfig::baseline(design))
+    }
+
+    /// The cached no-caching run used for normalization.
+    pub fn baseline_metrics(&self) -> &RunMetrics {
+        self.baseline
+            .get_or_init(|| self.run_design(DesignKind::NoCache))
+    }
+
+    /// Improvement of a design (under `cfg`) over the no-caching run.
+    ///
+    /// The no-cache baseline is insensitive to every cache-side knob, so a
+    /// single cached baseline serves all configurations of this scenario —
+    /// except the latency model and size weighting, which do change the
+    /// baseline; those are handled by [`Scenario::improvement_with_base`].
+    pub fn improvement(&self, cfg: ExperimentConfig) -> Improvement {
+        use crate::latency::LatencyModel;
+        let needs_custom_base =
+            cfg.latency != LatencyModel::Unit || cfg.weight_by_size;
+        let run = self.run_config(cfg.clone());
+        if needs_custom_base {
+            let mut base_cfg = ExperimentConfig::baseline(DesignKind::NoCache);
+            base_cfg.latency = cfg.latency;
+            base_cfg.weight_by_size = cfg.weight_by_size;
+            let base = self.run_config(base_cfg);
+            Improvement::over_baseline(&base, &run)
+        } else {
+            Improvement::over_baseline(self.baseline_metrics(), &run)
+        }
+    }
+
+    /// Improvement against an explicitly provided baseline run.
+    pub fn improvement_with_base(&self, base: &RunMetrics, cfg: ExperimentConfig) -> Improvement {
+        let run = self.run_config(cfg);
+        Improvement::over_baseline(base, &run)
+    }
+
+    /// The §5 headline number: `RelImprov(ICN-NR) − RelImprov(EDGE)` under
+    /// a shared configuration template (design field is overwritten).
+    pub fn nr_vs_edge_gap(&self, template: &ExperimentConfig) -> Improvement {
+        let mut nr_cfg = template.clone();
+        nr_cfg.design = DesignKind::IcnNr;
+        let mut edge_cfg = template.clone();
+        edge_cfg.design = DesignKind::Edge;
+        let nr = self.improvement(nr_cfg);
+        let edge = self.improvement(edge_cfg);
+        Improvement::gap(&nr, &edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_topology::pop;
+
+    fn small_scenario() -> Scenario {
+        let mut cfg = TraceConfig::small();
+        cfg.requests = 20_000;
+        cfg.objects = 2_000;
+        Scenario::build(
+            pop::abilene(),
+            AccessTree::new(2, 3),
+            cfg,
+            OriginPolicy::PopulationProportional,
+        )
+    }
+
+    #[test]
+    fn all_caching_designs_beat_no_caching() {
+        let s = small_scenario();
+        for design in DesignKind::figure6_designs() {
+            let imp = s.improvement(ExperimentConfig::baseline(design));
+            assert!(
+                imp.latency_pct > 0.0 && imp.latency_pct < 100.0,
+                "{}: latency {:?}",
+                design.name(),
+                imp
+            );
+            assert!(imp.congestion_pct > 0.0, "{}: {:?}", design.name(), imp);
+            assert!(imp.origin_pct > 0.0, "{}: {:?}", design.name(), imp);
+        }
+    }
+
+    #[test]
+    fn design_ordering_matches_paper() {
+        let s = small_scenario();
+        let nr = s.improvement(ExperimentConfig::baseline(DesignKind::IcnNr));
+        let sp = s.improvement(ExperimentConfig::baseline(DesignKind::IcnSp));
+        let edge = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
+        let coop = s.improvement(ExperimentConfig::baseline(DesignKind::EdgeCoop));
+        // Pervasive caching >= edge caching on latency.
+        assert!(nr.latency_pct >= edge.latency_pct - 1.0, "nr {nr:?} vs edge {edge:?}");
+        // NR at least as good as SP (it can only find closer copies).
+        assert!(nr.latency_pct >= sp.latency_pct - 0.5, "nr {nr:?} vs sp {sp:?}");
+        // Cooperation helps EDGE.
+        assert!(coop.latency_pct >= edge.latency_pct - 0.5, "coop {coop:?} vs edge {edge:?}");
+    }
+
+    #[test]
+    fn gap_is_small_like_the_paper() {
+        // The headline claim: the ICN-NR vs EDGE gap is modest.
+        let s = small_scenario();
+        let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+        assert!(gap.latency_pct.abs() < 25.0, "gap {gap:?}");
+    }
+
+    #[test]
+    fn baseline_is_cached_and_deterministic() {
+        let s = small_scenario();
+        let a = s.baseline_metrics().avg_latency();
+        let b = s.baseline_metrics().avg_latency();
+        assert_eq!(a, b);
+        assert!(a > 1.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Ad hoc content sharing without infrastructure (§6.2).
+//!
+//! The Alice & Bob scenario: peers on a link-local network with no DHCP,
+//! no DNS, and no upstream connectivity share browser-cache content. Each
+//! peer runs an [`AdhocNode`]:
+//!
+//! * it publishes the domains (and flat idICN names) for which it has
+//!   cached content, answering name queries over UDP — the mDNS stand-in
+//!   (real deployments use 224.0.0.251 multicast; here queries go to the
+//!   peers on the same emulated link, which the [`Link`] handle tracks);
+//! * it serves the cached bytes over HTTP like the paper's 350-line ad hoc
+//!   proxy exposing Chrome's cache.
+//!
+//! The module also reproduces the paper's noted *limitation*: with plain
+//! domain names, only one peer can own a name at a time (first answer
+//! wins), whereas flat `L.P` names do not collide.
+
+use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
+use crate::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An emulated link-local segment: the set of peers reachable by "multicast".
+#[derive(Clone, Default)]
+pub struct Link {
+    peers: Arc<RwLock<Vec<SocketAddr>>>,
+}
+
+impl Link {
+    /// Creates an empty segment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn join(&self, addr: SocketAddr) {
+        self.peers.write().push(addr);
+    }
+
+    fn peers(&self) -> Vec<SocketAddr> {
+        self.peers.read().clone()
+    }
+}
+
+struct NodeInner {
+    /// Published name → local content (the browser-cache stand-in).
+    cache: RwLock<HashMap<String, Vec<u8>>>,
+    name: String,
+}
+
+/// One peer in the ad hoc network.
+pub struct AdhocNode {
+    inner: Arc<NodeInner>,
+    link: Link,
+    mdns_addr: SocketAddr,
+    http_server: HttpServer,
+    stop: Arc<AtomicBool>,
+    mdns_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AdhocNode {
+    /// Starts a peer named `name` (for diagnostics) on `link`.
+    pub fn start(name: &str, link: &Link) -> Result<Self> {
+        let inner = Arc::new(NodeInner {
+            cache: RwLock::new(HashMap::new()),
+            name: name.to_string(),
+        });
+
+        // HTTP side: serve cached content by name.
+        let http_inner = inner.clone();
+        let http_server = http::serve(Arc::new(move |req: &HttpRequest| {
+            // Accept both proxy-form (http://cnn.com/) and Host-based
+            // requests, like the paper's ad hoc proxy.
+            let host = req
+                .target
+                .strip_prefix("http://")
+                .and_then(|r| r.split('/').next())
+                .map(str::to_string)
+                .or_else(|| req.headers.get("host").map(str::to_string));
+            match host.and_then(|h| http_inner.cache.read().get(&h).cloned()) {
+                Some(body) => {
+                    let mut resp = HttpResponse::ok(body);
+                    resp.headers.set("X-Adhoc-Peer", http_inner.name.clone());
+                    resp
+                }
+                None => HttpResponse::not_found("not in this peer's cache"),
+            }
+        }))?;
+        let http_addr = http_server.addr();
+
+        // mDNS side: answer "Q <name>" with "A <name> <http addr>".
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        let mdns_addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let mdns_inner = inner.clone();
+        let mdns_thread = std::thread::spawn(move || {
+            let mut buf = [0u8; 1024];
+            while !flag.load(Ordering::SeqCst) {
+                if let Ok((n, from)) = socket.recv_from(&mut buf) {
+                    let Ok(text) = std::str::from_utf8(&buf[..n]) else { continue };
+                    if let Some(q) = text.strip_prefix("Q ") {
+                        if mdns_inner.cache.read().contains_key(q) {
+                            let answer = format!("A {q} http://{http_addr}");
+                            let _ = socket.send_to(answer.as_bytes(), from);
+                        }
+                    }
+                }
+            }
+        });
+
+        link.join(mdns_addr);
+        Ok(Self {
+            inner,
+            link: link.clone(),
+            mdns_addr,
+            http_server,
+            stop,
+            mdns_thread: Some(mdns_thread),
+        })
+    }
+
+    /// The peer's human name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The peer's mDNS address on the emulated link.
+    pub fn mdns_addr(&self) -> SocketAddr {
+        self.mdns_addr
+    }
+
+    /// Publishes cached content under a name (a legacy domain like
+    /// `cnn.com`, or a flat `L.P` name).
+    pub fn publish(&self, name: &str, content: Vec<u8>) {
+        self.inner.cache.write().insert(name.to_string(), content);
+    }
+
+    /// Resolves `name` by querying every peer on the link; first answer
+    /// wins (the paper's single-publisher limitation for domain names).
+    pub fn resolve(&self, name: &str) -> Option<SocketAddr> {
+        let socket = UdpSocket::bind("127.0.0.1:0").ok()?;
+        socket.set_read_timeout(Some(Duration::from_millis(300))).ok()?;
+        let query = format!("Q {name}");
+        for peer in self.link.peers() {
+            if peer == self.mdns_addr {
+                continue; // don't ask ourselves
+            }
+            let _ = socket.send_to(query.as_bytes(), peer);
+        }
+        let mut buf = [0u8; 1024];
+        let (n, _) = socket.recv_from(&mut buf).ok()?;
+        let text = std::str::from_utf8(&buf[..n]).ok()?;
+        let mut parts = text.split(' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("A"), Some(answered), Some(url)) if answered == name => {
+                crate::proxy::parse_http_url(url).ok().map(|(addr, _)| addr)
+            }
+            _ => None,
+        }
+    }
+
+    /// The full Bob-side flow: resolve `name` over mDNS, then fetch it over
+    /// HTTP from whichever peer answered.
+    pub fn fetch(&self, name: &str) -> Option<Vec<u8>> {
+        let peer_http = self.resolve(name)?;
+        let resp = http::http_get(peer_http, &format!("http://{name}/"), &[]).ok()?;
+        resp.is_success().then_some(resp.body)
+    }
+
+    /// Stops the peer's threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.mdns_thread.take() {
+            let _ = t.join();
+        }
+        // http_server shuts down on drop.
+        let _ = &self.http_server;
+    }
+}
+
+impl Drop for AdhocNode {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.mdns_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alice_shares_cnn_with_bob() {
+        // The exact §6.2 walkthrough.
+        let link = Link::new();
+        let alice = AdhocNode::start("alice", &link).unwrap();
+        let bob = AdhocNode::start("bob", &link).unwrap();
+        alice.publish("cnn.com", b"<h1>CNN headlines</h1>".to_vec());
+
+        let body = bob.fetch("cnn.com").expect("bob finds alice's copy");
+        assert_eq!(body, b"<h1>CNN headlines</h1>");
+        // Bob can't fetch something nobody cached.
+        assert!(bob.fetch("nyt.com").is_none());
+        alice.shutdown();
+        bob.shutdown();
+    }
+
+    #[test]
+    fn flat_names_avoid_domain_collision() {
+        // Two peers both have content for the same domain: only one answer
+        // wins for `cnn.com`, but flat names are collision-free.
+        let link = Link::new();
+        let alice = AdhocNode::start("alice", &link).unwrap();
+        let carol = AdhocNode::start("carol", &link).unwrap();
+        let bob = AdhocNode::start("bob", &link).unwrap();
+
+        alice.publish("cnn.com", b"alice's copy".to_vec());
+        carol.publish("cnn.com", b"carol's copy".to_vec());
+        // Flat names are per-publisher and don't collide.
+        alice.publish("story.aliceprincipal", b"alice story".to_vec());
+        carol.publish("story.carolprincipal", b"carol story".to_vec());
+
+        let domain_copy = bob.fetch("cnn.com").unwrap();
+        assert!(domain_copy == b"alice's copy" || domain_copy == b"carol's copy");
+        assert_eq!(bob.fetch("story.aliceprincipal").unwrap(), b"alice story");
+        assert_eq!(bob.fetch("story.carolprincipal").unwrap(), b"carol story");
+        alice.shutdown();
+        carol.shutdown();
+        bob.shutdown();
+    }
+
+    #[test]
+    fn no_peers_no_answer() {
+        let link = Link::new();
+        let loner = AdhocNode::start("loner", &link).unwrap();
+        assert!(loner.resolve("anything").is_none());
+        loner.shutdown();
+    }
+}

@@ -1,0 +1,74 @@
+//! Hash-based cryptography for self-certifying names.
+//!
+//! The approved dependency list has no cryptography crate, so idICN ships
+//! its own primitives — all hash-based, which keeps them short and
+//! reviewable:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256, tested against the official vectors;
+//! * [`lamport`] — Lamport one-time signatures over SHA-256;
+//! * [`mss`] — a Merkle signature scheme: a publisher identity is the
+//!   Merkle root over `2^h` Lamport one-time public keys, so one identity
+//!   (`P = H(root)`) can sign many objects. This is the classic XMSS
+//!   ancestor, adequate for demonstrating the ICN security model.
+
+pub mod lamport;
+pub mod mss;
+pub mod sha256;
+
+pub use sha256::{digest, Sha256};
+
+/// A 32-byte SHA-256 digest.
+pub type Digest = [u8; 32];
+
+/// Hex-encodes bytes (lowercase).
+pub fn to_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+/// Decodes lowercase/uppercase hex; `None` on bad input.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    fn nibble(c: u8) -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    }
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks(2) {
+        out.push(nibble(pair[0])? << 4 | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        let h = to_hex(&data);
+        assert_eq!(h, "00017f80ff");
+        assert_eq!(from_hex(&h).unwrap(), data);
+        assert_eq!(from_hex("00017F80FF").unwrap(), data);
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert!(from_hex("abc").is_none()); // odd length
+        assert!(from_hex("zz").is_none());
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

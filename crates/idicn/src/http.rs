@@ -1,0 +1,568 @@
+//! A minimal blocking HTTP/1.1 implementation.
+//!
+//! idICN is an HTTP overlay, so this module provides exactly the subset the
+//! design needs: request/response parsing and serialization with
+//! `Content-Length` bodies, case-insensitive headers, `Range` /
+//! `Content-Range` (for mobility resumption, §6.3), keep-alive connections,
+//! and a small threaded server harness. No TLS, no chunked encoding —
+//! content authenticity comes from the idICN signatures, not the channel,
+//! which is precisely the paper's point about content-oriented security.
+//!
+//! Per the networking guides, these are few-connection loopback services:
+//! blocking I/O plus a thread per connection is the simplest robust design
+//! (async buys nothing here).
+
+use crate::{Error, Result};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum accepted header section size (64 KiB of lines) — except that
+/// idICN carries Merkle signatures (~25 KiB hex) in headers, so allow 1 MiB.
+const MAX_HEADER_BYTES: usize = 1 << 20;
+/// Maximum accepted body size (64 MiB).
+const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// An ordered, case-insensitive header map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers(Vec<(String, String)>);
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// First value of `name` (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Replaces all values of `name` with one value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.0.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.0.push((name.to_string(), value.into()));
+    }
+
+    /// Appends a value without removing existing ones.
+    pub fn add(&mut self, name: &str, value: impl Into<String>) {
+        self.0.push((name.to_string(), value.into()));
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of header fields.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An HTTP request message.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Method (GET, POST, ...).
+    pub method: String,
+    /// Request target (origin-form path or absolute URI in proxy requests).
+    pub target: String,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A GET request for `target`.
+    pub fn get(target: impl Into<String>) -> Self {
+        Self {
+            method: "GET".into(),
+            target: target.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST request with a body.
+    pub fn post(target: impl Into<String>, body: Vec<u8>) -> Self {
+        Self {
+            method: "POST".into(),
+            target: target.into(),
+            headers: Headers::new(),
+            body,
+        }
+    }
+}
+
+/// An HTTP response message.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A response with the given status and body.
+    pub fn new(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            reason: reason_phrase(status).to_string(),
+            headers: Headers::new(),
+            body,
+        }
+    }
+
+    /// 200 OK with a body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Self::new(200, body)
+    }
+
+    /// 404 with a text body.
+    pub fn not_found(msg: &str) -> Self {
+        Self::new(404, msg.as_bytes().to_vec())
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        206 => "Partial Content",
+        301 => "Moved Permanently",
+        302 => "Found",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        416 => "Range Not Satisfiable",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn read_line_limited<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF
+                }
+                return Err(Error::Protocol("unexpected EOF mid-line".into()));
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(Error::Protocol("header section too large".into()));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8(line).map_err(|_| {
+                        Error::Protocol("non-UTF8 header line".into())
+                    })?));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+fn read_headers<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Headers> {
+    let mut headers = Headers::new();
+    loop {
+        let line = read_line_limited(r, budget)?
+            .ok_or_else(|| Error::Protocol("EOF in headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| Error::Protocol(format!("malformed header line {line:?}")))?;
+        headers.add(name.trim(), value.trim().to_string());
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>> {
+    let len: usize = match headers.get("content-length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| Error::Protocol(format!("bad content-length {v:?}")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(Error::Protocol(format!("body too large: {len}")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| Error::Protocol(format!("short body: {e}")))?;
+    Ok(body)
+}
+
+/// Reads one request; `Ok(None)` on clean EOF (closed keep-alive).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<HttpRequest>> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = match read_line_limited(r, &mut budget)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(Error::Protocol(format!("malformed request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Error::Protocol(format!("unsupported version {version:?}")));
+    }
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers)?;
+    Ok(Some(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Writes a request, setting `Content-Length`.
+pub fn write_request<W: Write>(w: &mut W, req: &HttpRequest) -> Result<()> {
+    write!(w, "{} {} HTTP/1.1\r\n", req.method, req.target)?;
+    for (n, v) in req.headers.iter() {
+        if !n.eq_ignore_ascii_case("content-length") {
+            write!(w, "{n}: {v}\r\n")?;
+        }
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", req.body.len())?;
+    w.write_all(&req.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one response; `Ok(None)` on clean EOF.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Option<HttpResponse>> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = match read_line_limited(r, &mut budget)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(Error::Protocol(format!("malformed status line {line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::Protocol(format!("bad status in {line:?}")))?;
+    let reason = parts.next().unwrap_or("").to_string();
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers)?;
+    Ok(Some(HttpResponse { status, reason, headers, body }))
+}
+
+/// Writes a response, setting `Content-Length`.
+pub fn write_response<W: Write>(w: &mut W, resp: &HttpResponse) -> Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, resp.reason)?;
+    for (n, v) in resp.headers.iter() {
+        if !n.eq_ignore_ascii_case("content-length") {
+            write!(w, "{n}: {v}\r\n")?;
+        }
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", resp.body.len())?;
+    w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Parses a `Range: bytes=...` header against a body of `total` bytes.
+/// Returns the half-open satisfiable range, or `None` when absent/invalid.
+/// Only single ranges are supported (all the mobility design needs).
+pub fn parse_range(value: &str, total: usize) -> Option<(usize, usize)> {
+    let spec = value.trim().strip_prefix("bytes=")?;
+    let (lo, hi) = spec.split_once('-')?;
+    if lo.is_empty() {
+        // suffix form: last N bytes
+        let n: usize = hi.parse().ok()?;
+        if n == 0 {
+            return None;
+        }
+        return Some((total.saturating_sub(n), total));
+    }
+    let start: usize = lo.parse().ok()?;
+    if start >= total {
+        return None;
+    }
+    let end = if hi.is_empty() {
+        total
+    } else {
+        let e: usize = hi.parse().ok()?;
+        (e + 1).min(total)
+    };
+    if end <= start {
+        return None;
+    }
+    Some((start, end))
+}
+
+/// Formats a `Content-Range` header value for a half-open range.
+pub fn content_range(start: usize, end: usize, total: usize) -> String {
+    format!("bytes {}-{}/{}", start, end - 1, total)
+}
+
+/// Handler signature for [`serve`].
+pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// A running HTTP server; dropped or shut down explicitly.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `127.0.0.1:0` and serves `handler` on a background thread, with
+/// keep-alive support. Connections are handled one thread each — these are
+/// loopback demo services, not internet-facing servers.
+pub fn serve(handler: Handler) -> Result<HttpServer> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    serve_on(listener, handler)
+}
+
+/// Like [`serve`] but on a caller-provided listener.
+pub fn serve_on(listener: TcpListener, handler: Handler) -> Result<HttpServer> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let accept_thread = std::thread::spawn(move || {
+        while !flag.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let h = handler.clone();
+                    let f = flag.clone();
+                    std::thread::spawn(move || handle_connection(stream, h, f));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(HttpServer { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(stream: TcpStream, handler: Handler, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    // Bounded read timeout so keep-alive connections notice shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let close = req
+                    .headers
+                    .get("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                let resp = handler(&req);
+                if write_response(&mut writer, &resp).is_err() || close {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(Error::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle keep-alive; poll the shutdown flag
+            }
+            Err(_) => {
+                let _ = write_response(&mut writer, &HttpResponse::new(400, Vec::new()));
+                return;
+            }
+        }
+    }
+}
+
+/// One-shot GET helper: connects, sends, reads, closes.
+pub fn http_get(addr: SocketAddr, target: &str, headers: &[(&str, &str)]) -> Result<HttpResponse> {
+    let mut req = HttpRequest::get(target);
+    for (n, v) in headers {
+        req.headers.set(n, *v);
+    }
+    request_once(addr, &req)
+}
+
+/// One-shot request helper.
+pub fn request_once(addr: SocketAddr, req: &HttpRequest) -> Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut req = req.clone();
+    req.headers.set("Connection", "close");
+    write_request(&mut writer, &req)?;
+    read_response(&mut reader)?
+        .ok_or_else(|| Error::Protocol("server closed without response".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = HttpRequest::post("/publish", b"hello".to_vec());
+        req.headers.set("X-Test", "1");
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let parsed = read_request(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.target, "/publish");
+        assert_eq!(parsed.headers.get("x-test"), Some("1"));
+        assert_eq!(parsed.body, b"hello");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut resp = HttpResponse::ok(b"body".to_vec());
+        resp.headers.set("X-Cache", "HIT");
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let parsed = read_response(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.headers.get("X-CACHE"), Some("HIT"));
+        assert_eq!(parsed.body, b"body");
+    }
+
+    #[test]
+    fn eof_yields_none() {
+        assert!(read_request(&mut Cursor::new(Vec::<u8>::new())).unwrap().is_none());
+        assert!(read_response(&mut Cursor::new(Vec::<u8>::new())).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",                        // missing version
+            "GET / SPDY/3\r\n\r\n",                 // wrong protocol
+            "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", // bad header
+        ] {
+            assert!(
+                read_request(&mut Cursor::new(bad.as_bytes().to_vec())).is_err(),
+                "{bad:?}"
+            );
+        }
+        // Bad content-length.
+        let bad = "GET / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n";
+        assert!(read_request(&mut Cursor::new(bad.as_bytes().to_vec())).is_err());
+        // Truncated body.
+        let bad = "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&mut Cursor::new(bad.as_bytes().to_vec())).is_err());
+    }
+
+    #[test]
+    fn range_parsing() {
+        assert_eq!(parse_range("bytes=0-99", 1000), Some((0, 100)));
+        assert_eq!(parse_range("bytes=500-", 1000), Some((500, 1000)));
+        assert_eq!(parse_range("bytes=-200", 1000), Some((800, 1000)));
+        assert_eq!(parse_range("bytes=0-4", 3), Some((0, 3)), "clamped end");
+        assert_eq!(parse_range("bytes=1000-", 1000), None, "start past end");
+        assert_eq!(parse_range("bytes=5-2", 1000), None);
+        assert_eq!(parse_range("items=0-1", 1000), None);
+        assert_eq!(parse_range("bytes=-0", 1000), None);
+        assert_eq!(content_range(0, 100, 1000), "bytes 0-99/1000");
+    }
+
+    #[test]
+    fn header_case_insensitivity_and_set() {
+        let mut h = Headers::new();
+        h.add("Content-Type", "text/plain");
+        h.add("content-type", "application/json");
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/plain"));
+        h.set("Content-Type", "final");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("content-type"), Some("final"));
+    }
+
+    #[test]
+    fn live_server_roundtrip_and_keepalive() {
+        let server = serve(Arc::new(|req: &HttpRequest| {
+            HttpResponse::ok(format!("you asked for {}", req.target).into_bytes())
+        }))
+        .unwrap();
+        let addr = server.addr();
+        // Two requests over one connection (keep-alive).
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for path in ["/a", "/b"] {
+            write_request(&mut writer, &HttpRequest::get(path)).unwrap();
+            let resp = read_response(&mut reader).unwrap().unwrap();
+            assert_eq!(resp.body, format!("you asked for {path}").into_bytes());
+        }
+        drop(writer);
+        drop(reader);
+        // One-shot helper.
+        let resp = http_get(addr, "/c", &[]).unwrap();
+        assert_eq!(resp.body, b"you asked for /c");
+        server.shutdown();
+    }
+}

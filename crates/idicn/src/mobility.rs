@@ -1,0 +1,271 @@
+//! Mobility support (§6.3): dynamic re-registration + range resumption.
+//!
+//! "With session management, applications can seamlessly work upon
+//! reconnection ... with dynamic DNS updates, mobile servers must announce
+//! their locations." Here:
+//!
+//! * [`MobileServer`] is a content server that can *move* — rebind on a new
+//!   port (standing in for a new network attachment) and re-register its
+//!   location with the resolver (the dynamic-DNS stand-in);
+//! * [`resume_download`] is the client side: it fetches with `Range`
+//!   requests, and on connection loss re-resolves the name and resumes from
+//!   the last received byte, verifying piece digests as it goes.
+
+use crate::chunk::ChunkedDigests;
+use crate::crypto::mss::Identity;
+use crate::crypto::sha256::digest;
+use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
+use crate::name::{ContentName, Principal};
+use crate::resolver::{registration_bytes, Registration, Resolution, ResolverClient};
+use crate::{Error, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A content server that can change its network location.
+pub struct MobileServer {
+    identity: Mutex<Identity>,
+    resolver: ResolverClient,
+    name: ContentName,
+    content: Arc<Vec<u8>>,
+    digests: ChunkedDigests,
+    server: Mutex<Option<HttpServer>>,
+}
+
+impl MobileServer {
+    /// Creates the server for one object and performs the initial
+    /// registration at its first location.
+    pub fn start(
+        identity: Identity,
+        resolver: ResolverClient,
+        label: &str,
+        content: Vec<u8>,
+        piece_size: usize,
+    ) -> Result<Arc<Self>> {
+        let principal = Principal(identity.principal_digest());
+        let name = ContentName::new(label, principal)
+            .ok_or_else(|| Error::Protocol(format!("bad label {label:?}")))?;
+        let digests = ChunkedDigests::compute(&content, piece_size);
+        let me = Arc::new(Self {
+            identity: Mutex::new(identity),
+            resolver,
+            name,
+            content: Arc::new(content),
+            digests,
+            server: Mutex::new(None),
+        });
+        me.attach()?;
+        Ok(me)
+    }
+
+    /// The object's self-certifying name.
+    pub fn name(&self) -> &ContentName {
+        &self.name
+    }
+
+    /// The piece digests a client verifies against.
+    pub fn digests(&self) -> &ChunkedDigests {
+        &self.digests
+    }
+
+    /// The current serving address.
+    pub fn addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.lock().as_ref().map(|s| s.addr())
+    }
+
+    /// Moves: tears down the current attachment, binds a fresh port, and
+    /// re-registers the new location (dynamic-DNS style).
+    pub fn relocate(self: &Arc<Self>) -> Result<()> {
+        if let Some(old) = self.server.lock().take() {
+            old.shutdown();
+        }
+        self.attach()
+    }
+
+    /// Disconnects without re-attaching (the mid-download handoff moment).
+    pub fn detach(&self) {
+        if let Some(old) = self.server.lock().take() {
+            old.shutdown();
+        }
+    }
+
+    fn attach(self: &Arc<Self>) -> Result<()> {
+        let me = self.clone();
+        let server = http::serve(Arc::new(move |req: &HttpRequest| me.handle(req)))?;
+        let location = format!("http://{}/object", server.addr());
+        *self.server.lock() = Some(server);
+
+        let locations = vec![location];
+        let mut id = self.identity.lock();
+        let sig = id.sign(&digest(&registration_bytes(&self.name, &locations)));
+        let root = id.root();
+        drop(id);
+        self.resolver.register(&Registration {
+            name: self.name.clone(),
+            locations,
+            publisher_root: root,
+            signature: sig,
+        })?;
+        Ok(())
+    }
+
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        if req.method != "GET" || req.target != "/object" {
+            return HttpResponse::not_found("only GET /object");
+        }
+        let total = self.content.len();
+        match req.headers.get("range") {
+            None => HttpResponse::ok(self.content.as_ref().clone()),
+            Some(r) => match http::parse_range(r, total) {
+                Some((s, e)) => {
+                    let mut resp = HttpResponse::new(206, self.content[s..e].to_vec());
+                    resp.headers
+                        .set("Content-Range", http::content_range(s, e, total));
+                    resp
+                }
+                None => HttpResponse::new(416, Vec::new()),
+            },
+        }
+    }
+}
+
+/// Downloads `name` with ranged requests of `chunk` bytes, re-resolving and
+/// resuming after connection failures (up to `max_retries`). Verifies the
+/// final bytes against `digests`. Returns `(content, resumes)` where
+/// `resumes` counts recovered interruptions.
+pub fn resume_download(
+    resolver: &ResolverClient,
+    name: &ContentName,
+    total_len: usize,
+    chunk: usize,
+    digests: &ChunkedDigests,
+    max_retries: usize,
+) -> Result<(Vec<u8>, usize)> {
+    assert!(chunk > 0);
+    let mut out: Vec<u8> = Vec::with_capacity(total_len);
+    let mut resumes = 0usize;
+    let mut retries = 0usize;
+    while out.len() < total_len {
+        let start = out.len();
+        let end = (start + chunk).min(total_len);
+        match fetch_range(resolver, name, start, end) {
+            Ok(bytes) => {
+                out.extend_from_slice(&bytes);
+            }
+            Err(_) if retries < max_retries => {
+                // Connection lost or stale location: re-resolve and retry.
+                retries += 1;
+                resumes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if !digests.verify_full(&out) {
+        return Err(Error::Verification("resumed download failed digest check".into()));
+    }
+    Ok((out, resumes))
+}
+
+fn fetch_range(
+    resolver: &ResolverClient,
+    name: &ContentName,
+    start: usize,
+    end: usize,
+) -> Result<Vec<u8>> {
+    let locations = match resolver.resolve(name)? {
+        Resolution::Locations(l) => l,
+        Resolution::Delegation(d) => vec![d],
+    };
+    let url = locations
+        .first()
+        .ok_or_else(|| Error::NotFound(name.to_flat()))?;
+    let (addr, path) = crate::proxy::parse_http_url(url)?;
+    let range = format!("bytes={}-{}", start, end - 1);
+    let resp = http::http_get(addr, &path, &[("Range", &range)])?;
+    match resp.status {
+        206 => Ok(resp.body),
+        200 => Ok(resp.body[start.min(resp.body.len())..end.min(resp.body.len())].to_vec()),
+        s => Err(Error::Protocol(format!("range fetch got {s}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::Resolver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(content: Vec<u8>) -> (Arc<MobileServer>, ResolverClient, HttpServer) {
+        let resolver = Resolver::new();
+        let rsrv = resolver.serve().unwrap();
+        let rc = ResolverClient::new(rsrv.addr());
+        let id = Identity::generate(&mut StdRng::seed_from_u64(5), 4);
+        let server = MobileServer::start(id, rc, "movie", content, 1024).unwrap();
+        (server, rc, rsrv)
+    }
+
+    #[test]
+    fn plain_download_works() {
+        let content: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let (server, rc, _rsrv) = setup(content.clone());
+        let (got, resumes) =
+            resume_download(&rc, server.name(), content.len(), 4096, server.digests(), 0)
+                .unwrap();
+        assert_eq!(got, content);
+        assert_eq!(resumes, 0);
+    }
+
+    #[test]
+    fn download_resumes_after_move() {
+        let content: Vec<u8> = (0..50_000u32).map(|i| (i % 239) as u8).collect();
+        let (server, rc, _rsrv) = setup(content.clone());
+        let name = server.name().clone();
+        let digests = server.digests().clone();
+        let total = content.len();
+
+        // Move the server mid-download from another thread.
+        let mover = server.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            mover.detach();
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            mover.relocate().unwrap();
+        });
+
+        let (got, _resumes) =
+            resume_download(&rc, &name, total, 2048, &digests, 50).unwrap();
+        handle.join().unwrap();
+        assert_eq!(got, content, "bytes must survive the handoff intact");
+    }
+
+    #[test]
+    fn relocation_changes_address_and_updates_resolver() {
+        let (server, rc, _rsrv) = setup(b"tiny".to_vec());
+        let addr1 = server.addr().unwrap();
+        server.relocate().unwrap();
+        let addr2 = server.addr().unwrap();
+        assert_ne!(addr1, addr2, "new attachment point");
+        // Resolver points at the new location.
+        match rc.resolve(server.name()).unwrap() {
+            Resolution::Locations(locs) => {
+                assert!(locs[0].contains(&addr2.to_string()), "{locs:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detached_server_is_unreachable_until_relocate() {
+        let content = vec![9u8; 5000];
+        let (server, rc, _rsrv) = setup(content.clone());
+        server.detach();
+        let err = resume_download(&rc, server.name(), content.len(), 1024, server.digests(), 1);
+        assert!(err.is_err(), "no retries left and nobody serving");
+        server.relocate().unwrap();
+        let (got, _) =
+            resume_download(&rc, server.name(), content.len(), 1024, server.digests(), 3)
+                .unwrap();
+        assert_eq!(got, content);
+    }
+}

@@ -1,0 +1,235 @@
+//! DONA-style flat self-certifying names (§6.1).
+//!
+//! A content name is `L.P` where `P` is the cryptographic hash of the
+//! publisher's public key (here: of the MSS Merkle root) and `L` is a label
+//! the publisher assigns. For DNS backward compatibility the name maps to
+//! `L.P32.idicn.org`, where `P32` is the base32 encoding of the digest —
+//! 52 characters for SHA-256, under the 63-character DNS label limit (the
+//! paper notes this rules out SHA-512-sized digests).
+
+use crate::crypto::Digest;
+
+/// The hash of a publisher's public key — the self-certifying part of a
+/// name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Principal(pub Digest);
+
+/// A full content name `L.P`.
+///
+/// # Examples
+/// ```
+/// use idicn::name::{ContentName, Principal};
+/// use idicn::crypto::sha256::digest;
+///
+/// let p = Principal(digest(b"publisher public key"));
+/// let name = ContentName::new("ubuntu-iso", p).unwrap();
+/// let fqdn = name.to_fqdn();
+/// assert!(fqdn.starts_with("ubuntu-iso.") && fqdn.ends_with(".idicn.org"));
+/// assert_eq!(ContentName::parse(&fqdn), Some(name));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ContentName {
+    /// The publisher-assigned label `L`.
+    pub label: String,
+    /// The publisher principal `P`.
+    pub principal: Principal,
+}
+
+/// The DNS suffix anchoring the idICN namespace.
+pub const IDICN_SUFFIX: &str = "idicn.org";
+
+const B32_ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Base32-encodes bytes (RFC 4648 alphabet, lowercase, no padding).
+pub fn base32_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    let mut acc: u64 = 0;
+    let mut bits = 0;
+    for &b in data {
+        acc = (acc << 8) | b as u64;
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(B32_ALPHABET[((acc >> bits) & 0x1f) as usize] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(B32_ALPHABET[((acc << (5 - bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes the output of [`base32_encode`]; `None` on invalid characters or
+/// inconsistent length.
+pub fn base32_decode(s: &str) -> Option<Vec<u8>> {
+    let mut acc: u64 = 0;
+    let mut bits = 0;
+    let mut out = Vec::with_capacity(s.len() * 5 / 8);
+    for c in s.bytes() {
+        let v = match c {
+            b'a'..=b'z' => c - b'a',
+            b'A'..=b'Z' => c - b'A',
+            b'2'..=b'7' => c - b'2' + 26,
+            _ => return None,
+        };
+        acc = (acc << 5) | v as u64;
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((acc >> bits) & 0xff) as u8);
+        }
+    }
+    // Leftover bits must be zero padding.
+    if bits > 0 && (acc & ((1 << bits) - 1)) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+impl Principal {
+    /// Encodes as a 52-character DNS-safe base32 label.
+    pub fn to_label(&self) -> String {
+        base32_encode(&self.0)
+    }
+
+    /// Parses a base32 label back into a principal.
+    pub fn from_label(label: &str) -> Option<Self> {
+        let bytes = base32_decode(label)?;
+        let digest: Digest = bytes.try_into().ok()?;
+        Some(Principal(digest))
+    }
+}
+
+impl ContentName {
+    /// Creates a name, validating the label (DNS label rules: 1–63 chars,
+    /// alphanumerics and hyphens, no leading/trailing hyphen).
+    pub fn new(label: &str, principal: Principal) -> Option<Self> {
+        if !valid_label(label) {
+            return None;
+        }
+        Some(Self { label: label.to_string(), principal })
+    }
+
+    /// The canonical `L.P` textual form (P in base32).
+    pub fn to_flat(&self) -> String {
+        format!("{}.{}", self.label, self.principal.to_label())
+    }
+
+    /// The DNS-compatible FQDN `L.P.idicn.org`.
+    pub fn to_fqdn(&self) -> String {
+        format!("{}.{}", self.to_flat(), IDICN_SUFFIX)
+    }
+
+    /// Parses either the flat `L.P` form or the `L.P.idicn.org` FQDN.
+    pub fn parse(s: &str) -> Option<Self> {
+        let flat = s
+            .strip_suffix(&format!(".{IDICN_SUFFIX}"))
+            .unwrap_or(s);
+        let (label, p32) = flat.split_once('.')?;
+        let principal = Principal::from_label(p32)?;
+        ContentName::new(label, principal)
+    }
+
+    /// The bytes that a publisher signs for this name + content digest
+    /// binding (name registration and content authenticity both sign this).
+    pub fn binding_bytes(&self, content_digest: &Digest) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.label.len() + 1 + 32 + 32);
+        out.extend_from_slice(self.label.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.principal.0);
+        out.extend_from_slice(content_digest);
+        out
+    }
+}
+
+fn valid_label(label: &str) -> bool {
+    !label.is_empty()
+        && label.len() <= 63
+        && label
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-')
+        && !label.starts_with('-')
+        && !label.ends_with('-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::sha256::digest;
+
+    fn principal() -> Principal {
+        Principal(digest(b"some publisher key"))
+    }
+
+    #[test]
+    fn base32_roundtrip() {
+        for data in [&b""[..], b"f", b"fo", b"foo", b"foob", b"fooba", b"foobar"] {
+            let enc = base32_encode(data);
+            assert_eq!(base32_decode(&enc).unwrap(), data, "{enc}");
+        }
+    }
+
+    #[test]
+    fn base32_known_vectors() {
+        // RFC 4648 test vectors, lowercased, padding stripped.
+        assert_eq!(base32_encode(b"foobar"), "mzxw6ytboi");
+        assert_eq!(base32_encode(b"fo"), "mzxq");
+    }
+
+    #[test]
+    fn base32_rejects_garbage() {
+        assert!(base32_decode("has space").is_none());
+        assert!(base32_decode("0189").is_none()); // 0,1,8,9 not in alphabet
+        assert!(base32_decode("b").is_none()); // nonzero padding bits
+    }
+
+    #[test]
+    fn principal_label_is_dns_sized() {
+        let p = principal();
+        let label = p.to_label();
+        assert_eq!(label.len(), 52);
+        assert!(label.len() <= 63, "must fit a DNS label");
+        assert_eq!(Principal::from_label(&label), Some(p));
+    }
+
+    #[test]
+    fn name_roundtrip_flat_and_fqdn() {
+        let name = ContentName::new("ubuntu-iso", principal()).unwrap();
+        let flat = name.to_flat();
+        let fqdn = name.to_fqdn();
+        assert!(fqdn.ends_with(".idicn.org"));
+        assert_eq!(ContentName::parse(&flat), Some(name.clone()));
+        assert_eq!(ContentName::parse(&fqdn), Some(name));
+    }
+
+    #[test]
+    fn invalid_labels_rejected() {
+        let p = principal();
+        assert!(ContentName::new("", p).is_none());
+        assert!(ContentName::new("-leading", p).is_none());
+        assert!(ContentName::new("trailing-", p).is_none());
+        assert!(ContentName::new("has.dot", p).is_none());
+        assert!(ContentName::new(&"x".repeat(64), p).is_none());
+        assert!(ContentName::new(&"x".repeat(63), p).is_some());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(ContentName::parse("nodot").is_none());
+        assert!(ContentName::parse("label.notbase32!!!").is_none());
+        // Valid base32 but wrong digest length.
+        assert!(ContentName::parse("label.mzxw6ytboi").is_none());
+    }
+
+    #[test]
+    fn binding_bytes_distinguish_all_fields() {
+        let p = principal();
+        let n1 = ContentName::new("a", p).unwrap();
+        let n2 = ContentName::new("b", p).unwrap();
+        let d1 = digest(b"content1");
+        let d2 = digest(b"content2");
+        let b = n1.binding_bytes(&d1);
+        assert_ne!(b, n2.binding_bytes(&d1), "label must matter");
+        assert_ne!(b, n1.binding_bytes(&d2), "content must matter");
+    }
+}

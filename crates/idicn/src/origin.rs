@@ -1,0 +1,97 @@
+//! The origin content server (Figure 11, right edge).
+//!
+//! A plain HTTP server owning the authoritative copies. It knows nothing
+//! about idICN names or signatures — that is the reverse proxy's job —
+//! which mirrors the paper's deployment story: content providers adopt
+//! idICN by fronting an unmodified origin with a Metalink-generating
+//! reverse proxy.
+
+use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
+use crate::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-memory origin store served over HTTP at `/content/<label>`.
+#[derive(Clone, Default)]
+pub struct OriginServer {
+    store: Arc<RwLock<HashMap<String, Vec<u8>>>>,
+}
+
+impl OriginServer {
+    /// Creates an empty origin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a content object.
+    pub fn add_content(&self, label: &str, content: Vec<u8>) {
+        self.store.write().insert(label.to_string(), content);
+    }
+
+    /// Reads a content object.
+    pub fn get_content(&self, label: &str) -> Option<Vec<u8>> {
+        self.store.read().get(label).cloned()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// True when the origin stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serves the store over HTTP on a fresh loopback port.
+    pub fn serve(&self) -> Result<HttpServer> {
+        let me = self.clone();
+        http::serve(Arc::new(move |req: &HttpRequest| me.handle(req)))
+    }
+
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        if req.method != "GET" {
+            return HttpResponse::new(400, b"only GET".to_vec());
+        }
+        match req.target.strip_prefix("/content/") {
+            Some(label) => match self.get_content(label) {
+                Some(body) => HttpResponse::ok(body),
+                None => HttpResponse::not_found(label),
+            },
+            None => HttpResponse::not_found("unknown path"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_stored_content() {
+        let origin = OriginServer::new();
+        origin.add_content("hello", b"world".to_vec());
+        assert_eq!(origin.len(), 1);
+        let server = origin.serve().unwrap();
+        let resp = http::http_get(server.addr(), "/content/hello", &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"world");
+        let resp = http::http_get(server.addr(), "/content/missing", &[]).unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = http::http_get(server.addr(), "/elsewhere", &[]).unwrap();
+        assert_eq!(resp.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_can_be_updated_live() {
+        let origin = OriginServer::new();
+        origin.add_content("v", b"one".to_vec());
+        let server = origin.serve().unwrap();
+        origin.add_content("v", b"two".to_vec());
+        let resp = http::http_get(server.addr(), "/content/v", &[]).unwrap();
+        assert_eq!(resp.body, b"two");
+        server.shutdown();
+    }
+}

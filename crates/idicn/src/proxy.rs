@@ -1,0 +1,386 @@
+//! The edge proxy cache (Figure 11, steps 2/3/4/7).
+//!
+//! Clients send ordinary HTTP requests through the proxy (configured via
+//! WPAD, see [`crate::wpad`]). The proxy serves cached objects immediately;
+//! on a miss it resolves the name, fetches from the reverse proxy (or a
+//! mirror), **verifies the content signature before caching** — a proxy
+//! never serves bytes it could not authenticate — and responds with the
+//! Metalink headers intact so clients can re-verify end-to-end.
+
+use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
+use crate::metalink::Metadata;
+use crate::name::ContentName;
+use crate::resolver::{Resolution, ResolverClient};
+use crate::{Error, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Parses `http://host:port/path` into a socket address and path.
+/// Only numeric loopback-style authorities are supported (the overlay uses
+/// explicit addresses; DNS is exactly what idICN routes around).
+pub fn parse_http_url(url: &str) -> Result<(SocketAddr, String)> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| Error::Protocol(format!("not an http URL: {url}")))?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], rest[i..].to_string()),
+        None => (rest, "/".to_string()),
+    };
+    let addr: SocketAddr = authority
+        .parse()
+        .map_err(|_| Error::Protocol(format!("bad authority in {url}")))?;
+    Ok((addr, path))
+}
+
+struct CacheEntry {
+    content: Arc<Vec<u8>>,
+    metadata: Metadata,
+    last_used: u64,
+}
+
+struct Inner {
+    resolver: ResolverClient,
+    cache: RwLock<HashMap<String, CacheEntry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+/// A caching, verifying edge proxy.
+#[derive(Clone)]
+pub struct EdgeProxy {
+    inner: Arc<Inner>,
+}
+
+impl EdgeProxy {
+    /// Creates a proxy holding at most `capacity` objects.
+    pub fn new(resolver: ResolverClient, capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                resolver,
+                cache: RwLock::new(HashMap::new()),
+                capacity,
+                clock: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                addr: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Starts serving on a fresh loopback port.
+    pub fn serve(&self) -> Result<HttpServer> {
+        let me = self.clone();
+        let server = http::serve(Arc::new(move |req: &HttpRequest| me.handle(req)))?;
+        *self.inner.addr.lock() = Some(server.addr());
+        Ok(server)
+    }
+
+    /// `(cache hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.inner.hits.load(Ordering::Relaxed),
+            self.inner.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached objects.
+    pub fn cached_objects(&self) -> usize {
+        self.inner.cache.read().len()
+    }
+
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        if req.method != "GET" {
+            return HttpResponse::new(400, b"only GET".to_vec());
+        }
+        let Some(name) = Self::name_from_request(req) else {
+            return HttpResponse::new(400, b"cannot extract idICN name".to_vec());
+        };
+        match self.fetch(&name) {
+            Ok((content, metadata, was_hit)) => {
+                // Range support: a resuming client may ask for a slice.
+                let (status, body, range_hdr) = match req.headers.get("range") {
+                    Some(r) => match http::parse_range(r, content.len()) {
+                        Some((s, e)) => (
+                            206,
+                            content[s..e].to_vec(),
+                            Some(http::content_range(s, e, content.len())),
+                        ),
+                        None => return HttpResponse::new(416, Vec::new()),
+                    },
+                    None => (200, content.as_ref().clone(), None),
+                };
+                let mut resp = HttpResponse::new(status, body);
+                metadata.to_headers(&mut resp.headers);
+                if let Some(cr) = range_hdr {
+                    resp.headers.set("Content-Range", cr);
+                }
+                resp.headers
+                    .set("X-Cache", if was_hit { "HIT" } else { "MISS" });
+                resp
+            }
+            Err(Error::NotFound(m)) => HttpResponse::not_found(&m),
+            Err(Error::Verification(m)) => HttpResponse::new(502, m.into_bytes()),
+            Err(e) => HttpResponse::new(502, e.to_string().into_bytes()),
+        }
+    }
+
+    /// Extracts the content name from a proxy-style request: absolute-form
+    /// URI (`GET http://L.P.idicn.org/ HTTP/1.1`), Host header, or the
+    /// explicit `/fetch/L.P` form.
+    fn name_from_request(req: &HttpRequest) -> Option<ContentName> {
+        if let Some(rest) = req.target.strip_prefix("http://") {
+            let host = rest.split('/').next()?;
+            return ContentName::parse(host);
+        }
+        if let Some(flat) = req.target.strip_prefix("/fetch/") {
+            return ContentName::parse(flat);
+        }
+        req.headers.get("host").and_then(ContentName::parse)
+    }
+
+    /// Returns `(content, metadata, was_cache_hit)`.
+    pub fn fetch(&self, name: &ContentName) -> Result<(Arc<Vec<u8>>, Metadata, bool)> {
+        let key = name.to_flat();
+        {
+            let mut cache = self.inner.cache.write();
+            if let Some(e) = cache.get_mut(&key) {
+                e.last_used = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((e.content.clone(), e.metadata.clone(), true));
+            }
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let (content, metadata) = self.fetch_remote(name)?;
+        // Verify BEFORE caching or serving.
+        metadata.verify(&content)?;
+        if metadata.name != *name {
+            return Err(Error::Verification(
+                "response metadata names a different object".into(),
+            ));
+        }
+        let content = Arc::new(content);
+        let mut cache = self.inner.cache.write();
+        if self.inner.capacity > 0 {
+            if cache.len() >= self.inner.capacity && !cache.contains_key(&key) {
+                // Evict the least recently used entry.
+                if let Some(victim) = cache
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    cache.remove(&victim);
+                }
+            }
+            cache.insert(
+                key,
+                CacheEntry {
+                    content: content.clone(),
+                    metadata: metadata.clone(),
+                    last_used: self.inner.clock.fetch_add(1, Ordering::Relaxed),
+                },
+            );
+        }
+        Ok((content, metadata, false))
+    }
+
+    fn fetch_remote(&self, name: &ContentName) -> Result<(Vec<u8>, Metadata)> {
+        let locations = match self.inner.resolver.resolve(name)? {
+            Resolution::Locations(locs) => locs,
+            Resolution::Delegation(base) => {
+                // P-level fallback: ask the delegated proxy for the object.
+                let (addr, _) = parse_http_url(&base)?;
+                vec![format!("http://{addr}/fetch/{}", name.to_flat())]
+            }
+        };
+        let mut last_err = Error::NotFound(name.to_flat());
+        for url in locations {
+            match parse_http_url(&url).and_then(|(addr, path)| http::http_get(addr, &path, &[]))
+            {
+                Ok(resp) if resp.is_success() => {
+                    let metadata = Metadata::from_headers(&resp.headers)?;
+                    return Ok((resp.body, metadata));
+                }
+                Ok(resp) => {
+                    last_err =
+                        Error::Protocol(format!("upstream {url} returned {}", resp.status));
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+}
+
+/// A minimal idICN-aware client: fetches a name through a proxy and
+/// re-verifies the content end-to-end (the paper's "the client or the
+/// proxy should authenticate" — this client does both).
+pub fn fetch_verified(
+    proxy_addr: SocketAddr,
+    name: &ContentName,
+) -> Result<(Vec<u8>, Metadata, bool)> {
+    let resp = http::http_get(proxy_addr, &format!("http://{}/", name.to_fqdn()), &[])?;
+    if !resp.is_success() {
+        return Err(Error::NotFound(format!(
+            "{}: proxy returned {}",
+            name.to_flat(),
+            resp.status
+        )));
+    }
+    let metadata = Metadata::from_headers(&resp.headers)?;
+    metadata.verify(&resp.body)?;
+    let hit = resp.headers.get("X-Cache") == Some("HIT");
+    Ok((resp.body, metadata, hit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::mss::Identity;
+    use crate::origin::OriginServer;
+    use crate::resolver::Resolver;
+    use crate::reverse_proxy::ReverseProxy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Rig {
+        origin: OriginServer,
+        _origin_srv: HttpServer,
+        _resolver_srv: HttpServer,
+        rp: ReverseProxy,
+        _rp_srv: HttpServer,
+        proxy: EdgeProxy,
+        proxy_srv: HttpServer,
+    }
+
+    fn rig(capacity: usize) -> Rig {
+        let origin = OriginServer::new();
+        let origin_srv = origin.serve().unwrap();
+        let resolver = Resolver::new();
+        let resolver_srv = resolver.serve().unwrap();
+        let rc = ResolverClient::new(resolver_srv.addr());
+        let identity = Identity::generate(&mut StdRng::seed_from_u64(33), 4);
+        let rp = ReverseProxy::new(identity, origin_srv.addr(), rc);
+        let rp_srv = rp.serve().unwrap();
+        let proxy = EdgeProxy::new(rc, capacity);
+        let proxy_srv = proxy.serve().unwrap();
+        Rig {
+            origin,
+            _origin_srv: origin_srv,
+            _resolver_srv: resolver_srv,
+            rp,
+            _rp_srv: rp_srv,
+            proxy,
+            proxy_srv,
+        }
+    }
+
+    #[test]
+    fn url_parsing() {
+        let (addr, path) = parse_http_url("http://127.0.0.1:8080/a/b").unwrap();
+        assert_eq!(addr.port(), 8080);
+        assert_eq!(path, "/a/b");
+        let (_, path) = parse_http_url("http://127.0.0.1:80").unwrap();
+        assert_eq!(path, "/");
+        assert!(parse_http_url("https://127.0.0.1:1/").is_err());
+        assert!(parse_http_url("http://no-dns-names.example/").is_err());
+    }
+
+    #[test]
+    fn miss_then_hit_through_proxy() {
+        let rig = rig(16);
+        rig.origin.add_content("story", b"once upon a time".to_vec());
+        let name = rig.rp.publish("story").unwrap();
+
+        let (body, _, hit1) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        assert_eq!(body, b"once upon a time");
+        assert!(!hit1, "first fetch is a miss");
+        let (body2, _, hit2) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        assert_eq!(body2, body);
+        assert!(hit2, "second fetch is a hit");
+        assert_eq!(rig.proxy.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cache_hit_survives_reverse_proxy_outage() {
+        let rig = rig(16);
+        rig.origin.add_content("durable", b"cached bytes".to_vec());
+        let name = rig.rp.publish("durable").unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        // Kill the provider side entirely; the edge cache still serves.
+        drop(rig._rp_srv);
+        drop(rig._origin_srv);
+        let (body, _, hit) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        assert!(hit);
+        assert_eq!(body, b"cached bytes");
+    }
+
+    #[test]
+    fn unknown_name_is_not_found() {
+        let rig = rig(4);
+        let name = ContentName::new(
+            "ghost",
+            crate::name::Principal(crate::crypto::sha256::digest(b"nobody")),
+        )
+        .unwrap();
+        let err = fetch_verified(rig.proxy_srv.addr(), &name).unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let rig = rig(2);
+        for (label, body) in [("a", "1"), ("b", "2"), ("c", "3")] {
+            rig.origin.add_content(label, body.as_bytes().to_vec());
+        }
+        let na = rig.rp.publish("a").unwrap();
+        let nb = rig.rp.publish("b").unwrap();
+        let nc = rig.rp.publish("c").unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &na).unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &nb).unwrap();
+        // Touch a so b is LRU, then insert c.
+        fetch_verified(rig.proxy_srv.addr(), &na).unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &nc).unwrap();
+        assert_eq!(rig.proxy.cached_objects(), 2);
+        let (_, _, hit_a) = fetch_verified(rig.proxy_srv.addr(), &na).unwrap();
+        assert!(hit_a, "a should have survived");
+        let (_, _, hit_b) = fetch_verified(rig.proxy_srv.addr(), &nb).unwrap();
+        assert!(!hit_b, "b should have been evicted");
+    }
+
+    #[test]
+    fn range_requests_from_cache() {
+        let rig = rig(4);
+        rig.origin.add_content("big", (0u8..200).collect());
+        let name = rig.rp.publish("big").unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        let resp = http::http_get(
+            rig.proxy_srv.addr(),
+            &format!("http://{}/", name.to_fqdn()),
+            &[("Range", "bytes=10-19")],
+        )
+        .unwrap();
+        assert_eq!(resp.status, 206);
+        assert_eq!(resp.body, (10u8..20).collect::<Vec<u8>>());
+        assert_eq!(
+            resp.headers.get("content-range"),
+            Some("bytes 10-19/200")
+        );
+    }
+
+    #[test]
+    fn zero_capacity_proxy_never_caches() {
+        let rig = rig(0);
+        rig.origin.add_content("x", b"y".to_vec());
+        let name = rig.rp.publish("x").unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        let (_, _, hit) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        assert!(!hit);
+        assert_eq!(rig.proxy.cached_objects(), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The content-provider reverse proxy (Figure 11, steps P1/P2/5/6).
+//!
+//! The reverse proxy holds the publisher's signing identity. On publish it
+//! fetches the object from the origin, computes piece digests, signs the
+//! name/content binding, caches the result, and registers the name with the
+//! resolver. On fetch it serves the cached object with the Metalink
+//! metadata attached (routing to the origin if it has no fresh copy of a
+//! previously published object).
+
+use crate::chunk::ChunkedDigests;
+use crate::crypto::mss::Identity;
+use crate::crypto::sha256::digest;
+use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
+use crate::metalink::Metadata;
+use crate::name::{ContentName, Principal};
+use crate::resolver::{registration_bytes, Registration, ResolverClient};
+use crate::{Error, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Default Metalink piece size (64 KiB).
+pub const DEFAULT_PIECE_SIZE: usize = 64 * 1024;
+
+struct Inner {
+    identity: Mutex<Identity>,
+    principal: Principal,
+    origin_addr: SocketAddr,
+    resolver: ResolverClient,
+    /// label → (content, signed metadata). The "fresh copy" cache.
+    cache: RwLock<HashMap<String, (Arc<Vec<u8>>, Metadata)>>,
+    /// Published labels and their signed metadata survive cache eviction:
+    /// signatures are generated once at publish time (§6, "generate
+    /// signatures ... cache them").
+    published: RwLock<HashMap<String, Metadata>>,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+/// A running reverse proxy bound to one origin, one resolver, and one
+/// publisher identity.
+#[derive(Clone)]
+pub struct ReverseProxy {
+    inner: Arc<Inner>,
+}
+
+impl ReverseProxy {
+    /// Creates a reverse proxy for `origin_addr` using `identity` to sign
+    /// and `resolver` to register names.
+    pub fn new(identity: Identity, origin_addr: SocketAddr, resolver: ResolverClient) -> Self {
+        let principal = Principal(identity.principal_digest());
+        Self {
+            inner: Arc::new(Inner {
+                identity: Mutex::new(identity),
+                principal,
+                origin_addr,
+                resolver,
+                cache: RwLock::new(HashMap::new()),
+                published: RwLock::new(HashMap::new()),
+                addr: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The publisher principal this proxy signs for.
+    pub fn principal(&self) -> Principal {
+        self.inner.principal
+    }
+
+    /// Starts serving; must be called before [`ReverseProxy::publish`] so
+    /// registrations can point at a real address.
+    pub fn serve(&self) -> Result<HttpServer> {
+        let me = self.clone();
+        let server = http::serve(Arc::new(move |req: &HttpRequest| me.handle(req)))?;
+        *self.inner.addr.lock() = Some(server.addr());
+        Ok(server)
+    }
+
+    /// The URL other components fetch this proxy's content from.
+    pub fn fetch_url(&self, name: &ContentName) -> Result<String> {
+        let addr = self
+            .inner
+            .addr
+            .lock()
+            .ok_or_else(|| Error::Protocol("reverse proxy not serving yet".into()))?;
+        Ok(format!("http://{addr}/fetch/{}", name.to_flat()))
+    }
+
+    /// Publishes a label: fetch from origin (P1), sign, cache, and register
+    /// the name with the resolver (P2). Returns the self-certifying name.
+    pub fn publish(&self, label: &str) -> Result<ContentName> {
+        let name = ContentName::new(label, self.inner.principal)
+            .ok_or_else(|| Error::Protocol(format!("invalid label {label:?}")))?;
+        let content = self.fetch_origin(label)?;
+        let digests = ChunkedDigests::compute(&content, DEFAULT_PIECE_SIZE);
+        let mut id = self.inner.identity.lock();
+        let binding = name.binding_bytes(&digests.full);
+        let signature = id.sign(&digest(&binding));
+        let metadata = Metadata {
+            name: name.clone(),
+            digests,
+            publisher_root: id.root(),
+            signature,
+            mirrors: vec![format!("http://{}/content/{label}", self.inner.origin_addr)],
+        };
+        drop(id);
+
+        // Register L.P -> this proxy with the resolver (step P2).
+        let location = self.fetch_url(&name)?;
+        let locations = vec![location];
+        let mut id = self.inner.identity.lock();
+        let reg_sig = id.sign(&digest(&registration_bytes(&name, &locations)));
+        let root = id.root();
+        drop(id);
+        self.inner.resolver.register(&Registration {
+            name: name.clone(),
+            locations,
+            publisher_root: root,
+            signature: reg_sig,
+        })?;
+
+        self.inner
+            .published
+            .write()
+            .insert(label.to_string(), metadata.clone());
+        self.inner
+            .cache
+            .write()
+            .insert(label.to_string(), (Arc::new(content), metadata));
+        Ok(name)
+    }
+
+    /// Drops the cached copy of a label (forces the next fetch to route to
+    /// the origin — step 5).
+    pub fn evict(&self, label: &str) {
+        self.inner.cache.write().remove(label);
+    }
+
+    fn fetch_origin(&self, label: &str) -> Result<Vec<u8>> {
+        let resp = http::http_get(self.inner.origin_addr, &format!("/content/{label}"), &[])?;
+        if !resp.is_success() {
+            return Err(Error::NotFound(format!("origin has no {label:?}")));
+        }
+        Ok(resp.body)
+    }
+
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        if req.method != "GET" {
+            return HttpResponse::new(400, b"only GET".to_vec());
+        }
+        let Some(flat) = req.target.strip_prefix("/fetch/") else {
+            return HttpResponse::not_found("unknown path");
+        };
+        let Some(name) = ContentName::parse(flat) else {
+            return HttpResponse::new(400, b"bad name".to_vec());
+        };
+        if name.principal != self.inner.principal {
+            return HttpResponse::new(403, b"not our principal".to_vec());
+        }
+        // Fresh copy? Serve it (step 6). Otherwise route to the origin
+        // (step 5) — but only for published (signed) labels.
+        let cached = self.inner.cache.read().get(&name.label).cloned();
+        let (content, metadata) = match cached {
+            Some((c, m)) => (c, m),
+            None => {
+                let Some(metadata) = self.inner.published.read().get(&name.label).cloned()
+                else {
+                    return HttpResponse::not_found("not published");
+                };
+                match self.fetch_origin(&name.label) {
+                    Ok(content) => {
+                        // Refuse to serve origin bytes that no longer match
+                        // the published signature.
+                        if !metadata.digests.verify_full(&content) {
+                            return HttpResponse::new(
+                                502,
+                                b"origin content diverged from published signature".to_vec(),
+                            );
+                        }
+                        let content = Arc::new(content);
+                        self.inner
+                            .cache
+                            .write()
+                            .insert(name.label.clone(), (content.clone(), metadata.clone()));
+                        (content, metadata)
+                    }
+                    Err(e) => return HttpResponse::new(502, e.to_string().into_bytes()),
+                }
+            }
+        };
+        let mut resp = HttpResponse::ok(content.as_ref().clone());
+        metadata.to_headers(&mut resp.headers);
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::OriginServer;
+    use crate::resolver::{Resolution, Resolver};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Rig {
+        origin: OriginServer,
+        _origin_srv: HttpServer,
+        resolver: Resolver,
+        _resolver_srv: HttpServer,
+        rp: ReverseProxy,
+        _rp_srv: HttpServer,
+    }
+
+    fn rig() -> Rig {
+        let origin = OriginServer::new();
+        let origin_srv = origin.serve().unwrap();
+        let resolver = Resolver::new();
+        let resolver_srv = resolver.serve().unwrap();
+        let identity = Identity::generate(&mut StdRng::seed_from_u64(21), 3);
+        let rp = ReverseProxy::new(
+            identity,
+            origin_srv.addr(),
+            ResolverClient::new(resolver_srv.addr()),
+        );
+        let rp_srv = rp.serve().unwrap();
+        Rig {
+            origin,
+            _origin_srv: origin_srv,
+            resolver,
+            _resolver_srv: resolver_srv,
+            rp,
+            _rp_srv: rp_srv,
+        }
+    }
+
+    #[test]
+    fn publish_signs_and_registers() {
+        let rig = rig();
+        rig.origin.add_content("page", b"<html>hi</html>".to_vec());
+        let name = rig.rp.publish("page").unwrap();
+        // Registered with the resolver.
+        match rig.resolver.resolve(&name) {
+            Some(Resolution::Locations(locs)) => {
+                assert_eq!(locs.len(), 1);
+                assert!(locs[0].contains("/fetch/"));
+            }
+            other => panic!("unexpected resolution {other:?}"),
+        }
+        // Fetch returns verifiable content.
+        let url = rig.rp.fetch_url(&name).unwrap();
+        let (addr, path) = crate::proxy::parse_http_url(&url).unwrap();
+        let resp = http::http_get(addr, &path, &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        let meta = Metadata::from_headers(&resp.headers).unwrap();
+        meta.verify(&resp.body).unwrap();
+        assert_eq!(resp.body, b"<html>hi</html>");
+    }
+
+    #[test]
+    fn unpublished_label_is_404() {
+        let rig = rig();
+        rig.origin.add_content("secret", b"not signed yet".to_vec());
+        let name = ContentName::new("secret", rig.rp.principal()).unwrap();
+        let url = rig.rp.fetch_url(&name).unwrap();
+        let (addr, path) = crate::proxy::parse_http_url(&url).unwrap();
+        let resp = http::http_get(addr, &path, &[]).unwrap();
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn eviction_routes_back_to_origin() {
+        let rig = rig();
+        rig.origin.add_content("doc", b"stable bytes".to_vec());
+        let name = rig.rp.publish("doc").unwrap();
+        rig.rp.evict("doc");
+        let url = rig.rp.fetch_url(&name).unwrap();
+        let (addr, path) = crate::proxy::parse_http_url(&url).unwrap();
+        let resp = http::http_get(addr, &path, &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"stable bytes");
+    }
+
+    #[test]
+    fn diverged_origin_content_is_refused() {
+        let rig = rig();
+        rig.origin.add_content("mutable", b"version 1".to_vec());
+        let name = rig.rp.publish("mutable").unwrap();
+        // Origin silently changes the bytes; the cached signature no longer
+        // matches, so serving from origin must fail closed.
+        rig.origin.add_content("mutable", b"version 2".to_vec());
+        rig.rp.evict("mutable");
+        let url = rig.rp.fetch_url(&name).unwrap();
+        let (addr, path) = crate::proxy::parse_http_url(&url).unwrap();
+        let resp = http::http_get(addr, &path, &[]).unwrap();
+        assert_eq!(resp.status, 502);
+    }
+
+    #[test]
+    fn foreign_principal_refused() {
+        let rig = rig();
+        let foreign = ContentName::new(
+            "anything",
+            Principal(digest(b"someone else entirely")),
+        )
+        .unwrap();
+        let url = rig.rp.fetch_url(&foreign).unwrap();
+        let (addr, path) = crate::proxy::parse_http_url(&url).unwrap();
+        let resp = http::http_get(addr, &path, &[]).unwrap();
+        assert_eq!(resp.status, 403);
+    }
+}

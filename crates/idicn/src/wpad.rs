@@ -1,0 +1,274 @@
+//! Automatic proxy configuration (§6.2): WPAD discovery + PAC rules.
+//!
+//! Real deployments announce a Proxy Auto-Config URL through DHCP option
+//! 252 or a well-known DNS name; the browser fetches the PAC file and calls
+//! its JavaScript `FindProxyForURL(url, host)` per request. This module
+//! keeps the exact same decision flow with two substitutions (documented in
+//! DESIGN.md): discovery answers come from a loopback UDP responder
+//! standing in for the DHCP server, and the PAC file is a declarative rule
+//! list with `shExpMatch`-style glob patterns instead of JavaScript.
+
+use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
+use crate::{Error, Result};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A proxy decision, mirroring PAC return values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyDecision {
+    /// `PROXY host:port` — send the request through this proxy.
+    Proxy(SocketAddr),
+    /// `DIRECT` — connect to the origin directly.
+    Direct,
+}
+
+/// One PAC rule: a host glob pattern and the decision it selects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacRule {
+    /// `shExpMatch` pattern over the request host (`*` and `?` wildcards).
+    pub host_pattern: String,
+    /// Decision when the pattern matches.
+    pub decision: ProxyDecision,
+}
+
+/// A declarative PAC file: first matching rule wins, `DIRECT` otherwise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacFile {
+    /// Ordered rules.
+    pub rules: Vec<PacRule>,
+}
+
+/// Glob matcher with PAC `shExpMatch` semantics (`*` = any run, `?` = one
+/// char), case-insensitive as host names are.
+pub fn sh_exp_match(text: &str, pattern: &str) -> bool {
+    fn matches(t: &[u8], p: &[u8]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (None, Some(_)) => false,
+            (Some(b'*'), _) => {
+                matches(t, &p[1..]) || (!t.is_empty() && matches(&t[1..], p))
+            }
+            (Some(b'?'), Some(_)) => matches(&t[1..], &p[1..]),
+            (Some(&pc), Some(&tc)) => {
+                pc.eq_ignore_ascii_case(&tc) && matches(&t[1..], &p[1..])
+            }
+            (Some(_), None) => false,
+        }
+    }
+    matches(text.as_bytes(), pattern.as_bytes())
+}
+
+impl PacFile {
+    /// The PAC decision for a URL/host — the `FindProxyForURL` semantics.
+    pub fn find_proxy_for_url(&self, _url: &str, host: &str) -> ProxyDecision {
+        for rule in &self.rules {
+            if sh_exp_match(host, &rule.host_pattern) {
+                return rule.decision.clone();
+            }
+        }
+        ProxyDecision::Direct
+    }
+
+    /// Serializes to the on-the-wire PAC format (one `pattern => decision`
+    /// rule per line).
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("# idicn-pac v1\n");
+        for r in &self.rules {
+            let d = match &r.decision {
+                ProxyDecision::Proxy(addr) => format!("PROXY {addr}"),
+                ProxyDecision::Direct => "DIRECT".to_string(),
+            };
+            out.push_str(&format!("{} => {}\n", r.host_pattern, d));
+        }
+        out
+    }
+
+    /// Parses the serialization from [`PacFile::serialize`].
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut rules = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (pattern, decision) = line
+                .split_once("=>")
+                .ok_or_else(|| Error::Protocol(format!("bad PAC line {line:?}")))?;
+            let decision = decision.trim();
+            let decision = if decision.eq_ignore_ascii_case("direct") {
+                ProxyDecision::Direct
+            } else if let Some(addr) = decision.strip_prefix("PROXY ") {
+                ProxyDecision::Proxy(
+                    addr.trim()
+                        .parse()
+                        .map_err(|_| Error::Protocol(format!("bad proxy addr {addr:?}")))?,
+                )
+            } else {
+                return Err(Error::Protocol(format!("bad PAC decision {decision:?}")));
+            };
+            rules.push(PacRule { host_pattern: pattern.trim().to_string(), decision });
+        }
+        Ok(Self { rules })
+    }
+
+    /// The standard idICN PAC: route `*.idicn.org` through the edge proxy,
+    /// everything else direct (legacy traffic untouched — the
+    /// incremental-deployment property).
+    pub fn idicn_default(proxy: SocketAddr) -> Self {
+        Self {
+            rules: vec![PacRule {
+                host_pattern: "*.idicn.org".into(),
+                decision: ProxyDecision::Proxy(proxy),
+            }],
+        }
+    }
+}
+
+/// The WPAD discovery request magic.
+const WPAD_QUERY: &[u8] = b"WPAD-DISCOVER";
+
+/// A WPAD responder: answers discovery datagrams with the PAC URL (the
+/// DHCP-option-252 stand-in) and serves the PAC file over HTTP.
+pub struct WpadService {
+    udp_addr: SocketAddr,
+    _pac_server: HttpServer,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WpadService {
+    /// Starts the responder announcing `pac`.
+    pub fn start(pac: PacFile) -> Result<Self> {
+        let body = pac.serialize().into_bytes();
+        let pac_server = http::serve(Arc::new(move |req: &HttpRequest| {
+            if req.target == "/wpad.dat" {
+                HttpResponse::ok(body.clone())
+            } else {
+                HttpResponse::not_found("only /wpad.dat")
+            }
+        }))?;
+        let pac_url = format!("http://{}/wpad.dat", pac_server.addr());
+
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        let udp_addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = stop.clone();
+        let thread = std::thread::spawn(move || {
+            let mut buf = [0u8; 512];
+            while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+                match socket.recv_from(&mut buf) {
+                    Ok((n, from)) if &buf[..n] == WPAD_QUERY => {
+                        let _ = socket.send_to(pac_url.as_bytes(), from);
+                    }
+                    _ => {}
+                }
+            }
+        });
+        Ok(Self { udp_addr, _pac_server: pac_server, stop, thread: Some(thread) })
+    }
+
+    /// The UDP address clients send discovery datagrams to.
+    pub fn discovery_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+}
+
+impl Drop for WpadService {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Client-side WPAD: discover the PAC URL over UDP, fetch and parse it.
+/// This is what "hosts in idICN use WPAD to locate a URL of a PAC file"
+/// boils down to.
+pub fn discover_pac(discovery_addr: SocketAddr) -> Result<PacFile> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    socket.set_read_timeout(Some(Duration::from_secs(2)))?;
+    socket.send_to(WPAD_QUERY, discovery_addr)?;
+    let mut buf = [0u8; 512];
+    let (n, _) = socket.recv_from(&mut buf)?;
+    let url = std::str::from_utf8(&buf[..n])
+        .map_err(|_| Error::Protocol("non-UTF8 PAC URL".into()))?;
+    let (addr, path) = crate::proxy::parse_http_url(url)?;
+    let resp = http::http_get(addr, &path, &[])?;
+    if !resp.is_success() {
+        return Err(Error::Protocol(format!("PAC fetch failed: {}", resp.status)));
+    }
+    PacFile::parse(
+        std::str::from_utf8(&resp.body)
+            .map_err(|_| Error::Protocol("non-UTF8 PAC file".into()))?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_semantics() {
+        assert!(sh_exp_match("a.idicn.org", "*.idicn.org"));
+        assert!(sh_exp_match("L.P.IDICN.ORG", "*.idicn.org"), "case-insensitive");
+        assert!(!sh_exp_match("idicn.org", "*.idicn.org"), "needs a subdomain");
+        assert!(sh_exp_match("abc", "a?c"));
+        assert!(!sh_exp_match("ac", "a?c"));
+        assert!(sh_exp_match("anything", "*"));
+        assert!(sh_exp_match("", "*"));
+        assert!(!sh_exp_match("x", ""));
+    }
+
+    #[test]
+    fn pac_decision_order() {
+        let p1: SocketAddr = "127.0.0.1:3128".parse().unwrap();
+        let pac = PacFile {
+            rules: vec![
+                PacRule { host_pattern: "*.idicn.org".into(), decision: ProxyDecision::Proxy(p1) },
+                PacRule { host_pattern: "internal.*".into(), decision: ProxyDecision::Direct },
+            ],
+        };
+        assert_eq!(
+            pac.find_proxy_for_url("http://x.idicn.org/", "x.idicn.org"),
+            ProxyDecision::Proxy(p1)
+        );
+        assert_eq!(
+            pac.find_proxy_for_url("http://internal.corp/", "internal.corp"),
+            ProxyDecision::Direct
+        );
+        assert_eq!(
+            pac.find_proxy_for_url("http://example.com/", "example.com"),
+            ProxyDecision::Direct,
+            "default is DIRECT"
+        );
+    }
+
+    #[test]
+    fn pac_serialization_roundtrip() {
+        let pac = PacFile::idicn_default("127.0.0.1:9".parse().unwrap());
+        let text = pac.serialize();
+        let parsed = PacFile::parse(&text).unwrap();
+        assert_eq!(parsed, pac);
+        assert!(PacFile::parse("no arrow here").is_err());
+        assert!(PacFile::parse("pat => PROXY not-an-addr").is_err());
+        assert!(PacFile::parse("# comment only\n").unwrap().rules.is_empty());
+    }
+
+    #[test]
+    fn discovery_end_to_end() {
+        let proxy_addr: SocketAddr = "127.0.0.1:3128".parse().unwrap();
+        let service = WpadService::start(PacFile::idicn_default(proxy_addr)).unwrap();
+        let pac = discover_pac(service.discovery_addr()).unwrap();
+        assert_eq!(
+            pac.find_proxy_for_url("http://x.y.idicn.org/", "x.y.idicn.org"),
+            ProxyDecision::Proxy(proxy_addr)
+        );
+        assert_eq!(
+            pac.find_proxy_for_url("http://legacy.example/", "legacy.example"),
+            ProxyDecision::Direct
+        );
+    }
+}

@@ -1,0 +1,493 @@
+//! The combined router-level network: a core PoP graph with one complete
+//! k-ary access tree hanging off every PoP.
+//!
+//! This is the structure the simulator routes requests over. Every router in
+//! the network (tree nodes and PoP roots alike) has a global [`NodeId`];
+//! every physical link (tree edges and core edges) has a global [`LinkId`]
+//! used for congestion accounting. The PoP itself is the *root* (tree index
+//! 0) of its access tree, and doubles as the origin server for the objects
+//! it owns (§4.1).
+
+use crate::pop::{PopGraph, PopId};
+use crate::tree::AccessTree;
+use std::collections::HashMap;
+
+/// Global router identifier: `pop * tree.nodes() + tree_index`.
+pub type NodeId = u32;
+
+/// Global link identifier; see [`Network::link_count`] for the id space.
+pub type LinkId = u32;
+
+/// A core PoP graph combined with identical access trees at every PoP.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// The PoP-level core graph.
+    pub core: PopGraph,
+    /// The shape of the access tree rooted at every PoP.
+    pub tree: AccessTree,
+    core_dist: Vec<Vec<u32>>,
+    /// `core_parents[src][x]` = next hop from `x` toward `src` on a shortest
+    /// path (BFS parent), enabling path reconstruction.
+    core_parents: Vec<Vec<PopId>>,
+    /// Maps a normalized core edge `(a, b)` with `a < b` to its link id
+    /// (already offset past the tree link id space).
+    core_link_ids: HashMap<(PopId, PopId), LinkId>,
+    tree_nodes: u32,
+    tree_links_total: u32,
+}
+
+impl Network {
+    /// Builds the combined network and precomputes core all-pairs shortest
+    /// paths.
+    pub fn new(core: PopGraph, tree: AccessTree) -> Self {
+        let core_dist = core.apsp();
+        let core_parents = core.apsp_parents();
+        let tree_nodes = tree.nodes();
+        let tree_links_total = (tree_nodes - 1) * core.len() as u32;
+        let core_link_ids = core
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, tree_links_total + i as LinkId))
+            .collect();
+        Self {
+            core,
+            tree,
+            core_dist,
+            core_parents,
+            core_link_ids,
+            tree_nodes,
+            tree_links_total,
+        }
+    }
+
+    /// Number of PoPs.
+    pub fn pops(&self) -> u32 {
+        self.core.len() as u32
+    }
+
+    /// Number of routers per access tree (including the PoP root).
+    pub fn nodes_per_pop(&self) -> u32 {
+        self.tree_nodes
+    }
+
+    /// Total number of routers in the network.
+    pub fn node_count(&self) -> u32 {
+        self.pops() * self.tree_nodes
+    }
+
+    /// Total number of links: all tree edges followed by all core edges.
+    pub fn link_count(&self) -> u32 {
+        self.tree_links_total + self.core.edges().len() as u32
+    }
+
+    /// Leaves per access tree.
+    pub fn leaves_per_pop(&self) -> u32 {
+        self.tree.leaves()
+    }
+
+    /// The PoP that router `n` belongs to.
+    #[inline]
+    pub fn pop_of(&self, n: NodeId) -> PopId {
+        n / self.tree_nodes
+    }
+
+    /// The within-tree index of router `n` (0 = the PoP root).
+    #[inline]
+    pub fn tree_index(&self, n: NodeId) -> u32 {
+        n % self.tree_nodes
+    }
+
+    /// Global id of a router given its PoP and within-tree index.
+    #[inline]
+    pub fn node(&self, pop: PopId, tree_index: u32) -> NodeId {
+        debug_assert!(tree_index < self.tree_nodes);
+        pop * self.tree_nodes + tree_index
+    }
+
+    /// Global id of the root router (the PoP itself).
+    #[inline]
+    pub fn pop_root(&self, pop: PopId) -> NodeId {
+        self.node(pop, 0)
+    }
+
+    /// Global id of the `i`-th leaf (0-based) of `pop`'s access tree.
+    #[inline]
+    pub fn leaf(&self, pop: PopId, i: u32) -> NodeId {
+        debug_assert!(i < self.tree.leaves());
+        self.node(pop, self.tree.first_leaf() + i)
+    }
+
+    /// True when router `n` is a leaf of its access tree.
+    #[inline]
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.tree.is_leaf(self.tree_index(n))
+    }
+
+    /// Tree level of router `n` (0 = PoP root, `depth` = leaf).
+    #[inline]
+    pub fn level_of(&self, n: NodeId) -> u32 {
+        self.tree.level_of(self.tree_index(n))
+    }
+
+    /// Core hop distance between two PoPs.
+    #[inline]
+    pub fn core_distance(&self, a: PopId, b: PopId) -> u32 {
+        self.core_dist[a as usize][b as usize]
+    }
+
+    /// Hop distance between two arbitrary routers.
+    ///
+    /// Within a PoP the tree path is used; across PoPs the path climbs to
+    /// the local root, crosses the core on a shortest path, and descends.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let (pa, pb) = (self.pop_of(a), self.pop_of(b));
+        let (ta, tb) = (self.tree_index(a), self.tree_index(b));
+        if pa == pb {
+            self.tree.distance(ta, tb)
+        } else {
+            self.tree.level_of(ta) + self.core_distance(pa, pb) + self.tree.level_of(tb)
+        }
+    }
+
+    /// Link id of the tree edge between router `n` (tree index ≥ 1) and its
+    /// parent.
+    #[inline]
+    pub fn tree_link(&self, n: NodeId) -> LinkId {
+        let t = self.tree_index(n);
+        debug_assert!(t >= 1, "root has no parent link");
+        self.pop_of(n) * (self.tree_nodes - 1) + (t - 1)
+    }
+
+    /// Link id of the core edge between adjacent PoPs `a` and `b`.
+    #[inline]
+    pub fn core_link(&self, a: PopId, b: PopId) -> LinkId {
+        let e = (a.min(b), a.max(b));
+        *self
+            .core_link_ids
+            .get(&e)
+            .unwrap_or_else(|| panic!("PoPs {a} and {b} are not adjacent"))
+    }
+
+    /// Invokes `f` for every PoP on the shortest core path from `a` to `b`,
+    /// in order, including both endpoints.
+    pub fn for_each_core_hop(&self, a: PopId, b: PopId, mut f: impl FnMut(PopId)) {
+        // Walk BFS parents from b back toward a, then emit in forward order.
+        // Core paths are short (diameter ≤ ~10), so a stack buffer is cheap.
+        let parents = &self.core_parents[a as usize];
+        let mut rev = Vec::with_capacity(self.core_dist[a as usize][b as usize] as usize + 1);
+        let mut cur = b;
+        loop {
+            rev.push(cur);
+            if cur == a {
+                break;
+            }
+            cur = parents[cur as usize];
+        }
+        for &p in rev.iter().rev() {
+            f(p);
+        }
+    }
+
+    /// Appends to `out` the routers on the shortest path from `from`
+    /// (typically a leaf) to the root of `origin_pop`, in order, including
+    /// both endpoints. This is the request path for shortest-path-to-origin
+    /// routing: the climb to the local root, then the core PoP roots.
+    pub fn sp_path_nodes_into(&self, from: NodeId, origin_pop: PopId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let pop = self.pop_of(from);
+        for t in self.tree.path_to_root(self.tree_index(from)) {
+            out.push(self.node(pop, t));
+        }
+        if pop != origin_pop {
+            let mut first = true;
+            self.for_each_core_hop(pop, origin_pop, |p| {
+                if first {
+                    first = false; // local root already pushed
+                } else {
+                    out.push(self.pop_root(p));
+                }
+            });
+        }
+    }
+
+    /// Appends to `out` the routers on the shortest path from `a` to `b`,
+    /// in order, including both endpoints. This is the response path the
+    /// simulator caches objects along ("each node on the response path ...
+    /// stores the object", §4.1).
+    pub fn path_nodes_into(&self, a: NodeId, b: NodeId, out: &mut Vec<NodeId>) {
+        let (pa, pb) = (self.pop_of(a), self.pop_of(b));
+        if pa == pb {
+            let (ta, tb) = (self.tree_index(a), self.tree_index(b));
+            let lca = self.tree.lca(ta, tb);
+            // Climb a -> lca, then descend lca -> b (collected in reverse).
+            let mut t = ta;
+            loop {
+                out.push(self.node(pa, t));
+                if t == lca {
+                    break;
+                }
+                t = self.tree.parent(t).unwrap();
+            }
+            let start = out.len();
+            let mut t = tb;
+            while t != lca {
+                out.push(self.node(pa, t));
+                t = self.tree.parent(t).unwrap();
+            }
+            out[start..].reverse();
+        } else {
+            // a up to its root, across the core, down from b's root to b.
+            for t in self.tree.path_to_root(self.tree_index(a)) {
+                out.push(self.node(pa, t));
+            }
+            let mut first = true;
+            self.for_each_core_hop(pa, pb, |p| {
+                if first {
+                    first = false;
+                } else {
+                    out.push(self.pop_root(p));
+                }
+            });
+            let start = out.len();
+            let mut t = self.tree_index(b);
+            while t != 0 {
+                out.push(self.node(pb, t));
+                t = self.tree.parent(t).unwrap();
+            }
+            out[start..].reverse();
+        }
+    }
+
+    /// Appends to `out` the link ids on the (unique shortest) path between
+    /// routers `a` and `b`. The order is unspecified; congestion accounting
+    /// only needs the multiset of links.
+    pub fn path_links_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>) {
+        let (pa, pb) = (self.pop_of(a), self.pop_of(b));
+        if pa == pb {
+            self.tree_path_links(pa, self.tree_index(a), self.tree_index(b), out);
+        } else {
+            // a up to its root, core crossing, b up to its root.
+            self.tree_path_links(pa, self.tree_index(a), 0, out);
+            self.tree_path_links(pb, self.tree_index(b), 0, out);
+            let mut prev: Option<PopId> = None;
+            self.for_each_core_hop(pa, pb, |p| {
+                if let Some(q) = prev {
+                    out.push(self.core_link(q, p));
+                }
+                prev = Some(p);
+            });
+        }
+    }
+
+    /// Appends the tree links on the path between tree indices `x` and `y`
+    /// within `pop`'s access tree (via their LCA).
+    fn tree_path_links(&self, pop: PopId, x: u32, y: u32, out: &mut Vec<LinkId>) {
+        let (mut x, mut y) = (x, y);
+        let (mut lx, mut ly) = (self.tree.level_of(x), self.tree.level_of(y));
+        while lx > ly {
+            out.push(self.tree_link(self.node(pop, x)));
+            x = self.tree.parent(x).unwrap();
+            lx -= 1;
+        }
+        while ly > lx {
+            out.push(self.tree_link(self.node(pop, y)));
+            y = self.tree.parent(y).unwrap();
+            ly -= 1;
+        }
+        while x != y {
+            out.push(self.tree_link(self.node(pop, x)));
+            out.push(self.tree_link(self.node(pop, y)));
+            x = self.tree.parent(x).unwrap();
+            y = self.tree.parent(y).unwrap();
+        }
+    }
+
+    /// Global sibling routers of `n` within its access tree.
+    pub fn siblings(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let pop = self.pop_of(n);
+        self.tree
+            .siblings(self.tree_index(n))
+            .map(move |t| self.node(pop, t))
+    }
+
+    /// Global parent router of `n`, if any.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        let pop = self.pop_of(n);
+        self.tree.parent(self.tree_index(n)).map(|t| self.node(pop, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pop;
+
+    fn tiny() -> Network {
+        // Abilene core with tiny binary trees: 11 pops x 7 nodes.
+        Network::new(pop::abilene(), AccessTree::new(2, 2))
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        let net = tiny();
+        for p in 0..net.pops() {
+            for t in 0..net.nodes_per_pop() {
+                let n = net.node(p, t);
+                assert_eq!(net.pop_of(n), p);
+                assert_eq!(net.tree_index(n), t);
+            }
+        }
+        assert_eq!(net.node_count(), 11 * 7);
+    }
+
+    #[test]
+    fn leaves_and_levels() {
+        let net = tiny();
+        let l = net.leaf(3, 0);
+        assert!(net.is_leaf(l));
+        assert_eq!(net.level_of(l), 2);
+        assert_eq!(net.level_of(net.pop_root(3)), 0);
+        assert_eq!(net.leaves_per_pop(), 4);
+    }
+
+    #[test]
+    fn distances_within_and_across_pops() {
+        let net = tiny();
+        let a = net.leaf(0, 0);
+        // Leaf to own root: 2 hops.
+        assert_eq!(net.distance(a, net.pop_root(0)), 2);
+        // Leaf to sibling leaf: 2 hops via parent.
+        assert_eq!(net.distance(a, net.leaf(0, 1)), 2);
+        // Across pops: Seattle(0)-Sunnyvale(1) adjacent -> 2 + 1 + 2.
+        assert_eq!(net.distance(a, net.leaf(1, 0)), 5);
+        // Symmetry.
+        assert_eq!(
+            net.distance(net.leaf(1, 0), a),
+            net.distance(a, net.leaf(1, 0))
+        );
+    }
+
+    #[test]
+    fn sp_path_nodes_structure() {
+        let net = tiny();
+        let leaf = net.leaf(0, 2);
+        let mut path = Vec::new();
+        // Seattle(0) -> New York(10): core distance is > 1.
+        net.sp_path_nodes_into(leaf, 10, &mut path);
+        assert_eq!(path[0], leaf);
+        assert_eq!(path[1], net.parent(leaf).unwrap());
+        assert_eq!(path[2], net.pop_root(0));
+        assert_eq!(*path.last().unwrap(), net.pop_root(10));
+        // Path length = leaf level + core distance + 1 nodes.
+        assert_eq!(
+            path.len() as u32,
+            net.level_of(leaf) + net.core_distance(0, 10) + 1
+        );
+        // Same-pop origin: just the climb.
+        net.sp_path_nodes_into(leaf, 0, &mut path);
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn path_links_count_matches_distance() {
+        let net = tiny();
+        let mut links = Vec::new();
+        let cases = [
+            (net.leaf(0, 0), net.leaf(0, 3)),
+            (net.leaf(0, 0), net.pop_root(0)),
+            (net.leaf(2, 1), net.leaf(9, 2)),
+            (net.pop_root(4), net.pop_root(5)),
+            (net.leaf(7, 0), net.node(7, 2)),
+        ];
+        for (a, b) in cases {
+            net.path_links_into(a, b, &mut links);
+            assert_eq!(
+                links.len() as u32,
+                net.distance(a, b),
+                "link path length != distance for {a}->{b}"
+            );
+            // No duplicate links on a simple path.
+            let mut sorted = links.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), links.len());
+            links.clear();
+        }
+    }
+
+    #[test]
+    fn path_nodes_consistent_with_distance() {
+        let net = tiny();
+        let mut nodes = Vec::new();
+        let cases = [
+            (net.leaf(0, 0), net.leaf(0, 3)),      // same pop, across root
+            (net.leaf(0, 0), net.leaf(0, 1)),      // siblings
+            (net.leaf(0, 0), net.node(0, 1)),      // ancestor
+            (net.node(0, 1), net.leaf(0, 0)),      // descendant
+            (net.leaf(2, 1), net.leaf(9, 2)),      // cross pop
+            (net.pop_root(4), net.leaf(5, 0)),     // root to remote leaf
+            (net.leaf(3, 2), net.leaf(3, 2)),      // self
+        ];
+        for (a, b) in cases {
+            nodes.clear();
+            net.path_nodes_into(a, b, &mut nodes);
+            assert_eq!(*nodes.first().unwrap(), a);
+            assert_eq!(*nodes.last().unwrap(), b);
+            assert_eq!(
+                nodes.len() as u32,
+                net.distance(a, b) + 1,
+                "node path {a}->{b}: {nodes:?}"
+            );
+            // Consecutive nodes are exactly one hop apart.
+            for w in nodes.windows(2) {
+                assert_eq!(net.distance(w[0], w[1]), 1, "non-adjacent step in {nodes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_path() {
+        let net = tiny();
+        let mut links = vec![99];
+        net.path_links_into(net.leaf(0, 0), net.leaf(0, 0), &mut links);
+        assert_eq!(links, vec![99], "appends nothing for a==b");
+    }
+
+    #[test]
+    fn link_ids_are_unique_and_dense() {
+        let net = tiny();
+        let mut seen = vec![false; net.link_count() as usize];
+        for p in 0..net.pops() {
+            for t in 1..net.nodes_per_pop() {
+                let id = net.tree_link(net.node(p, t)) as usize;
+                assert!(!seen[id]);
+                seen[id] = true;
+            }
+        }
+        for &(a, b) in net.core.edges() {
+            let id = net.core_link(a, b) as usize;
+            assert!(!seen[id]);
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn core_hop_enumeration_endpoints() {
+        let net = tiny();
+        let mut hops = Vec::new();
+        net.for_each_core_hop(0, 10, |p| hops.push(p));
+        assert_eq!(*hops.first().unwrap(), 0);
+        assert_eq!(*hops.last().unwrap(), 10);
+        assert_eq!(hops.len() as u32, net.core_distance(0, 10) + 1);
+        // Consecutive hops are adjacent in the core.
+        for w in hops.windows(2) {
+            assert!(net.core.neighbors(w[0]).contains(&w[1]));
+        }
+        // Degenerate path.
+        hops.clear();
+        net.for_each_core_hop(4, 4, |p| hops.push(p));
+        assert_eq!(hops, vec![4]);
+    }
+}

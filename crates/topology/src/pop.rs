@@ -1,0 +1,482 @@
+//! PoP-level core graphs with metro-population annotations.
+//!
+//! A [`PopGraph`] is an undirected, connected graph whose nodes are Points of
+//! Presence. Each PoP carries the population of its metro region; the paper
+//! uses populations to weight request arrival rates, cache budgets, and
+//! origin-server assignment (§4.1).
+//!
+//! Two families of topologies are provided:
+//!
+//! * embedded public backbones: [`abilene`] (11 PoPs) and [`geant`]
+//!   (22 PoPs), transcribed from their published maps;
+//! * Rocketfuel-class ISP topologies ([`telstra`], [`sprint`], [`verio`],
+//!   [`tiscali`], [`level3`], [`att`]) synthesized with the PoP counts of
+//!   the Rocketfuel dataset using a seeded generator (see `DESIGN.md` for
+//!   the substitution rationale — the analysis depends only on PoP count,
+//!   core path lengths, and population weights).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Index of a PoP within a [`PopGraph`].
+pub type PopId = u32;
+
+/// An undirected PoP-level core graph with metro populations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopGraph {
+    /// Human-readable topology name (e.g. `"Abilene"`).
+    pub name: String,
+    /// PoP labels, indexed by [`PopId`].
+    pub labels: Vec<String>,
+    /// Metro population served by each PoP.
+    pub populations: Vec<u64>,
+    /// Adjacency lists; every edge appears in both endpoints' lists.
+    adj: Vec<Vec<PopId>>,
+    /// Flat undirected edge list `(a, b)` with `a < b`.
+    edges: Vec<(PopId, PopId)>,
+}
+
+impl PopGraph {
+    /// Creates a graph from labels, populations, and an undirected edge list.
+    ///
+    /// # Panics
+    /// Panics if the inputs are inconsistent (length mismatch, out-of-range
+    /// or duplicate edges, self-loops) or the graph is not connected.
+    pub fn new(
+        name: impl Into<String>,
+        labels: Vec<String>,
+        populations: Vec<u64>,
+        mut edges: Vec<(PopId, PopId)>,
+    ) -> Self {
+        let n = labels.len();
+        assert_eq!(n, populations.len(), "labels/populations length mismatch");
+        assert!(n > 0, "graph must have at least one PoP");
+        for e in edges.iter_mut() {
+            assert_ne!(e.0, e.1, "self-loop at PoP {}", e.0);
+            assert!((e.0 as usize) < n && (e.1 as usize) < n, "edge out of range");
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let g = Self { name: name.into(), labels, populations, adj, edges };
+        assert!(g.is_connected(), "PoP graph {:?} is not connected", g.name);
+        g
+    }
+
+    /// Number of PoPs.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the graph has no PoPs (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Neighbors of `p`.
+    pub fn neighbors(&self, p: PopId) -> &[PopId] {
+        &self.adj[p as usize]
+    }
+
+    /// Undirected edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> &[(PopId, PopId)] {
+        &self.edges
+    }
+
+    /// Total population across all PoPs.
+    pub fn total_population(&self) -> u64 {
+        self.populations.iter().sum()
+    }
+
+    fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(p) = stack.pop() {
+            for &q in self.neighbors(p) {
+                if !seen[q as usize] {
+                    seen[q as usize] = true;
+                    count += 1;
+                    stack.push(q);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// Breadth-first hop distances from `src` to every PoP.
+    pub fn bfs_distances(&self, src: PopId) -> Vec<u32> {
+        let (dist, _) = self.bfs_with_parents(src);
+        dist
+    }
+
+    /// BFS distances plus a parent pointer per node (parent of `src` is `src`).
+    pub fn bfs_with_parents(&self, src: PopId) -> (Vec<u32>, Vec<PopId>) {
+        let n = self.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        parent[src as usize] = src;
+        queue.push_back(src);
+        while let Some(p) = queue.pop_front() {
+            for &q in self.neighbors(p) {
+                if dist[q as usize] == u32::MAX {
+                    dist[q as usize] = dist[p as usize] + 1;
+                    parent[q as usize] = p;
+                    queue.push_back(q);
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// All-pairs shortest-path hop distances (`apsp[a][b]`).
+    pub fn apsp(&self) -> Vec<Vec<u32>> {
+        (0..self.len() as u32).map(|p| self.bfs_distances(p)).collect()
+    }
+
+    /// Per-source BFS parent tables used to reconstruct shortest paths.
+    pub fn apsp_parents(&self) -> Vec<Vec<PopId>> {
+        (0..self.len() as u32)
+            .map(|p| self.bfs_with_parents(p).1)
+            .collect()
+    }
+}
+
+fn named(labels: &[&str]) -> Vec<String> {
+    labels.iter().map(|s| s.to_string()).collect()
+}
+
+/// The Abilene (Internet2) backbone: 11 PoPs, 14 links, with 2010-census-era
+/// metro populations (in thousands, scaled ×1000).
+pub fn abilene() -> PopGraph {
+    let labels = named(&[
+        "Seattle",      // 0
+        "Sunnyvale",    // 1
+        "Los Angeles",  // 2
+        "Denver",       // 3
+        "Kansas City",  // 4
+        "Houston",      // 5
+        "Chicago",      // 6
+        "Indianapolis", // 7
+        "Atlanta",      // 8
+        "Washington",   // 9
+        "New York",     // 10
+    ]);
+    let populations = vec![
+        3_439_000, 1_837_000, 12_828_000, 2_543_000, 2_035_000, 5_920_000, 9_461_000, 1_756_000,
+        5_268_000, 5_582_000, 18_897_000,
+    ];
+    let edges = vec![
+        (0, 1),
+        (0, 3),
+        (1, 2),
+        (1, 3),
+        (2, 5),
+        (3, 4),
+        (4, 5),
+        (4, 6),
+        (5, 8),
+        (6, 7),
+        (6, 10),
+        (7, 8),
+        (8, 9),
+        (9, 10),
+    ];
+    PopGraph::new("Abilene", labels, populations, edges)
+}
+
+/// The Géant European research backbone (2004-era map): 22 PoPs.
+pub fn geant() -> PopGraph {
+    let labels = named(&[
+        "London",    // 0
+        "Paris",     // 1
+        "Madrid",    // 2
+        "Lisbon",    // 3
+        "Geneva",    // 4
+        "Milan",     // 5
+        "Frankfurt", // 6
+        "Amsterdam", // 7
+        "Brussels",  // 8
+        "Dublin",    // 9
+        "Copenhagen",// 10
+        "Stockholm", // 11
+        "Oslo",      // 12
+        "Helsinki",  // 13
+        "Warsaw",    // 14
+        "Prague",    // 15
+        "Vienna",    // 16
+        "Budapest",  // 17
+        "Zagreb",    // 18
+        "Athens",    // 19
+        "Bucharest", // 20
+        "Rome",      // 21
+    ]);
+    let populations = vec![
+        13_709_000, 12_405_000, 6_489_000, 2_821_000, 1_000_000, 4_336_000, 2_500_000, 2_480_000,
+        2_120_000, 1_904_000, 2_057_000, 2_308_000, 1_588_000, 1_495_000, 3_100_000, 2_156_000,
+        2_600_000, 3_303_000, 1_228_000, 3_753_000, 2_272_000, 4_342_000,
+    ];
+    let edges = vec![
+        (0, 1),
+        (0, 7),
+        (0, 9),
+        (1, 2),
+        (1, 4),
+        (1, 8),
+        (2, 3),
+        (2, 21),
+        (3, 0),
+        (4, 5),
+        (4, 6),
+        (5, 16),
+        (5, 21),
+        (6, 7),
+        (6, 10),
+        (6, 15),
+        (7, 8),
+        (8, 9),
+        (10, 11),
+        (11, 12),
+        (11, 13),
+        (13, 14),
+        (14, 15),
+        (15, 16),
+        (16, 17),
+        (17, 18),
+        (17, 20),
+        (18, 21),
+        (19, 20),
+        (19, 21),
+    ];
+    PopGraph::new("Geant", labels, populations, edges)
+}
+
+/// Configuration for the seeded Rocketfuel-class topology generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of PoPs.
+    pub pops: usize,
+    /// Extra non-tree edges added per PoP on average (controls mesh-ness;
+    /// Rocketfuel PoP maps have average degree roughly 2.5–3.5).
+    pub extra_edge_ratio: f64,
+    /// Zipf-like skew of metro populations (larger ⇒ few dominant metros).
+    pub population_skew: f64,
+    /// Seed for reproducibility.
+    pub seed: u64,
+}
+
+/// Generates a connected Rocketfuel-class PoP graph: a random
+/// preferential-attachment tree backbone plus extra shortcut edges, with
+/// heavy-tailed metro populations.
+pub fn synthesize(name: &str, cfg: &SynthConfig) -> PopGraph {
+    assert!(cfg.pops >= 2, "need at least 2 PoPs");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.pops;
+    let labels: Vec<String> = (0..n).map(|i| format!("{name}-pop{i}")).collect();
+
+    // Heavy-tailed populations: rank-based Zipf with multiplicative noise.
+    let mut populations: Vec<u64> = (0..n)
+        .map(|i| {
+            let base = 20_000_000.0 / ((i + 1) as f64).powf(cfg.population_skew);
+            let noise = rng.gen_range(0.7..1.3);
+            (base * noise).max(50_000.0) as u64
+        })
+        .collect();
+    // Shuffle so PoP index does not encode rank.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        populations.swap(i, j);
+    }
+
+    // Preferential-attachment tree: node i attaches to an endpoint of a
+    // uniformly chosen existing edge slot, biasing toward high-degree hubs
+    // (the classic Barabási–Albert trick using an endpoint pool).
+    let mut endpoint_pool: Vec<PopId> = vec![0];
+    let mut edges: Vec<(PopId, PopId)> = Vec::new();
+    for i in 1..n as u32 {
+        let target = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+        edges.push((target.min(i), target.max(i)));
+        endpoint_pool.push(target);
+        endpoint_pool.push(i);
+    }
+    // Extra shortcut edges for mesh-ness.
+    let extra = ((n as f64) * cfg.extra_edge_ratio).round() as usize;
+    let mut attempts = 0;
+    let mut added = 0;
+    let mut have: std::collections::HashSet<(PopId, PopId)> = edges.iter().copied().collect();
+    while added < extra && attempts < extra * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..n as u32);
+        let b = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+        if a == b {
+            continue;
+        }
+        let e = (a.min(b), a.max(b));
+        if have.insert(e) {
+            edges.push(e);
+            added += 1;
+        }
+    }
+    PopGraph::new(name, labels, populations, edges)
+}
+
+macro_rules! rocketfuel {
+    ($(#[$doc:meta] $fn_name:ident => ($name:expr, $pops:expr, $seed:expr);)*) => {
+        $(
+            #[$doc]
+            pub fn $fn_name() -> PopGraph {
+                synthesize(
+                    $name,
+                    &SynthConfig {
+                        pops: $pops,
+                        extra_edge_ratio: 0.5,
+                        population_skew: 0.9,
+                        seed: $seed,
+                    },
+                )
+            }
+        )*
+    };
+}
+
+rocketfuel! {
+    /// Telstra (AS1221), Rocketfuel-class: 44 PoPs.
+    telstra => ("Telstra", 44, 0x7e15_7a01);
+    /// Sprint (AS1239), Rocketfuel-class: 32 PoPs.
+    sprint => ("Sprint", 32, 0x5011_1239);
+    /// Verio (AS2914), Rocketfuel-class: 50 PoPs.
+    verio => ("Verio", 50, 0x0ee1_2914);
+    /// Tiscali (AS3257), Rocketfuel-class: 41 PoPs.
+    tiscali => ("Tiscali", 41, 0x7150_3257);
+    /// Level 3 (AS3356), Rocketfuel-class: 46 PoPs.
+    level3 => ("Level3", 46, 0x1ee1_3356);
+    /// AT&T (AS7018), Rocketfuel-class: 108 PoPs (the paper's largest).
+    att => ("ATT", 108, 0xa771_7018);
+}
+
+/// The eight topologies evaluated in Figures 6 and 7, in paper order.
+pub fn paper_topologies() -> Vec<PopGraph> {
+    vec![
+        abilene(),
+        geant(),
+        telstra(),
+        sprint(),
+        verio(),
+        tiscali(),
+        level3(),
+        att(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abilene_shape() {
+        let g = abilene();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g.edges().len(), 14);
+        assert!(g.total_population() > 60_000_000);
+    }
+
+    #[test]
+    fn geant_shape() {
+        let g = geant();
+        assert_eq!(g.len(), 22);
+        assert!(g.edges().len() >= 22); // meshier than a tree
+    }
+
+    #[test]
+    fn rocketfuel_pop_counts() {
+        assert_eq!(telstra().len(), 44);
+        assert_eq!(sprint().len(), 32);
+        assert_eq!(verio().len(), 50);
+        assert_eq!(tiscali().len(), 41);
+        assert_eq!(level3().len(), 46);
+        assert_eq!(att().len(), 108);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = att();
+        let b = att();
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.populations, b.populations);
+    }
+
+    #[test]
+    fn bfs_distances_are_symmetric_and_triangle() {
+        let g = sprint();
+        let d = g.apsp();
+        let n = g.len();
+        for a in 0..n {
+            assert_eq!(d[a][a], 0);
+            for b in 0..n {
+                assert_eq!(d[a][b], d[b][a], "asymmetric {a}->{b}");
+                for c in 0..n {
+                    assert!(d[a][c] <= d[a][b] + d[b][c], "triangle violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parents_reconstruct_shortest_paths() {
+        let g = geant();
+        let d = g.apsp();
+        let parents = g.apsp_parents();
+        for src in 0..g.len() as u32 {
+            for dst in 0..g.len() as u32 {
+                // Walk parent pointers from dst back to src and count hops.
+                let mut hops = 0;
+                let mut cur = dst;
+                while cur != src {
+                    cur = parents[src as usize][cur as usize];
+                    hops += 1;
+                    assert!(hops <= g.len() as u32, "parent cycle");
+                }
+                assert_eq!(hops, d[src as usize][dst as usize]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn disconnected_graph_rejected() {
+        PopGraph::new(
+            "bad",
+            named(&["a", "b", "c"]),
+            vec![1, 1, 1],
+            vec![(0, 1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        PopGraph::new("bad", named(&["a", "b"]), vec![1, 1], vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn edge_normalization_dedups() {
+        let g = PopGraph::new(
+            "dup",
+            named(&["a", "b"]),
+            vec![1, 1],
+            vec![(0, 1), (1, 0)],
+        );
+        assert_eq!(g.edges().len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Zipf exponent estimation (Figure 1 / Table 2).
+//!
+//! Two estimators are provided:
+//!
+//! * **MLE** — maximizes the discrete-Zipf likelihood over the exponent by
+//!   bisection on the score function (the standard Clauset-style approach
+//!   restricted to a finite support);
+//! * **log-log regression** — ordinary least squares of `log(frequency)` on
+//!   `log(rank)`, which is what "each curve is almost linear on a log-log
+//!   plot" (Figure 1) eyeballs; also yields an R² linearity diagnostic.
+
+/// Result of fitting a Zipf distribution to rank-frequency data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfFit {
+    /// Maximum-likelihood exponent.
+    pub alpha_mle: f64,
+    /// Least-squares exponent from the log-log plot.
+    pub alpha_regression: f64,
+    /// R² of the log-log regression (linearity of Figure 1's curves).
+    pub r_squared: f64,
+    /// Number of distinct objects with at least one request.
+    pub support: usize,
+    /// Total number of requests.
+    pub total: u64,
+}
+
+/// Fits Zipf exponents to per-object request counts (any order; zeros are
+/// ignored). Returns `None` when fewer than two distinct objects were
+/// requested.
+pub fn fit_zipf(counts: &[u64]) -> Option<ZipfFit> {
+    let mut freqs: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    if freqs.len() < 2 {
+        return None;
+    }
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = freqs.iter().sum();
+    let n = freqs.len();
+
+    // --- MLE by bisection on the score dL/dα = 0. ---
+    // L(α) = -α Σ_i n_i ln(i) - N ln H_n(α), with i the 1-based rank.
+    // dL/dα = -Σ_i n_i ln(i) + N · Σ_i ln(i) i^-α / H_n(α).
+    let weighted_log_rank: f64 = freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c as f64 * ((i + 1) as f64).ln())
+        .sum();
+    let score = |alpha: f64| -> f64 {
+        let mut h = 0.0;
+        let mut hlog = 0.0;
+        for i in 1..=n {
+            let x = (i as f64).powf(-alpha);
+            h += x;
+            hlog += x * (i as f64).ln();
+        }
+        -weighted_log_rank + total as f64 * hlog / h
+    };
+    // score is decreasing in α; bracket the root in [0, 8].
+    let (mut lo, mut hi) = (0.0f64, 8.0f64);
+    let alpha_mle = if score(lo) <= 0.0 {
+        0.0 // empirically flatter than uniform-ish; clamp
+    } else if score(hi) >= 0.0 {
+        hi
+    } else {
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if score(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    // --- Log-log OLS. ---
+    let xs: Vec<f64> = (1..=n).map(|i| (i as f64).ln()).collect();
+    let ys: Vec<f64> = freqs.iter().map(|&c| (c as f64).ln()).collect();
+    let mean_x = xs.iter().sum::<f64>() / n as f64;
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    let slope = sxy / sxx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+
+    Some(ZipfFit {
+        alpha_mle,
+        alpha_regression: -slope,
+        r_squared,
+        support: n,
+        total,
+    })
+}
+
+/// Rank-frequency pairs `(rank, count)` for plotting Figure 1, 1-based
+/// ranks, descending counts, zeros dropped. `max_points` thins the tail by
+/// geometric subsampling so log-log plots stay small.
+pub fn rank_frequency(counts: &[u64], max_points: usize) -> Vec<(u64, u64)> {
+    let mut freqs: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let n = freqs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut rank = 1u64;
+    let ratio = if n <= max_points {
+        1.0
+    } else {
+        (n as f64).powf(1.0 / max_points as f64)
+    };
+    while (rank as usize) <= n {
+        out.push((rank, freqs[rank as usize - 1]));
+        let next = ((rank as f64) * ratio).ceil() as u64;
+        rank = next.max(rank + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::Zipf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_counts(n_objects: usize, alpha: f64, n_requests: usize, seed: u64) -> Vec<u64> {
+        let z = Zipf::new(n_objects, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n_objects];
+        for _ in 0..n_requests {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn recovers_known_alpha() {
+        for &alpha in &[0.7, 0.99, 1.3] {
+            let counts = sample_counts(2_000, alpha, 400_000, 11);
+            let fit = fit_zipf(&counts).unwrap();
+            assert!(
+                (fit.alpha_mle - alpha).abs() < 0.05,
+                "alpha {alpha}: MLE {}",
+                fit.alpha_mle
+            );
+        }
+    }
+
+    #[test]
+    fn regression_roughly_agrees_with_mle() {
+        let counts = sample_counts(2_000, 1.0, 400_000, 5);
+        let fit = fit_zipf(&counts).unwrap();
+        // OLS on sampled tails is biased; just require the same ballpark.
+        assert!((fit.alpha_regression - fit.alpha_mle).abs() < 0.35, "{fit:?}");
+        assert!(fit.r_squared > 0.8, "log-log should look linear: {fit:?}");
+    }
+
+    #[test]
+    fn table2_region_alphas_recoverable() {
+        // The Table 2 workflow: synthesize at the paper's alpha, re-fit.
+        for &(alpha, _) in &[(0.99, "US"), (0.92, "Europe"), (1.04, "Asia")] {
+            let counts = sample_counts(5_000, alpha, 500_000, 2);
+            let fit = fit_zipf(&counts).unwrap();
+            assert!((fit.alpha_mle - alpha).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit_zipf(&[]).is_none());
+        assert!(fit_zipf(&[5]).is_none());
+        assert!(fit_zipf(&[0, 0, 7, 0]).is_none());
+        assert!(fit_zipf(&[3, 2]).is_some());
+    }
+
+    #[test]
+    fn uniform_counts_fit_alpha_zero() {
+        let fit = fit_zipf(&vec![100u64; 500]).unwrap();
+        assert!(fit.alpha_mle < 0.02, "uniform data: {fit:?}");
+    }
+
+    #[test]
+    fn rank_frequency_shape() {
+        let counts = sample_counts(1_000, 1.0, 50_000, 9);
+        let rf = rank_frequency(&counts, 50);
+        assert!(rf.len() <= 51);
+        assert_eq!(rf[0].0, 1);
+        // Monotone ranks, non-increasing frequencies.
+        for w in rf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn rank_frequency_empty() {
+        assert!(rank_frequency(&[0, 0], 10).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Request-flood (DoS) workloads (§7).
+//!
+//! The paper argues that "an architecture based on edge caching, such as
+//! idICN, provides approximately the same hit-ratios as a pervasively
+//! deployed ICN, indicating that such an edge cache deployment can provide
+//! much of the same request flood protection as pervasively deployed
+//! ICNs." This module generates the attack workload to test that claim:
+//! a baseline trace with an interval of flood requests injected, where
+//! attacker-controlled leaves hammer a victim publisher's objects.
+
+use crate::trace::{Request, Trace, TraceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a request-flood attack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FloodConfig {
+    /// Attack requests injected per background request during the flood
+    /// interval (attack intensity).
+    pub intensity: f64,
+    /// The flood targets objects in this id range (the victim's catalog —
+    /// with population-proportional origin assignment these map to one or
+    /// few origin PoPs via the `origins` table).
+    pub victim_objects: std::ops::Range<u32>,
+    /// Fraction of leaves the attacker controls (bots), in `(0, 1]`.
+    pub bot_fraction: f64,
+    /// Flood interval as fractions of the trace `[start, end)` in `[0, 1]`.
+    pub interval: (f64, f64),
+    /// RNG seed for bot/leaf/object selection.
+    pub seed: u64,
+}
+
+impl FloodConfig {
+    /// A default flood: 5× intensity over the middle half of the trace,
+    /// 10% of leaves are bots, targeting the given objects.
+    pub fn new(victim_objects: std::ops::Range<u32>) -> Self {
+        Self {
+            intensity: 5.0,
+            victim_objects,
+            bot_fraction: 0.1,
+            interval: (0.25, 0.75),
+            seed: 0xdd05,
+        }
+    }
+}
+
+/// Injects flood requests into `base`, returning the combined trace. The
+/// background requests keep their relative order; during the flood
+/// interval, `intensity` attack requests are interleaved per background
+/// request (in expectation), each from a random bot leaf for a random
+/// victim object.
+pub fn inject_flood(base: &Trace, pops: u16, leaves_per_pop: u16, cfg: &FloodConfig) -> Trace {
+    assert!(cfg.intensity >= 0.0);
+    assert!(!cfg.victim_objects.is_empty(), "no victim objects");
+    assert!(cfg.victim_objects.end <= base.config.objects);
+    assert!(cfg.bot_fraction > 0.0 && cfg.bot_fraction <= 1.0);
+    let (start, end) = cfg.interval;
+    assert!((0.0..=1.0).contains(&start) && start <= end && end <= 1.0);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Pick the bot set: a fixed random subset of all leaves.
+    let total_leaves = pops as usize * leaves_per_pop as usize;
+    let n_bots = ((total_leaves as f64 * cfg.bot_fraction).round() as usize).max(1);
+    let mut all: Vec<u32> = (0..total_leaves as u32).collect();
+    for i in 0..n_bots {
+        let j = rng.gen_range(i..all.len());
+        all.swap(i, j);
+    }
+    let bots = &all[..n_bots];
+
+    let n = base.requests.len();
+    let flood_lo = (n as f64 * start) as usize;
+    let flood_hi = (n as f64 * end) as usize;
+    let mut out = Vec::with_capacity(n + ((flood_hi - flood_lo) as f64 * cfg.intensity) as usize);
+    for (i, req) in base.requests.iter().enumerate() {
+        out.push(*req);
+        if i >= flood_lo && i < flood_hi {
+            // Poisson-ish: floor + Bernoulli remainder.
+            let mut k = cfg.intensity.floor() as usize;
+            if rng.gen::<f64>() < cfg.intensity.fract() {
+                k += 1;
+            }
+            for _ in 0..k {
+                let bot = bots[rng.gen_range(0..n_bots)];
+                let object = rng.gen_range(cfg.victim_objects.clone());
+                out.push(Request {
+                    pop: (bot / leaves_per_pop as u32) as u16,
+                    leaf: (bot % leaves_per_pop as u32) as u16,
+                    object,
+                });
+            }
+        }
+    }
+    Trace {
+        config: TraceConfig { requests: out.len(), ..base.config.clone() },
+        requests: out,
+        object_sizes: base.object_sizes.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+
+    fn base() -> Trace {
+        let mut cfg = TraceConfig::small();
+        cfg.requests = 10_000;
+        cfg.objects = 1_000;
+        Trace::synthesize(cfg, &[500, 500], 8)
+    }
+
+    #[test]
+    fn flood_adds_expected_volume() {
+        let b = base();
+        let cfg = FloodConfig { intensity: 2.0, ..FloodConfig::new(0..10) };
+        let t = inject_flood(&b, 2, 8, &cfg);
+        // Flood interval covers half the trace at 2x -> ~+100% of half.
+        let added = t.len() - b.len();
+        let expected = (0.5 * 2.0 * b.len() as f64) as usize;
+        let rel_err = (added as f64 - expected as f64).abs() / expected as f64;
+        assert!(rel_err < 0.05, "added {added}, expected ~{expected}");
+    }
+
+    #[test]
+    fn flood_requests_target_victims_from_bots() {
+        let b = base();
+        // Tail objects: barely requested in the background trace.
+        let cfg = FloodConfig::new(990..1000);
+        let t = inject_flood(&b, 2, 8, &cfg);
+        // Count extra requests for victim objects vs base.
+        let count =
+            |tr: &Trace| tr.requests.iter().filter(|r| r.object >= 990).count();
+        assert!(
+            count(&t) > count(&b).max(1) * 10,
+            "victims should be hammered: {} vs {}",
+            count(&t),
+            count(&b)
+        );
+        // All requests stay within the network bounds.
+        assert!(t.requests.iter().all(|r| r.pop < 2 && r.leaf < 8));
+    }
+
+    #[test]
+    fn background_order_is_preserved() {
+        let b = base();
+        let cfg = FloodConfig::new(0..10);
+        let t = inject_flood(&b, 2, 8, &cfg);
+        // The base requests appear as a subsequence of the flooded trace.
+        let mut it = t.requests.iter();
+        for want in &b.requests {
+            assert!(
+                it.any(|got| got == want),
+                "base request lost from the flooded trace"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_intensity_is_identity() {
+        let b = base();
+        let cfg = FloodConfig { intensity: 0.0, ..FloodConfig::new(0..10) };
+        let t = inject_flood(&b, 2, 8, &cfg);
+        assert_eq!(t.requests, b.requests);
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = base();
+        let cfg = FloodConfig::new(0..10);
+        let t1 = inject_flood(&b, 2, 8, &cfg);
+        let t2 = inject_flood(&b, 2, 8, &cfg);
+        assert_eq!(t1.requests, t2.requests);
+    }
+}

@@ -1,0 +1,84 @@
+//! Origin-server assignment of objects to PoPs (§4.1).
+//!
+//! Each PoP serves as the origin for a subset of the object universe; the
+//! number of objects it hosts is proportional to its population (the paper
+//! also tried uniform assignment "and found consistent results", which we
+//! expose as [`OriginPolicy::Uniform`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How objects are assigned to origin PoPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OriginPolicy {
+    /// Each object's origin PoP is drawn proportionally to population.
+    PopulationProportional,
+    /// Each object's origin PoP is drawn uniformly.
+    Uniform,
+}
+
+/// Assigns an origin PoP to every object. Returns `origins[object] = pop`.
+pub fn assign_origins(
+    policy: OriginPolicy,
+    objects: u32,
+    populations: &[u64],
+    seed: u64,
+) -> Vec<u16> {
+    assert!(!populations.is_empty());
+    assert!(populations.len() <= u16::MAX as usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = populations.len();
+    match policy {
+        OriginPolicy::Uniform => (0..objects).map(|_| rng.gen_range(0..n) as u16).collect(),
+        OriginPolicy::PopulationProportional => {
+            let total: u64 = populations.iter().sum();
+            assert!(total > 0);
+            let mut cum = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for &p in populations {
+                acc += p as f64 / total as f64;
+                cum.push(acc);
+            }
+            *cum.last_mut().unwrap() = 1.0;
+            (0..objects)
+                .map(|_| {
+                    let u: f64 = rng.gen();
+                    cum.partition_point(|&c| c < u).min(n - 1) as u16
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_counts_track_population() {
+        let pops = [1_000u64, 9_000];
+        let origins = assign_origins(OriginPolicy::PopulationProportional, 100_000, &pops, 3);
+        let big = origins.iter().filter(|&&p| p == 1).count();
+        let frac = big as f64 / 100_000.0;
+        assert!((frac - 0.9).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn uniform_counts_are_even() {
+        let pops = [1_000u64, 9_000];
+        let origins = assign_origins(OriginPolicy::Uniform, 100_000, &pops, 3);
+        let big = origins.iter().filter(|&&p| p == 1).count();
+        let frac = big as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn all_pops_valid_and_deterministic() {
+        let pops = [5u64, 5, 5, 5];
+        let a = assign_origins(OriginPolicy::PopulationProportional, 1_000, &pops, 7);
+        let b = assign_origins(OriginPolicy::PopulationProportional, 1_000, &pops, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&p| p < 4));
+    }
+}

@@ -1,0 +1,174 @@
+//! Spatial popularity skew (§5.1).
+//!
+//! A skew of 0 means every PoP draws requests from the same global
+//! popularity ranking; a skew of 1 means each PoP has an independent random
+//! ranking ("the most popular object at one location may become the least
+//! popular object at some other location"). Intermediate values interpolate
+//! by sorting objects on a blended key of global rank and per-PoP noise.
+//!
+//! The paper's skew metric (§5.1, footnote 5): with `r_op` the rank of
+//! object `o` at PoP `p` and `S_o = stdev_p(r_op)`,
+//! `spatial skew = avg_o(S_o) / O`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-PoP popularity rankings under a spatial skew parameter.
+#[derive(Debug, Clone)]
+pub enum SpatialModel {
+    /// Skew 0: all PoPs share the global ranking (rank == object id).
+    Global,
+    /// Skew > 0: explicit per-PoP permutations.
+    PerPop {
+        /// `rank_to_object[p][r]` = object holding rank `r` at PoP `p`.
+        rank_to_object: Vec<Vec<u32>>,
+    },
+}
+
+impl SpatialModel {
+    /// Builds the model for `objects` objects, `pops` PoPs, and a skew
+    /// parameter in `[0, 1]`. Object ids are assumed to be global-rank
+    /// ordered (object 0 is globally most popular), which is how
+    /// [`crate::trace`] assigns them.
+    pub fn new(objects: u32, pops: u32, skew: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&skew), "skew must be in [0,1]");
+        assert!(objects >= 1 && pops >= 1);
+        if skew == 0.0 {
+            return SpatialModel::Global;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let o = objects as usize;
+        let mut rank_to_object = Vec::with_capacity(pops as usize);
+        let mut keys: Vec<(f64, u32)> = Vec::with_capacity(o);
+        for _ in 0..pops {
+            keys.clear();
+            for obj in 0..objects {
+                // Blend the global rank with per-(pop, object) noise. The
+                // noise amplitude scales with O so skew=1 fully randomizes.
+                let noise: f64 = rng.gen::<f64>() * objects as f64;
+                let key = (1.0 - skew) * obj as f64 + skew * noise;
+                keys.push((key, obj));
+            }
+            keys.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            rank_to_object.push(keys.iter().map(|&(_, obj)| obj).collect());
+        }
+        SpatialModel::PerPop { rank_to_object }
+    }
+
+    /// The object holding 0-based `rank` at `pop`.
+    #[inline]
+    pub fn object_for_rank(&self, pop: u32, rank: u32) -> u32 {
+        match self {
+            SpatialModel::Global => rank,
+            SpatialModel::PerPop { rank_to_object } => {
+                rank_to_object[pop as usize][rank as usize]
+            }
+        }
+    }
+
+    /// The paper's skew metric: `avg_o(stdev_p(rank_op)) / O`. Returns 0
+    /// for the global model.
+    pub fn measured_skew(&self) -> f64 {
+        match self {
+            SpatialModel::Global => 0.0,
+            SpatialModel::PerPop { rank_to_object } => {
+                let pops = rank_to_object.len();
+                let o = rank_to_object[0].len();
+                // Invert to object -> rank per pop.
+                let mut sum_rank = vec![0.0f64; o];
+                let mut sum_rank2 = vec![0.0f64; o];
+                for ranks in rank_to_object {
+                    for (r, &obj) in ranks.iter().enumerate() {
+                        let r = r as f64;
+                        sum_rank[obj as usize] += r;
+                        sum_rank2[obj as usize] += r * r;
+                    }
+                }
+                let p = pops as f64;
+                let avg_stdev: f64 = (0..o)
+                    .map(|i| {
+                        let mean = sum_rank[i] / p;
+                        let var = (sum_rank2[i] / p - mean * mean).max(0.0);
+                        var.sqrt()
+                    })
+                    .sum::<f64>()
+                    / o as f64;
+                avg_stdev / o as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_skew_is_identity() {
+        let m = SpatialModel::new(100, 4, 0.0, 1);
+        for r in 0..100 {
+            assert_eq!(m.object_for_rank(2, r), r);
+        }
+        assert_eq!(m.measured_skew(), 0.0);
+    }
+
+    #[test]
+    fn rankings_are_permutations() {
+        let m = SpatialModel::new(200, 5, 0.7, 9);
+        for p in 0..5 {
+            let mut seen = vec![false; 200];
+            for r in 0..200 {
+                let o = m.object_for_rank(p, r) as usize;
+                assert!(!seen[o], "object {o} twice at pop {p}");
+                seen[o] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn measured_skew_increases_with_parameter() {
+        let o = 500;
+        let pops = 8;
+        let s_small = SpatialModel::new(o, pops, 0.2, 7).measured_skew();
+        let s_big = SpatialModel::new(o, pops, 1.0, 7).measured_skew();
+        assert!(s_small > 0.0);
+        assert!(s_big > s_small, "skew metric not monotone: {s_small} vs {s_big}");
+    }
+
+    #[test]
+    fn full_skew_decorrelates_ranks() {
+        // At skew 1 the expected stdev of a uniform rank across pops is
+        // O/sqrt(12)-ish, so the metric should approach ~0.2-0.3.
+        let m = SpatialModel::new(1000, 16, 1.0, 3);
+        let s = m.measured_skew();
+        assert!(s > 0.15, "skew 1 should yield large metric, got {s}");
+    }
+
+    #[test]
+    fn small_skew_preserves_head() {
+        // With small skew the globally top object stays near the top
+        // everywhere.
+        let m = SpatialModel::new(1000, 6, 0.05, 11);
+        for p in 0..6 {
+            let mut rank_of_obj0 = None;
+            for r in 0..1000 {
+                if m.object_for_rank(p, r) == 0 {
+                    rank_of_obj0 = Some(r);
+                    break;
+                }
+            }
+            assert!(rank_of_obj0.unwrap() < 200);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SpatialModel::new(100, 3, 0.5, 42);
+        let b = SpatialModel::new(100, 3, 0.5, 42);
+        for p in 0..3 {
+            for r in 0..100 {
+                assert_eq!(a.object_for_rank(p, r), b.object_for_rank(p, r));
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Zipf(α) popularity distributions.
+//!
+//! The `i`-th most popular of `n` objects is requested with probability
+//! proportional to `1 / i^α` (§2.2). Ranks here are **0-based** (rank 0 is
+//! the most popular object); the normalization uses the generalized harmonic
+//! number `H_{n,α}`.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over `n` ranks with O(log n) inverse-CDF sampling.
+///
+/// # Examples
+/// ```
+/// use icn_workload::zipf::Zipf;
+///
+/// let z = Zipf::new(1_000, 1.0);
+/// assert!(z.pmf(0) > z.pmf(1));               // rank 0 is most popular
+/// assert!((z.mass(0, 1_000) - 1.0).abs() < 1e-9);
+///
+/// let mut rng = rand::thread_rng();
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    alpha: f64,
+    /// `cdf[i]` = P(rank ≤ i); `cdf[n-1]` == 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n ≥ 1` ranks with exponent `alpha ≥ 0`.
+    /// `alpha == 0` degenerates to the uniform distribution.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "need at least one object");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in cdf.iter_mut() {
+            *c /= norm;
+        }
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { alpha, cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the distribution has at least one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability of the 0-based `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!(rank < self.len());
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Probability that a request falls in ranks `0..=rank`.
+    pub fn cdf(&self, rank: usize) -> f64 {
+        assert!(rank < self.len());
+        self.cdf[rank]
+    }
+
+    /// Probability mass of the half-open rank interval `lo..hi`.
+    pub fn mass(&self, lo: usize, hi: usize) -> f64 {
+        assert!(lo <= hi && hi <= self.len());
+        if lo == hi {
+            return 0.0;
+        }
+        let upper = self.cdf[hi - 1];
+        let lower = if lo == 0 { 0.0 } else { self.cdf[lo - 1] };
+        upper - lower
+    }
+
+    /// Samples a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for alpha in [0.0, 0.7, 1.0, 1.5] {
+            let z = Zipf::new(1000, alpha);
+            let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "alpha={alpha} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let z = Zipf::new(100, 1.1);
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn ratio_matches_power_law() {
+        let z = Zipf::new(100, 0.8);
+        // pmf(0)/pmf(9) should be 10^0.8.
+        let ratio = z.pmf(0) / z.pmf(9);
+        assert!((ratio - 10f64.powf(0.8)).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_intervals() {
+        let z = Zipf::new(50, 1.0);
+        assert!((z.mass(0, 50) - 1.0).abs() < 1e-12);
+        assert!((z.mass(0, 10) + z.mass(10, 50) - 1.0).abs() < 1e-12);
+        assert_eq!(z.mass(7, 7), 0.0);
+    }
+
+    #[test]
+    fn single_object() {
+        let z = Zipf::new(1, 1.0);
+        assert_eq!(z.pmf(0), 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Top ranks should match pmf within a few percent.
+        for r in 0..5 {
+            let emp = counts[r] as f64 / n as f64;
+            let exp = z.pmf(r);
+            assert!(
+                (emp - exp).abs() / exp < 0.05,
+                "rank {r}: empirical {emp} vs pmf {exp}"
+            );
+        }
+        // All samples in range (implicitly true by indexing) and every top
+        // rank was hit.
+        assert!(counts[0] > counts[20]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Ad hoc content sharing (§6.2): Alice & Bob on a plane.
+//!
+//! No DHCP, no DNS, no internet. Alice has CNN headlines in her browser
+//! cache; Bob wants them. Alice's ad hoc proxy publishes `cnn.com` over the
+//! mDNS stand-in; Bob's name lookup falls back to mDNS, resolves to Alice's
+//! machine, and fetches over HTTP. Also demonstrates the paper's noted
+//! limitation — only one peer can own a domain name — and how flat idICN
+//! names avoid it.
+//!
+//! Run with: `cargo run --release --example adhoc_sharing`
+
+use idicn::adhoc::{AdhocNode, Link};
+
+fn main() {
+    // The emulated link-local segment (in a real deployment this is the
+    // 224.0.0.251 multicast group; see DESIGN.md for the substitution).
+    let link = Link::new();
+
+    let alice = AdhocNode::start("alice", &link).expect("alice joins");
+    let bob = AdhocNode::start("bob", &link).expect("bob joins");
+    let carol = AdhocNode::start("carol", &link).expect("carol joins");
+    println!("link-local peers: alice, bob, carol (no infrastructure)");
+
+    // Alice's browser cache has the CNN front page.
+    alice.publish("cnn.com", b"<h1>CNN: ICN debate continues</h1>".to_vec());
+    println!("[alice] published cnn.com from her browser cache");
+
+    // Bob types cnn.com; his resolver falls back to mDNS.
+    let page = bob.fetch("cnn.com").expect("bob resolves via mDNS");
+    println!("[bob]   fetched cnn.com -> {:?}", String::from_utf8_lossy(&page));
+
+    // Nobody has nytimes.com: the lookup simply fails.
+    assert!(bob.fetch("nytimes.com").is_none());
+    println!("[bob]   nytimes.com -> no peer has it (lookup times out)");
+
+    // The domain-name collision limitation: Carol also has a cnn.com copy.
+    carol.publish("cnn.com", b"<h1>CNN via carol</h1>".to_vec());
+    let copy = bob.fetch("cnn.com").expect("one of them answers");
+    println!(
+        "[bob]   cnn.com again -> first answer wins ({} bytes) — the paper's\n        \
+         'only one of them will be able to publish it' limitation",
+        copy.len()
+    );
+
+    // Flat self-certifying names don't collide: each publisher's P differs.
+    alice.publish("headlines.alice-p", b"alice edition".to_vec());
+    carol.publish("headlines.carol-p", b"carol edition".to_vec());
+    let a = bob.fetch("headlines.alice-p").expect("alice's flat name");
+    let c = bob.fetch("headlines.carol-p").expect("carol's flat name");
+    println!(
+        "[bob]   flat names disambiguate publishers: {:?} vs {:?}",
+        String::from_utf8_lossy(&a),
+        String::from_utf8_lossy(&c)
+    );
+
+    alice.shutdown();
+    bob.shutdown();
+    carol.shutdown();
+    println!("\nAd hoc mode needs only Zeroconf-style primitives — no new network.");
+}

@@ -1,0 +1,52 @@
+//! CDN trace analysis: synthesize, export, re-import, and fit a trace.
+//!
+//! Mirrors the paper's §2.2 measurement methodology: take a request log,
+//! compute the rank-frequency distribution, fit a Zipf exponent, and check
+//! linearity on the log-log plot. Also demonstrates the CSV trace format
+//! for bringing your own logs.
+//!
+//! Run with: `cargo run --release --example cdn_trace_analysis`
+
+use icn_workload::fit::{fit_zipf, rank_frequency};
+use icn_workload::trace::{Region, Trace};
+
+fn main() {
+    let populations = icn_topology::pop::geant().populations.clone();
+
+    for region in Region::all() {
+        let cfg = region.config(0.05);
+        let trace = Trace::synthesize(cfg, &populations, 32);
+
+        // Round-trip through the CSV interchange format, as you would with
+        // a real log.
+        let mut csv = Vec::new();
+        trace.write_csv(&mut csv).expect("in-memory write");
+        let reloaded =
+            Trace::read_csv(std::io::BufReader::new(&csv[..])).expect("well-formed CSV");
+        assert_eq!(reloaded.len(), trace.len());
+
+        let counts = reloaded.object_counts();
+        let fit = fit_zipf(&counts).expect("non-trivial trace");
+        println!("=== {} ===", region.name());
+        println!(
+            "requests: {}   distinct objects: {}   CSV size: {} KiB",
+            reloaded.len(),
+            fit.support,
+            csv.len() / 1024
+        );
+        println!(
+            "alpha: MLE {:.3}, log-log regression {:.3} (R^2 = {:.3}); paper fit {:.2}",
+            fit.alpha_mle, fit.alpha_regression, fit.r_squared, region.paper_alpha()
+        );
+        println!("top of the rank-frequency curve:");
+        for (rank, freq) in rank_frequency(&counts, 8).into_iter().take(8) {
+            let bar_len = (freq as f64).log2().max(0.0) as usize;
+            println!("  rank {rank:>6}: {freq:>8}  {}", "#".repeat(bar_len));
+        }
+        println!();
+    }
+    println!(
+        "All three regions are heavy-tailed with alpha near 1 — the regime where\n\
+         the paper shows edge caching already captures most of the benefit."
+    );
+}

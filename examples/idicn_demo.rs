@@ -1,0 +1,89 @@
+//! End-to-end idICN walkthrough: the complete Figure 11 pipeline over real
+//! loopback sockets.
+//!
+//! Brings up an origin server, a name resolver, a publisher's reverse
+//! proxy, an edge proxy, and a WPAD service; publishes content under a
+//! self-certifying name; auto-configures a client via WPAD; fetches twice
+//! (miss, then cache hit) with end-to-end signature verification; and shows
+//! that a tampering origin is caught.
+//!
+//! Run with: `cargo run --release --example idicn_demo`
+
+use idicn::crypto::mss::Identity;
+use idicn::origin::OriginServer;
+use idicn::proxy::{fetch_verified, EdgeProxy};
+use idicn::resolver::{Resolver, ResolverClient};
+use idicn::reverse_proxy::ReverseProxy;
+use idicn::wpad::{discover_pac, PacFile, ProxyDecision, WpadService};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Provider side -----------------------------------------------------
+    let origin = OriginServer::new();
+    origin.add_content(
+        "sigcomm13-paper",
+        b"Less Pain, Most of the Gain: Incrementally Deployable ICN".to_vec(),
+    );
+    let origin_srv = origin.serve().expect("origin server");
+    println!("[origin]        serving at {}", origin_srv.addr());
+
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().expect("resolver");
+    let resolver_client = ResolverClient::new(resolver_srv.addr());
+    println!("[resolver]      serving at {}", resolver_srv.addr());
+
+    // The publisher identity: a Merkle tree over one-time keys; the hash of
+    // its root *is* the principal P in every name it publishes.
+    let identity = Identity::generate(&mut StdRng::seed_from_u64(2013), 4);
+    let reverse_proxy = ReverseProxy::new(identity, origin_srv.addr(), resolver_client);
+    let rp_srv = reverse_proxy.serve().expect("reverse proxy");
+    println!("[reverse proxy] serving at {}", rp_srv.addr());
+
+    // Steps P1/P2: publish and register.
+    let name = reverse_proxy.publish("sigcomm13-paper").expect("publish");
+    println!("[publish]       name = {}", name.to_fqdn());
+
+    // --- Edge side ----------------------------------------------------------
+    let edge_proxy = EdgeProxy::new(resolver_client, 128);
+    let proxy_srv = edge_proxy.serve().expect("edge proxy");
+    let wpad = WpadService::start(PacFile::idicn_default(proxy_srv.addr())).expect("wpad");
+    println!("[edge proxy]    serving at {}", proxy_srv.addr());
+
+    // Step 1: the client discovers its proxy automatically.
+    let pac = discover_pac(wpad.discovery_addr()).expect("wpad discovery");
+    let decision = pac.find_proxy_for_url(&format!("http://{}/", name.to_fqdn()), &name.to_fqdn());
+    let proxy_addr = match decision {
+        ProxyDecision::Proxy(addr) => addr,
+        ProxyDecision::Direct => panic!("idicn names must route via the proxy"),
+    };
+    println!("[client]        WPAD says: use proxy {proxy_addr}");
+
+    // Steps 2-7: fetch by name; the proxy resolves, fetches, verifies.
+    let (body, meta, hit) = fetch_verified(proxy_addr, &name).expect("first fetch");
+    println!(
+        "[fetch #1]      {} bytes, cache {}, {} pieces, signature OK",
+        body.len(),
+        if hit { "HIT" } else { "MISS" },
+        meta.digests.num_pieces()
+    );
+    let (_, _, hit2) = fetch_verified(proxy_addr, &name).expect("second fetch");
+    println!("[fetch #2]      cache {}", if hit2 { "HIT" } else { "MISS" });
+    assert!(!hit && hit2, "expected miss then hit");
+
+    // --- The security model in action ---------------------------------------
+    // The origin silently replaces the bytes. The reverse proxy refuses to
+    // serve content that no longer matches the published signature, so an
+    // uncached fetch fails closed rather than delivering tampered data.
+    origin.add_content("sigcomm13-paper", b"TAMPERED".to_vec());
+    reverse_proxy.evict("sigcomm13-paper");
+    let fresh_proxy = EdgeProxy::new(resolver_client, 8);
+    let fresh_srv = fresh_proxy.serve().expect("fresh proxy");
+    match fetch_verified(fresh_srv.addr(), &name) {
+        Err(e) => println!("[tamper check]  rejected as expected: {e}"),
+        Ok(_) => panic!("tampered content must not verify"),
+    }
+
+    println!("\nidICN end-to-end: security from names + signatures, caching at the\n\
+              edge, zero-touch client configuration — no router changes anywhere.");
+}

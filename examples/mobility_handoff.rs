@@ -1,0 +1,76 @@
+//! Mobility (§6.3): a server moves mid-download; the client resumes.
+//!
+//! A mobile content server re-binds to a new port (standing in for a new
+//! network attachment) and re-registers its location with the resolver
+//! (the dynamic-DNS stand-in). The client downloads with HTTP Range
+//! requests; on connection loss it re-resolves the name and resumes from
+//! the last byte, then verifies the whole object against the published
+//! piece digests.
+//!
+//! Run with: `cargo run --release --example mobility_handoff`
+
+use idicn::crypto::mss::Identity;
+use idicn::mobility::{resume_download, MobileServer};
+use idicn::resolver::{Resolver, ResolverClient};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() {
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().expect("resolver");
+    let rc = ResolverClient::new(resolver_srv.addr());
+
+    // A 2 MiB object served by a mobile node.
+    let content: Vec<u8> = (0..2 * 1024 * 1024u32).map(|i| (i % 241) as u8).collect();
+    let identity = Identity::generate(&mut StdRng::seed_from_u64(77), 4);
+    let server =
+        MobileServer::start(identity, rc, "road-movie", content.clone(), 256 * 1024)
+            .expect("mobile server");
+    println!(
+        "[server] {} online at {} ({} bytes, {} pieces)",
+        server.name().to_fqdn(),
+        server.addr().unwrap(),
+        content.len(),
+        server.digests().num_pieces()
+    );
+
+    // A background thread plays the mobile user: disconnect, wander, and
+    // reattach at a new address twice during the download.
+    let mover = server.clone();
+    let mover_thread = std::thread::spawn(move || {
+        for hop in 1..=2 {
+            std::thread::sleep(Duration::from_millis(60));
+            mover.detach();
+            std::thread::sleep(Duration::from_millis(120));
+            mover.relocate().expect("re-register at the new address");
+            println!(
+                "[server] moved (hop {hop}) -> now at {}",
+                mover.addr().unwrap()
+            );
+        }
+    });
+
+    // The client: ranged fetches with re-resolution on failure.
+    let (bytes, resumes) = resume_download(
+        &rc,
+        server.name(),
+        content.len(),
+        128 * 1024, // 128 KiB ranges
+        server.digests(),
+        100,
+    )
+    .expect("download completes across moves");
+    mover_thread.join().unwrap();
+
+    assert_eq!(bytes, content, "content integrity across handoffs");
+    println!(
+        "[client] downloaded {} bytes with {} resume(s); digest verified",
+        bytes.len(),
+        resumes
+    );
+    println!(
+        "\nMobility over plain HTTP: session resumption (Range) + dynamic\n\
+         re-registration — 'traditional problems with handoffs simply go away'."
+    );
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure; outputs land in results/.
+# SCALE defaults to 0.25 of the paper's trace volume (see README).
+set -u
+cd "$(dirname "$0")/.."
+SCALE="${SCALE:-0.25}"
+export SCALE
+mkdir -p results
+for exp in fig1 table2 fig2 fig6 fig7 table3 fig8a fig8b fig8c table4 fig9 fig10 ablations dos_resilience; do
+    echo "=== running $exp (SCALE=$SCALE)"
+    cargo run --release -p icn-bench --bin "$exp" >"results/$exp.txt" 2>"results/$exp.log" \
+        || { echo "FAILED: $exp (see results/$exp.log)"; exit 1; }
+done
+echo "all experiments complete; outputs in results/"

@@ -1,0 +1,16 @@
+//! Umbrella crate for the reproduction of *Less Pain, Most of the Gain:
+//! Incrementally Deployable ICN* (Fayazbakhsh et al., SIGCOMM 2013).
+//!
+//! Re-exports every workspace crate so the examples and integration tests
+//! can use one dependency. See `README.md` for the architecture overview,
+//! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub use icn_analysis;
+pub use icn_cache;
+pub use icn_core;
+pub use icn_topology;
+pub use icn_workload;
+pub use idicn;

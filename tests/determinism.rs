@@ -1,0 +1,86 @@
+//! Integration tests: every stochastic component is seed-deterministic, so
+//! EXPERIMENTS.md is reproducible bit-for-bit.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sweep::Scenario;
+use icn_topology::{pop, AccessTree};
+use icn_workload::origin::{assign_origins, OriginPolicy};
+use icn_workload::trace::{Region, Trace};
+
+#[test]
+fn scenario_runs_are_bitwise_reproducible() {
+    let run = || {
+        let s = Scenario::build(
+            pop::sprint(),
+            AccessTree::new(2, 3),
+            Region::Asia.config(0.01),
+            OriginPolicy::PopulationProportional,
+        );
+        let m = s.run_design(DesignKind::IcnNr);
+        (
+            m.total_latency,
+            m.max_congestion(),
+            m.max_origin_load(),
+            m.cache_hits,
+            m.link_transfers.clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let populations = pop::abilene().populations.clone();
+    let mut cfg_a = Region::Us.config(0.01);
+    let mut cfg_b = cfg_a.clone();
+    cfg_a.seed = 1;
+    cfg_b.seed = 2;
+    let a = Trace::synthesize(cfg_a, &populations, 8);
+    let b = Trace::synthesize(cfg_b, &populations, 8);
+    assert_ne!(a.requests, b.requests);
+}
+
+#[test]
+fn synthetic_topologies_are_stable() {
+    // The Rocketfuel-class generators are seeded: the same graph every
+    // build, so topology-dependent results don't drift.
+    let a = pop::level3();
+    let b = pop::level3();
+    assert_eq!(a.edges(), b.edges());
+    assert_eq!(a.populations, b.populations);
+}
+
+#[test]
+fn origin_assignment_is_seeded() {
+    let pops = [10u64, 20, 30];
+    let a = assign_origins(OriginPolicy::PopulationProportional, 1_000, &pops, 7);
+    let b = assign_origins(OriginPolicy::PopulationProportional, 1_000, &pops, 7);
+    let c = assign_origins(OriginPolicy::PopulationProportional, 1_000, &pops, 8);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn improvement_is_invariant_to_rerun_order() {
+    // Running designs in different orders must not change any result
+    // (no shared mutable state leaks between runs).
+    let s = Scenario::build(
+        pop::abilene(),
+        AccessTree::new(2, 3),
+        Region::Asia.config(0.01),
+        OriginPolicy::PopulationProportional,
+    );
+    let edge_first = {
+        let e = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
+        let n = s.improvement(ExperimentConfig::baseline(DesignKind::IcnNr));
+        (e, n)
+    };
+    let nr_first = {
+        let n = s.improvement(ExperimentConfig::baseline(DesignKind::IcnNr));
+        let e = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
+        (e, n)
+    };
+    assert_eq!(edge_first.0, nr_first.0);
+    assert_eq!(edge_first.1, nr_first.1);
+}

@@ -1,0 +1,168 @@
+//! Integration tests: the complete idICN overlay over loopback sockets —
+//! Figure 11 end to end, plus the qualitative properties of Table 1.
+
+use idicn::crypto::mss::Identity;
+use idicn::name::ContentName;
+use idicn::origin::OriginServer;
+use idicn::proxy::{fetch_verified, EdgeProxy};
+use idicn::resolver::{Resolver, ResolverClient};
+use idicn::reverse_proxy::ReverseProxy;
+use idicn::wpad::{discover_pac, PacFile, ProxyDecision, WpadService};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct World {
+    origin: OriginServer,
+    _origin_srv: idicn::http::HttpServer,
+    _resolver_srv: idicn::http::HttpServer,
+    resolver_client: ResolverClient,
+    rp: ReverseProxy,
+    _rp_srv: idicn::http::HttpServer,
+    proxy: EdgeProxy,
+    proxy_srv: idicn::http::HttpServer,
+}
+
+fn world(seed: u64) -> World {
+    let origin = OriginServer::new();
+    let origin_srv = origin.serve().unwrap();
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().unwrap();
+    let resolver_client = ResolverClient::new(resolver_srv.addr());
+    let identity = Identity::generate(&mut StdRng::seed_from_u64(seed), 4);
+    let rp = ReverseProxy::new(identity, origin_srv.addr(), resolver_client);
+    let rp_srv = rp.serve().unwrap();
+    let proxy = EdgeProxy::new(resolver_client, 64);
+    let proxy_srv = proxy.serve().unwrap();
+    World {
+        origin,
+        _origin_srv: origin_srv,
+        _resolver_srv: resolver_srv,
+        resolver_client,
+        rp,
+        _rp_srv: rp_srv,
+        proxy,
+        proxy_srv,
+    }
+}
+
+#[test]
+fn figure11_pipeline_with_wpad() {
+    let w = world(1);
+    w.origin.add_content("index", b"hello information-centric world".to_vec());
+    let name = w.rp.publish("index").unwrap();
+
+    // Step 1: WPAD auto-configuration.
+    let wpad = WpadService::start(PacFile::idicn_default(w.proxy_srv.addr())).unwrap();
+    let pac = discover_pac(wpad.discovery_addr()).unwrap();
+    let fqdn = name.to_fqdn();
+    let proxy_addr = match pac.find_proxy_for_url(&format!("http://{fqdn}/"), &fqdn) {
+        ProxyDecision::Proxy(a) => a,
+        ProxyDecision::Direct => panic!("expected proxying for idicn.org"),
+    };
+    assert_eq!(proxy_addr, w.proxy_srv.addr());
+    // Legacy hosts bypass the proxy entirely.
+    assert_eq!(
+        pac.find_proxy_for_url("http://example.com/", "example.com"),
+        ProxyDecision::Direct
+    );
+
+    // Steps 2-7: two fetches; the second is an edge cache hit.
+    let (body, meta, hit1) = fetch_verified(proxy_addr, &name).unwrap();
+    assert_eq!(body, b"hello information-centric world");
+    assert!(!hit1);
+    assert_eq!(meta.name, name);
+    let (_, _, hit2) = fetch_verified(proxy_addr, &name).unwrap();
+    assert!(hit2);
+    assert_eq!(w.proxy.stats(), (1, 1));
+}
+
+#[test]
+fn content_integrity_is_end_to_end() {
+    // Table 1: security comes from the name binding, not the channel or
+    // the server identity.
+    let w = world(2);
+    w.origin.add_content("article", b"authentic".to_vec());
+    let name = w.rp.publish("article").unwrap();
+
+    // A second publisher cannot register content under the first's name:
+    // same label, different principal => different name entirely.
+    let identity2 = Identity::generate(&mut StdRng::seed_from_u64(3), 2);
+    let rp2 = ReverseProxy::new(identity2, w._origin_srv.addr(), w.resolver_client);
+    let _rp2_srv = rp2.serve().unwrap();
+    let name2 = rp2.publish("article").unwrap();
+    assert_ne!(name, name2, "names are publisher-scoped");
+
+    // Both resolve and verify independently.
+    let (b1, _, _) = fetch_verified(w.proxy_srv.addr(), &name).unwrap();
+    let (b2, _, _) = fetch_verified(w.proxy_srv.addr(), &name2).unwrap();
+    assert_eq!(b1, b"authentic");
+    assert_eq!(b2, b"authentic");
+
+    // Tampering after publish is caught when the cache is cold.
+    w.origin.add_content("article", b"tampered!".to_vec());
+    w.rp.evict("article");
+    rp2.evict("article");
+    let cold_proxy = EdgeProxy::new(w.resolver_client, 8);
+    let cold_srv = cold_proxy.serve().unwrap();
+    assert!(fetch_verified(cold_srv.addr(), &name).is_err());
+}
+
+#[test]
+fn provider_side_failure_does_not_break_cached_content() {
+    // The incremental-deployment benefit: the edge keeps working when the
+    // provider is unreachable.
+    let w = world(4);
+    w.origin.add_content("vod", vec![7u8; 100_000]);
+    let name = w.rp.publish("vod").unwrap();
+    fetch_verified(w.proxy_srv.addr(), &name).unwrap();
+    drop(w._rp_srv);
+    drop(w._origin_srv);
+    let (body, _, hit) = fetch_verified(w.proxy_srv.addr(), &name).unwrap();
+    assert!(hit);
+    assert_eq!(body.len(), 100_000);
+}
+
+#[test]
+fn multiple_objects_share_one_identity() {
+    // The MSS identity signs many objects under one principal P.
+    let w = world(5);
+    let mut names: Vec<ContentName> = Vec::new();
+    for i in 0..5 {
+        let label = format!("episode-{i}");
+        w.origin
+            .add_content(&label, format!("content of {label}").into_bytes());
+        names.push(w.rp.publish(&label).unwrap());
+    }
+    let p = names[0].principal;
+    assert!(names.iter().all(|n| n.principal == p));
+    for (i, name) in names.iter().enumerate() {
+        let (body, _, _) = fetch_verified(w.proxy_srv.addr(), name).unwrap();
+        assert_eq!(body, format!("content of episode-{i}").into_bytes());
+    }
+}
+
+#[test]
+fn proxy_range_requests_resume_partial_transfers() {
+    // Mobility-style session resumption straight through the edge proxy.
+    let w = world(6);
+    let blob: Vec<u8> = (0..50_000u32).map(|i| (i % 199) as u8).collect();
+    w.origin.add_content("movie", blob.clone());
+    let name = w.rp.publish("movie").unwrap();
+    fetch_verified(w.proxy_srv.addr(), &name).unwrap(); // warm the cache
+
+    let mut assembled = Vec::new();
+    let chunk = 16_384;
+    while assembled.len() < blob.len() {
+        let start = assembled.len();
+        let end = (start + chunk).min(blob.len()) - 1;
+        let resp = idicn::http::http_get(
+            w.proxy_srv.addr(),
+            &format!("http://{}/", name.to_fqdn()),
+            &[("Range", &format!("bytes={start}-{end}"))],
+        )
+        .unwrap();
+        assert_eq!(resp.status, 206);
+        assembled.extend_from_slice(&resp.body);
+    }
+    assert_eq!(assembled, blob);
+}

@@ -1,0 +1,210 @@
+//! Integration tests pinning the paper's headline claims at test scale.
+//!
+//! These are the "shape" assertions: orderings, directions, and coarse
+//! magnitudes from §4–§5. The figure binaries in `crates/bench` produce
+//! the full-scale numbers recorded in EXPERIMENTS.md.
+
+use icn_analysis::tree_opt::{interior_cache_benefit, optimal_levels};
+use icn_cache::budget::BudgetPolicy;
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::metrics::Improvement;
+use icn_core::sweep::Scenario;
+use icn_topology::{pop, AccessTree};
+use icn_workload::origin::OriginPolicy;
+use icn_workload::trace::Region;
+use icn_workload::zipf::Zipf;
+
+/// A reduced-scale Asia baseline on Abilene (fast enough for CI).
+fn abilene_scenario() -> Scenario {
+    Scenario::build(
+        pop::abilene(),
+        AccessTree::baseline(),
+        Region::Asia.config(0.02), // 36k requests
+        OriginPolicy::PopulationProportional,
+    )
+}
+
+#[test]
+fn claim_design_ordering_and_small_gap() {
+    // §4.2: ICN-NR >= ICN-SP >= EDGE on latency; cooperation helps; and
+    // the NR-vs-EDGE latency gap is modest.
+    let s = abilene_scenario();
+    let nr = s.improvement(ExperimentConfig::baseline(DesignKind::IcnNr));
+    let sp = s.improvement(ExperimentConfig::baseline(DesignKind::IcnSp));
+    let edge = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
+    let coop = s.improvement(ExperimentConfig::baseline(DesignKind::EdgeCoop));
+
+    assert!(nr.latency_pct >= sp.latency_pct - 0.5, "nr {nr:?} sp {sp:?}");
+    assert!(sp.latency_pct >= edge.latency_pct - 0.5, "sp {sp:?} edge {edge:?}");
+    assert!(coop.latency_pct >= edge.latency_pct, "coop {coop:?} edge {edge:?}");
+    let gap = nr.latency_pct - edge.latency_pct;
+    assert!(
+        gap > 0.0 && gap < 15.0,
+        "NR-EDGE latency gap should be modest, got {gap:.2}"
+    );
+}
+
+#[test]
+fn claim_nr_adds_little_over_sp() {
+    // §4.3: "nearest-replica routing adds marginal value over pervasive
+    // caching" (≤ ~2% at paper scale; allow slack at test scale).
+    let s = abilene_scenario();
+    let nr = s.improvement(ExperimentConfig::baseline(DesignKind::IcnNr));
+    let sp = s.improvement(ExperimentConfig::baseline(DesignKind::IcnSp));
+    assert!(
+        (nr.latency_pct - sp.latency_pct).abs() < 4.0,
+        "nr {nr:?} vs sp {sp:?}"
+    );
+}
+
+#[test]
+fn claim_gap_shrinks_with_alpha() {
+    // Figure 8(a) direction: higher α ⇒ smaller NR-vs-EDGE gap. Tested on
+    // the IRM workload (the paper's §5 sensitivity uses pure synthetic
+    // traces), where the direction is structural over the whole range; the
+    // locality-calibrated workload reproduces it on the α ≥ 1 side (see
+    // EXPERIMENTS.md, fig8a).
+    let gap_at = |alpha: f64| {
+        let mut cfg = Region::Asia.config(0.02);
+        cfg.alpha = alpha;
+        cfg.locality = None;
+        let s = Scenario::build(
+            pop::abilene(),
+            AccessTree::baseline(),
+            cfg,
+            OriginPolicy::PopulationProportional,
+        );
+        s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge))
+            .latency_pct
+    };
+    let low = gap_at(0.5);
+    let high = gap_at(1.5);
+    assert!(
+        low > high,
+        "gap should shrink with alpha: alpha=0.5 -> {low:.2}, alpha=1.5 -> {high:.2}"
+    );
+}
+
+#[test]
+fn claim_gap_grows_with_spatial_skew() {
+    // Figure 8(c) direction: skewed regional popularity favors ICN-NR
+    // (IRM workload; see claim_gap_shrinks_with_alpha for why).
+    let gap_at = |skew: f64| {
+        let mut cfg = Region::Asia.config(0.02);
+        cfg.skew = skew;
+        cfg.locality = None;
+        let s = Scenario::build(
+            pop::abilene(),
+            AccessTree::baseline(),
+            cfg,
+            OriginPolicy::PopulationProportional,
+        );
+        s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge))
+            .latency_pct
+    };
+    let none = gap_at(0.0);
+    let full = gap_at(1.0);
+    assert!(
+        full > none,
+        "gap should grow with skew: 0 -> {none:.2}, 1 -> {full:.2}"
+    );
+}
+
+#[test]
+fn claim_gap_shrinks_with_arity() {
+    // Table 4 direction: higher arity (leaves fixed) ⇒ smaller gap.
+    let gap_at = |arity: u32| {
+        let s = Scenario::build(
+            pop::abilene(),
+            AccessTree::with_fixed_leaves(arity, 64),
+            Region::Asia.config(0.02),
+            OriginPolicy::PopulationProportional,
+        );
+        s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge))
+            .latency_pct
+    };
+    let binary = gap_at(2);
+    let flat = gap_at(64);
+    // Direction only: our workload keeps a pop-root aggregation advantage
+    // that arity cannot remove, so the gap declines less steeply than the
+    // paper's Table 4 (see EXPERIMENTS.md for the full-scale numbers and
+    // discussion).
+    assert!(
+        flat <= binary + 0.5,
+        "gap should not grow with arity: arity 2 -> {binary:.2}, arity 64 -> {flat:.2}"
+    );
+}
+
+#[test]
+fn claim_edge_extensions_bridge_the_gap() {
+    // §5.2 / Figure 10: Norm-Coop narrows the gap; Double-Budget-Coop can
+    // make EDGE competitive with (or better than) ICN-NR.
+    let s = abilene_scenario();
+    let nr = s.improvement(ExperimentConfig::baseline(DesignKind::IcnNr));
+    let edge = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
+    let norm_coop = s.improvement(ExperimentConfig::baseline(DesignKind::NormCoop));
+    let dbl = s.improvement(ExperimentConfig::baseline(DesignKind::DoubleBudgetCoop));
+
+    let gap_plain = Improvement::gap(&nr, &edge).latency_pct;
+    let gap_norm_coop = Improvement::gap(&nr, &norm_coop).latency_pct;
+    let gap_dbl = Improvement::gap(&nr, &dbl).latency_pct;
+    assert!(
+        gap_norm_coop <= gap_plain,
+        "Norm-Coop should narrow the gap: {gap_norm_coop:.2} vs {gap_plain:.2}"
+    );
+    assert!(
+        gap_dbl <= gap_norm_coop + 0.5,
+        "doubling the budget should narrow it further: {gap_dbl:.2} vs {gap_norm_coop:.2}"
+    );
+}
+
+#[test]
+fn claim_budget_policy_does_not_change_ordering() {
+    // §4.3: provisioning (population-based vs uniform) does not affect the
+    // relative performance of the designs.
+    for budget in [BudgetPolicy::PopulationProportional, BudgetPolicy::Uniform] {
+        let s = abilene_scenario();
+        let imp = |d: DesignKind| {
+            let mut c = ExperimentConfig::baseline(d);
+            c.budget_policy = budget;
+            s.improvement(c).latency_pct
+        };
+        let nr = imp(DesignKind::IcnNr);
+        let sp = imp(DesignKind::IcnSp);
+        let edge = imp(DesignKind::Edge);
+        assert!(nr >= sp - 0.5 && sp >= edge - 0.5, "{budget:?}: {nr} {sp} {edge}");
+    }
+}
+
+#[test]
+fn claim_tree_model_worked_example() {
+    // §2.2: on the 6-level binary tree at α = 0.7 with 5% caches, the edge
+    // serves ~0.4 of requests and interior caching buys only ~25%.
+    let zipf = Zipf::new(100_000, 0.7);
+    let p = optimal_levels(6, 5_000, &zipf);
+    assert!((p.served[0] - 0.4).abs() < 0.1, "edge share {}", p.served[0]);
+    assert!((p.expected_hops - 3.0).abs() < 0.5, "hops {}", p.expected_hops);
+    let benefit = interior_cache_benefit(&p);
+    assert!(
+        benefit < 0.30,
+        "interior caching buys ~25% at most, got {benefit:.2}"
+    );
+}
+
+#[test]
+fn claim_zipf_fits_match_table2() {
+    // Table 2 loop: generate at the paper's α, recover it by MLE.
+    let populations = pop::abilene().populations.clone();
+    for region in Region::all() {
+        let trace = icn_workload::trace::Trace::synthesize(region.config(0.05), &populations, 32);
+        let fit = icn_workload::fit::fit_zipf(&trace.object_counts()).unwrap();
+        assert!(
+            (fit.alpha_mle - region.paper_alpha()).abs() < 0.1,
+            "{}: fitted {} vs paper {}",
+            region.name(),
+            fit.alpha_mle,
+            region.paper_alpha()
+        );
+    }
+}
