@@ -92,7 +92,9 @@ pub fn optimize(arity: u32, levels: u32, budget: usize, zipf: &Zipf) -> LevelAll
     assert!(levels >= 2);
     assert!(arity >= 1);
     let cache_levels = (levels - 1) as usize;
-    let costs: Vec<usize> = (1..levels).map(|l| nodes_at_level(arity, levels, l)).collect();
+    let costs: Vec<usize> = (1..levels)
+        .map(|l| nodes_at_level(arity, levels, l))
+        .collect();
     let mut per_node = vec![0usize; cache_levels];
     let mut remaining = budget;
     let mut current = expected_hops(&per_node, levels, zipf);
@@ -106,7 +108,7 @@ pub fn optimize(arity: u32, levels: u32, budget: usize, zipf: &Zipf) -> LevelAll
             let h = expected_hops(&per_node, levels, zipf);
             per_node[l] -= 1;
             let gain = (current - h) / costs[l] as f64;
-            if gain > 0.0 && best.map_or(true, |(g, _)| gain > g) {
+            if gain > 0.0 && best.is_none_or(|(g, _)| gain > g) {
                 best = Some((gain, l));
             }
         }
@@ -119,9 +121,12 @@ pub fn optimize(arity: u32, levels: u32, budget: usize, zipf: &Zipf) -> LevelAll
             None => break,
         }
     }
-    let per_level_total: Vec<usize> =
-        per_node.iter().zip(&costs).map(|(&c, &n)| c * n).collect();
-    LevelAllocation { per_node, per_level_total, expected_hops: current }
+    let per_level_total: Vec<usize> = per_node.iter().zip(&costs).map(|(&c, &n)| c * n).collect();
+    LevelAllocation {
+        per_node,
+        per_level_total,
+        expected_hops: current,
+    }
 }
 
 /// Exhaustively enumerates all level allocations of `budget` slots for a
@@ -130,7 +135,9 @@ pub fn optimize(arity: u32, levels: u32, budget: usize, zipf: &Zipf) -> LevelAll
 pub fn validate_by_enumeration(arity: u32, levels: u32, budget: usize, zipf: &Zipf) -> f64 {
     let cache_levels = (levels - 1) as usize;
     assert!(cache_levels <= 3 && budget <= 64, "keep enumeration small");
-    let costs: Vec<usize> = (1..levels).map(|l| nodes_at_level(arity, levels, l)).collect();
+    let costs: Vec<usize> = (1..levels)
+        .map(|l| nodes_at_level(arity, levels, l))
+        .collect();
     let mut best = f64::INFINITY;
     let mut per_node = vec![0usize; cache_levels];
     fn recurse(
@@ -184,20 +191,22 @@ mod tests {
             let zipf = Zipf::new(10_000, alpha);
             let alloc = optimize(2, 6, budget, &zipf);
             let share = alloc.leaf_budget_share();
-            let max_interior = alloc.per_level_total[1..]
-                .iter()
-                .copied()
-                .max()
-                .unwrap() as f64
+            let max_interior = alloc.per_level_total[1..].iter().copied().max().unwrap() as f64
                 / alloc.per_level_total.iter().sum::<usize>() as f64;
             assert!(
                 share > max_interior,
                 "alpha {alpha}: leaf share {share:.2} vs max interior {max_interior:.2}"
             );
-            assert!(share >= last_share - 0.01, "leaf share should grow with alpha");
+            assert!(
+                share >= last_share - 0.01,
+                "leaf share should grow with alpha"
+            );
             last_share = share;
         }
-        assert!(last_share > 0.5, "strict majority at alpha 1.5: {last_share:.2}");
+        assert!(
+            last_share > 0.5,
+            "strict majority at alpha 1.5: {last_share:.2}"
+        );
     }
 
     #[test]

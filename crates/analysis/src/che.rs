@@ -34,7 +34,10 @@ pub fn lru_hit_rate(zipf: &Zipf, capacity: usize) -> CheApproximation {
     let n = zipf.len();
     assert!(capacity < n, "cache must be smaller than the universe");
     if capacity == 0 {
-        return CheApproximation { characteristic_time: 0.0, hit_rate: 0.0 };
+        return CheApproximation {
+            characteristic_time: 0.0,
+            hit_rate: 0.0,
+        };
     }
     let probs: Vec<f64> = (0..n).map(|r| zipf.pmf(r)).collect();
     // Solve sum_i (1 - e^{-p_i t}) = C for t by bisection; the left side is
@@ -55,7 +58,10 @@ pub fn lru_hit_rate(zipf: &Zipf, capacity: usize) -> CheApproximation {
     }
     let t_c = 0.5 * (lo + hi);
     let hit_rate = probs.iter().map(|&p| p * (1.0 - (-p * t_c).exp())).sum();
-    CheApproximation { characteristic_time: t_c, hit_rate }
+    CheApproximation {
+        characteristic_time: t_c,
+        hit_rate,
+    }
 }
 
 #[cfg(test)]
@@ -87,8 +93,11 @@ mod tests {
 
     #[test]
     fn matches_simulation_within_two_points() {
-        for &(n, c, alpha) in &[(5_000usize, 250usize, 0.8), (5_000, 250, 1.1), (2_000, 400, 1.0)]
-        {
+        for &(n, c, alpha) in &[
+            (5_000usize, 250usize, 0.8),
+            (5_000, 250, 1.1),
+            (2_000, 400, 1.0),
+        ] {
             let zipf = Zipf::new(n, alpha);
             let che = lru_hit_rate(&zipf, c);
             let sim = simulate_lru_hit_rate(&zipf, c, 300_000, 17);

@@ -40,12 +40,15 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 
 /// Maximum of a slice; `None` when empty or containing NaN only.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(m) => m.max(x),
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.max(x),
+            })
         })
-    })
 }
 
 #[cfg(test)]

@@ -63,7 +63,11 @@ pub fn optimal_levels(levels: u32, cache_per_node: usize, zipf: &Zipf) -> TreePl
         .sum();
     let edge_mass = served[0];
     let edge_only_expected_hops = edge_mass * 1.0 + (1.0 - edge_mass) * levels as f64;
-    TreePlacement { served, expected_hops, edge_only_expected_hops }
+    TreePlacement {
+        served,
+        expected_hops,
+        edge_only_expected_hops,
+    }
 }
 
 /// The latency improvement (as a fraction) that the full multi-level
@@ -81,7 +85,7 @@ pub fn interior_cache_benefit(p: &TreePlacement) -> f64 {
 ///
 /// Search space is `C(O, C)^(levels-1)`; keep the parameters tiny.
 pub fn validate_by_exhaustion(levels: u32, cache_per_node: usize, zipf: &Zipf) -> f64 {
-    assert!(levels >= 2 && levels <= 5, "keep exhaustion small");
+    assert!((2..=5).contains(&levels), "keep exhaustion small");
     let o = zipf.len();
     assert!(o <= 10, "keep exhaustion small");
     let c = cache_per_node;
@@ -152,13 +156,21 @@ mod tests {
         let z = Zipf::new(100_000, 0.7);
         let c = 5_000; // 5% per node
         let p = optimal_levels(6, c, &z);
-        assert!(p.served[0] > 0.3 && p.served[0] < 0.55, "edge {}", p.served[0]);
+        assert!(
+            p.served[0] > 0.3 && p.served[0] < 0.55,
+            "edge {}",
+            p.served[0]
+        );
         // Interior levels each serve less than the edge.
         for l in 1..5 {
             assert!(p.served[l] < p.served[0]);
         }
         assert!(p.served[5] > 0.1, "origin share {}", p.served[5]);
-        assert!((p.expected_hops - 3.0).abs() < 0.8, "hops {}", p.expected_hops);
+        assert!(
+            (p.expected_hops - 3.0).abs() < 0.8,
+            "hops {}",
+            p.expected_hops
+        );
         // The worked example: interior caching buys only ~25%.
         let benefit = interior_cache_benefit(&p);
         assert!(benefit > 0.1 && benefit < 0.35, "benefit {benefit}");
@@ -173,7 +185,11 @@ mod tests {
         assert!(p_hi.served[0] > p_lo.served[0]);
         assert!(p_hi.expected_hops < p_lo.expected_hops);
         // Figure 2: at α = 1.5 the edge dominates.
-        assert!(p_hi.served[0] > 0.75, "edge at alpha 1.5: {}", p_hi.served[0]);
+        assert!(
+            p_hi.served[0] > 0.75,
+            "edge at alpha 1.5: {}",
+            p_hi.served[0]
+        );
     }
 
     #[test]
@@ -196,9 +212,12 @@ mod tests {
     #[test]
     fn greedy_matches_exhaustive_optimum() {
         // Small instances across alphas and shapes.
-        for &(o, c, levels, alpha) in
-            &[(6usize, 1usize, 3u32, 0.8), (6, 2, 3, 1.2), (8, 2, 4, 0.5), (5, 1, 4, 1.0)]
-        {
+        for &(o, c, levels, alpha) in &[
+            (6usize, 1usize, 3u32, 0.8),
+            (6, 2, 3, 1.2),
+            (8, 2, 4, 0.5),
+            (5, 1, 4, 1.0),
+        ] {
             let z = Zipf::new(o, alpha);
             let greedy = optimal_levels(levels, c, &z);
             let brute = validate_by_exhaustion(levels, c, &z);

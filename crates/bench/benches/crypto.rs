@@ -27,7 +27,9 @@ fn crypto_benches(c: &mut Criterion) {
 
     let kp = KeyPair::generate(&mut StdRng::seed_from_u64(2));
     let msg = digest(b"benchmark message");
-    group.bench_function("lamport_sign", |b| b.iter(|| black_box(kp.secret.sign(&msg))));
+    group.bench_function("lamport_sign", |b| {
+        b.iter(|| black_box(kp.secret.sign(&msg)))
+    });
     let sig = kp.secret.sign(&msg);
     group.bench_function("lamport_verify", |b| {
         b.iter(|| black_box(kp.public.verify(&msg, &sig)))

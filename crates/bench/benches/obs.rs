@@ -1,0 +1,98 @@
+//! Observability overhead: hot-path primitive costs and the end-to-end
+//! price of instrumenting `Simulator::run`.
+//!
+//! The budget (DESIGN.md) is <5% on instrumented-vs-plain simulator
+//! throughput. Compare the `simulator/instrumented` and
+//! `simulator/plain` groups here; the primitive benches explain where the
+//! nanoseconds go (counter increments and histogram records are a few ns,
+//! span timers cost two `Instant::now()` reads — which is why the
+//! simulator samples them).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::instrument::SimObs;
+use icn_core::sim::Simulator;
+use icn_obs::{AtomicHistogram, Registry};
+use icn_topology::{pop, AccessTree, Network};
+use icn_workload::origin::{assign_origins, OriginPolicy};
+use icn_workload::trace::{Trace, TraceConfig};
+
+fn primitive_benches(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let gauge = registry.gauge("bench.gauge");
+    let hist = registry.histogram("bench.hist");
+    let timer = registry.timer_handle("bench.timer");
+
+    let mut group = c.benchmark_group("obs_primitives");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("gauge_set", |b| b.iter(|| gauge.set(black_box(7))));
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(black_box(v >> 32));
+        })
+    });
+    group.bench_function("scoped_timer", |b| b.iter(|| drop(timer.start())));
+    group.bench_function("atomic_histogram_record", |b| {
+        let h = AtomicHistogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 32));
+        })
+    });
+    group.finish();
+}
+
+fn simulator_overhead_benches(c: &mut Criterion) {
+    const REQUESTS: usize = 50_000;
+    let net = Network::new(pop::abilene(), AccessTree::baseline());
+    let mut trace_cfg = TraceConfig::small();
+    trace_cfg.requests = REQUESTS;
+    trace_cfg.objects = 10_000;
+    trace_cfg.alpha = 1.04;
+    let trace = Trace::synthesize(trace_cfg, &net.core.populations, net.leaves_per_pop());
+    let origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        trace.config.objects,
+        &net.core.populations,
+        1,
+    );
+    let registry = Registry::new();
+
+    let mut group = c.benchmark_group("obs_simulator");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(REQUESTS as u64));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &net,
+                ExperimentConfig::baseline(DesignKind::EdgeCoop),
+                &origins,
+                &trace.object_sizes,
+            );
+            sim.run(&trace.requests);
+            black_box(sim.metrics().cache_hits)
+        })
+    });
+    group.bench_function("instrumented", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &net,
+                ExperimentConfig::baseline(DesignKind::EdgeCoop),
+                &origins,
+                &trace.object_sizes,
+            );
+            sim.attach_obs(SimObs::new(&registry, "EDGE-Coop"));
+            sim.run(&trace.requests);
+            black_box(sim.metrics().cache_hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, primitive_benches, simulator_overhead_benches);
+criterion_main!(benches);

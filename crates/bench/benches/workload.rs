@@ -16,7 +16,9 @@ fn workload_benches(c: &mut Criterion) {
     let zipf = Zipf::new(100_000, 1.04);
     let mut rng = StdRng::seed_from_u64(1);
     group.throughput(criterion::Throughput::Elements(1));
-    group.bench_function("zipf_sample", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+    group.bench_function("zipf_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
 
     let populations: Vec<u64> = icn_topology::pop::att().populations.clone();
     let mut cfg = TraceConfig::small();
@@ -34,9 +36,7 @@ fn workload_benches(c: &mut Criterion) {
 
     group.throughput(criterion::Throughput::Elements(1));
     group.bench_function("spatial_model_skewed", |b| {
-        b.iter(|| {
-            black_box(SpatialModel::new(20_000, 108, 0.5, 3))
-        })
+        b.iter(|| black_box(SpatialModel::new(20_000, 108, 0.5, 3)))
     });
 
     let trace = Trace::synthesize(cfg.clone(), &populations, 32);

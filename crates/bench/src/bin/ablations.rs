@@ -35,7 +35,11 @@ fn print_gap(label: &str, gap: icn_core::metrics::Improvement) {
 }
 
 fn main() {
-    icn_bench::banner("Ablations (§5.1)", "latency models, serving capacity, sizes, policies");
+    let telemetry = icn_bench::Telemetry::from_env("ablations");
+    icn_bench::banner(
+        "Ablations (§5.1)",
+        "latency models, serving capacity, sizes, policies",
+    );
     println!(
         "{:<34} {:>10} {:>12} {:>14}",
         "ICN-NR − EDGE gap under", "Latency", "Congestion", "Origin-Load"
@@ -44,25 +48,37 @@ fn main() {
 
     let s = att_scenario(SizeModel::Unit);
     let base_template = ExperimentConfig::baseline(DesignKind::Edge);
-    print_gap("unit hop cost (baseline)", s.nr_vs_edge_gap(&base_template));
+    print_gap(
+        "unit hop cost (baseline)",
+        telemetry.nr_vs_edge_gap(&s, &base_template),
+    );
 
     // 1. Latency models chosen to magnify ICN-NR's advantage.
     let mut prog = base_template.clone();
     prog.latency = LatencyModel::Progression;
-    print_gap("arithmetic progression to core", s.nr_vs_edge_gap(&prog));
+    print_gap(
+        "arithmetic progression to core",
+        telemetry.nr_vs_edge_gap(&s, &prog),
+    );
     for d in [4, 16] {
         let mut core = base_template.clone();
         core.latency = LatencyModel::CoreMultiplier { d };
-        print_gap(&format!("core links cost {d}x"), s.nr_vs_edge_gap(&core));
+        print_gap(
+            &format!("core links cost {d}x"),
+            telemetry.nr_vs_edge_gap(&s, &core),
+        );
     }
 
     // 2. Request-serving capacity with redirection.
     for per_node in [50u32, 200] {
         let mut cap = base_template.clone();
-        cap.capacity = Some(ServingCapacity { per_node, window: 10_000 });
+        cap.capacity = Some(ServingCapacity {
+            per_node,
+            window: 10_000,
+        });
         print_gap(
             &format!("capacity {per_node}/10k-request window"),
-            s.nr_vs_edge_gap(&cap),
+            telemetry.nr_vs_edge_gap(&s, &cap),
         );
     }
 
@@ -71,14 +87,20 @@ fn main() {
     let s_sizes = att_scenario(SizeModel::web_default());
     let mut sized = base_template.clone();
     sized.weight_by_size = true;
-    print_gap("bounded-Pareto sizes (byte-weighted)", s_sizes.nr_vs_edge_gap(&sized));
+    print_gap(
+        "bounded-Pareto sizes (byte-weighted)",
+        telemetry.nr_vs_edge_gap(&s_sizes, &sized),
+    );
 
     // 4. Insertion-policy ablation (extension): the ICN literature's
     //    leave-copy-down and probabilistic caching vs the paper's
     //    leave-copy-everywhere. These only affect the ICN side (EDGE has a
     //    single cache level), so the gap shifts slightly.
     for (label, ins) in [
-        ("leave-copy-down insertion", icn_core::config::InsertionPolicy::LeaveCopyDown),
+        (
+            "leave-copy-down insertion",
+            icn_core::config::InsertionPolicy::LeaveCopyDown,
+        ),
         (
             "probabilistic insertion p=0.3",
             icn_core::config::InsertionPolicy::Probabilistic { p: 0.3 },
@@ -86,7 +108,7 @@ fn main() {
     ] {
         let mut cfgi = base_template.clone();
         cfgi.insertion = ins;
-        print_gap(label, s.nr_vs_edge_gap(&cfgi));
+        print_gap(label, telemetry.nr_vs_edge_gap(&s, &cfgi));
     }
 
     // 5. Replacement policy ablation (extension beyond the paper's text).
@@ -96,7 +118,10 @@ fn main() {
     ] {
         let mut p = base_template.clone();
         p.policy = policy;
-        print_gap(&format!("{policy:?} replacement"), s.nr_vs_edge_gap(&p));
+        print_gap(
+            &format!("{policy:?} replacement"),
+            telemetry.nr_vs_edge_gap(&s, &p),
+        );
     }
 
     println!(
@@ -104,4 +129,5 @@ fn main() {
          the gap by < 2%, heterogeneous sizes by < 1%, and LFU is qualitatively\n\
          like LRU — none changes the conclusion."
     );
+    telemetry.finish();
 }

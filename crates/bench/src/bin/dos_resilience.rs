@@ -17,6 +17,7 @@ use icn_workload::origin::{assign_origins, OriginPolicy};
 use icn_workload::trace::Trace;
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("dos_resilience");
     icn_bench::banner(
         "DoS resilience (§7)",
         "victim origin load under a request flood, per design",
@@ -66,8 +67,10 @@ fn main() {
                 &origins,
                 &flooded.object_sizes,
             );
+            sim.attach_obs(telemetry.obs(design.name(), flooded.len() as u64));
             sim.run(&flooded.requests);
             let m = sim.metrics();
+            telemetry.record_run(m);
             (m.origin_served[VICTIM_POP as usize], m.hit_ratio())
         };
         let (base_load, _) = victim_load(DesignKind::NoCache);
@@ -77,7 +80,10 @@ fn main() {
             "design", "victim origin load", "flood absorbed (%)", "hit ratio"
         );
         icn_bench::rule(66);
-        println!("{:<12} {:>18} {:>20} {:>12}", "NoCache", base_load, "0.00", "-");
+        println!(
+            "{:<12} {:>18} {:>20} {:>12}",
+            "NoCache", base_load, "0.00", "-"
+        );
         for design in [
             DesignKind::Edge,
             DesignKind::EdgeCoop,
@@ -101,4 +107,5 @@ fn main() {
          is cacheable at the edge; a working set larger than the smallest edge\n\
          caches re-opens the gap (our extension measurement)."
     );
+    telemetry.finish();
 }

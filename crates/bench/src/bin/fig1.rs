@@ -8,6 +8,7 @@ use icn_workload::fit::{fit_zipf, rank_frequency};
 use icn_workload::trace::{Region, Trace};
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("fig1");
     icn_bench::banner("Figure 1", "request popularity distribution across regions");
     // Any population vector works for the popularity marginal; use the
     // Abilene metros so the trace generator has realistic PoP weights.
@@ -17,6 +18,14 @@ fn main() {
     for region in Region::all() {
         let cfg = region.config(scale);
         let trace = Trace::synthesize(cfg, &populations, 32);
+        telemetry
+            .registry()
+            .counter("bench.traces_synthesized")
+            .inc();
+        telemetry
+            .registry()
+            .counter("bench.requests_synthesized")
+            .add(trace.len() as u64);
         let counts = trace.object_counts();
         let fit = fit_zipf(&counts).expect("non-trivial trace");
         println!(
@@ -40,4 +49,5 @@ fn main() {
         "\nTakeaway (paper §2.2): every region is well-approximated by a Zipf\n\
          distribution — each series is near-linear on a log-log plot."
     );
+    telemetry.finish();
 }

@@ -15,7 +15,11 @@ use icn_core::sweep::Scenario;
 use icn_workload::origin::OriginPolicy;
 
 fn main() {
-    icn_bench::banner("Figure 10", "EDGE extensions vs the best case for ICN-NR (AT&T)");
+    let telemetry = icn_bench::Telemetry::from_env("fig10");
+    icn_bench::banner(
+        "Figure 10",
+        "EDGE extensions vs the best case for ICN-NR (AT&T)",
+    );
 
     // The Figure 9 end-point workload.
     let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
@@ -33,7 +37,7 @@ fn main() {
         c.f_fraction = 0.02;
         c
     };
-    let nr = s.improvement(best_cfg(DesignKind::IcnNr));
+    let nr = telemetry.improvement(&s, best_cfg(DesignKind::IcnNr));
 
     println!(
         "{:<22} {:>10} {:>12} {:>14}",
@@ -51,7 +55,7 @@ fn main() {
     ];
     for (label, design) in variants {
         eprintln!("... simulating {label}");
-        let edge_variant = s.improvement(best_cfg(design));
+        let edge_variant = telemetry.improvement(&s, best_cfg(design));
         let gap = Improvement::gap(&nr, &edge_variant);
         println!(
             "{label:<22} {:>10.2} {:>12.2} {:>14.2}",
@@ -62,7 +66,7 @@ fn main() {
     // Reference point 1: the Section 4 baseline gap.
     eprintln!("... simulating Section-4 reference");
     let s4 = icn_bench::baseline_scenario(icn_topology::pop::att());
-    let sec4 = s4.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+    let sec4 = telemetry.nr_vs_edge_gap(&s4, &ExperimentConfig::baseline(DesignKind::Edge));
     println!(
         "{:<22} {:>10.2} {:>12.2} {:>14.2}",
         "Section-4 (reference)", sec4.latency_pct, sec4.congestion_pct, sec4.origin_pct
@@ -70,8 +74,8 @@ fn main() {
 
     // Reference point 2: infinite budgets on both sides.
     eprintln!("... simulating Inf-Budget reference");
-    let inf_nr = s.improvement(best_cfg(DesignKind::InfiniteIcnNr));
-    let inf_edge = s.improvement(best_cfg(DesignKind::InfiniteEdge));
+    let inf_nr = telemetry.improvement(&s, best_cfg(DesignKind::InfiniteIcnNr));
+    let inf_edge = telemetry.improvement(&s, best_cfg(DesignKind::InfiniteEdge));
     let inf = Improvement::gap(&inf_nr, &inf_edge);
     println!(
         "{:<22} {:>10.2} {:>12.2} {:>14.2}",
@@ -82,4 +86,5 @@ fn main() {
         "\nPaper reference: Norm + cooperation brings the best-case gap down to\n\
          ~6%; doubling the edge budget can make EDGE beat ICN-NR outright."
     );
+    telemetry.finish();
 }

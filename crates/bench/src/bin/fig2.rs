@@ -9,6 +9,7 @@ use icn_analysis::tree_opt::{interior_cache_benefit, optimal_levels};
 use icn_workload::zipf::Zipf;
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("fig2");
     icn_bench::banner(
         "Figure 2",
         "fraction of requests served per tree level (optimal static placement)",
@@ -31,6 +32,7 @@ fn main() {
     );
     icn_bench::rule(78);
     for alpha in [0.7, 1.1, 1.5] {
+        telemetry.registry().counter("bench.alpha_points").inc();
         let zipf = Zipf::new(OBJECTS, alpha);
         let p = optimal_levels(LEVELS, CACHE_PER_NODE, &zipf);
         let cells: String = p.served.iter().map(|f| format!("{f:6.2}")).collect();
@@ -46,4 +48,5 @@ fn main() {
          edge-only caching — interior levels buy only ~25%. Levels 2–5 individually\n\
          serve small fractions; the edge and the origin dominate."
     );
+    telemetry.finish();
 }

@@ -5,15 +5,20 @@
 use icn_core::design::DesignKind;
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("fig6");
     icn_bench::banner(
         "Figure 6",
         "design improvements over no caching, population-proportional budgets",
     );
-    run(icn_cache::budget::BudgetPolicy::PopulationProportional);
+    run(
+        &telemetry,
+        icn_cache::budget::BudgetPolicy::PopulationProportional,
+    );
+    telemetry.finish();
 }
 
 /// Shared by fig6 (proportional) and fig7 (uniform).
-pub fn run(budget: icn_cache::budget::BudgetPolicy) {
+pub fn run(telemetry: &icn_bench::Telemetry, budget: icn_cache::budget::BudgetPolicy) {
     let designs = DesignKind::figure6_designs();
     let mut rows: Vec<(String, Vec<icn_core::metrics::Improvement>)> = Vec::new();
     for topo in icn_bench::paper_topologies() {
@@ -25,7 +30,7 @@ pub fn run(budget: icn_cache::budget::BudgetPolicy) {
             .map(|&d| {
                 let mut cfg = icn_core::config::ExperimentConfig::baseline(d);
                 cfg.budget_policy = budget;
-                s.improvement(cfg)
+                telemetry.improvement(&s, cfg)
             })
             .collect();
         rows.push((name, imps));

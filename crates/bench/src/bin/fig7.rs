@@ -8,6 +8,7 @@ use icn_core::sweep::Scenario;
 use icn_workload::origin::OriginPolicy;
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("fig7");
     icn_bench::banner(
         "Figure 7",
         "design improvements over no caching, uniform budgets & origins",
@@ -28,7 +29,7 @@ fn main() {
             .map(|&d| {
                 let mut cfg = ExperimentConfig::baseline(d);
                 cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
-                s.improvement(cfg)
+                telemetry.improvement(&s, cfg)
             })
             .collect();
         rows.push((name, imps));
@@ -63,4 +64,5 @@ fn main() {
         "\nPaper reference: uniform budgeting does not change the relative ordering\n\
          of the designs (compare with the fig6 output)."
     );
+    telemetry.finish();
 }

@@ -10,6 +10,7 @@ use icn_core::sweep::Scenario;
 use icn_workload::origin::OriginPolicy;
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("fig8a");
     icn_bench::banner("Figure 8(a)", "ICN-NR gain over EDGE vs Zipf alpha (AT&T)");
     println!(
         "{:>6} {:>10} {:>12} {:>14}",
@@ -25,7 +26,7 @@ fn main() {
             trace_cfg,
             OriginPolicy::PopulationProportional,
         );
-        let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+        let gap = telemetry.nr_vs_edge_gap(&s, &ExperimentConfig::baseline(DesignKind::Edge));
         println!(
             "{alpha:>6.1} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct
@@ -35,4 +36,5 @@ fn main() {
         "\nPaper reference: with increasing alpha the gap becomes less positive —\n\
          most requests are already served from edge caches."
     );
+    telemetry.finish();
 }

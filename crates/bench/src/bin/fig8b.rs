@@ -11,7 +11,11 @@ use icn_core::sweep::Scenario;
 use icn_workload::origin::OriginPolicy;
 
 fn main() {
-    icn_bench::banner("Figure 8(b)", "ICN-NR gain over EDGE vs cache budget F (AT&T)");
+    let telemetry = icn_bench::Telemetry::from_env("fig8b");
+    icn_bench::banner(
+        "Figure 8(b)",
+        "ICN-NR gain over EDGE vs cache budget F (AT&T)",
+    );
     let s = Scenario::build(
         icn_topology::pop::att(),
         icn_bench::baseline_tree(),
@@ -26,7 +30,7 @@ fn main() {
     for f in [1e-5, 1e-4, 1e-3, 5e-3, 0.02, 0.05, 0.1, 0.3, 1.0] {
         let mut template = ExperimentConfig::baseline(DesignKind::Edge);
         template.f_fraction = f;
-        let gap = s.nr_vs_edge_gap(&template);
+        let gap = telemetry.nr_vs_edge_gap(&s, &template);
         println!(
             "{f:>10.5} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct
@@ -37,4 +41,5 @@ fn main() {
          F ≈ 2% (~10%) and collapsing once per-cache budgets exceed ~10% of the\n\
          object universe."
     );
+    telemetry.finish();
 }

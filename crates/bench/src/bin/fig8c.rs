@@ -11,7 +11,11 @@ use icn_workload::origin::OriginPolicy;
 use icn_workload::skew::SpatialModel;
 
 fn main() {
-    icn_bench::banner("Figure 8(c)", "ICN-NR gain over EDGE vs spatial skew (AT&T)");
+    let telemetry = icn_bench::Telemetry::from_env("fig8c");
+    icn_bench::banner(
+        "Figure 8(c)",
+        "ICN-NR gain over EDGE vs spatial skew (AT&T)",
+    );
     println!(
         "{:>6} {:>14} {:>10} {:>12} {:>14}",
         "skew", "measured skew", "Delay", "Congestion", "Origin load"
@@ -34,7 +38,7 @@ fn main() {
             trace_cfg,
             OriginPolicy::PopulationProportional,
         );
-        let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+        let gap = telemetry.nr_vs_edge_gap(&s, &ExperimentConfig::baseline(DesignKind::Edge));
         println!(
             "{skew:>6.1} {measured:>14.3} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct
@@ -44,4 +48,5 @@ fn main() {
         "\nPaper reference: as spatial skew increases, ICN-NR increasingly\n\
          outperforms EDGE (up to ~15% at skew 1 in the paper's setting)."
     );
+    telemetry.finish();
 }

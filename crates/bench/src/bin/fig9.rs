@@ -40,7 +40,11 @@ fn uniform_noop() -> ExperimentConfig {
 }
 
 fn main() {
-    icn_bench::banner("Figure 9", "progressive best-case construction for ICN-NR (AT&T)");
+    let telemetry = icn_bench::Telemetry::from_env("fig9");
+    icn_bench::banner(
+        "Figure 9",
+        "progressive best-case construction for ICN-NR (AT&T)",
+    );
     println!(
         "{:<16} {:>10} {:>12} {:>14}",
         "Step", "Latency", "Congestion", "Origin-Load"
@@ -56,7 +60,7 @@ fn main() {
             trace_cfg,
             OriginPolicy::PopulationProportional,
         );
-        let gap = s.nr_vs_edge_gap(&template);
+        let gap = telemetry.nr_vs_edge_gap(&s, &template);
         println!(
             "{name:<16} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct
@@ -66,4 +70,5 @@ fn main() {
         "\nPaper reference: the fully stacked best case gives ICN-NR at most ~17%\n\
          over EDGE across all three metrics."
     );
+    telemetry.finish();
 }

@@ -4,6 +4,7 @@ use icn_workload::fit::fit_zipf;
 use icn_workload::trace::{Region, Trace};
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("table2");
     icn_bench::banner("Table 2", "Zipf fits for the three CDN vantage points");
     let populations = icn_topology::pop::abilene().populations.clone();
     let scale = icn_bench::scale();
@@ -16,6 +17,14 @@ fn main() {
     for region in Region::all() {
         let cfg = region.config(scale);
         let trace = Trace::synthesize(cfg, &populations, 32);
+        telemetry
+            .registry()
+            .counter("bench.traces_synthesized")
+            .inc();
+        telemetry
+            .registry()
+            .counter("bench.requests_synthesized")
+            .add(trace.len() as u64);
         let fit = fit_zipf(&trace.object_counts()).expect("non-trivial trace");
         println!(
             "{:<10} {:>12} {:>14.3} | {:>12} {:>10.2}",
@@ -30,6 +39,7 @@ fn main() {
         "\nEach synthetic trace is generated at the paper's fitted exponent and\n\
          re-fit blindly; agreement validates the generator + estimator loop."
     );
+    telemetry.finish();
 }
 
 fn format_requests(n: usize) -> String {

@@ -19,7 +19,11 @@ const PAPER: [(u32, f64, f64, f64); 4] = [
 ];
 
 fn main() {
-    icn_bench::banner("Table 4", "ICN-NR over EDGE vs access-tree arity (64 leaves/tree)");
+    let telemetry = icn_bench::Telemetry::from_env("table4");
+    icn_bench::banner(
+        "Table 4",
+        "ICN-NR over EDGE vs access-tree arity (64 leaves/tree)",
+    );
     println!(
         "{:>6} {:>8} {:>10} {:>8} | {:>8} {:>10} {:>8}",
         "arity", "Latency", "Congestion", "Origin", "p.Lat", "p.Cong", "p.Orig"
@@ -34,7 +38,7 @@ fn main() {
             icn_bench::asia_trace(icn_bench::scale()),
             OriginPolicy::PopulationProportional,
         );
-        let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
+        let gap = telemetry.nr_vs_edge_gap(&s, &ExperimentConfig::baseline(DesignKind::Edge));
         println!(
             "{arity:>6} {:>8.2} {:>10.2} {:>8.2} | {p_lat:>8.2} {p_cong:>10.2} {p_orig:>8.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct
@@ -44,4 +48,5 @@ fn main() {
         "\nPaper reference: the gap shrinks monotonically with arity; at arity 64\n\
          (a one-level tree) EDGE holds nearly the whole budget and the gap ~vanishes."
     );
+    telemetry.finish();
 }

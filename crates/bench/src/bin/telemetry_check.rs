@@ -1,0 +1,38 @@
+//! Validates a telemetry sidecar written with `--telemetry PATH`: parses
+//! the JSON back into an [`icn_obs::Snapshot`], checks it survives a
+//! re-serialization round trip, and prints the human-readable table.
+//!
+//! ```console
+//! $ cargo run --release --bin fig6 -- --telemetry /tmp/t.json
+//! $ cargo run --release --bin telemetry_check -- /tmp/t.json
+//! ```
+//!
+//! Exits non-zero (with a message on stderr) when the file is missing,
+//! unparseable, or empty of metrics — used by `scripts/check.sh`.
+
+use icn_obs::Snapshot;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: telemetry_check <snapshot.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let snap = Snapshot::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not a valid telemetry snapshot: {e}");
+        std::process::exit(1);
+    });
+    let reparsed = Snapshot::from_json(&snap.to_json()).expect("re-serialized snapshot parses");
+    assert_eq!(reparsed, snap, "snapshot JSON round trip is lossy");
+    let metrics =
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len() + snap.timers.len();
+    if metrics == 0 {
+        eprintln!("{path} parses but contains no metrics");
+        std::process::exit(1);
+    }
+    println!("{path}: valid snapshot, {metrics} metrics");
+    print!("{}", snap.render_table());
+}

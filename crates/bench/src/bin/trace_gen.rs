@@ -14,6 +14,7 @@ use icn_topology::pop;
 use icn_workload::trace::{Region, Trace};
 
 fn main() {
+    let telemetry = icn_bench::Telemetry::from_env("trace_gen");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
         args.iter()
@@ -72,4 +73,9 @@ fn main() {
     trace
         .write_csv(std::io::BufWriter::new(stdout.lock()))
         .expect("write CSV to stdout");
+    telemetry
+        .registry()
+        .counter("bench.requests_written")
+        .add(trace.len() as u64);
+    telemetry.finish();
 }

@@ -22,6 +22,10 @@ use icn_topology::{pop, AccessTree, PopGraph};
 use icn_workload::origin::OriginPolicy;
 use icn_workload::trace::{Region, TraceConfig};
 
+pub mod telemetry;
+
+pub use telemetry::Telemetry;
+
 /// The experiment scale factor (fraction of the paper's trace volume).
 pub fn scale() -> f64 {
     std::env::var("SCALE")

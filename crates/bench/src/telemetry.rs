@@ -1,0 +1,205 @@
+//! Run telemetry shared by every figure/table binary.
+//!
+//! Each binary accepts three optional flags (anywhere on its command line;
+//! unrecognized flags are left for the binary's own parser):
+//!
+//! - `--telemetry PATH` — write an [`icn_obs::Snapshot`] of every counter,
+//!   timer, and the merged request-latency histogram as JSON to `PATH`
+//!   when the binary finishes, and print the human-readable table to
+//!   stderr.
+//! - `--trace PATH` — stream sampled per-request [`icn_obs::TraceRecord`]s
+//!   as JSONL to `PATH`.
+//! - `--sample N` — keep every `N`th trace record (default 64).
+//!
+//! Simulator runs are always instrumented (progress lines with
+//! requests/sec + ETA go to stderr); the flags only control what is
+//! persisted. With `--no-default-features` the `sim.*` counters and span
+//! timers compile out, but the latency histogram — which [`RunMetrics`]
+//! carries unconditionally — is still exported.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::instrument::SimObs;
+use icn_core::metrics::{Improvement, RunMetrics};
+use icn_core::sweep::Scenario;
+use icn_obs::{Registry, Snapshot, TraceSink};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Default per-request trace sampling (keep every Nth record).
+pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
+
+/// Telemetry collector for one binary invocation: a metric registry, an
+/// optional JSON snapshot sink, and an optional JSONL trace sink.
+pub struct Telemetry {
+    registry: Registry,
+    out: Option<PathBuf>,
+    trace: Option<Arc<TraceSink>>,
+}
+
+impl Telemetry {
+    /// Builds a collector from the process command line (see the module
+    /// docs for the flags). `bin` labels progress output.
+    pub fn from_env(bin: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let get = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let sample = get("--sample")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_TRACE_SAMPLE);
+        let trace = get("--trace").map(|path| {
+            let sink = TraceSink::to_file(&path, sample)
+                .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}"));
+            eprintln!("[{bin}] tracing every {sample}th request to {path}");
+            Arc::new(sink)
+        });
+        let t = Self {
+            registry: Registry::new(),
+            out: get("--telemetry").map(PathBuf::from),
+            trace,
+        };
+        t.registry.counter("bench.runs"); // always present in the snapshot
+        t
+    }
+
+    /// A collector that parses nothing and persists nothing (tests).
+    pub fn disabled() -> Self {
+        Self {
+            registry: Registry::new(),
+            out: None,
+            trace: None,
+        }
+    }
+
+    /// The registry runs record into; usable for binary-specific counters
+    /// (e.g. `bench.traces_synthesized`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Instrumentation for one simulator run of `total` requests,
+    /// labelled `label` in progress lines and trace records.
+    pub fn obs(&self, label: &str, total: u64) -> SimObs {
+        let mut obs = SimObs::new(&self.registry, label).with_progress(label, total);
+        if let Some(sink) = &self.trace {
+            obs = obs.with_trace(Arc::clone(sink));
+        }
+        obs
+    }
+
+    /// Folds one finished run into the collector: bumps `bench.runs` and
+    /// merges the run's latency histogram into `sim.latency_milli`
+    /// (millicost units, see [`icn_core::metrics::LATENCY_HIST_SCALE`]).
+    pub fn record_run(&self, run: &RunMetrics) {
+        self.registry.counter("bench.runs").inc();
+        self.registry
+            .merge_histogram("sim.latency_milli", &run.latency_hist);
+    }
+
+    /// Instrumented [`Scenario::improvement`].
+    pub fn improvement(&self, s: &Scenario, cfg: ExperimentConfig) -> Improvement {
+        self.improvement_detailed(s, cfg).0
+    }
+
+    /// Instrumented [`Scenario::improvement_detailed`].
+    pub fn improvement_detailed(
+        &self,
+        s: &Scenario,
+        cfg: ExperimentConfig,
+    ) -> (Improvement, RunMetrics) {
+        let obs = self.obs(cfg.design.name(), s.trace.len() as u64);
+        let (imp, run) = s.improvement_instrumented(cfg, obs);
+        self.record_run(&run);
+        (imp, run)
+    }
+
+    /// Instrumented [`Scenario::nr_vs_edge_gap`].
+    pub fn nr_vs_edge_gap(&self, s: &Scenario, template: &ExperimentConfig) -> Improvement {
+        let mut nr_cfg = template.clone();
+        nr_cfg.design = DesignKind::IcnNr;
+        let mut edge_cfg = template.clone();
+        edge_cfg.design = DesignKind::Edge;
+        let nr = self.improvement(s, nr_cfg);
+        let edge = self.improvement(s, edge_cfg);
+        Improvement::gap(&nr, &edge)
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Flushes the trace sink and writes the JSON snapshot sidecar (plus
+    /// its human-readable table to stderr). Call once at the end of main.
+    pub fn finish(&self) {
+        if let Some(sink) = &self.trace {
+            if let Err(e) = sink.flush() {
+                eprintln!("warning: trace flush failed: {e}");
+            }
+            eprintln!(
+                "trace: {} records written ({} offered)",
+                sink.written(),
+                sink.offered()
+            );
+        }
+        let Some(path) = &self.out else { return };
+        let snap = self.snapshot();
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => eprintln!("telemetry snapshot written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write telemetry to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprint!("{}", snap.render_table());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_topology::AccessTree;
+    use icn_workload::origin::OriginPolicy;
+    use icn_workload::trace::TraceConfig;
+
+    fn tiny_scenario() -> Scenario {
+        let mut cfg = TraceConfig::small();
+        cfg.requests = 5_000;
+        cfg.objects = 500;
+        Scenario::build(
+            icn_topology::pop::abilene(),
+            AccessTree::new(2, 2),
+            cfg,
+            OriginPolicy::PopulationProportional,
+        )
+    }
+
+    #[test]
+    fn telemetry_collects_runs_and_latency() {
+        let t = Telemetry::disabled();
+        let s = tiny_scenario();
+        let imp = t.improvement(&s, ExperimentConfig::baseline(DesignKind::Edge));
+        assert!(imp.latency_pct > 0.0);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["bench.runs"], 1);
+        let lat = &snap.histograms["sim.latency_milli"];
+        assert_eq!(lat.count, s.trace.len() as u64);
+        // The sidecar JSON round-trips.
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn gap_matches_uninstrumented_scenario_gap() {
+        let t = Telemetry::disabled();
+        let s = tiny_scenario();
+        let template = ExperimentConfig::baseline(DesignKind::Edge);
+        let ours = t.nr_vs_edge_gap(&s, &template);
+        assert_eq!(ours, s.nr_vs_edge_gap(&template));
+        assert_eq!(t.snapshot().counters["bench.runs"], 2);
+    }
+}

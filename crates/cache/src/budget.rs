@@ -55,7 +55,7 @@ pub fn per_node_budgets(
             for &p in populations {
                 let pop_budget = total_budget * (p as f64 / total_pop as f64);
                 let per_node = (pop_budget / nodes_per_pop as f64).round() as usize;
-                out.extend(std::iter::repeat(per_node).take(nodes_per_pop as usize));
+                out.extend(std::iter::repeat_n(per_node, nodes_per_pop as usize));
             }
             out
         }

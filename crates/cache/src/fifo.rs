@@ -19,7 +19,10 @@ pub struct Fifo {
 impl Fifo {
     /// Creates an empty cache holding at most `capacity` keys.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, ..Default::default() }
+        Self {
+            capacity,
+            ..Default::default()
+        }
     }
 }
 

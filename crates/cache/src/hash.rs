@@ -82,7 +82,11 @@ mod tests {
         for i in 0u64..1024 {
             buckets.insert(hash_one(i) & 0x3ff);
         }
-        assert!(buckets.len() > 600, "only {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() > 600,
+            "only {} distinct buckets",
+            buckets.len()
+        );
     }
 
     #[test]

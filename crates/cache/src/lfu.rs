@@ -27,7 +27,10 @@ pub struct Lfu {
 impl Lfu {
     /// Creates an empty cache holding at most `capacity` keys.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, ..Default::default() }
+        Self {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Removes `key` if present; returns whether it was cached.
@@ -82,7 +85,11 @@ impl CachePolicy for Lfu {
             return None;
         }
         let evicted = if self.map.len() == self.capacity {
-            let &(f, t, victim) = self.order.iter().next().expect("cache full but order empty");
+            let &(f, t, victim) = self
+                .order
+                .iter()
+                .next()
+                .expect("cache full but order empty");
             self.order.remove(&(f, t, victim));
             self.map.remove(&victim);
             Some(victim)
@@ -90,7 +97,13 @@ impl CachePolicy for Lfu {
             None
         };
         self.clock += 1;
-        self.map.insert(key, Meta { freq: 1, tick: self.clock });
+        self.map.insert(
+            key,
+            Meta {
+                freq: 1,
+                tick: self.clock,
+            },
+        );
         self.order.insert((1, self.clock, key));
         evicted
     }

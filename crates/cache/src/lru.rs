@@ -95,7 +95,11 @@ impl<K: Hash + Eq + Copy> Lru<K> {
                 i
             }
             None => {
-                self.slots.push(Slot { key, prev: NIL, next: NIL });
+                self.slots.push(Slot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
                 (self.slots.len() - 1) as u32
             }
         };
@@ -308,7 +312,11 @@ impl CachePolicy for CompactLru {
                 i
             }
             None => {
-                self.slots.push(Slot { key, prev: NIL, next: NIL });
+                self.slots.push(Slot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
                 (self.slots.len() - 1) as u32
             }
         };

@@ -13,7 +13,10 @@ struct NaiveLru {
 
 impl NaiveLru {
     fn new(capacity: usize) -> Self {
-        Self { order: Vec::new(), capacity }
+        Self {
+            order: Vec::new(),
+            capacity,
+        }
     }
 
     fn touch(&mut self, key: u64) {

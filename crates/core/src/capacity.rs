@@ -30,7 +30,11 @@ impl CapacityTracker {
     /// Creates a tracker for `nodes` routers.
     pub fn new(cfg: ServingCapacity, nodes: usize) -> Self {
         assert!(cfg.window >= 1, "window must be >= 1");
-        Self { cfg, served: vec![0; nodes], current_window: 0 }
+        Self {
+            cfg,
+            served: vec![0; nodes],
+            current_window: 0,
+        }
     }
 
     /// Attempts to serve request number `req_idx` at `node`; returns false
@@ -57,7 +61,13 @@ mod tests {
 
     #[test]
     fn saturates_within_window() {
-        let mut t = CapacityTracker::new(ServingCapacity { per_node: 2, window: 100 }, 4);
+        let mut t = CapacityTracker::new(
+            ServingCapacity {
+                per_node: 2,
+                window: 100,
+            },
+            4,
+        );
         assert!(t.try_serve(0, 0));
         assert!(t.try_serve(0, 1));
         assert!(!t.try_serve(0, 2));
@@ -67,7 +77,13 @@ mod tests {
 
     #[test]
     fn window_reset() {
-        let mut t = CapacityTracker::new(ServingCapacity { per_node: 1, window: 10 }, 2);
+        let mut t = CapacityTracker::new(
+            ServingCapacity {
+                per_node: 1,
+                window: 10,
+            },
+            2,
+        );
         assert!(t.try_serve(0, 0));
         assert!(!t.try_serve(0, 9));
         assert!(t.try_serve(0, 10), "new window resets counters");
@@ -75,7 +91,13 @@ mod tests {
 
     #[test]
     fn windows_can_be_skipped() {
-        let mut t = CapacityTracker::new(ServingCapacity { per_node: 1, window: 5 }, 1);
+        let mut t = CapacityTracker::new(
+            ServingCapacity {
+                per_node: 1,
+                window: 5,
+            },
+            1,
+        );
         assert!(t.try_serve(0, 0));
         assert!(t.try_serve(0, 27));
         assert!(!t.try_serve(0, 28));

@@ -141,16 +141,28 @@ impl DesignKind {
             infinite_budget: false,
         };
         match self {
-            DesignKind::NoCache => DesignSpec { cache_set: CacheSet::None, ..base },
-            DesignKind::IcnSp => DesignSpec { cache_set: CacheSet::All, ..base },
+            DesignKind::NoCache => DesignSpec {
+                cache_set: CacheSet::None,
+                ..base
+            },
+            DesignKind::IcnSp => DesignSpec {
+                cache_set: CacheSet::All,
+                ..base
+            },
             DesignKind::IcnNr => DesignSpec {
                 cache_set: CacheSet::All,
                 routing: Routing::NearestReplica,
                 ..base
             },
             DesignKind::Edge => base,
-            DesignKind::EdgeCoop => DesignSpec { sibling_coop: true, ..base },
-            DesignKind::EdgeNorm => DesignSpec { budget_multiplier: norm, ..base },
+            DesignKind::EdgeCoop => DesignSpec {
+                sibling_coop: true,
+                ..base
+            },
+            DesignKind::EdgeNorm => DesignSpec {
+                budget_multiplier: norm,
+                ..base
+            },
             DesignKind::TwoLevels => DesignSpec {
                 cache_set: CacheSet::LeavesAndParents,
                 ..base
@@ -170,7 +182,10 @@ impl DesignKind {
                 budget_multiplier: 2.0 * norm,
                 ..base
             },
-            DesignKind::InfiniteEdge => DesignSpec { infinite_budget: true, ..base },
+            DesignKind::InfiniteEdge => DesignSpec {
+                infinite_budget: true,
+                ..base
+            },
             DesignKind::InfiniteIcnNr => DesignSpec {
                 cache_set: CacheSet::All,
                 routing: Routing::NearestReplica,
@@ -218,10 +233,17 @@ mod tests {
     #[test]
     fn icn_designs_are_pervasive() {
         let net = net();
-        for kind in [DesignKind::IcnSp, DesignKind::IcnNr, DesignKind::InfiniteIcnNr] {
+        for kind in [
+            DesignKind::IcnSp,
+            DesignKind::IcnNr,
+            DesignKind::InfiniteIcnNr,
+        ] {
             assert_eq!(kind.spec(&net).cache_set, CacheSet::All);
         }
-        assert_eq!(DesignKind::IcnNr.spec(&net).routing, Routing::NearestReplica);
+        assert_eq!(
+            DesignKind::IcnNr.spec(&net).routing,
+            Routing::NearestReplica
+        );
         assert_eq!(
             DesignKind::IcnSp.spec(&net).routing,
             Routing::ShortestPathToOrigin
@@ -232,7 +254,10 @@ mod tests {
     fn names_match_paper_labels() {
         assert_eq!(DesignKind::IcnNr.name(), "ICN-NR");
         assert_eq!(DesignKind::EdgeCoop.name(), "EDGE-Coop");
-        let names: Vec<&str> = DesignKind::figure6_designs().iter().map(|d| d.name()).collect();
+        let names: Vec<&str> = DesignKind::figure6_designs()
+            .iter()
+            .map(|d| d.name())
+            .collect();
         assert_eq!(
             names,
             vec!["ICN-SP", "ICN-NR", "EDGE", "EDGE-Coop", "EDGE-Norm"]

@@ -22,6 +22,7 @@
 pub mod capacity;
 pub mod config;
 pub mod design;
+pub mod instrument;
 pub mod latency;
 pub mod metrics;
 pub mod sim;

@@ -9,7 +9,14 @@
 //! Each is reported as the percentage improvement relative to the identical
 //! run with no caches.
 
+use icn_obs::Histogram;
 use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale used to store a (fractional) request latency in the
+/// integer [`RunMetrics::latency_hist`]: latencies are recorded as
+/// "millicost" (`latency × 1000` rounded), giving three decimal places —
+/// far finer than the histogram's own bucket resolution.
+pub const LATENCY_HIST_SCALE: f64 = 1000.0;
 
 /// Raw per-run counters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -18,6 +25,10 @@ pub struct RunMetrics {
     pub requests: u64,
     /// Sum of request latencies.
     pub total_latency: f64,
+    /// Per-request latency distribution in millicost units (latency ×
+    /// [`LATENCY_HIST_SCALE`]); always recorded — a histogram insert is a
+    /// few nanoseconds, well under the routing work per request.
+    pub latency_hist: Histogram,
     /// Transfers (or bytes, when size-weighted) per link.
     pub link_transfers: Vec<u64>,
     /// Requests served by each PoP acting as an origin.
@@ -39,6 +50,7 @@ impl RunMetrics {
         Self {
             requests: 0,
             total_latency: 0.0,
+            latency_hist: Histogram::new(),
             link_transfers: vec![0; links],
             origin_served: vec![0; pops],
             cache_hits: 0,
@@ -54,6 +66,46 @@ impl RunMetrics {
             0.0
         } else {
             self.total_latency / self.requests as f64
+        }
+    }
+
+    /// Records one request's latency into the distribution (in addition to
+    /// the `total_latency` accumulator — callers update both).
+    #[inline]
+    pub fn record_latency(&mut self, latency: f64) {
+        self.latency_hist
+            .record((latency * LATENCY_HIST_SCALE).round() as u64);
+    }
+
+    /// Estimated latency percentile (`q` in `[0, 1]`), in the simulator's
+    /// latency unit.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        self.latency_hist.quantile(q) / LATENCY_HIST_SCALE
+    }
+
+    /// Median request latency.
+    pub fn latency_p50(&self) -> f64 {
+        self.latency_quantile(0.5)
+    }
+
+    /// 90th-percentile request latency.
+    pub fn latency_p90(&self) -> f64 {
+        self.latency_quantile(0.9)
+    }
+
+    /// 99th-percentile request latency.
+    pub fn latency_p99(&self) -> f64 {
+        self.latency_quantile(0.99)
+    }
+
+    /// Mean transfers per link (0 when the network has no links). Reported
+    /// alongside [`RunMetrics::max_congestion`]: the max shows the hot
+    /// spot, the mean shows whether caching relieved the network overall.
+    pub fn mean_link_utilisation(&self) -> f64 {
+        if self.link_transfers.is_empty() {
+            0.0
+        } else {
+            self.link_transfers.iter().sum::<u64>() as f64 / self.link_transfers.len() as f64
         }
     }
 
@@ -117,7 +169,9 @@ impl Improvement {
 
     /// Largest of the three improvements (used by "on all metrics" claims).
     pub fn max_metric(&self) -> f64 {
-        self.latency_pct.max(self.congestion_pct).max(self.origin_pct)
+        self.latency_pct
+            .max(self.congestion_pct)
+            .max(self.origin_pct)
     }
 }
 
@@ -163,12 +217,50 @@ mod tests {
 
     #[test]
     fn gap_is_signed() {
-        let a = Improvement { latency_pct: 50.0, congestion_pct: 60.0, origin_pct: 70.0 };
-        let b = Improvement { latency_pct: 45.0, congestion_pct: 65.0, origin_pct: 70.0 };
+        let a = Improvement {
+            latency_pct: 50.0,
+            congestion_pct: 60.0,
+            origin_pct: 70.0,
+        };
+        let b = Improvement {
+            latency_pct: 45.0,
+            congestion_pct: 65.0,
+            origin_pct: 70.0,
+        };
         let g = Improvement::gap(&a, &b);
         assert_eq!(g.latency_pct, 5.0);
         assert_eq!(g.congestion_pct, -5.0);
         assert_eq!(g.origin_pct, 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_track_distribution() {
+        let mut m = RunMetrics::new(1, 1, 2);
+        for i in 0..100 {
+            let latency = 1.0 + i as f64 / 10.0; // 1.0 .. 10.9
+            m.requests += 1;
+            m.total_latency += latency;
+            m.record_latency(latency);
+        }
+        assert!(
+            (m.latency_p50() - 5.95).abs() < 0.3,
+            "p50 {}",
+            m.latency_p50()
+        );
+        assert!(m.latency_p99() > m.latency_p90());
+        assert!(m.latency_p90() > m.latency_p50());
+        assert!(
+            (m.latency_p99() - 10.8).abs() < 0.5,
+            "p99 {}",
+            m.latency_p99()
+        );
+    }
+
+    #[test]
+    fn mean_link_utilisation_averages() {
+        let m = metrics(0.0, 0, vec![10, 20, 0], vec![1]);
+        assert_eq!(m.mean_link_utilisation(), 10.0);
+        assert_eq!(RunMetrics::new(0, 0, 2).mean_link_utilisation(), 0.0);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 use crate::capacity::CapacityTracker;
 use crate::config::{ExperimentConfig, InsertionPolicy};
 use crate::design::{DesignSpec, Routing};
-use crate::metrics::RunMetrics;
+use crate::instrument::SimObs;
+use crate::metrics::{RunMetrics, LATENCY_HIST_SCALE};
 use icn_cache::budget::per_node_budgets;
 use icn_cache::policy::CachePolicy;
+use icn_obs::TraceRecord;
 use icn_topology::{Network, NodeId};
 use icn_workload::trace::Request;
 use rand::rngs::StdRng;
@@ -57,6 +59,9 @@ pub struct Simulator<'a> {
     /// reproducible.
     rng: StdRng,
     metrics: RunMetrics,
+    /// Optional instrumentation (timers, trace records, progress); a no-op
+    /// shell when the `obs` feature is disabled.
+    obs: Option<SimObs>,
     path_buf: Vec<NodeId>,
     nodes_buf: Vec<NodeId>,
     links_buf: Vec<u32>,
@@ -119,16 +124,29 @@ impl<'a> Simulator<'a> {
             capacity,
             rng: StdRng::seed_from_u64(0xd1ce_cafe),
             metrics,
+            obs: None,
             path_buf: Vec::new(),
             nodes_buf: Vec::new(),
             links_buf: Vec::new(),
         }
     }
 
+    /// Attaches instrumentation; subsequent [`Simulator::run`] calls report
+    /// through it. See [`crate::instrument::SimObs`].
+    pub fn attach_obs(&mut self, obs: SimObs) {
+        self.obs = Some(obs);
+    }
+
     /// Processes a request stream and returns the accumulated metrics.
     pub fn run(&mut self, requests: &[Request]) -> &RunMetrics {
         for (idx, req) in requests.iter().enumerate() {
+            if let Some(o) = &self.obs {
+                o.on_request(idx as u64);
+            }
             self.process(idx as u64, req);
+        }
+        if let Some(o) = &self.obs {
+            o.on_finish(requests.len() as u64);
         }
         &self.metrics
     }
@@ -158,6 +176,7 @@ impl<'a> Simulator<'a> {
     /// answers; cache-equipped tree routers optionally do a scoped sibling
     /// lookup on miss.
     fn process_sp(&mut self, idx: u64, leaf: NodeId, object: u32, origin_pop: u32) {
+        let route_span = self.obs.as_ref().and_then(|o| o.route_span(idx));
         let mut path = std::mem::take(&mut self.path_buf);
         self.net.sp_path_nodes_into(leaf, origin_pop, &mut path);
         let last = path.len() - 1;
@@ -176,19 +195,25 @@ impl<'a> Simulator<'a> {
                 && self.net.tree_index(node) != 0
             {
                 // Scoped cooperative lookup in the access-tree siblings.
+                let coop_span = self.obs.as_ref().and_then(|o| o.coop_span(idx));
                 let pop = self.net.pop_of(node);
                 let t = self.net.tree_index(node);
                 for st in self.net.tree.siblings(t).collect::<Vec<_>>() {
                     let sib = self.net.node(pop, st);
                     if self.cache_contains(sib, object) && self.try_capacity(sib, idx) {
-                        server = Server::Sibling { sibling: sib, via_idx: i };
+                        server = Server::Sibling {
+                            sibling: sib,
+                            via_idx: i,
+                        };
                         break 'walk;
                     }
                 }
+                drop(coop_span);
             }
         }
+        drop(route_span);
 
-        self.account_sp(&path, server, leaf, object, origin_pop);
+        self.account_sp(idx, &path, server, leaf, object, origin_pop);
         self.path_buf = path;
     }
 
@@ -196,17 +221,24 @@ impl<'a> Simulator<'a> {
     /// for a shortest-path serve.
     fn account_sp(
         &mut self,
+        idx: u64,
         path: &[NodeId],
         server: Server,
         _leaf: NodeId,
         object: u32,
         origin_pop: u32,
     ) {
+        // Held to the end of the function: the span covers latency and
+        // congestion accounting plus response-path insertion.
+        let _transfer_span = self.obs.as_ref().and_then(|o| o.transfer_span(idx));
         let depth = self.net.tree.depth;
         let weight = self.transfer_weight(object);
         let (serve_idx, detour_cost, detour_links) = match server {
             Server::Cache(node) => {
-                let i = path.iter().position(|&n| n == node).expect("server on path");
+                let i = path
+                    .iter()
+                    .position(|&n| n == node)
+                    .expect("server on path");
                 (i, 0.0, 0)
             }
             Server::Origin(_) => (path.len() - 1, 0.0, 0),
@@ -237,16 +269,18 @@ impl<'a> Simulator<'a> {
                 self.add_transfer(self.net.core_link(pa, pb), weight);
             }
         }
-        self.metrics.total_latency += cost + detour_cost + 1.0;
-        let _ = detour_links;
+        let latency = cost + detour_cost + 1.0;
+        self.metrics.total_latency += latency;
+        self.metrics.record_latency(latency);
 
         // Server-side bookkeeping.
-        match server {
+        let serving_level = match server {
             Server::Cache(node) => {
                 self.metrics.cache_hits += 1;
                 let level = self.net.level_of(node);
                 self.metrics.hits_by_level[level as usize] += 1;
                 self.cache_touch(node, object);
+                level
             }
             Server::Sibling { sibling, .. } => {
                 self.metrics.cache_hits += 1;
@@ -254,11 +288,27 @@ impl<'a> Simulator<'a> {
                 let level = self.net.level_of(sibling);
                 self.metrics.hits_by_level[level as usize] += 1;
                 self.cache_touch(sibling, object);
+                level
             }
             Server::Origin(_) => {
                 self.metrics.origin_hits += 1;
                 self.metrics.origin_served[origin_pop as usize] += 1;
+                0
             }
+        };
+
+        if let Some(o) = &self.obs {
+            let hit = !matches!(server, Server::Origin(_));
+            o.trace_with(|design| TraceRecord {
+                seq: idx,
+                object: object as u64,
+                design: design.to_string(),
+                level: serving_level,
+                hops: (serve_idx + detour_links) as u32,
+                hit,
+                coop: matches!(server, Server::Sibling { .. }),
+                cost_milli: (latency * LATENCY_HIST_SCALE).round() as u64,
+            });
         }
 
         // Response-path caching per the insertion policy. Under the
@@ -293,15 +343,29 @@ impl<'a> Simulator<'a> {
     /// Nearest-replica routing: serve at the replica (or origin) with the
     /// minimum path cost from the leaf, with zero lookup overhead.
     fn process_nr(&mut self, idx: u64, leaf: NodeId, object: u32, origin_pop: u32) {
+        let route_span = self.obs.as_ref().and_then(|o| o.route_span(idx));
         let origin_root = self.net.pop_root(origin_pop);
 
         // Fast path: the requesting leaf's own cache.
         if self.cache_contains(leaf, object) && self.try_capacity(leaf, idx) {
             self.metrics.total_latency += 1.0;
+            self.metrics.record_latency(1.0);
             self.metrics.cache_hits += 1;
-            let level = self.net.level_of(leaf) as usize;
-            self.metrics.hits_by_level[level] += 1;
+            let level = self.net.level_of(leaf);
+            self.metrics.hits_by_level[level as usize] += 1;
             self.cache_touch(leaf, object);
+            if let Some(o) = &self.obs {
+                o.trace_with(|design| TraceRecord {
+                    seq: idx,
+                    object: object as u64,
+                    design: design.to_string(),
+                    level,
+                    hops: 0,
+                    hit: true,
+                    coop: false,
+                    cost_milli: LATENCY_HIST_SCALE as u64,
+                });
+            }
             return;
         }
 
@@ -334,7 +398,7 @@ impl<'a> Simulator<'a> {
                     continue; // leaf already checked (capacity may have failed)
                 }
                 let c = self.cfg.latency.path_cost(self.net, leaf, n);
-                if best.map_or(true, |(bc, _)| c < bc) {
+                if best.is_none_or(|(bc, _)| c < bc) {
                     best = Some((c, n));
                 }
             }
@@ -345,17 +409,24 @@ impl<'a> Simulator<'a> {
             Some((c, n)) => (c, n, false),
             None => (origin_cost, origin_root, true),
         };
+        drop(route_span);
+        // Covers latency/congestion accounting and response-path insertion.
+        let _transfer_span = self.obs.as_ref().and_then(|o| o.transfer_span(idx));
 
-        self.metrics.total_latency += cost + 1.0;
-        if is_origin {
+        let latency = cost + 1.0;
+        self.metrics.total_latency += latency;
+        self.metrics.record_latency(latency);
+        let serving_level = if is_origin {
             self.metrics.origin_hits += 1;
             self.metrics.origin_served[origin_pop as usize] += 1;
+            0
         } else {
             self.metrics.cache_hits += 1;
-            let level = self.net.level_of(server_node) as usize;
-            self.metrics.hits_by_level[level] += 1;
+            let level = self.net.level_of(server_node);
+            self.metrics.hits_by_level[level as usize] += 1;
             self.cache_touch(server_node, object);
-        }
+            level
+        };
 
         // Congestion along the response path.
         let weight = self.transfer_weight(object);
@@ -364,6 +435,19 @@ impl<'a> Simulator<'a> {
         self.net.path_links_into(leaf, server_node, &mut links);
         for &l in &links {
             self.add_transfer(l, weight);
+        }
+        if let Some(o) = &self.obs {
+            let hops = links.len() as u32;
+            o.trace_with(|design| TraceRecord {
+                seq: idx,
+                object: object as u64,
+                design: design.to_string(),
+                level: serving_level,
+                hops,
+                hit: !is_origin,
+                coop: false,
+                cost_milli: (latency * LATENCY_HIST_SCALE).round() as u64,
+            });
         }
         self.links_buf = links;
 
@@ -397,7 +481,7 @@ impl<'a> Simulator<'a> {
     fn cache_contains(&self, node: NodeId, object: u32) -> bool {
         self.caches[node as usize]
             .as_ref()
-            .map_or(false, |c| c.contains(object as u64))
+            .is_some_and(|c| c.contains(object as u64))
     }
 
     #[inline]
@@ -681,7 +765,10 @@ mod tests {
         let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
         cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
         cfg.f_fraction = 0.5;
-        cfg.capacity = Some(crate::capacity::ServingCapacity { per_node: 1, window: 1000 });
+        cfg.capacity = Some(crate::capacity::ServingCapacity {
+            per_node: 1,
+            window: 1000,
+        });
         let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
         // Warm the leaf (origin serve), then two hits: only one allowed.
         let m = sim.run(&[req(0, 0, 0), req(0, 0, 0), req(0, 0, 0)]);

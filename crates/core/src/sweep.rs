@@ -7,6 +7,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::design::DesignKind;
+use crate::instrument::SimObs;
 use crate::metrics::{Improvement, RunMetrics};
 use crate::sim::Simulator;
 use icn_topology::{AccessTree, Network, PopGraph};
@@ -41,7 +42,12 @@ impl Scenario {
             &net.core.populations,
             trace.config.seed ^ 0x0_12c_0de,
         );
-        Self { net, trace, origins, baseline: std::cell::OnceCell::new() }
+        Self {
+            net,
+            trace,
+            origins,
+            baseline: std::cell::OnceCell::new(),
+        }
     }
 
     /// Builds a scenario around an existing trace (e.g. a loaded one).
@@ -54,8 +60,11 @@ impl Scenario {
     ) -> Self {
         let net = Network::new(core, tree);
         assert!(
-            trace.requests.iter().all(|r| (r.pop as usize) < net.core.populations.len()
-                && (r.leaf as u32) < net.leaves_per_pop()),
+            trace
+                .requests
+                .iter()
+                .all(|r| (r.pop as usize) < net.core.populations.len()
+                    && (r.leaf as u32) < net.leaves_per_pop()),
             "trace does not fit the network"
         );
         let origins = assign_origins(
@@ -64,12 +73,26 @@ impl Scenario {
             &net.core.populations,
             origin_seed,
         );
-        Self { net, trace, origins, baseline: std::cell::OnceCell::new() }
+        Self {
+            net,
+            trace,
+            origins,
+            baseline: std::cell::OnceCell::new(),
+        }
     }
 
     /// Runs one design with an explicit configuration.
     pub fn run_config(&self, cfg: ExperimentConfig) -> RunMetrics {
         let mut sim = Simulator::new(&self.net, cfg, &self.origins, &self.trace.object_sizes);
+        sim.run(&self.trace.requests);
+        sim.metrics().clone()
+    }
+
+    /// Like [`Scenario::run_config`], with instrumentation attached for
+    /// the duration of the run.
+    pub fn run_config_instrumented(&self, cfg: ExperimentConfig, obs: SimObs) -> RunMetrics {
+        let mut sim = Simulator::new(&self.net, cfg, &self.origins, &self.trace.object_sizes);
+        sim.attach_obs(obs);
         sim.run(&self.trace.requests);
         sim.metrics().clone()
     }
@@ -92,11 +115,38 @@ impl Scenario {
     /// except the latency model and size weighting, which do change the
     /// baseline; those are handled by [`Scenario::improvement_with_base`].
     pub fn improvement(&self, cfg: ExperimentConfig) -> Improvement {
+        self.improvement_detailed(cfg).0
+    }
+
+    /// Like [`Scenario::improvement`], also returning the design run's raw
+    /// metrics (latency distribution, per-link transfers, hit breakdown)
+    /// for telemetry export.
+    pub fn improvement_detailed(&self, cfg: ExperimentConfig) -> (Improvement, RunMetrics) {
+        self.improvement_inner(cfg, None)
+    }
+
+    /// [`Scenario::improvement_detailed`] with instrumentation attached to
+    /// the design run (the normalization baseline runs uninstrumented).
+    pub fn improvement_instrumented(
+        &self,
+        cfg: ExperimentConfig,
+        obs: SimObs,
+    ) -> (Improvement, RunMetrics) {
+        self.improvement_inner(cfg, Some(obs))
+    }
+
+    fn improvement_inner(
+        &self,
+        cfg: ExperimentConfig,
+        obs: Option<SimObs>,
+    ) -> (Improvement, RunMetrics) {
         use crate::latency::LatencyModel;
-        let needs_custom_base =
-            cfg.latency != LatencyModel::Unit || cfg.weight_by_size;
-        let run = self.run_config(cfg.clone());
-        if needs_custom_base {
+        let needs_custom_base = cfg.latency != LatencyModel::Unit || cfg.weight_by_size;
+        let run = match obs {
+            Some(obs) => self.run_config_instrumented(cfg.clone(), obs),
+            None => self.run_config(cfg.clone()),
+        };
+        let imp = if needs_custom_base {
             let mut base_cfg = ExperimentConfig::baseline(DesignKind::NoCache);
             base_cfg.latency = cfg.latency;
             base_cfg.weight_by_size = cfg.weight_by_size;
@@ -104,7 +154,8 @@ impl Scenario {
             Improvement::over_baseline(&base, &run)
         } else {
             Improvement::over_baseline(self.baseline_metrics(), &run)
-        }
+        };
+        (imp, run)
     }
 
     /// Improvement against an explicitly provided baseline run.
@@ -167,11 +218,20 @@ mod tests {
         let edge = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
         let coop = s.improvement(ExperimentConfig::baseline(DesignKind::EdgeCoop));
         // Pervasive caching >= edge caching on latency.
-        assert!(nr.latency_pct >= edge.latency_pct - 1.0, "nr {nr:?} vs edge {edge:?}");
+        assert!(
+            nr.latency_pct >= edge.latency_pct - 1.0,
+            "nr {nr:?} vs edge {edge:?}"
+        );
         // NR at least as good as SP (it can only find closer copies).
-        assert!(nr.latency_pct >= sp.latency_pct - 0.5, "nr {nr:?} vs sp {sp:?}");
+        assert!(
+            nr.latency_pct >= sp.latency_pct - 0.5,
+            "nr {nr:?} vs sp {sp:?}"
+        );
         // Cooperation helps EDGE.
-        assert!(coop.latency_pct >= edge.latency_pct - 0.5, "coop {coop:?} vs edge {edge:?}");
+        assert!(
+            coop.latency_pct >= edge.latency_pct - 0.5,
+            "coop {coop:?} vs edge {edge:?}"
+        );
     }
 
     #[test]
@@ -180,6 +240,46 @@ mod tests {
         let s = small_scenario();
         let gap = s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge));
         assert!(gap.latency_pct.abs() < 25.0, "gap {gap:?}");
+    }
+
+    #[test]
+    fn detailed_improvement_exposes_latency_distribution() {
+        let s = small_scenario();
+        let cfg = ExperimentConfig::baseline(DesignKind::Edge);
+        let (imp, run) = s.improvement_detailed(cfg.clone());
+        assert_eq!(imp, s.improvement(cfg));
+        assert_eq!(run.latency_hist.count(), run.requests);
+        // The histogram's mean must agree with the scalar accumulator to
+        // within the millicost rounding.
+        assert!(
+            (run.latency_hist.mean() / crate::metrics::LATENCY_HIST_SCALE - run.avg_latency())
+                .abs()
+                < 0.05,
+            "hist mean {} vs avg {}",
+            run.latency_hist.mean() / crate::metrics::LATENCY_HIST_SCALE,
+            run.avg_latency()
+        );
+        assert!(run.latency_p99() >= run.latency_p50());
+        assert!(run.mean_link_utilisation() > 0.0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn instrumented_run_matches_plain_run() {
+        let s = small_scenario();
+        let registry = icn_obs::Registry::new();
+        let cfg = ExperimentConfig::baseline(DesignKind::EdgeCoop);
+        let obs = crate::instrument::SimObs::new(&registry, "EDGE-Coop");
+        let (imp_obs, run_obs) = s.improvement_instrumented(cfg.clone(), obs);
+        let (imp, run) = s.improvement_detailed(cfg);
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(imp_obs, imp);
+        assert_eq!(run_obs.total_latency, run.total_latency);
+        assert_eq!(run_obs.link_transfers, run.link_transfers);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sim.requests"], run.requests);
+        assert!(snap.timers["sim.route"].count > 0);
+        assert!(snap.timers["sim.transfer"].count > 0);
     }
 
     #[test]

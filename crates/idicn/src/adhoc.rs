@@ -102,7 +102,9 @@ impl AdhocNode {
             let mut buf = [0u8; 1024];
             while !flag.load(Ordering::SeqCst) {
                 if let Ok((n, from)) = socket.recv_from(&mut buf) {
-                    let Ok(text) = std::str::from_utf8(&buf[..n]) else { continue };
+                    let Ok(text) = std::str::from_utf8(&buf[..n]) else {
+                        continue;
+                    };
                     if let Some(q) = text.strip_prefix("Q ") {
                         if mdns_inner.cache.read().contains_key(q) {
                             let answer = format!("A {q} http://{http_addr}");
@@ -144,7 +146,9 @@ impl AdhocNode {
     /// wins (the paper's single-publisher limitation for domain names).
     pub fn resolve(&self, name: &str) -> Option<SocketAddr> {
         let socket = UdpSocket::bind("127.0.0.1:0").ok()?;
-        socket.set_read_timeout(Some(Duration::from_millis(300))).ok()?;
+        socket
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .ok()?;
         let query = format!("Q {name}");
         for peer in self.link.peers() {
             if peer == self.mdns_addr {

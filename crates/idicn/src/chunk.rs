@@ -27,7 +27,11 @@ impl ChunkedDigests {
     pub fn compute(content: &[u8], piece_size: usize) -> Self {
         assert!(piece_size > 0, "piece size must be positive");
         let pieces = content.chunks(piece_size).map(digest).collect();
-        Self { full: digest(content), piece_size, pieces }
+        Self {
+            full: digest(content),
+            piece_size,
+            pieces,
+        }
     }
 
     /// Number of pieces.
@@ -85,7 +89,10 @@ mod tests {
         let mut bad = content.clone();
         bad[200] ^= 0xff;
         assert!(!d.verify_full(&bad));
-        assert!(d.verify_piece(0, &bad[0..128]), "untouched piece still good");
+        assert!(
+            d.verify_piece(0, &bad[0..128]),
+            "untouched piece still good"
+        );
         assert!(!d.verify_piece(1, &bad[128..256]), "corrupt piece detected");
     }
 

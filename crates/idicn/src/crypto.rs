@@ -33,7 +33,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 
 /// Decodes lowercase/uppercase hex; `None` on bad input.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     fn nibble(c: u8) -> Option<u8> {

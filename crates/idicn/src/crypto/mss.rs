@@ -64,7 +64,11 @@ impl Identity {
                 .collect();
             levels.push(next);
         }
-        Self { keypairs, levels, next: 0 }
+        Self {
+            keypairs,
+            levels,
+            next: 0,
+        }
     }
 
     /// The Merkle root committing to all one-time keys.
@@ -165,7 +169,12 @@ impl MssSignature {
             d.copy_from_slice(&bytes[base + i * 32..base + (i + 1) * 32]);
             auth_path.push(d);
         }
-        Some(Self { ots_sig, ots_pub, leaf_index, auth_path })
+        Some(Self {
+            ots_sig,
+            ots_pub,
+            leaf_index,
+            auth_path,
+        })
     }
 }
 

@@ -41,7 +41,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Feeds `data` into the hash.

@@ -184,9 +184,10 @@ fn read_line_limited<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option
                     if line.last() == Some(&b'\r') {
                         line.pop();
                     }
-                    return Ok(Some(String::from_utf8(line).map_err(|_| {
-                        Error::Protocol("non-UTF8 header line".into())
-                    })?));
+                    return Ok(Some(
+                        String::from_utf8(line)
+                            .map_err(|_| Error::Protocol("non-UTF8 header line".into()))?,
+                    ));
                 }
                 line.push(byte[0]);
             }
@@ -284,7 +285,12 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<Option<HttpResponse>> {
     let reason = parts.next().unwrap_or("").to_string();
     let headers = read_headers(r, &mut budget)?;
     let body = read_body(r, &headers)?;
-    Ok(Some(HttpResponse { status, reason, headers, body }))
+    Ok(Some(HttpResponse {
+        status,
+        reason,
+        headers,
+        body,
+    }))
 }
 
 /// Writes a response, setting `Content-Length`.
@@ -400,7 +406,11 @@ pub fn serve_on(listener: TcpListener, handler: Handler) -> Result<HttpServer> {
             }
         }
     });
-    Ok(HttpServer { addr, shutdown, accept_thread: Some(accept_thread) })
+    Ok(HttpServer {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
 }
 
 fn handle_connection(stream: TcpStream, handler: Handler, shutdown: Arc<AtomicBool>) {
@@ -493,16 +503,20 @@ mod tests {
 
     #[test]
     fn eof_yields_none() {
-        assert!(read_request(&mut Cursor::new(Vec::<u8>::new())).unwrap().is_none());
-        assert!(read_response(&mut Cursor::new(Vec::<u8>::new())).unwrap().is_none());
+        assert!(read_request(&mut Cursor::new(Vec::<u8>::new()))
+            .unwrap()
+            .is_none());
+        assert!(read_response(&mut Cursor::new(Vec::<u8>::new()))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn malformed_inputs_rejected() {
         for bad in [
             "GARBAGE\r\n\r\n",
-            "GET /\r\n\r\n",                        // missing version
-            "GET / SPDY/3\r\n\r\n",                 // wrong protocol
+            "GET /\r\n\r\n",                         // missing version
+            "GET / SPDY/3\r\n\r\n",                  // wrong protocol
             "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", // bad header
         ] {
             assert!(

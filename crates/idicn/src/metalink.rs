@@ -65,7 +65,10 @@ impl Metadata {
             ));
         }
         let binding = self.name.binding_bytes(&self.digests.full);
-        if !self.signature.verify(&digest(&binding), &self.publisher_root) {
+        if !self
+            .signature
+            .verify(&digest(&binding), &self.publisher_root)
+        {
             return Err(Error::Verification("signature does not verify".into()));
         }
         if !self.digests.verify_full(content) {
@@ -81,7 +84,10 @@ impl Metadata {
     /// Writes the metadata into HTTP response headers.
     pub fn to_headers(&self, headers: &mut Headers) {
         headers.set(header::NAME, self.name.to_flat());
-        headers.set(header::DIGEST, format!("sha-256={}", to_hex(&self.digests.full)));
+        headers.set(
+            header::DIGEST,
+            format!("sha-256={}", to_hex(&self.digests.full)),
+        );
         headers.set(header::PIECE_SIZE, self.digests.piece_size.to_string());
         headers.set(
             header::PIECES,
@@ -148,7 +154,11 @@ impl Metadata {
             .collect();
         Ok(Self {
             name,
-            digests: ChunkedDigests { full, piece_size, pieces },
+            digests: ChunkedDigests {
+                full,
+                piece_size,
+                pieces,
+            },
             publisher_root,
             signature,
             mirrors,

@@ -161,7 +161,9 @@ pub fn resume_download(
         }
     }
     if !digests.verify_full(&out) {
-        return Err(Error::Verification("resumed download failed digest check".into()));
+        return Err(Error::Verification(
+            "resumed download failed digest check".into(),
+        ));
     }
     Ok((out, resumes))
 }
@@ -210,8 +212,7 @@ mod tests {
         let content: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         let (server, rc, _rsrv) = setup(content.clone());
         let (got, resumes) =
-            resume_download(&rc, server.name(), content.len(), 4096, server.digests(), 0)
-                .unwrap();
+            resume_download(&rc, server.name(), content.len(), 4096, server.digests(), 0).unwrap();
         assert_eq!(got, content);
         assert_eq!(resumes, 0);
     }
@@ -233,8 +234,7 @@ mod tests {
             mover.relocate().unwrap();
         });
 
-        let (got, _resumes) =
-            resume_download(&rc, &name, total, 2048, &digests, 50).unwrap();
+        let (got, _resumes) = resume_download(&rc, &name, total, 2048, &digests, 50).unwrap();
         handle.join().unwrap();
         assert_eq!(got, content, "bytes must survive the handoff intact");
     }
@@ -264,8 +264,7 @@ mod tests {
         assert!(err.is_err(), "no retries left and nobody serving");
         server.relocate().unwrap();
         let (got, _) =
-            resume_download(&rc, server.name(), content.len(), 1024, server.digests(), 3)
-                .unwrap();
+            resume_download(&rc, server.name(), content.len(), 1024, server.digests(), 3).unwrap();
         assert_eq!(got, content);
     }
 }

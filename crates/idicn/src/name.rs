@@ -107,7 +107,10 @@ impl ContentName {
         if !valid_label(label) {
             return None;
         }
-        Some(Self { label: label.to_string(), principal })
+        Some(Self {
+            label: label.to_string(),
+            principal,
+        })
     }
 
     /// The canonical `L.P` textual form (P in base32).
@@ -122,9 +125,7 @@ impl ContentName {
 
     /// Parses either the flat `L.P` form or the `L.P.idicn.org` FQDN.
     pub fn parse(s: &str) -> Option<Self> {
-        let flat = s
-            .strip_suffix(&format!(".{IDICN_SUFFIX}"))
-            .unwrap_or(s);
+        let flat = s.strip_suffix(&format!(".{IDICN_SUFFIX}")).unwrap_or(s);
         let (label, p32) = flat.split_once('.')?;
         let principal = Principal::from_label(p32)?;
         ContentName::new(label, principal)

@@ -12,6 +12,7 @@ use crate::metalink::Metadata;
 use crate::name::ContentName;
 use crate::resolver::{Resolution, ResolverClient};
 use crate::{Error, Result};
+use icn_obs::{Counter, Gauge, Registry, Snapshot, TimerHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -41,13 +42,35 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// Named proxy counters (replaces the old anonymous `(hits, misses)`
+/// tuple). All values are point-in-time reads of live atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProxyStats {
+    /// Requests served from the edge cache.
+    pub hits: u64,
+    /// Requests that had to fetch from upstream.
+    pub misses: u64,
+    /// Upstream responses rejected because signature verification failed
+    /// (or the metadata named a different object). Never cached or served.
+    pub verify_failures: u64,
+    /// HTTP requests accepted by [`EdgeProxy::serve`]'s handler.
+    pub requests: u64,
+    /// Requests currently being handled.
+    pub in_flight: i64,
+}
+
 struct Inner {
     resolver: ResolverClient,
     cache: RwLock<HashMap<String, CacheEntry>>,
     capacity: usize,
     clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    obs: Registry,
+    hits: Counter,
+    misses: Counter,
+    verify_failures: Counter,
+    requests: Counter,
+    in_flight: Gauge,
+    latency: TimerHandle,
     addr: Mutex<Option<SocketAddr>>,
 }
 
@@ -60,14 +83,26 @@ pub struct EdgeProxy {
 impl EdgeProxy {
     /// Creates a proxy holding at most `capacity` objects.
     pub fn new(resolver: ResolverClient, capacity: usize) -> Self {
+        let obs = Registry::new();
+        let hits = obs.counter("proxy.cache_hits");
+        let misses = obs.counter("proxy.cache_misses");
+        let verify_failures = obs.counter("proxy.verify_failures");
+        let requests = obs.counter("proxy.requests");
+        let in_flight = obs.gauge("proxy.in_flight");
+        let latency = obs.timer_handle("proxy.request");
         Self {
             inner: Arc::new(Inner {
                 resolver,
                 cache: RwLock::new(HashMap::new()),
                 capacity,
                 clock: AtomicU64::new(0),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
+                obs,
+                hits,
+                misses,
+                verify_failures,
+                requests,
+                in_flight,
+                latency,
                 addr: Mutex::new(None),
             }),
         }
@@ -81,12 +116,21 @@ impl EdgeProxy {
         Ok(server)
     }
 
-    /// `(cache hits, misses)` so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.inner.hits.load(Ordering::Relaxed),
-            self.inner.misses.load(Ordering::Relaxed),
-        )
+    /// Counters so far.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            hits: self.inner.hits.get(),
+            misses: self.inner.misses.get(),
+            verify_failures: self.inner.verify_failures.get(),
+            requests: self.inner.requests.get(),
+            in_flight: self.inner.in_flight.get(),
+        }
+    }
+
+    /// Full telemetry snapshot: the counters of [`EdgeProxy::stats`] plus
+    /// the request-latency histogram (`proxy.request`, nanoseconds).
+    pub fn telemetry(&self) -> Snapshot {
+        self.inner.obs.snapshot()
     }
 
     /// Number of cached objects.
@@ -95,6 +139,15 @@ impl EdgeProxy {
     }
 
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        self.inner.requests.inc();
+        self.inner.in_flight.inc();
+        let _latency = self.inner.latency.start();
+        let resp = self.handle_inner(req);
+        self.inner.in_flight.dec();
+        resp
+    }
+
+    fn handle_inner(&self, req: &HttpRequest) -> HttpResponse {
         if req.method != "GET" {
             return HttpResponse::new(400, b"only GET".to_vec());
         }
@@ -151,15 +204,19 @@ impl EdgeProxy {
             let mut cache = self.inner.cache.write();
             if let Some(e) = cache.get_mut(&key) {
                 e.last_used = self.inner.clock.fetch_add(1, Ordering::Relaxed);
-                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.hits.inc();
                 return Ok((e.content.clone(), e.metadata.clone(), true));
             }
         }
-        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.misses.inc();
         let (content, metadata) = self.fetch_remote(name)?;
         // Verify BEFORE caching or serving.
-        metadata.verify(&content)?;
+        if let Err(e) = metadata.verify(&content) {
+            self.inner.verify_failures.inc();
+            return Err(e);
+        }
         if metadata.name != *name {
+            self.inner.verify_failures.inc();
             return Err(Error::Verification(
                 "response metadata names a different object".into(),
             ));
@@ -200,15 +257,13 @@ impl EdgeProxy {
         };
         let mut last_err = Error::NotFound(name.to_flat());
         for url in locations {
-            match parse_http_url(&url).and_then(|(addr, path)| http::http_get(addr, &path, &[]))
-            {
+            match parse_http_url(&url).and_then(|(addr, path)| http::http_get(addr, &path, &[])) {
                 Ok(resp) if resp.is_success() => {
                     let metadata = Metadata::from_headers(&resp.headers)?;
                     return Ok((resp.body, metadata));
                 }
                 Ok(resp) => {
-                    last_err =
-                        Error::Protocol(format!("upstream {url} returned {}", resp.status));
+                    last_err = Error::Protocol(format!("upstream {url} returned {}", resp.status));
                 }
                 Err(e) => last_err = e,
             }
@@ -294,7 +349,8 @@ mod tests {
     #[test]
     fn miss_then_hit_through_proxy() {
         let rig = rig(16);
-        rig.origin.add_content("story", b"once upon a time".to_vec());
+        rig.origin
+            .add_content("story", b"once upon a time".to_vec());
         let name = rig.rp.publish("story").unwrap();
 
         let (body, _, hit1) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
@@ -303,7 +359,30 @@ mod tests {
         let (body2, _, hit2) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
         assert_eq!(body2, body);
         assert!(hit2, "second fetch is a hit");
-        assert_eq!(rig.proxy.stats(), (1, 1));
+        let stats = rig.proxy.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.verify_failures, 0);
+        assert_eq!(stats.in_flight, 0, "no request should still be live");
+    }
+
+    #[test]
+    fn telemetry_snapshot_has_latency_histogram() {
+        let rig = rig(4);
+        rig.origin.add_content("timed", b"tick".to_vec());
+        let name = rig.rp.publish("timed").unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+        let snap = rig.proxy.telemetry();
+        assert_eq!(snap.counters["proxy.requests"], 2);
+        assert_eq!(snap.counters["proxy.cache_hits"], 1);
+        let lat = &snap.timers["proxy.request"];
+        assert_eq!(lat.count, 2);
+        assert!(lat.max > 0, "request spans must record time");
+        // The snapshot round-trips through its JSON sidecar form.
+        let back = icn_obs::Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]
@@ -367,10 +446,7 @@ mod tests {
         .unwrap();
         assert_eq!(resp.status, 206);
         assert_eq!(resp.body, (10u8..20).collect::<Vec<u8>>());
-        assert_eq!(
-            resp.headers.get("content-range"),
-            Some("bytes 10-19/200")
-        );
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 10-19/200"));
     }
 
     #[test]

@@ -64,6 +64,7 @@ struct Store {
 #[derive(Clone, Default)]
 pub struct Resolver {
     store: Arc<RwLock<Store>>,
+    obs: Arc<icn_obs::Registry>,
 }
 
 impl Resolver {
@@ -72,21 +73,32 @@ impl Resolver {
         Self::default()
     }
 
+    /// Telemetry snapshot: `resolver.registrations`,
+    /// `resolver.rejected_registrations`, `resolver.lookups`,
+    /// `resolver.exact`, `resolver.delegations`, `resolver.not_found`.
+    pub fn telemetry(&self) -> icn_obs::Snapshot {
+        self.obs.snapshot()
+    }
+
     /// Applies a signed registration after verifying it.
     pub fn register(&self, reg: &Registration) -> Result<()> {
         if digest(&reg.publisher_root) != reg.name.principal.0 {
+            self.obs.counter("resolver.rejected_registrations").inc();
             return Err(Error::Verification(
                 "registration root does not match principal".into(),
             ));
         }
         let msg = digest(&registration_bytes(&reg.name, &reg.locations));
         if !reg.signature.verify(&msg, &reg.publisher_root) {
+            self.obs.counter("resolver.rejected_registrations").inc();
             return Err(Error::Verification("registration signature invalid".into()));
         }
+        self.obs.counter("resolver.registrations").inc();
         let mut store = self.store.write();
-        store
-            .exact
-            .insert((reg.name.principal, reg.name.label.clone()), reg.locations.clone());
+        store.exact.insert(
+            (reg.name.principal, reg.name.label.clone()),
+            reg.locations.clone(),
+        );
         // The most recent registration's first location doubles as the
         // P-level fallback (a pointer to "a resolver that has entries for
         // individual L.P names" — here, the publisher's reverse proxy).
@@ -98,14 +110,24 @@ impl Resolver {
 
     /// Resolves a name: exact match first, then `P`-level delegation.
     pub fn resolve(&self, name: &ContentName) -> Option<Resolution> {
+        self.obs.counter("resolver.lookups").inc();
         let store = self.store.read();
         if let Some(locs) = store.exact.get(&(name.principal, name.label.clone())) {
+            self.obs.counter("resolver.exact").inc();
             return Some(Resolution::Locations(locs.clone()));
         }
-        store
+        let delegated = store
             .by_principal
             .get(&name.principal)
-            .map(|loc| Resolution::Delegation(loc.clone()))
+            .map(|loc| Resolution::Delegation(loc.clone()));
+        self.obs
+            .counter(if delegated.is_some() {
+                "resolver.delegations"
+            } else {
+                "resolver.not_found"
+            })
+            .inc();
+        delegated
     }
 
     /// Number of exact entries (for monitoring/tests).
@@ -189,11 +211,19 @@ fn parse_registration(body: &[u8]) -> Result<Registration> {
         .and_then(from_hex)
         .and_then(|b| MssSignature::from_bytes(&b))
         .ok_or_else(|| Error::Protocol("bad signature line".into()))?;
-    let locations: Vec<String> = lines.map(|l| l.to_string()).filter(|l| !l.is_empty()).collect();
+    let locations: Vec<String> = lines
+        .map(|l| l.to_string())
+        .filter(|l| !l.is_empty())
+        .collect();
     if locations.is_empty() {
         return Err(Error::Protocol("no locations".into()));
     }
-    Ok(Registration { name, locations, publisher_root, signature })
+    Ok(Registration {
+        name,
+        locations,
+        publisher_root,
+        signature,
+    })
 }
 
 /// Client-side handle to a remote resolver.
@@ -259,11 +289,7 @@ mod tests {
         Identity::generate(&mut StdRng::seed_from_u64(11), 3)
     }
 
-    fn signed_registration(
-        id: &mut Identity,
-        label: &str,
-        locations: Vec<String>,
-    ) -> Registration {
+    fn signed_registration(id: &mut Identity, label: &str, locations: Vec<String>) -> Registration {
         let name = ContentName::new(label, Principal(id.principal_digest())).unwrap();
         let msg = digest(&registration_bytes(&name, &locations));
         Registration {
@@ -301,6 +327,11 @@ mod tests {
         // A different principal resolves to nothing.
         let foreign = ContentName::new("x", Principal(digest(b"other"))).unwrap();
         assert_eq!(r.resolve(&foreign), None);
+        let snap = r.telemetry();
+        assert_eq!(snap.counters["resolver.registrations"], 1);
+        assert_eq!(snap.counters["resolver.lookups"], 2);
+        assert_eq!(snap.counters["resolver.delegations"], 1);
+        assert_eq!(snap.counters["resolver.not_found"], 1);
     }
 
     #[test]
@@ -331,6 +362,7 @@ mod tests {
         };
         assert!(matches!(r.register(&forged2), Err(Error::Verification(_))));
         assert!(r.is_empty());
+        assert_eq!(r.telemetry().counters["resolver.rejected_registrations"], 2);
     }
 
     #[test]

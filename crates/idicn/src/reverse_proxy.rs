@@ -23,18 +23,22 @@ use std::sync::Arc;
 /// Default Metalink piece size (64 KiB).
 pub const DEFAULT_PIECE_SIZE: usize = 64 * 1024;
 
+/// A cached object: shared content bytes + the signed metadata.
+type CachedObject = (Arc<Vec<u8>>, Metadata);
+
 struct Inner {
     identity: Mutex<Identity>,
     principal: Principal,
     origin_addr: SocketAddr,
     resolver: ResolverClient,
     /// label → (content, signed metadata). The "fresh copy" cache.
-    cache: RwLock<HashMap<String, (Arc<Vec<u8>>, Metadata)>>,
+    cache: RwLock<HashMap<String, CachedObject>>,
     /// Published labels and their signed metadata survive cache eviction:
     /// signatures are generated once at publish time (§6, "generate
     /// signatures ... cache them").
     published: RwLock<HashMap<String, Metadata>>,
     addr: Mutex<Option<SocketAddr>>,
+    obs: icn_obs::Registry,
 }
 
 /// A running reverse proxy bound to one origin, one resolver, and one
@@ -58,8 +62,15 @@ impl ReverseProxy {
                 cache: RwLock::new(HashMap::new()),
                 published: RwLock::new(HashMap::new()),
                 addr: Mutex::new(None),
+                obs: icn_obs::Registry::new(),
             }),
         }
+    }
+
+    /// Telemetry snapshot: `rp.publishes`, `rp.serves`, `rp.fresh_hits`,
+    /// `rp.origin_refetches`, `rp.divergence_refusals`.
+    pub fn telemetry(&self) -> icn_obs::Snapshot {
+        self.inner.obs.snapshot()
     }
 
     /// The publisher principal this proxy signs for.
@@ -127,6 +138,7 @@ impl ReverseProxy {
             .cache
             .write()
             .insert(label.to_string(), (Arc::new(content), metadata));
+        self.inner.obs.counter("rp.publishes").inc();
         Ok(name)
     }
 
@@ -159,19 +171,24 @@ impl ReverseProxy {
         }
         // Fresh copy? Serve it (step 6). Otherwise route to the origin
         // (step 5) — but only for published (signed) labels.
+        self.inner.obs.counter("rp.serves").inc();
         let cached = self.inner.cache.read().get(&name.label).cloned();
         let (content, metadata) = match cached {
-            Some((c, m)) => (c, m),
+            Some((c, m)) => {
+                self.inner.obs.counter("rp.fresh_hits").inc();
+                (c, m)
+            }
             None => {
-                let Some(metadata) = self.inner.published.read().get(&name.label).cloned()
-                else {
+                let Some(metadata) = self.inner.published.read().get(&name.label).cloned() else {
                     return HttpResponse::not_found("not published");
                 };
+                self.inner.obs.counter("rp.origin_refetches").inc();
                 match self.fetch_origin(&name.label) {
                     Ok(content) => {
                         // Refuse to serve origin bytes that no longer match
                         // the published signature.
                         if !metadata.digests.verify_full(&content) {
+                            self.inner.obs.counter("rp.divergence_refusals").inc();
                             return HttpResponse::new(
                                 502,
                                 b"origin content diverged from published signature".to_vec(),
@@ -278,6 +295,11 @@ mod tests {
         let resp = http::http_get(addr, &path, &[]).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"stable bytes");
+        let snap = rig.rp.telemetry();
+        assert_eq!(snap.counters["rp.publishes"], 1);
+        assert_eq!(snap.counters["rp.serves"], 1);
+        assert_eq!(snap.counters["rp.origin_refetches"], 1);
+        assert!(!snap.counters.contains_key("rp.fresh_hits"));
     }
 
     #[test]
@@ -293,16 +315,14 @@ mod tests {
         let (addr, path) = crate::proxy::parse_http_url(&url).unwrap();
         let resp = http::http_get(addr, &path, &[]).unwrap();
         assert_eq!(resp.status, 502);
+        assert_eq!(rig.rp.telemetry().counters["rp.divergence_refusals"], 1);
     }
 
     #[test]
     fn foreign_principal_refused() {
         let rig = rig();
-        let foreign = ContentName::new(
-            "anything",
-            Principal(digest(b"someone else entirely")),
-        )
-        .unwrap();
+        let foreign =
+            ContentName::new("anything", Principal(digest(b"someone else entirely"))).unwrap();
         let url = rig.rp.fetch_url(&foreign).unwrap();
         let (addr, path) = crate::proxy::parse_http_url(&url).unwrap();
         let resp = http::http_get(addr, &path, &[]).unwrap();

@@ -46,13 +46,9 @@ pub fn sh_exp_match(text: &str, pattern: &str) -> bool {
         match (p.first(), t.first()) {
             (None, None) => true,
             (None, Some(_)) => false,
-            (Some(b'*'), _) => {
-                matches(t, &p[1..]) || (!t.is_empty() && matches(&t[1..], p))
-            }
+            (Some(b'*'), _) => matches(t, &p[1..]) || (!t.is_empty() && matches(&t[1..], p)),
             (Some(b'?'), Some(_)) => matches(&t[1..], &p[1..]),
-            (Some(&pc), Some(&tc)) => {
-                pc.eq_ignore_ascii_case(&tc) && matches(&t[1..], &p[1..])
-            }
+            (Some(&pc), Some(&tc)) => pc.eq_ignore_ascii_case(&tc) && matches(&t[1..], &p[1..]),
             (Some(_), None) => false,
         }
     }
@@ -107,7 +103,10 @@ impl PacFile {
             } else {
                 return Err(Error::Protocol(format!("bad PAC decision {decision:?}")));
             };
-            rules.push(PacRule { host_pattern: pattern.trim().to_string(), decision });
+            rules.push(PacRule {
+                host_pattern: pattern.trim().to_string(),
+                decision,
+            });
         }
         Ok(Self { rules })
     }
@@ -166,7 +165,12 @@ impl WpadService {
                 }
             }
         });
-        Ok(Self { udp_addr, _pac_server: pac_server, stop, thread: Some(thread) })
+        Ok(Self {
+            udp_addr,
+            _pac_server: pac_server,
+            stop,
+            thread: Some(thread),
+        })
     }
 
     /// The UDP address clients send discovery datagrams to.
@@ -193,16 +197,18 @@ pub fn discover_pac(discovery_addr: SocketAddr) -> Result<PacFile> {
     socket.send_to(WPAD_QUERY, discovery_addr)?;
     let mut buf = [0u8; 512];
     let (n, _) = socket.recv_from(&mut buf)?;
-    let url = std::str::from_utf8(&buf[..n])
-        .map_err(|_| Error::Protocol("non-UTF8 PAC URL".into()))?;
+    let url =
+        std::str::from_utf8(&buf[..n]).map_err(|_| Error::Protocol("non-UTF8 PAC URL".into()))?;
     let (addr, path) = crate::proxy::parse_http_url(url)?;
     let resp = http::http_get(addr, &path, &[])?;
     if !resp.is_success() {
-        return Err(Error::Protocol(format!("PAC fetch failed: {}", resp.status)));
+        return Err(Error::Protocol(format!(
+            "PAC fetch failed: {}",
+            resp.status
+        )));
     }
     PacFile::parse(
-        std::str::from_utf8(&resp.body)
-            .map_err(|_| Error::Protocol("non-UTF8 PAC file".into()))?,
+        std::str::from_utf8(&resp.body).map_err(|_| Error::Protocol("non-UTF8 PAC file".into()))?,
     )
 }
 
@@ -213,8 +219,14 @@ mod tests {
     #[test]
     fn glob_semantics() {
         assert!(sh_exp_match("a.idicn.org", "*.idicn.org"));
-        assert!(sh_exp_match("L.P.IDICN.ORG", "*.idicn.org"), "case-insensitive");
-        assert!(!sh_exp_match("idicn.org", "*.idicn.org"), "needs a subdomain");
+        assert!(
+            sh_exp_match("L.P.IDICN.ORG", "*.idicn.org"),
+            "case-insensitive"
+        );
+        assert!(
+            !sh_exp_match("idicn.org", "*.idicn.org"),
+            "needs a subdomain"
+        );
         assert!(sh_exp_match("abc", "a?c"));
         assert!(!sh_exp_match("ac", "a?c"));
         assert!(sh_exp_match("anything", "*"));
@@ -227,8 +239,14 @@ mod tests {
         let p1: SocketAddr = "127.0.0.1:3128".parse().unwrap();
         let pac = PacFile {
             rules: vec![
-                PacRule { host_pattern: "*.idicn.org".into(), decision: ProxyDecision::Proxy(p1) },
-                PacRule { host_pattern: "internal.*".into(), decision: ProxyDecision::Direct },
+                PacRule {
+                    host_pattern: "*.idicn.org".into(),
+                    decision: ProxyDecision::Proxy(p1),
+                },
+                PacRule {
+                    host_pattern: "internal.*".into(),
+                    decision: ProxyDecision::Direct,
+                },
             ],
         };
         assert_eq!(

@@ -1,0 +1,282 @@
+//! The metric registry: named counters, gauges, histograms, and timers.
+//!
+//! Registration (name lookup) takes a lock; the returned handles are
+//! `Arc`-backed and every hot-path operation on them is a relaxed atomic.
+//! Hot loops should resolve handles once up front:
+//!
+//! ```
+//! use icn_obs::Registry;
+//! let registry = Registry::new();
+//! let served = registry.counter("proxy.served");
+//! for _ in 0..3 {
+//!     let _t = registry.timer("sim.route"); // scoped span timer
+//!     served.inc();
+//! }
+//! assert_eq!(served.get(), 3);
+//! assert_eq!(registry.snapshot().timers["sim.route"].count, 3);
+//! ```
+
+use crate::hist::AtomicHistogram;
+use crate::snapshot::{HistSummary, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonically increasing counter handle (cheap to clone).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed up/down gauge handle (cheap to clone).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle (cheap to clone).
+#[derive(Clone)]
+pub struct HistHandle(Arc<AtomicHistogram>);
+
+impl HistHandle {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Copies the current state into a plain histogram.
+    pub fn snapshot(&self) -> crate::hist::Histogram {
+        self.0.snapshot()
+    }
+}
+
+/// A pre-resolved timer: start it to get a scoped guard that records the
+/// elapsed nanoseconds on drop.
+#[derive(Clone)]
+pub struct TimerHandle(Arc<AtomicHistogram>);
+
+impl TimerHandle {
+    /// Starts a span; the guard records on drop.
+    #[inline]
+    pub fn start(&self) -> ScopedTimer {
+        ScopedTimer {
+            hist: self.0.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an externally measured duration (nanoseconds).
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        self.0.record(ns);
+    }
+
+    /// Runs `f` inside a span.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _t = self.start();
+        f()
+    }
+}
+
+/// A live span; records its elapsed nanoseconds into the timer's histogram
+/// when dropped.
+pub struct ScopedTimer {
+    hist: Arc<AtomicHistogram>,
+    start: Instant,
+}
+
+impl Drop for ScopedTimer {
+    #[inline]
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
+    histograms: BTreeMap<String, Arc<AtomicHistogram>>,
+    timers: BTreeMap<String, Arc<AtomicHistogram>>,
+}
+
+/// The metric registry. Wrap in an [`Arc`] to share across threads; all
+/// handle operations are lock-free.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        Counter(Arc::clone(
+            inner.counters.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        Gauge(Arc::clone(
+            inner.gauges.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistHandle {
+        let mut inner = self.inner.lock().unwrap();
+        HistHandle(Arc::clone(
+            inner.histograms.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// Gets or creates the timer `name` (pre-resolved form for hot loops).
+    pub fn timer_handle(&self, name: &str) -> TimerHandle {
+        let mut inner = self.inner.lock().unwrap();
+        TimerHandle(Arc::clone(
+            inner.timers.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// Starts a scoped span timer: `let _t = registry.timer("sim.route");`.
+    ///
+    /// Convenience form that pays one registry lock per call — hot loops
+    /// should use [`Registry::timer_handle`] once and `start()` per span.
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        self.timer_handle(name).start()
+    }
+
+    /// Merges a finished plain histogram into the histogram `name`
+    /// (used to fold per-run/per-shard histograms into the registry).
+    pub fn merge_histogram(&self, name: &str, h: &crate::hist::Histogram) {
+        self.histogram(name).0.merge_plain(h);
+    }
+
+    /// A point-in-time copy of every metric, quantiles included.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut snap = Snapshot::default();
+        for (name, c) in &inner.counters {
+            snap.counters
+                .insert(name.clone(), c.load(Ordering::Relaxed));
+        }
+        for (name, g) in &inner.gauges {
+            snap.gauges.insert(name.clone(), g.load(Ordering::Relaxed));
+        }
+        for (name, h) in &inner.histograms {
+            snap.histograms
+                .insert(name.clone(), HistSummary::of(&h.snapshot()));
+        }
+        for (name, t) in &inner.timers {
+            snap.timers
+                .insert(name.clone(), HistSummary::of(&t.snapshot()));
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        r.counter("x").add(2);
+        r.counter("x").inc();
+        assert_eq!(r.counter("x").get(), 3);
+        r.gauge("g").add(5);
+        r.gauge("g").dec();
+        assert_eq!(r.gauge("g").get(), 4);
+    }
+
+    #[test]
+    fn concurrent_counts_are_exact() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(thread::spawn(move || {
+                let c = r.counter("hits");
+                let h = r.histogram("lat");
+                for i in 0..10_000u64 {
+                    c.inc();
+                    h.record(i % 512);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("hits").get(), 80_000);
+        assert_eq!(r.histogram("lat").snapshot().count(), 80_000);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let r = Registry::new();
+        {
+            let _t = r.timer("span");
+        }
+        let t = r.timer_handle("span");
+        t.observe_ns(500);
+        let snap = r.snapshot();
+        assert_eq!(snap.timers["span"].count, 2);
+        assert!(snap.timers["span"].sum >= 500);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the observability primitives: quantile accuracy
+//! against an exact oracle, merge algebra, concurrent recording, and
+//! snapshot JSON round trips.
+
+use icn_obs::{Histogram, Registry, Snapshot};
+use proptest::prelude::*;
+
+/// The same rank convention `Histogram::quantile` uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[rank]
+}
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes: sub-bucket-exact small values through full-range
+    // large ones, so quantiles land in both regimes.
+    prop::collection::vec(
+        prop_oneof![
+            0u64..32,
+            32u64..4096,
+            4096u64..1_000_000,
+            1_000_000u64..u64::MAX / 2,
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn quantiles_track_the_exact_order_statistics(vals in values()) {
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            // The estimate is the midpoint of the bucket holding the rank:
+            // exact below 32, within one bucket width (~6.25%) above.
+            let tol = (exact as f64 / 16.0) + 1.0;
+            prop_assert!(
+                (est - exact as f64).abs() <= tol,
+                "q={q}: est {est} vs exact {exact} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in values(), b in values(), c in values()
+    ) {
+        let hist = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        let mut ab_c = ha.clone();
+        ab_c.merge(&hb);
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips(
+        counters in prop::collection::vec((0u64..1000, 0u64..u64::MAX / 2), 0..8),
+        gauge in -5_000_000i64..5_000_000,
+        hist_vals in values(),
+    ) {
+        let registry = Registry::new();
+        for (i, (_, v)) in counters.iter().enumerate() {
+            registry.counter(&format!("c.{i}")).add(*v);
+        }
+        registry.gauge("g").set(gauge);
+        let h = registry.histogram("h");
+        for &v in &hist_vals {
+            h.record(v);
+        }
+        registry.timer_handle("t").observe_ns(1_234_567);
+
+        let snap = registry.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(&back, &snap);
+        // And a second round trip is a fixed point.
+        let again = Snapshot::from_json(&back.to_json()).unwrap();
+        prop_assert_eq!(&again, &back);
+    }
+}
+
+#[test]
+fn counters_and_histograms_are_exact_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let registry = std::sync::Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = std::sync::Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let counter = registry.counter("contended.counter");
+                let hist = registry.histogram("contended.hist");
+                let timer = registry.timer_handle("contended.timer");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(t as u64 * PER_THREAD + i);
+                    timer.observe_ns(i + 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(snap.counters["contended.counter"], total);
+    assert_eq!(snap.histograms["contended.hist"].count, total);
+    assert_eq!(snap.histograms["contended.hist"].min, 0);
+    assert_eq!(snap.histograms["contended.hist"].max, total - 1);
+    assert_eq!(snap.timers["contended.timer"].count, total);
+    // Sum of 1..=PER_THREAD per thread, exactly, despite the contention.
+    assert_eq!(
+        snap.timers["contended.timer"].sum,
+        THREADS as u64 * (PER_THREAD * (PER_THREAD + 1) / 2)
+    );
+}

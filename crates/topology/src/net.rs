@@ -314,7 +314,9 @@ impl Network {
     /// Global parent router of `n`, if any.
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
         let pop = self.pop_of(n);
-        self.tree.parent(self.tree_index(n)).map(|t| self.node(pop, t))
+        self.tree
+            .parent(self.tree_index(n))
+            .map(|t| self.node(pop, t))
     }
 }
 
@@ -421,13 +423,13 @@ mod tests {
         let net = tiny();
         let mut nodes = Vec::new();
         let cases = [
-            (net.leaf(0, 0), net.leaf(0, 3)),      // same pop, across root
-            (net.leaf(0, 0), net.leaf(0, 1)),      // siblings
-            (net.leaf(0, 0), net.node(0, 1)),      // ancestor
-            (net.node(0, 1), net.leaf(0, 0)),      // descendant
-            (net.leaf(2, 1), net.leaf(9, 2)),      // cross pop
-            (net.pop_root(4), net.leaf(5, 0)),     // root to remote leaf
-            (net.leaf(3, 2), net.leaf(3, 2)),      // self
+            (net.leaf(0, 0), net.leaf(0, 3)),  // same pop, across root
+            (net.leaf(0, 0), net.leaf(0, 1)),  // siblings
+            (net.leaf(0, 0), net.node(0, 1)),  // ancestor
+            (net.node(0, 1), net.leaf(0, 0)),  // descendant
+            (net.leaf(2, 1), net.leaf(9, 2)),  // cross pop
+            (net.pop_root(4), net.leaf(5, 0)), // root to remote leaf
+            (net.leaf(3, 2), net.leaf(3, 2)),  // self
         ];
         for (a, b) in cases {
             nodes.clear();
@@ -441,7 +443,11 @@ mod tests {
             );
             // Consecutive nodes are exactly one hop apart.
             for w in nodes.windows(2) {
-                assert_eq!(net.distance(w[0], w[1]), 1, "non-adjacent step in {nodes:?}");
+                assert_eq!(
+                    net.distance(w[0], w[1]),
+                    1,
+                    "non-adjacent step in {nodes:?}"
+                );
             }
         }
     }

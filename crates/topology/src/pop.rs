@@ -54,7 +54,10 @@ impl PopGraph {
         assert!(n > 0, "graph must have at least one PoP");
         for e in edges.iter_mut() {
             assert_ne!(e.0, e.1, "self-loop at PoP {}", e.0);
-            assert!((e.0 as usize) < n && (e.1 as usize) < n, "edge out of range");
+            assert!(
+                (e.0 as usize) < n && (e.1 as usize) < n,
+                "edge out of range"
+            );
             if e.0 > e.1 {
                 *e = (e.1, e.0);
             }
@@ -66,7 +69,13 @@ impl PopGraph {
             adj[a as usize].push(b);
             adj[b as usize].push(a);
         }
-        let g = Self { name: name.into(), labels, populations, adj, edges };
+        let g = Self {
+            name: name.into(),
+            labels,
+            populations,
+            adj,
+            edges,
+        };
         assert!(g.is_connected(), "PoP graph {:?} is not connected", g.name);
         g
     }
@@ -142,7 +151,9 @@ impl PopGraph {
 
     /// All-pairs shortest-path hop distances (`apsp[a][b]`).
     pub fn apsp(&self) -> Vec<Vec<u32>> {
-        (0..self.len() as u32).map(|p| self.bfs_distances(p)).collect()
+        (0..self.len() as u32)
+            .map(|p| self.bfs_distances(p))
+            .collect()
     }
 
     /// Per-source BFS parent tables used to reconstruct shortest paths.
@@ -199,28 +210,28 @@ pub fn abilene() -> PopGraph {
 /// The Géant European research backbone (2004-era map): 22 PoPs.
 pub fn geant() -> PopGraph {
     let labels = named(&[
-        "London",    // 0
-        "Paris",     // 1
-        "Madrid",    // 2
-        "Lisbon",    // 3
-        "Geneva",    // 4
-        "Milan",     // 5
-        "Frankfurt", // 6
-        "Amsterdam", // 7
-        "Brussels",  // 8
-        "Dublin",    // 9
-        "Copenhagen",// 10
-        "Stockholm", // 11
-        "Oslo",      // 12
-        "Helsinki",  // 13
-        "Warsaw",    // 14
-        "Prague",    // 15
-        "Vienna",    // 16
-        "Budapest",  // 17
-        "Zagreb",    // 18
-        "Athens",    // 19
-        "Bucharest", // 20
-        "Rome",      // 21
+        "London",     // 0
+        "Paris",      // 1
+        "Madrid",     // 2
+        "Lisbon",     // 3
+        "Geneva",     // 4
+        "Milan",      // 5
+        "Frankfurt",  // 6
+        "Amsterdam",  // 7
+        "Brussels",   // 8
+        "Dublin",     // 9
+        "Copenhagen", // 10
+        "Stockholm",  // 11
+        "Oslo",       // 12
+        "Helsinki",   // 13
+        "Warsaw",     // 14
+        "Prague",     // 15
+        "Vienna",     // 16
+        "Budapest",   // 17
+        "Zagreb",     // 18
+        "Athens",     // 19
+        "Bucharest",  // 20
+        "Rome",       // 21
     ]);
     let populations = vec![
         13_709_000, 12_405_000, 6_489_000, 2_821_000, 1_000_000, 4_336_000, 2_500_000, 2_480_000,
@@ -455,12 +466,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not connected")]
     fn disconnected_graph_rejected() {
-        PopGraph::new(
-            "bad",
-            named(&["a", "b", "c"]),
-            vec![1, 1, 1],
-            vec![(0, 1)],
-        );
+        PopGraph::new("bad", named(&["a", "b", "c"]), vec![1, 1, 1], vec![(0, 1)]);
     }
 
     #[test]
@@ -471,12 +477,7 @@ mod tests {
 
     #[test]
     fn edge_normalization_dedups() {
-        let g = PopGraph::new(
-            "dup",
-            named(&["a", "b"]),
-            vec![1, 1],
-            vec![(0, 1), (1, 0)],
-        );
+        let g = PopGraph::new("dup", named(&["a", "b"]), vec![1, 1], vec![(0, 1), (1, 0)]);
         assert_eq!(g.edges().len(), 1);
     }
 }

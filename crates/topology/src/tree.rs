@@ -41,7 +41,10 @@ impl AccessTree {
         assert!(arity >= 1, "arity must be >= 1");
         assert!(depth >= 1, "depth must be >= 1");
         let t = Self { arity, depth };
-        assert!(t.checked_nodes().is_some(), "tree too large for u32 indexing");
+        assert!(
+            t.checked_nodes().is_some(),
+            "tree too large for u32 indexing"
+        );
         t
     }
 
@@ -190,7 +193,10 @@ impl AccessTree {
 
     /// The ancestors of `i` from `i` itself up to and including the root.
     pub fn path_to_root(&self, i: u32) -> PathToRoot<'_> {
-        PathToRoot { tree: self, cur: Some(i) }
+        PathToRoot {
+            tree: self,
+            cur: Some(i),
+        }
     }
 }
 

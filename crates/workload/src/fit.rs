@@ -88,7 +88,11 @@ pub fn fit_zipf(counts: &[u64]) -> Option<ZipfFit> {
         syy += dy * dy;
     }
     let slope = sxy / sxx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
 
     Some(ZipfFit {
         alpha_mle,
@@ -159,7 +163,10 @@ mod tests {
         let counts = sample_counts(2_000, 1.0, 400_000, 5);
         let fit = fit_zipf(&counts).unwrap();
         // OLS on sampled tails is biased; just require the same ballpark.
-        assert!((fit.alpha_regression - fit.alpha_mle).abs() < 0.35, "{fit:?}");
+        assert!(
+            (fit.alpha_regression - fit.alpha_mle).abs() < 0.35,
+            "{fit:?}"
+        );
         assert!(fit.r_squared > 0.8, "log-log should look linear: {fit:?}");
     }
 

@@ -93,7 +93,10 @@ pub fn inject_flood(base: &Trace, pops: u16, leaves_per_pop: u16, cfg: &FloodCon
         }
     }
     Trace {
-        config: TraceConfig { requests: out.len(), ..base.config.clone() },
+        config: TraceConfig {
+            requests: out.len(),
+            ..base.config.clone()
+        },
         requests: out,
         object_sizes: base.object_sizes.clone(),
     }
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn flood_adds_expected_volume() {
         let b = base();
-        let cfg = FloodConfig { intensity: 2.0, ..FloodConfig::new(0..10) };
+        let cfg = FloodConfig {
+            intensity: 2.0,
+            ..FloodConfig::new(0..10)
+        };
         let t = inject_flood(&b, 2, 8, &cfg);
         // Flood interval covers half the trace at 2x -> ~+100% of half.
         let added = t.len() - b.len();
@@ -130,8 +136,7 @@ mod tests {
         let cfg = FloodConfig::new(990..1000);
         let t = inject_flood(&b, 2, 8, &cfg);
         // Count extra requests for victim objects vs base.
-        let count =
-            |tr: &Trace| tr.requests.iter().filter(|r| r.object >= 990).count();
+        let count = |tr: &Trace| tr.requests.iter().filter(|r| r.object >= 990).count();
         assert!(
             count(&t) > count(&b).max(1) * 10,
             "victims should be hammered: {} vs {}",
@@ -160,7 +165,10 @@ mod tests {
     #[test]
     fn zero_intensity_is_identity() {
         let b = base();
-        let cfg = FloodConfig { intensity: 0.0, ..FloodConfig::new(0..10) };
+        let cfg = FloodConfig {
+            intensity: 0.0,
+            ..FloodConfig::new(0..10)
+        };
         let t = inject_flood(&b, 2, 8, &cfg);
         assert_eq!(t.requests, b.requests);
     }

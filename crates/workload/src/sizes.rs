@@ -30,7 +30,11 @@ pub enum SizeModel {
 impl SizeModel {
     /// A typical web-object mix: 1 KiB – 100 MiB, tail index 1.2.
     pub fn web_default() -> Self {
-        SizeModel::BoundedPareto { alpha: 1.2, min: 1 << 10, max: 100 << 20 }
+        SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 1 << 10,
+            max: 100 << 20,
+        }
     }
 
     /// Draws a size per object id. Object ids are global-popularity ranks,
@@ -69,14 +73,22 @@ mod tests {
 
     #[test]
     fn pareto_within_bounds() {
-        let m = SizeModel::BoundedPareto { alpha: 1.2, min: 1024, max: 1 << 30 };
+        let m = SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 1024,
+            max: 1 << 30,
+        };
         let sizes = m.generate(10_000, 7);
         assert!(sizes.iter().all(|&s| (1024..=1 << 30).contains(&s)));
     }
 
     #[test]
     fn pareto_is_heavy_tailed() {
-        let m = SizeModel::BoundedPareto { alpha: 1.2, min: 1024, max: 1 << 30 };
+        let m = SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 1024,
+            max: 1 << 30,
+        };
         let sizes = m.generate(50_000, 3);
         let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / sizes.len() as f64;
         let mut sorted = sizes.clone();

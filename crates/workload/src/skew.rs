@@ -60,9 +60,7 @@ impl SpatialModel {
     pub fn object_for_rank(&self, pop: u32, rank: u32) -> u32 {
         match self {
             SpatialModel::Global => rank,
-            SpatialModel::PerPop { rank_to_object } => {
-                rank_to_object[pop as usize][rank as usize]
-            }
+            SpatialModel::PerPop { rank_to_object } => rank_to_object[pop as usize][rank as usize],
         }
     }
 
@@ -116,7 +114,7 @@ mod tests {
     fn rankings_are_permutations() {
         let m = SpatialModel::new(200, 5, 0.7, 9);
         for p in 0..5 {
-            let mut seen = vec![false; 200];
+            let mut seen = [false; 200];
             for r in 0..200 {
                 let o = m.object_for_rank(p, r) as usize;
                 assert!(!seen[o], "object {o} twice at pop {p}");
@@ -132,7 +130,10 @@ mod tests {
         let s_small = SpatialModel::new(o, pops, 0.2, 7).measured_skew();
         let s_big = SpatialModel::new(o, pops, 1.0, 7).measured_skew();
         assert!(s_small > 0.0);
-        assert!(s_big > s_small, "skew metric not monotone: {s_small} vs {s_big}");
+        assert!(
+            s_big > s_small,
+            "skew metric not monotone: {s_small} vs {s_big}"
+        );
     }
 
     #[test]

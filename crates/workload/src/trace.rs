@@ -84,7 +84,10 @@ impl Locality {
     /// gaps (Table 3 / Figure 6; the calibration run is recorded in
     /// EXPERIMENTS.md).
     pub fn cdn_default() -> Self {
-        Self { q: 0.65, window: 256 }
+        Self {
+            q: 0.65,
+            window: 256,
+        }
     }
 }
 
@@ -170,7 +173,10 @@ impl Trace {
     pub fn synthesize(config: TraceConfig, populations: &[u64], leaves_per_pop: u32) -> Self {
         assert!(!populations.is_empty());
         assert!(leaves_per_pop >= 1);
-        assert!(populations.len() <= u16::MAX as usize, "too many PoPs for u16");
+        assert!(
+            populations.len() <= u16::MAX as usize,
+            "too many PoPs for u16"
+        );
         assert!(leaves_per_pop <= u16::MAX as u32, "too many leaves for u16");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let zipf = Zipf::new(config.objects as usize, config.alpha);
@@ -210,17 +216,15 @@ impl Trace {
             let pop = cum.partition_point(|&c| c < u).min(populations.len() - 1) as u16;
             let leaf = rng.gen_range(0..leaves_per_pop) as u16;
             let leaf_slot = pop as usize * leaves_per_pop as usize + leaf as usize;
-            let object = if loc_q > 0.0
-                && !history[leaf_slot].is_empty()
-                && rng.gen::<f64>() < loc_q
-            {
-                // Replay a recent request from this leaf.
-                let h = &history[leaf_slot];
-                h[rng.gen_range(0..h.len())]
-            } else {
-                let rank = zipf.sample(&mut rng) as u32;
-                spatial.object_for_rank(pop as u32, rank)
-            };
+            let object =
+                if loc_q > 0.0 && !history[leaf_slot].is_empty() && rng.gen::<f64>() < loc_q {
+                    // Replay a recent request from this leaf.
+                    let h = &history[leaf_slot];
+                    h[rng.gen_range(0..h.len())]
+                } else {
+                    let rank = zipf.sample(&mut rng) as u32;
+                    spatial.object_for_rank(pop as u32, rank)
+                };
             if loc_q > 0.0 {
                 let h = &mut history[leaf_slot];
                 if h.len() < loc_window {
@@ -234,7 +238,11 @@ impl Trace {
             requests.push(Request { pop, leaf, object });
         }
         let object_sizes = config.sizes.generate(config.objects, config.seed ^ 0xa5a5);
-        Self { config, requests, object_sizes }
+        Self {
+            config,
+            requests,
+            object_sizes,
+        }
     }
 
     /// Number of requests.
@@ -281,10 +289,18 @@ impl Trace {
             let mut it = line.split(',');
             let parse_err =
                 || std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad line {i}"));
-            let pop = it.next().and_then(|s| s.trim().parse().ok()).ok_or_else(parse_err)?;
-            let leaf = it.next().and_then(|s| s.trim().parse().ok()).ok_or_else(parse_err)?;
-            let object: u32 =
-                it.next().and_then(|s| s.trim().parse().ok()).ok_or_else(parse_err)?;
+            let pop = it
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(parse_err)?;
+            let leaf = it
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(parse_err)?;
+            let object: u32 = it
+                .next()
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(parse_err)?;
             max_object = max_object.max(object);
             requests.push(Request { pop, leaf, object });
         }
@@ -392,7 +408,10 @@ mod tests {
         let mut base = TraceConfig::small();
         base.objects = 50_000; // large universe so IRM repeats are rare
         let mut local = base.clone();
-        local.locality = Some(Locality { q: 0.6, window: 128 });
+        local.locality = Some(Locality {
+            q: 0.6,
+            window: 128,
+        });
 
         fn leaf_repeat_rate(t: &Trace, leaves: u16) -> f64 {
             let mut seen: Vec<std::collections::HashSet<u32>> =
@@ -442,8 +461,7 @@ mod tests {
         let t = Trace::synthesize(cfg, &pops(), 4);
         // With full skew, the globally-ranked object 0 is no longer the top
         // object at every pop.
-        let mut per_pop: Vec<std::collections::HashMap<u32, u64>> =
-            vec![Default::default(); 3];
+        let mut per_pop: Vec<std::collections::HashMap<u32, u64>> = vec![Default::default(); 3];
         for r in &t.requests {
             *per_pop[r.pop as usize].entry(r.object).or_insert(0) += 1;
         }

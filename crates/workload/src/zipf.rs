@@ -33,7 +33,10 @@ impl Zipf {
     /// `alpha == 0` degenerates to the uniform distribution.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n >= 1, "need at least one object");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 1..=n {
@@ -163,8 +166,8 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Top ranks should match pmf within a few percent.
-        for r in 0..5 {
-            let emp = counts[r] as f64 / n as f64;
+        for (r, &c) in counts.iter().enumerate().take(5) {
+            let emp = c as f64 / n as f64;
             let exp = z.pmf(r);
             assert!(
                 (emp - exp).abs() / exp < 0.05,

@@ -27,7 +27,10 @@ fn main() {
 
     // Bob types cnn.com; his resolver falls back to mDNS.
     let page = bob.fetch("cnn.com").expect("bob resolves via mDNS");
-    println!("[bob]   fetched cnn.com -> {:?}", String::from_utf8_lossy(&page));
+    println!(
+        "[bob]   fetched cnn.com -> {:?}",
+        String::from_utf8_lossy(&page)
+    );
 
     // Nobody has nytimes.com: the lookup simply fails.
     assert!(bob.fetch("nytimes.com").is_none());

@@ -21,8 +21,7 @@ fn main() {
         // a real log.
         let mut csv = Vec::new();
         trace.write_csv(&mut csv).expect("in-memory write");
-        let reloaded =
-            Trace::read_csv(std::io::BufReader::new(&csv[..])).expect("well-formed CSV");
+        let reloaded = Trace::read_csv(std::io::BufReader::new(&csv[..])).expect("well-formed CSV");
         assert_eq!(reloaded.len(), trace.len());
 
         let counts = reloaded.object_counts();
@@ -36,7 +35,10 @@ fn main() {
         );
         println!(
             "alpha: MLE {:.3}, log-log regression {:.3} (R^2 = {:.3}); paper fit {:.2}",
-            fit.alpha_mle, fit.alpha_regression, fit.r_squared, region.paper_alpha()
+            fit.alpha_mle,
+            fit.alpha_regression,
+            fit.r_squared,
+            region.paper_alpha()
         );
         println!("top of the rank-frequency curve:");
         for (rank, freq) in rank_frequency(&counts, 8).into_iter().take(8) {

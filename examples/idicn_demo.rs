@@ -68,7 +68,10 @@ fn main() {
         meta.digests.num_pieces()
     );
     let (_, _, hit2) = fetch_verified(proxy_addr, &name).expect("second fetch");
-    println!("[fetch #2]      cache {}", if hit2 { "HIT" } else { "MISS" });
+    println!(
+        "[fetch #2]      cache {}",
+        if hit2 { "HIT" } else { "MISS" }
+    );
     assert!(!hit && hit2, "expected miss then hit");
 
     // --- The security model in action ---------------------------------------
@@ -84,6 +87,8 @@ fn main() {
         Ok(_) => panic!("tampered content must not verify"),
     }
 
-    println!("\nidICN end-to-end: security from names + signatures, caching at the\n\
-              edge, zero-touch client configuration — no router changes anywhere.");
+    println!(
+        "\nidICN end-to-end: security from names + signatures, caching at the\n\
+              edge, zero-touch client configuration — no router changes anywhere."
+    );
 }

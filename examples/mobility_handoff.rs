@@ -24,9 +24,8 @@ fn main() {
     // A 2 MiB object served by a mobile node.
     let content: Vec<u8> = (0..2 * 1024 * 1024u32).map(|i| (i % 241) as u8).collect();
     let identity = Identity::generate(&mut StdRng::seed_from_u64(77), 4);
-    let server =
-        MobileServer::start(identity, rc, "road-movie", content.clone(), 256 * 1024)
-            .expect("mobile server");
+    let server = MobileServer::start(identity, rc, "road-movie", content.clone(), 256 * 1024)
+        .expect("mobile server");
     println!(
         "[server] {} online at {} ({} bytes, {} pieces)",
         server.name().to_fqdn(),

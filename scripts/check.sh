@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full repo health check: build, tests, lints, formatting, and a telemetry
+# smoke test (fig6 --telemetry must emit a sidecar that parses back).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release"
+cargo build --release --workspace
+
+echo "=== cargo test"
+cargo test -q --workspace
+
+echo "=== cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo fmt --check"
+cargo fmt --check --all
+
+echo "=== --no-default-features builds"
+cargo build --release --workspace --no-default-features
+
+echo "=== telemetry smoke (fig6 --telemetry)"
+sidecar="$(mktemp /tmp/fig6-telemetry.XXXXXX.json)"
+trap 'rm -f "$sidecar"' EXIT
+SCALE="${SCALE:-0.02}" cargo run --release -p icn-bench --bin fig6 -- \
+    --telemetry "$sidecar" >/dev/null
+cargo run --release -p icn-bench --bin telemetry_check -- "$sidecar" >/dev/null
+echo "telemetry sidecar OK: $sidecar"
+
+echo "all checks passed"

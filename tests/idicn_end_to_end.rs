@@ -48,7 +48,8 @@ fn world(seed: u64) -> World {
 #[test]
 fn figure11_pipeline_with_wpad() {
     let w = world(1);
-    w.origin.add_content("index", b"hello information-centric world".to_vec());
+    w.origin
+        .add_content("index", b"hello information-centric world".to_vec());
     let name = w.rp.publish("index").unwrap();
 
     // Step 1: WPAD auto-configuration.
@@ -73,7 +74,11 @@ fn figure11_pipeline_with_wpad() {
     assert_eq!(meta.name, name);
     let (_, _, hit2) = fetch_verified(proxy_addr, &name).unwrap();
     assert!(hit2);
-    assert_eq!(w.proxy.stats(), (1, 1));
+    let stats = w.proxy.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(stats.verify_failures, 0);
+    // The proxy's telemetry snapshot timed both requests.
+    assert_eq!(w.proxy.telemetry().timers["proxy.request"].count, 2);
 }
 
 #[test]

@@ -35,9 +35,18 @@ fn claim_design_ordering_and_small_gap() {
     let edge = s.improvement(ExperimentConfig::baseline(DesignKind::Edge));
     let coop = s.improvement(ExperimentConfig::baseline(DesignKind::EdgeCoop));
 
-    assert!(nr.latency_pct >= sp.latency_pct - 0.5, "nr {nr:?} sp {sp:?}");
-    assert!(sp.latency_pct >= edge.latency_pct - 0.5, "sp {sp:?} edge {edge:?}");
-    assert!(coop.latency_pct >= edge.latency_pct, "coop {coop:?} edge {edge:?}");
+    assert!(
+        nr.latency_pct >= sp.latency_pct - 0.5,
+        "nr {nr:?} sp {sp:?}"
+    );
+    assert!(
+        sp.latency_pct >= edge.latency_pct - 0.5,
+        "sp {sp:?} edge {edge:?}"
+    );
+    assert!(
+        coop.latency_pct >= edge.latency_pct,
+        "coop {coop:?} edge {edge:?}"
+    );
     let gap = nr.latency_pct - edge.latency_pct;
     assert!(
         gap > 0.0 && gap < 15.0,
@@ -90,18 +99,29 @@ fn claim_gap_shrinks_with_alpha() {
 fn claim_gap_grows_with_spatial_skew() {
     // Figure 8(c) direction: skewed regional popularity favors ICN-NR
     // (IRM workload; see claim_gap_shrinks_with_alpha for why).
+    // The per-seed effect is ~0.2pp against ~0.5pp of seed noise at test
+    // scale, so average a few trace seeds to test the claim rather than
+    // one RNG stream.
     let gap_at = |skew: f64| {
-        let mut cfg = Region::Asia.config(0.02);
-        cfg.skew = skew;
-        cfg.locality = None;
-        let s = Scenario::build(
-            pop::abilene(),
-            AccessTree::baseline(),
-            cfg,
-            OriginPolicy::PopulationProportional,
-        );
-        s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge))
-            .latency_pct
+        let seeds = [42u64, 43, 44];
+        let total: f64 = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cfg = Region::Asia.config(0.02);
+                cfg.skew = skew;
+                cfg.locality = None;
+                cfg.seed = seed;
+                let s = Scenario::build(
+                    pop::abilene(),
+                    AccessTree::baseline(),
+                    cfg,
+                    OriginPolicy::PopulationProportional,
+                );
+                s.nr_vs_edge_gap(&ExperimentConfig::baseline(DesignKind::Edge))
+                    .latency_pct
+            })
+            .sum();
+        total / seeds.len() as f64
     };
     let none = gap_at(0.0);
     let full = gap_at(1.0);
@@ -173,7 +193,10 @@ fn claim_budget_policy_does_not_change_ordering() {
         let nr = imp(DesignKind::IcnNr);
         let sp = imp(DesignKind::IcnSp);
         let edge = imp(DesignKind::Edge);
-        assert!(nr >= sp - 0.5 && sp >= edge - 0.5, "{budget:?}: {nr} {sp} {edge}");
+        assert!(
+            nr >= sp - 0.5 && sp >= edge - 0.5,
+            "{budget:?}: {nr} {sp} {edge}"
+        );
     }
 }
 
@@ -183,8 +206,16 @@ fn claim_tree_model_worked_example() {
     // serves ~0.4 of requests and interior caching buys only ~25%.
     let zipf = Zipf::new(100_000, 0.7);
     let p = optimal_levels(6, 5_000, &zipf);
-    assert!((p.served[0] - 0.4).abs() < 0.1, "edge share {}", p.served[0]);
-    assert!((p.expected_hops - 3.0).abs() < 0.5, "hops {}", p.expected_hops);
+    assert!(
+        (p.served[0] - 0.4).abs() < 0.1,
+        "edge share {}",
+        p.served[0]
+    );
+    assert!(
+        (p.expected_hops - 3.0).abs() < 0.5,
+        "hops {}",
+        p.expected_hops
+    );
     let benefit = interior_cache_benefit(&p);
     assert!(
         benefit < 0.30,

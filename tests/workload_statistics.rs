@@ -36,7 +36,10 @@ fn locality_does_not_break_region_fits() {
     let populations = pop::abilene().populations.clone();
     for region in Region::all() {
         let cfg = region.config(0.05);
-        assert!(cfg.locality.is_some(), "regions default to calibrated locality");
+        assert!(
+            cfg.locality.is_some(),
+            "regions default to calibrated locality"
+        );
         let trace = Trace::synthesize(cfg, &populations, 32);
         let fit = fit_zipf(&trace.object_counts()).unwrap();
         assert!(
@@ -46,7 +49,12 @@ fn locality_does_not_break_region_fits() {
             fit.alpha_mle,
             region.paper_alpha()
         );
-        assert!(fit.r_squared > 0.75, "{}: R^2 {}", region.name(), fit.r_squared);
+        assert!(
+            fit.r_squared > 0.75,
+            "{}: R^2 {}",
+            region.name(),
+            fit.r_squared
+        );
     }
 }
 
@@ -63,7 +71,10 @@ fn skew_metric_is_monotone_in_parameter() {
         );
         last = measured;
     }
-    assert!(last > 0.15, "full skew should approach the uniform-rank stdev");
+    assert!(
+        last > 0.15,
+        "full skew should approach the uniform-rank stdev"
+    );
 }
 
 #[test]

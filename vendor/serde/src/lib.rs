@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of plain
+//! data types but never serializes through serde (the observability layer
+//! has its own dependency-free JSON, see `icn-obs`). This stub keeps those
+//! derives compiling without network access: the traits are markers and the
+//! derive macros emit empty impls.
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

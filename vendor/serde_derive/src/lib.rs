@@ -1,0 +1,97 @@
+//! Inert `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! Each derive emits a marker-trait impl for the annotated type (no
+//! methods — the stand-in traits are empty). Written against `proc_macro`
+//! only; no `syn`/`quote`, so it parses just enough of the item header to
+//! recover the type name and generic parameter names.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generic_params)` from a struct/enum definition.
+/// Generics are returned as the raw parameter names (lifetimes included),
+/// good enough for the repo's derived types (which are generic-free today,
+/// but cheap to future-proof).
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (#[...]) and visibility/keywords until `struct`/`enum`.
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    // Collect generic parameter names if a `<...>` group follows.
+    let mut generics = Vec::new();
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while let Some(tt) = iter.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                    if let Some(TokenTree::Ident(id)) = iter.next() {
+                        generics.push(format!("'{id}"));
+                    }
+                    expect_param = false;
+                }
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        generics.push(s);
+                        expect_param = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn impl_for(trait_path: &str, input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let code = if generics.is_empty() {
+        if trait_path.contains("Deserialize") {
+            format!("impl<'de> {trait_path}<'de> for {name} {{}}")
+        } else {
+            format!("impl {trait_path} for {name} {{}}")
+        }
+    } else {
+        let params = generics.join(", ");
+        if trait_path.contains("Deserialize") {
+            format!("impl<'de, {params}> {trait_path}<'de> for {name}<{params}> {{}}")
+        } else {
+            format!("impl<{params}> {trait_path} for {name}<{params}> {{}}")
+        }
+    };
+    code.parse().expect("derive: generated impl must parse")
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for("::serde::Serialize", input)
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for("::serde::Deserialize", input)
+}
