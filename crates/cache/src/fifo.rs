@@ -48,9 +48,9 @@ impl CachePolicy for Fifo {
             return None;
         }
         let evicted = if self.set.len() == self.capacity {
-            let victim = self.queue.pop_front().expect("full cache has a queue head");
-            self.set.remove(&victim);
-            Some(victim)
+            self.queue.pop_front().inspect(|victim| {
+                self.set.remove(victim);
+            })
         } else {
             None
         };

@@ -85,14 +85,11 @@ impl CachePolicy for Lfu {
             return None;
         }
         let evicted = if self.map.len() == self.capacity {
-            let &(f, t, victim) = self
-                .order
-                .iter()
-                .next()
-                .expect("cache full but order empty");
-            self.order.remove(&(f, t, victim));
-            self.map.remove(&victim);
-            Some(victim)
+            self.order.iter().next().copied().map(|(f, t, victim)| {
+                self.order.remove(&(f, t, victim));
+                self.map.remove(&victim);
+                victim
+            })
         } else {
             None
         };

@@ -9,6 +9,7 @@
 //! Each is reported as the percentage improvement relative to the identical
 //! run with no caches.
 
+// lint:allow(feature-gate-obs): Histogram is a plain data type built in every configuration; the `obs` feature gates instrumentation, not types
 use icn_obs::Histogram;
 use serde::{Deserialize, Serialize};
 
@@ -19,7 +20,7 @@ use serde::{Deserialize, Serialize};
 pub const LATENCY_HIST_SCALE: f64 = 1000.0;
 
 /// Raw per-run counters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Requests processed.
     pub requests: u64,

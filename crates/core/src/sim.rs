@@ -24,6 +24,7 @@ use crate::instrument::SimObs;
 use crate::metrics::{RunMetrics, LATENCY_HIST_SCALE};
 use icn_cache::budget::per_node_budgets;
 use icn_cache::policy::CachePolicy;
+// lint:allow(feature-gate-obs): TraceRecord is a plain data type built in every configuration; the `obs` feature gates instrumentation, not types
 use icn_obs::TraceRecord;
 use icn_topology::{Network, NodeId};
 use icn_workload::trace::Request;
@@ -33,8 +34,8 @@ use rand::{Rng, SeedableRng};
 /// Where a request was ultimately served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Server {
-    /// A cache at this router, reached on the request path.
-    Cache(NodeId),
+    /// A cache at this router, reached at this index on the request path.
+    Cache { node: NodeId, path_idx: usize },
     /// A sibling cache reached by a scoped cooperative lookup from the
     /// router at this path index.
     Sibling { sibling: NodeId, via_idx: usize },
@@ -187,7 +188,7 @@ impl<'a> Simulator<'a> {
                 break; // the origin always serves what it owns
             }
             if self.cache_contains(node, object) && self.try_capacity(node, idx) {
-                server = Server::Cache(node);
+                server = Server::Cache { node, path_idx: i };
                 break;
             }
             if self.spec.sibling_coop
@@ -234,13 +235,7 @@ impl<'a> Simulator<'a> {
         let depth = self.net.tree.depth;
         let weight = self.transfer_weight(object);
         let (serve_idx, detour_cost, detour_links) = match server {
-            Server::Cache(node) => {
-                let i = path
-                    .iter()
-                    .position(|&n| n == node)
-                    .expect("server on path");
-                (i, 0.0, 0)
-            }
+            Server::Cache { path_idx, .. } => (path_idx, 0.0, 0),
             Server::Origin(_) => (path.len() - 1, 0.0, 0),
             Server::Sibling { sibling, via_idx } => {
                 // Detour: node -> parent -> sibling, two tree links at the
@@ -275,7 +270,7 @@ impl<'a> Simulator<'a> {
 
         // Server-side bookkeeping.
         let serving_level = match server {
-            Server::Cache(node) => {
+            Server::Cache { node, .. } => {
                 self.metrics.cache_hits += 1;
                 let level = self.net.level_of(node);
                 self.metrics.hits_by_level[level as usize] += 1;
@@ -378,7 +373,7 @@ impl<'a> Simulator<'a> {
                 .filter(|&&n| n != leaf)
                 .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
                 .collect();
-            cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            cands.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut chosen = None;
             for (cost, node) in cands {
                 if cost >= origin_cost {

@@ -1,0 +1,84 @@
+//! Regression guard for the `deterministic-core` policy (see `icn-lint` and
+//! DESIGN.md): running the identical simulation twice must produce
+//! bit-identical [`RunMetrics`] — every counter, every per-link transfer
+//! count, and the full latency histogram. Any wall-clock read, unseeded
+//! entropy, or `HashMap` iteration leaking into results breaks this test.
+
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::metrics::RunMetrics;
+use icn_core::sim::Simulator;
+use icn_topology::{pop, AccessTree, Network};
+use icn_workload::origin::{assign_origins, OriginPolicy};
+use icn_workload::trace::{Region, Trace};
+
+fn run_once(design: DesignKind) -> RunMetrics {
+    let net = Network::new(pop::abilene(), AccessTree::new(2, 3));
+    let trace = Trace::synthesize(
+        Region::Us.config(0.005),
+        &net.core.populations,
+        net.leaves_per_pop(),
+    );
+    let origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        trace.config.objects,
+        &net.core.populations,
+        42,
+    );
+    let cfg = ExperimentConfig::baseline(design);
+    let mut sim = Simulator::new(&net, cfg, &origins, &trace.object_sizes);
+    sim.run(&trace.requests).clone()
+}
+
+#[test]
+fn identical_runs_produce_bit_identical_metrics() {
+    for design in [DesignKind::IcnSp, DesignKind::IcnNr, DesignKind::EdgeCoop] {
+        let a = run_once(design);
+        let b = run_once(design);
+        // Field-by-field first, so a regression names the leaking metric
+        // instead of dumping two full structs.
+        assert_eq!(a.requests, b.requests, "{design:?}: request count");
+        assert_eq!(
+            a.total_latency.to_bits(),
+            b.total_latency.to_bits(),
+            "{design:?}: total latency must match to the last bit"
+        );
+        assert_eq!(a.link_transfers, b.link_transfers, "{design:?}: transfers");
+        assert_eq!(a.origin_served, b.origin_served, "{design:?}: origin load");
+        assert_eq!(a.hits_by_level, b.hits_by_level, "{design:?}: hit levels");
+        assert_eq!(
+            a.latency_hist, b.latency_hist,
+            "{design:?}: latency histogram"
+        );
+        // And the whole struct, to catch any field added later.
+        assert_eq!(a, b, "{design:?}: RunMetrics must be bit-identical");
+    }
+}
+
+#[test]
+fn different_trace_seeds_actually_change_the_run() {
+    // Guards the guard: if the simulator ignored its inputs the test above
+    // would pass vacuously.
+    let net = Network::new(pop::abilene(), AccessTree::new(2, 3));
+    let mut cfg_a = Region::Us.config(0.005);
+    let mut cfg_b = cfg_a.clone();
+    cfg_a.seed = 1;
+    cfg_b.seed = 2;
+    let run = |tc| {
+        let trace = Trace::synthesize(tc, &net.core.populations, net.leaves_per_pop());
+        let origins = assign_origins(
+            OriginPolicy::PopulationProportional,
+            trace.config.objects,
+            &net.core.populations,
+            42,
+        );
+        let mut sim = Simulator::new(
+            &net,
+            ExperimentConfig::baseline(DesignKind::IcnSp),
+            &origins,
+            &trace.object_sizes,
+        );
+        sim.run(&trace.requests).clone()
+    };
+    assert_ne!(run(cfg_a), run(cfg_b));
+}

@@ -56,12 +56,14 @@ impl Identity {
                 .map(|kp| kp.public.digest())
                 .collect::<Vec<_>>(),
         );
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let next: Vec<Digest> = prev
-                .chunks(2)
-                .map(|pair| digest_pair(&pair[0], &pair[1]))
-                .collect();
+        loop {
+            let next: Vec<Digest> = match levels.last() {
+                Some(prev) if prev.len() > 1 => prev
+                    .chunks(2)
+                    .map(|pair| digest_pair(&pair[0], &pair[1]))
+                    .collect(),
+                _ => break,
+            };
             levels.push(next);
         }
         Self {
@@ -73,7 +75,7 @@ impl Identity {
 
     /// The Merkle root committing to all one-time keys.
     pub fn root(&self) -> Digest {
-        self.levels.last().unwrap()[0]
+        self.levels.last().map_or([0u8; 32], |top| top[0])
     }
 
     /// The principal `P = H(root)` this identity certifies.

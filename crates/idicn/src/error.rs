@@ -1,0 +1,143 @@
+//! Typed errors for the proxy pipeline.
+//!
+//! [`ProxyError`] is a hand-rolled `thiserror`-style enum (the build is
+//! offline, so no derive crate): one variant per failure class, a `Display`
+//! message per variant, and `source()` chaining for wrapped lower-layer
+//! errors. The edge and reverse proxies return it from their entry points;
+//! [`From`] impls bridge to the coarser crate-level [`Error`] so callers
+//! composing whole pipelines keep using `?`.
+
+use crate::Error;
+use std::fmt;
+
+/// Errors surfaced by the edge proxy and reverse proxy entry points.
+#[derive(Debug)]
+pub enum ProxyError {
+    /// A URL was not in the supported `http://host:port/path` form.
+    BadUrl {
+        /// The offending URL.
+        url: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// The proxy has not been started with `serve()` yet.
+    NotServing,
+    /// A label cannot form a valid content name.
+    InvalidLabel(String),
+    /// The name could not be resolved, or no location produced the object.
+    NotFound(String),
+    /// An upstream answered with a non-success HTTP status.
+    UpstreamStatus {
+        /// The upstream URL queried.
+        url: String,
+        /// The status it returned.
+        status: u16,
+    },
+    /// Content failed signature verification (or the metadata named a
+    /// different object). Never cached, never served.
+    Verification(String),
+    /// The origin's current bytes no longer match the published signature.
+    Diverged {
+        /// The published label whose content drifted.
+        label: String,
+    },
+    /// A lower layer (HTTP transport, resolver protocol, metadata parsing)
+    /// failed; the cause is preserved for `source()`.
+    Layer(Error),
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::BadUrl { url, reason } => write!(f, "bad URL {url:?}: {reason}"),
+            ProxyError::NotServing => write!(f, "proxy not serving yet"),
+            ProxyError::InvalidLabel(l) => write!(f, "invalid label {l:?}"),
+            ProxyError::NotFound(n) => write!(f, "not found: {n}"),
+            ProxyError::UpstreamStatus { url, status } => {
+                write!(f, "upstream {url} returned {status}")
+            }
+            ProxyError::Verification(m) => write!(f, "verification failed: {m}"),
+            ProxyError::Diverged { label } => {
+                write!(
+                    f,
+                    "origin content for {label:?} diverged from published signature"
+                )
+            }
+            ProxyError::Layer(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProxyError::Layer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProxyError {
+    fn from(e: std::io::Error) -> Self {
+        ProxyError::Layer(Error::Io(e))
+    }
+}
+
+/// Lifts a crate-level error, keeping the classification where one exists.
+impl From<Error> for ProxyError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::NotFound(n) => ProxyError::NotFound(n),
+            Error::Verification(m) => ProxyError::Verification(m),
+            other => ProxyError::Layer(other),
+        }
+    }
+}
+
+/// Flattens back to the crate-level error for callers composing whole
+/// pipelines (`wpad`, `mobility`, examples).
+impl From<ProxyError> for Error {
+    fn from(e: ProxyError) -> Self {
+        match e {
+            ProxyError::NotFound(n) => Error::NotFound(n),
+            ProxyError::Verification(m) => Error::Verification(m),
+            ProxyError::Diverged { .. } => Error::Verification(e.to_string()),
+            ProxyError::Layer(inner) => inner,
+            other => Error::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// Result alias for proxy entry points.
+pub type ProxyResult<T> = std::result::Result<T, ProxyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProxyError::UpstreamStatus {
+            url: "http://127.0.0.1:9/x".into(),
+            status: 503,
+        };
+        assert_eq!(e.to_string(), "upstream http://127.0.0.1:9/x returned 503");
+        assert!(std::error::Error::source(&e).is_none());
+
+        let io = std::io::Error::other("boom");
+        let e: ProxyError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn round_trips_keep_classification() {
+        let e: Error = ProxyError::NotFound("L.P".into()).into();
+        assert!(matches!(e, Error::NotFound(_)));
+        let p: ProxyError = Error::Verification("bad sig".into()).into();
+        assert!(matches!(p, ProxyError::Verification(_)));
+        let p: ProxyError = Error::Protocol("junk".into()).into();
+        assert!(matches!(p, ProxyError::Layer(Error::Protocol(_))));
+        let e: Error = ProxyError::Diverged { label: "x".into() }.into();
+        assert!(matches!(e, Error::Verification(_)));
+    }
+}

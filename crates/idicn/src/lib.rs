@@ -43,6 +43,7 @@
 pub mod adhoc;
 pub mod chunk;
 pub mod crypto;
+pub mod error;
 pub mod http;
 pub mod metalink;
 pub mod mobility;
@@ -53,6 +54,7 @@ pub mod resolver;
 pub mod reverse_proxy;
 pub mod wpad;
 
+pub use error::{ProxyError, ProxyResult};
 pub use name::{ContentName, Principal};
 
 /// Errors surfaced by idICN components.

@@ -7,11 +7,11 @@
 //! never serves bytes it could not authenticate — and responds with the
 //! Metalink headers intact so clients can re-verify end-to-end.
 
+use crate::error::{ProxyError, ProxyResult};
 use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
 use crate::metalink::Metadata;
 use crate::name::ContentName;
 use crate::resolver::{Resolution, ResolverClient};
-use crate::{Error, Result};
 use icn_obs::{Counter, Gauge, Registry, Snapshot, TimerHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -22,17 +22,21 @@ use std::sync::Arc;
 /// Parses `http://host:port/path` into a socket address and path.
 /// Only numeric loopback-style authorities are supported (the overlay uses
 /// explicit addresses; DNS is exactly what idICN routes around).
-pub fn parse_http_url(url: &str) -> Result<(SocketAddr, String)> {
+pub fn parse_http_url(url: &str) -> ProxyResult<(SocketAddr, String)> {
     let rest = url
         .strip_prefix("http://")
-        .ok_or_else(|| Error::Protocol(format!("not an http URL: {url}")))?;
+        .ok_or_else(|| ProxyError::BadUrl {
+            url: url.to_string(),
+            reason: "not an http URL",
+        })?;
     let (authority, path) = match rest.find('/') {
         Some(i) => (&rest[..i], rest[i..].to_string()),
         None => (rest, "/".to_string()),
     };
-    let addr: SocketAddr = authority
-        .parse()
-        .map_err(|_| Error::Protocol(format!("bad authority in {url}")))?;
+    let addr: SocketAddr = authority.parse().map_err(|_| ProxyError::BadUrl {
+        url: url.to_string(),
+        reason: "bad authority (need numeric host:port)",
+    })?;
     Ok((addr, path))
 }
 
@@ -109,7 +113,7 @@ impl EdgeProxy {
     }
 
     /// Starts serving on a fresh loopback port.
-    pub fn serve(&self) -> Result<HttpServer> {
+    pub fn serve(&self) -> ProxyResult<HttpServer> {
         let me = self.clone();
         let server = http::serve(Arc::new(move |req: &HttpRequest| me.handle(req)))?;
         *self.inner.addr.lock() = Some(server.addr());
@@ -177,8 +181,7 @@ impl EdgeProxy {
                     .set("X-Cache", if was_hit { "HIT" } else { "MISS" });
                 resp
             }
-            Err(Error::NotFound(m)) => HttpResponse::not_found(&m),
-            Err(Error::Verification(m)) => HttpResponse::new(502, m.into_bytes()),
+            Err(ProxyError::NotFound(m)) => HttpResponse::not_found(&m),
             Err(e) => HttpResponse::new(502, e.to_string().into_bytes()),
         }
     }
@@ -198,7 +201,7 @@ impl EdgeProxy {
     }
 
     /// Returns `(content, metadata, was_cache_hit)`.
-    pub fn fetch(&self, name: &ContentName) -> Result<(Arc<Vec<u8>>, Metadata, bool)> {
+    pub fn fetch(&self, name: &ContentName) -> ProxyResult<(Arc<Vec<u8>>, Metadata, bool)> {
         let key = name.to_flat();
         {
             let mut cache = self.inner.cache.write();
@@ -213,11 +216,11 @@ impl EdgeProxy {
         // Verify BEFORE caching or serving.
         if let Err(e) = metadata.verify(&content) {
             self.inner.verify_failures.inc();
-            return Err(e);
+            return Err(e.into());
         }
         if metadata.name != *name {
             self.inner.verify_failures.inc();
-            return Err(Error::Verification(
+            return Err(ProxyError::Verification(
                 "response metadata names a different object".into(),
             ));
         }
@@ -246,7 +249,7 @@ impl EdgeProxy {
         Ok((content, metadata, false))
     }
 
-    fn fetch_remote(&self, name: &ContentName) -> Result<(Vec<u8>, Metadata)> {
+    fn fetch_remote(&self, name: &ContentName) -> ProxyResult<(Vec<u8>, Metadata)> {
         let locations = match self.inner.resolver.resolve(name)? {
             Resolution::Locations(locs) => locs,
             Resolution::Delegation(base) => {
@@ -255,15 +258,20 @@ impl EdgeProxy {
                 vec![format!("http://{addr}/fetch/{}", name.to_flat())]
             }
         };
-        let mut last_err = Error::NotFound(name.to_flat());
+        let mut last_err = ProxyError::NotFound(name.to_flat());
         for url in locations {
-            match parse_http_url(&url).and_then(|(addr, path)| http::http_get(addr, &path, &[])) {
+            match parse_http_url(&url)
+                .and_then(|(addr, path)| Ok(http::http_get(addr, &path, &[])?))
+            {
                 Ok(resp) if resp.is_success() => {
                     let metadata = Metadata::from_headers(&resp.headers)?;
                     return Ok((resp.body, metadata));
                 }
                 Ok(resp) => {
-                    last_err = Error::Protocol(format!("upstream {url} returned {}", resp.status));
+                    last_err = ProxyError::UpstreamStatus {
+                        url,
+                        status: resp.status,
+                    };
                 }
                 Err(e) => last_err = e,
             }
@@ -278,10 +286,10 @@ impl EdgeProxy {
 pub fn fetch_verified(
     proxy_addr: SocketAddr,
     name: &ContentName,
-) -> Result<(Vec<u8>, Metadata, bool)> {
+) -> ProxyResult<(Vec<u8>, Metadata, bool)> {
     let resp = http::http_get(proxy_addr, &format!("http://{}/", name.to_fqdn()), &[])?;
     if !resp.is_success() {
-        return Err(Error::NotFound(format!(
+        return Err(ProxyError::NotFound(format!(
             "{}: proxy returned {}",
             name.to_flat(),
             resp.status
@@ -408,7 +416,7 @@ mod tests {
         )
         .unwrap();
         let err = fetch_verified(rig.proxy_srv.addr(), &name).unwrap_err();
-        assert!(matches!(err, Error::NotFound(_)));
+        assert!(matches!(err, ProxyError::NotFound(_)));
     }
 
     #[test]

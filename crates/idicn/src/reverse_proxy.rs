@@ -10,11 +10,11 @@
 use crate::chunk::ChunkedDigests;
 use crate::crypto::mss::Identity;
 use crate::crypto::sha256::digest;
+use crate::error::{ProxyError, ProxyResult};
 use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
 use crate::metalink::Metadata;
 use crate::name::{ContentName, Principal};
 use crate::resolver::{registration_bytes, Registration, ResolverClient};
-use crate::{Error, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -80,7 +80,7 @@ impl ReverseProxy {
 
     /// Starts serving; must be called before [`ReverseProxy::publish`] so
     /// registrations can point at a real address.
-    pub fn serve(&self) -> Result<HttpServer> {
+    pub fn serve(&self) -> ProxyResult<HttpServer> {
         let me = self.clone();
         let server = http::serve(Arc::new(move |req: &HttpRequest| me.handle(req)))?;
         *self.inner.addr.lock() = Some(server.addr());
@@ -88,20 +88,16 @@ impl ReverseProxy {
     }
 
     /// The URL other components fetch this proxy's content from.
-    pub fn fetch_url(&self, name: &ContentName) -> Result<String> {
-        let addr = self
-            .inner
-            .addr
-            .lock()
-            .ok_or_else(|| Error::Protocol("reverse proxy not serving yet".into()))?;
+    pub fn fetch_url(&self, name: &ContentName) -> ProxyResult<String> {
+        let addr = self.inner.addr.lock().ok_or(ProxyError::NotServing)?;
         Ok(format!("http://{addr}/fetch/{}", name.to_flat()))
     }
 
     /// Publishes a label: fetch from origin (P1), sign, cache, and register
     /// the name with the resolver (P2). Returns the self-certifying name.
-    pub fn publish(&self, label: &str) -> Result<ContentName> {
+    pub fn publish(&self, label: &str) -> ProxyResult<ContentName> {
         let name = ContentName::new(label, self.inner.principal)
-            .ok_or_else(|| Error::Protocol(format!("invalid label {label:?}")))?;
+            .ok_or_else(|| ProxyError::InvalidLabel(label.to_string()))?;
         let content = self.fetch_origin(label)?;
         let digests = ChunkedDigests::compute(&content, DEFAULT_PIECE_SIZE);
         let mut id = self.inner.identity.lock();
@@ -148,10 +144,10 @@ impl ReverseProxy {
         self.inner.cache.write().remove(label);
     }
 
-    fn fetch_origin(&self, label: &str) -> Result<Vec<u8>> {
+    fn fetch_origin(&self, label: &str) -> ProxyResult<Vec<u8>> {
         let resp = http::http_get(self.inner.origin_addr, &format!("/content/{label}"), &[])?;
         if !resp.is_success() {
-            return Err(Error::NotFound(format!("origin has no {label:?}")));
+            return Err(ProxyError::NotFound(format!("origin has no {label:?}")));
         }
         Ok(resp.body)
     }
@@ -189,10 +185,10 @@ impl ReverseProxy {
                         // the published signature.
                         if !metadata.digests.verify_full(&content) {
                             self.inner.obs.counter("rp.divergence_refusals").inc();
-                            return HttpResponse::new(
-                                502,
-                                b"origin content diverged from published signature".to_vec(),
-                            );
+                            let err = ProxyError::Diverged {
+                                label: name.label.clone(),
+                            };
+                            return HttpResponse::new(502, err.to_string().into_bytes());
                         }
                         let content = Arc::new(content);
                         self.inner

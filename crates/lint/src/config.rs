@@ -1,0 +1,182 @@
+//! `lint.toml`: the committed baseline of known violations and the frozen
+//! digests of vendored crates.
+//!
+//! The format is a deliberately tiny TOML subset (this workspace builds
+//! offline, so no `toml` crate): two tables, a string array, and string
+//! values. `icn-lint --write-baseline` regenerates the file; humans only
+//! ever *delete* entries (burning the baseline down) or accept a vendor
+//! hash bump alongside an intentional vendor edit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Known violations, as `rule:path:line` keys. Matching violations are
+    /// reported but do not fail the run; fixing one and leaving the entry
+    /// behind is reported as a stale entry.
+    pub baseline: Vec<String>,
+    /// Frozen content digest per vendored crate (`vendor/<name>`).
+    pub vendor: BTreeMap<String, String>,
+}
+
+impl Config {
+    /// Loads `path`; a missing file is an empty config (first run).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parses the `lint.toml` subset. Unknown lines are ignored rather
+    /// than rejected so the file can grow comments freely.
+    pub fn parse(text: &str) -> Self {
+        let mut cfg = Self::default();
+        let mut section = String::new();
+        let mut in_entries_array = false;
+        for raw in text.lines() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if in_entries_array {
+                for s in quoted_strings(line) {
+                    cfg.baseline.push(s);
+                }
+                if line.contains(']') {
+                    in_entries_array = false;
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match section.as_str() {
+                "baseline" if key == "entries" => {
+                    for s in quoted_strings(value) {
+                        cfg.baseline.push(s);
+                    }
+                    in_entries_array = !value.contains(']');
+                }
+                "vendor" => {
+                    if let Some(v) = quoted_strings(value).into_iter().next() {
+                        cfg.vendor.insert(key.to_string(), v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// Renders the config back to `lint.toml` text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# icn-lint baseline. Entries are known violations (`rule:path:line`)\n\
+             # that do not fail CI; new code must be clean. Burn entries down by\n\
+             # fixing the code, or suppress a single site with\n\
+             # `// lint:allow(<rule>): <reason>`. Regenerate with:\n\
+             #   cargo run -p icn-lint -- --workspace --write-baseline\n\n",
+        );
+        out.push_str("[baseline]\nentries = [\n");
+        let mut entries = self.baseline.clone();
+        entries.sort();
+        for e in &entries {
+            let _ = writeln!(out, "    \"{e}\",");
+        }
+        out.push_str("]\n\n");
+        out.push_str(
+            "# Frozen digests of the vendored offline stand-ins. Editing anything\n\
+             # under vendor/ requires bumping the hash here (--write-baseline),\n\
+             # which makes vendor drift visible in review.\n[vendor]\n",
+        );
+        for (name, hash) in &self.vendor {
+            let _ = writeln!(out, "{name} = \"{hash}\"");
+        }
+        out
+    }
+
+    /// Writes the rendered config to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.render())
+    }
+}
+
+/// Removes a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// All `"..."` substrings of `line` (no escape support — keys never need it).
+fn quoted_strings(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        out.push(tail[..close].to_string());
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut cfg = Config::default();
+        cfg.baseline
+            .push("no-panic-in-lib:crates/core/src/sim.rs:241".into());
+        cfg.baseline
+            .push("deterministic-core:crates/cache/src/lru.rs:12".into());
+        cfg.vendor.insert("rand".into(), "deadbeef01234567".into());
+        let back = Config::parse(&cfg.render());
+        let mut want = cfg.clone();
+        want.baseline.sort();
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn parses_single_line_array_and_comments() {
+        let text = "[baseline]\nentries = [\"a:b:1\", \"c:d:2\"] # trailing\n[vendor]\nrand = \"ff\" # hash\n";
+        let cfg = Config::parse(text);
+        assert_eq!(cfg.baseline, vec!["a:b:1".to_string(), "c:d:2".to_string()]);
+        assert_eq!(cfg.vendor["rand"], "ff");
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let cfg = Config::load(Path::new("/nonexistent/lint.toml")).expect("empty");
+        assert!(cfg.baseline.is_empty() && cfg.vendor.is_empty());
+    }
+
+    #[test]
+    fn hash_inside_quoted_entry_is_not_a_comment() {
+        let text = "[baseline]\nentries = [\n  \"rule:path#x.rs:3\",\n]\n";
+        let cfg = Config::parse(text);
+        assert_eq!(cfg.baseline, vec!["rule:path#x.rs:3".to_string()]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Workspace scan: walks `crates/*/src` and `vendor/*`, applies the rules,
+//! reconciles against the `lint.toml` baseline, and renders reports.
+
+use crate::config::Config;
+use crate::rules::{self, Violation};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of one workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by the baseline — these fail the run.
+    pub new: Vec<Violation>,
+    /// Violations matched by a baseline entry (reported, not fatal).
+    pub baselined: Vec<Violation>,
+    /// Baseline entries whose violation no longer exists (fixed code with
+    /// a leftover entry) — prune these from `lint.toml`.
+    pub stale: Vec<String>,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when CI should pass.
+    pub fn ok(&self) -> bool {
+        self.new.is_empty()
+    }
+
+    /// `rule → count` over the *new* violations.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for v in &self.new {
+            *m.entry(v.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// `rule → count` over the baselined (grandfathered) violations.
+    pub fn baselined_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for v in &self.baselined {
+            *m.entry(v.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.new {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+        }
+        for e in &self.stale {
+            let _ = writeln!(out, "stale baseline entry (fixed — remove it): {e}");
+        }
+        let _ = writeln!(
+            out,
+            "icn-lint: {} file(s), {} new violation(s), {} baselined, {} stale",
+            self.files,
+            self.new.len(),
+            self.baselined.len(),
+            self.stale.len()
+        );
+        if !self.baselined.is_empty() {
+            let per: Vec<String> = self
+                .baselined_counts()
+                .iter()
+                .map(|(r, n)| format!("{r}={n}"))
+                .collect();
+            let _ = writeln!(out, "baseline burn-down remaining: {}", per.join(" "));
+        }
+        out
+    }
+
+    /// Machine-readable report (`--json`): violation list plus per-rule
+    /// counts for burn-down tracking.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"files\":{},\"new_total\":{},\"baselined_total\":{},\"stale_total\":{},",
+            self.files,
+            self.new.len(),
+            self.baselined.len(),
+            self.stale.len()
+        );
+        out.push_str("\"new_counts\":{");
+        push_count_map(&mut out, &self.counts());
+        out.push_str("},\"baselined_counts\":{");
+        push_count_map(&mut out, &self.baselined_counts());
+        out.push_str("},\"violations\":[");
+        for (i, v) in self.new.iter().chain(&self.baselined).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"baselined\":{},\"message\":\"{}\"}}",
+                v.rule,
+                json_escape(&v.path),
+                v.line,
+                i >= self.new.len(),
+                json_escape(&v.message)
+            );
+        }
+        out.push_str("],\"stale\":[");
+        for (i, e) in self.stale.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(e));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_count_map(out: &mut String, m: &BTreeMap<&'static str, usize>) {
+    for (i, (rule, n)) in m.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{rule}\":{n}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Scans the workspace at `root` against `config`.
+pub fn scan(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut violations = Vec::new();
+    let mut files = 0usize;
+
+    for file in rust_sources(root)? {
+        let rel = rel_path(root, &file);
+        let src = fs::read_to_string(&file)?;
+        files += 1;
+        violations.extend(rules::check_file(&rel, &SourceFile::analyze(&src)));
+    }
+    violations.extend(vendor_violations(root, config)?);
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let mut report = Report {
+        files,
+        ..Report::default()
+    };
+    let mut used = vec![false; config.baseline.len()];
+    for v in violations {
+        match config.baseline.iter().position(|e| *e == v.key()) {
+            Some(i) => {
+                used[i] = true;
+                report.baselined.push(v);
+            }
+            None => report.new.push(v),
+        }
+    }
+    report.stale = config
+        .baseline
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Ok(report)
+}
+
+/// A config whose baseline covers exactly the current violations and whose
+/// vendor digests match the current tree (`--write-baseline`).
+pub fn regenerate_baseline(root: &Path, config: &Config) -> io::Result<Config> {
+    let empty = Config {
+        baseline: Vec::new(),
+        vendor: config.vendor.clone(),
+    };
+    let report = scan(root, &empty)?;
+    let mut fresh = Config::default();
+    for v in report.new.iter().filter(|v| v.rule != rules::VENDOR_FROZEN) {
+        fresh.baseline.push(v.key());
+    }
+    fresh.baseline.sort();
+    fresh.vendor = vendor_digests(root)?;
+    Ok(fresh)
+}
+
+/// All `.rs` files under `crates/*/{src,tests,benches}` and the root
+/// `src`/`tests`, sorted for deterministic reports.
+fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if dir.is_dir() {
+                walk_rs(&dir, &mut out)?;
+            }
+        }
+    }
+    for top in ["src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_rs(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// FNV-1a digest over the sorted relative paths and contents of every file
+/// in one vendored crate.
+fn digest_dir(dir: &Path) -> io::Result<u64> {
+    let mut files = Vec::new();
+    walk_all(dir, &mut files)?;
+    files.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for f in &files {
+        eat(rel_path(dir, f).as_bytes());
+        eat(&[0]);
+        eat(&fs::read(f)?);
+        eat(&[0]);
+    }
+    Ok(h)
+}
+
+fn walk_all(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk_all(&path, out)?;
+            }
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Current digests of every `vendor/<name>` crate.
+pub fn vendor_digests(root: &Path) -> io::Result<BTreeMap<String, String>> {
+    let mut out = BTreeMap::new();
+    let vendor = root.join("vendor");
+    if !vendor.is_dir() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(&vendor)? {
+        let dir = entry?.path();
+        if dir.is_dir() {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("")
+                .to_string();
+            out.insert(name, format!("{:016x}", digest_dir(&dir)?));
+        }
+    }
+    Ok(out)
+}
+
+fn vendor_violations(root: &Path, config: &Config) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for (name, hash) in vendor_digests(root)? {
+        let path = format!("vendor/{name}");
+        match config.vendor.get(&name) {
+            Some(frozen) if *frozen == hash => {}
+            Some(_) => out.push(Violation {
+                rule: rules::VENDOR_FROZEN,
+                path,
+                line: 0,
+                message: format!(
+                    "vendored crate `{name}` changed; if intentional, bump its hash \
+                     in lint.toml (--write-baseline)"
+                ),
+            }),
+            None => out.push(Violation {
+                rule: rules::VENDOR_FROZEN,
+                path,
+                line: 0,
+                message: format!(
+                    "vendored crate `{name}` has no frozen hash in lint.toml \
+                     (--write-baseline to record it)"
+                ),
+            }),
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,335 @@
+//! A minimal Rust lexer that separates *code* from *non-code*.
+//!
+//! The rule engine never inspects raw source: it matches patterns against a
+//! [`Masked`] view in which every byte of a comment, string literal, raw
+//! string, byte string, or char literal is replaced with a space (newlines
+//! are preserved), so `"unwrap()"` inside a string or `// unwrap()` inside
+//! a comment can never fire a rule. Byte offsets are identical between the
+//! raw and masked views, which keeps `file:line` diagnostics exact even for
+//! multi-byte UTF-8 source.
+//!
+//! Line comments are additionally collected verbatim (with their line
+//! numbers) so the engine can recognise `// lint:allow(<rule>): <reason>`
+//! suppression directives.
+
+/// The result of masking one source file.
+pub struct Masked {
+    /// Source with all comment/literal bytes blanked to spaces. Same byte
+    /// length as the input; newlines preserved.
+    pub code: String,
+    /// `(line, text)` for every `//` comment, 1-indexed, text excluding the
+    /// leading slashes.
+    pub line_comments: Vec<(usize, String)>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+}
+
+impl Masked {
+    /// 1-indexed line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point is one past the containing line
+        }
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Masks `src`, classifying comments and literals. The lexer understands
+/// nested block comments, escapes in string/char literals, raw (and byte,
+/// and raw-byte) strings with arbitrary `#` counts, byte chars, and leaves
+/// lifetimes (`'a`) and raw identifiers (`r#match`) untouched as code.
+pub fn mask(src: &str) -> Masked {
+    let b = src.as_bytes();
+    let mut out = vec![0u8; b.len()];
+    out.copy_from_slice(b);
+    let mut line_comments = Vec::new();
+    let mut line_starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize, starts: &[usize]| -> usize {
+        match starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let prev_ident = i > 0 && is_ident(b[i - 1]);
+        match c {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment: capture text, blank to end of line.
+                let start = i;
+                let mut j = i;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = src[start + 2..j].to_string();
+                line_comments.push((line_of(start, &line_starts), text));
+                blank(&mut out, start, j);
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let start = i;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, start, j);
+                i = j;
+            }
+            b'"' => {
+                let j = skip_string(b, i);
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'r' | b'b' if !prev_ident => {
+                // Possible r"…", r#"…"#, b"…", br"…", b'x', br#"…"#.
+                let mut k = i + 1;
+                if c == b'b' && b.get(k) == Some(&b'r') {
+                    k += 1;
+                }
+                let mut hashes = 0usize;
+                while b.get(k) == Some(&b'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                let raw = c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r'));
+                if b.get(k) == Some(&b'"') && (raw || hashes == 0) {
+                    let j = if raw {
+                        skip_raw_string(b, k, hashes)
+                    } else {
+                        skip_string(b, k)
+                    };
+                    blank(&mut out, i, j);
+                    i = j;
+                } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                    let j = skip_char(b, i + 1);
+                    blank(&mut out, i, j);
+                    i = j;
+                } else {
+                    i += 1; // raw identifier (r#match) or plain ident char
+                }
+            }
+            b'\'' if !prev_ident => {
+                if let Some(j) = char_literal_end(src, b, i) {
+                    blank(&mut out, i, j);
+                    i = j;
+                } else {
+                    i += 1; // lifetime or label
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    Masked {
+        // Masking only ever writes ASCII spaces over existing bytes, and
+        // multi-byte chars are only rewritten whole (inside literals), so
+        // the buffer stays valid UTF-8.
+        code: String::from_utf8_lossy(&out).into_owned(),
+        line_comments,
+        line_starts,
+    }
+}
+
+/// Byte offset one past the closing quote of a string starting at `open`.
+fn skip_string(b: &[u8], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Byte offset one past the end of `r##"…"##` whose quote is at `quote`.
+fn skip_raw_string(b: &[u8], quote: usize, hashes: usize) -> usize {
+    let mut j = quote + 1;
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Byte offset one past the closing quote of a char literal at `open`
+/// (which must hold `'`). Assumes the caller verified it is a literal.
+fn skip_char(b: &[u8], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Distinguishes a char literal from a lifetime at `'` (offset `open`).
+/// Returns the end offset for a literal, `None` for a lifetime/label.
+fn char_literal_end(src: &str, b: &[u8], open: usize) -> Option<usize> {
+    match b.get(open + 1) {
+        Some(b'\\') => Some(skip_char(b, open)),
+        Some(_) => {
+            // One char (possibly multi-byte) followed by a closing quote
+            // makes a literal; anything else is a lifetime.
+            let rest = &src[open + 1..];
+            let ch = rest.chars().next()?;
+            let after = open + 1 + ch.len_utf8();
+            (b.get(after) == Some(&b'\'')).then_some(after + 1)
+        }
+        None => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        mask(src).code
+    }
+
+    #[test]
+    fn line_comment_is_blanked_and_captured() {
+        let m = mask("let x = 1; // unwrap() here\nlet y = 2;\n");
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("let y"));
+        assert_eq!(m.line_comments.len(), 1);
+        assert_eq!(m.line_comments[0].0, 1);
+        assert!(m.line_comments[0].1.contains("unwrap() here"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner unwrap() */ still outer */ b.unwrap()";
+        let c = code_of(src);
+        assert!(c.starts_with('a'));
+        assert!(c.ends_with("b.unwrap()"));
+        assert_eq!(c.matches("unwrap").count(), 1, "only the code one");
+        assert_eq!(c.len(), src.len(), "offsets preserved");
+    }
+
+    #[test]
+    fn raw_string_containing_unwrap() {
+        let src = r####"let s = r#"x.unwrap() "quoted" "#; s.len()"####;
+        let c = code_of(src);
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains("s.len()"));
+    }
+
+    #[test]
+    fn line_comment_marker_inside_string_literal() {
+        let src = "let url = \"http://example//path\"; x.unwrap()";
+        let c = code_of(src);
+        assert!(!c.contains("http"));
+        assert!(c.contains("x.unwrap()"), "code after the string survives");
+    }
+
+    #[test]
+    fn double_quote_char_literal_does_not_open_a_string() {
+        let src = "let q = '\"'; y.unwrap()";
+        let c = code_of(src);
+        assert!(c.contains("y.unwrap()"));
+        assert!(!c.contains('"'));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; let r = '\\'; z.expect(msg)";
+        let c = code_of(src);
+        assert!(c.contains("z.expect(msg)"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // tail";
+        let c = code_of(src);
+        assert!(c.contains("fn f<'a>(x: &'a str) -> &'a str { x }"));
+        assert!(!c.contains("tail"));
+    }
+
+    #[test]
+    fn multibyte_utf8_in_strings_and_chars() {
+        let src = "let s = \"héllo — unwrap()\"; let c = 'é'; done.unwrap()";
+        let m = mask(src);
+        assert_eq!(m.code.matches("unwrap").count(), 1);
+        assert!(m.code.contains("done.unwrap()"));
+        // Offsets line up: the surviving unwrap is at the same byte offset.
+        let off = m.code.find("done").expect("code survives");
+        assert_eq!(&src[off..off + 4], "done");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"panic!\"; let b2 = b'x'; let c = br#\"expect(\"#; go()";
+        let c = code_of(src);
+        assert!(!c.contains("panic"));
+        assert!(!c.contains("expect"));
+        assert!(c.contains("go()"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_untouched() {
+        let src = "let r#match = 1; r#match.unwrap()";
+        let c = code_of(src);
+        assert!(c.contains("r#match.unwrap()"));
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_numbers() {
+        let src = "let s = \"line one\nline two unwrap()\";\nx.unwrap()\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches("unwrap").count(), 1);
+        let off = m.code.find("x.unwrap").expect("present");
+        assert_eq!(m.line_of(off), 3);
+    }
+
+    #[test]
+    fn line_of_is_one_indexed() {
+        let m = mask("a\nb\nc\n");
+        assert_eq!(m.line_of(0), 1);
+        assert_eq!(m.line_of(2), 2);
+        assert_eq!(m.line_of(4), 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! `icn-lint` — workspace-aware static analysis for project invariants
+//! that `clippy` cannot express.
+//!
+//! The paper's quantitative claims rest on a simulator whose runs must be
+//! bit-reproducible and whose libraries must not hide panic paths; this
+//! crate audits exactly those policies (see DESIGN.md, "Static analysis"):
+//!
+//! * **`no-panic-in-lib`** — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in library crates
+//!   (`core`, `cache`, `topology`, `workload`, `analysis`, `obs`,
+//!   `idicn`). Tests, benches, and binaries are exempt.
+//! * **`deterministic-core`** — no wall clocks (`SystemTime`,
+//!   `Instant::now`), no unseeded entropy (`thread_rng`, `from_entropy`),
+//!   and no `HashMap`/`HashSet` (iteration-order leaks) in `crates/core`
+//!   and `crates/cache`, outside the `obs`-gated `instrument.rs`.
+//! * **`feature-gate-obs`** — every `icn_obs` reference in `crates/core`
+//!   must sit under `#[cfg(feature = "obs")]` or in `instrument.rs`, so
+//!   `--no-default-features` keeps compiling instrumentation to nothing.
+//! * **`vendor-frozen`** — the offline stand-ins under `vendor/` may not
+//!   drift without an explicit hash bump in `lint.toml`.
+//! * **`allow-needs-reason`** — every suppression must say why.
+//!
+//! Matching runs on a lexed view of the source (comments and string/char
+//! literals blanked, see [`lexer`]), so rules never fire inside literals
+//! or comments. A site is suppressed with an inline
+//! `// lint:allow(<rule>): <reason>` directive; whole known violations are
+//! grandfathered in the committed `lint.toml` baseline, which only ever
+//! shrinks.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use config::Config;
+pub use engine::{scan, Report};
+pub use rules::Violation;

@@ -1,0 +1,129 @@
+//! CLI for `icn-lint`. Exit codes: 0 clean (baselined violations allowed),
+//! 1 new violations, 2 usage or I/O failure.
+
+use icn_lint::{config::Config, engine};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+icn-lint — project-invariant auditor (panic paths, determinism, feature gates)
+
+USAGE:
+    icn-lint [--workspace] [--root <dir>] [--config <lint.toml>]
+             [--json] [--write-baseline]
+
+OPTIONS:
+    --workspace        Scan the enclosing cargo workspace (default; the flag
+                       exists for symmetry with cargo subcommands)
+    --root <dir>       Workspace root to scan (default: nearest ancestor of
+                       the current directory containing lint.toml or a
+                       [workspace] Cargo.toml)
+    --config <path>    Baseline file (default: <root>/lint.toml)
+    --json             Emit a machine-readable report on stdout
+    --write-baseline   Rewrite the baseline to cover the current tree and
+                       freeze current vendor hashes, then exit 0
+    -h, --help         This text
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        json: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?))
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?))
+            }
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Nearest ancestor (inclusive) holding `lint.toml` or a workspace-root
+/// `Cargo.toml`.
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_root(&cwd).ok_or("no workspace root found (try --root)")?
+        }
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("lint.toml"));
+    let config =
+        Config::load(&config_path).map_err(|e| format!("{}: {e}", config_path.display()))?;
+
+    if args.write_baseline {
+        let fresh = engine::regenerate_baseline(&root, &config).map_err(|e| e.to_string())?;
+        fresh
+            .save(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        eprintln!(
+            "icn-lint: wrote {} ({} baseline entries, {} vendor hashes)",
+            config_path.display(),
+            fresh.baseline.len(),
+            fresh.vendor.len()
+        );
+        return Ok(true);
+    }
+
+    let report = engine::scan(&root, &config).map_err(|e| e.to_string())?;
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(report.ok())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("icn-lint: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

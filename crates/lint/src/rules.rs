@@ -1,0 +1,365 @@
+//! The rule set and per-file matching.
+//!
+//! Each rule matches token patterns against the masked code of one file
+//! (see [`crate::lexer`]); scoping (which crates, which files) lives in
+//! [`Rule::applies`] and region checks (`#[cfg(test)]`, `obs` gates,
+//! `lint:allow`) are consulted per match.
+
+use crate::source::SourceFile;
+
+/// Library crates in which panicking is a policy violation.
+pub const LIB_CRATES: &[&str] = &[
+    "core", "cache", "topology", "workload", "analysis", "obs", "idicn",
+];
+
+/// Crates whose simulation state must be bit-reproducible run-to-run.
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "cache"];
+
+/// The one file in `crates/core` allowed to touch wall clocks and
+/// `icn_obs` without a feature gate (it *is* the gate).
+pub const INSTRUMENT_FILE: &str = "instrument.rs";
+
+/// A single diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (e.g. `no-panic-in-lib`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Violation {
+    /// Stable baseline key: `rule:path:line`.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.rule, self.path, self.line)
+    }
+}
+
+/// Where a file sits in the workspace, as far as rule scoping cares.
+pub struct FileOrigin<'a> {
+    /// `crates/<name>/...` component, if any.
+    pub crate_name: Option<&'a str>,
+    /// Path inside the crate (e.g. `src/sim.rs`).
+    pub in_crate: &'a str,
+}
+
+impl<'a> FileOrigin<'a> {
+    /// Splits a workspace-relative path like `crates/core/src/sim.rs`.
+    pub fn of(rel_path: &'a str) -> Self {
+        let mut crate_name = None;
+        let mut in_crate = rel_path;
+        if let Some(rest) = rel_path.strip_prefix("crates/") {
+            if let Some((name, tail)) = rest.split_once('/') {
+                crate_name = Some(name);
+                in_crate = tail;
+            }
+        }
+        Self {
+            crate_name,
+            in_crate,
+        }
+    }
+
+    /// True for `src/**` files that are not binaries (`src/bin`, `main.rs`).
+    fn is_lib_source(&self) -> bool {
+        self.in_crate.starts_with("src/")
+            && !self.in_crate.starts_with("src/bin/")
+            && self.in_crate != "src/main.rs"
+    }
+
+    fn file_name(&self) -> &str {
+        self.in_crate.rsplit('/').next().unwrap_or(self.in_crate)
+    }
+}
+
+/// A pattern that must not appear in scoped code.
+struct Pattern {
+    /// Token text to search for in masked code.
+    text: &'static str,
+    /// When set, the match must be followed by this byte (e.g. `(` turns
+    /// `unwrap` into a call match that leaves `unwrap_or` alone).
+    call: bool,
+    /// What to tell the developer.
+    why: &'static str,
+}
+
+const PANIC_PATTERNS: &[Pattern] = &[
+    Pattern {
+        text: "unwrap",
+        call: true,
+        why: "propagate errors instead of `unwrap()`",
+    },
+    Pattern {
+        text: "expect",
+        call: true,
+        why: "propagate errors instead of `expect()`",
+    },
+    Pattern {
+        text: "panic!",
+        call: false,
+        why: "library code must not `panic!`",
+    },
+    Pattern {
+        text: "unreachable!",
+        call: false,
+        why: "library code must not `unreachable!`",
+    },
+    Pattern {
+        text: "todo!",
+        call: false,
+        why: "no `todo!` in library code",
+    },
+    Pattern {
+        text: "unimplemented!",
+        call: false,
+        why: "no `unimplemented!` in library code",
+    },
+];
+
+const ENTROPY_PATTERNS: &[Pattern] = &[
+    Pattern {
+        text: "SystemTime",
+        call: false,
+        why: "wall clock breaks run-to-run determinism",
+    },
+    Pattern {
+        text: "Instant::now",
+        call: false,
+        why: "wall clock breaks run-to-run determinism",
+    },
+    Pattern {
+        text: "thread_rng",
+        call: false,
+        why: "unseeded entropy breaks determinism",
+    },
+    Pattern {
+        text: "from_entropy",
+        call: false,
+        why: "unseeded entropy breaks determinism",
+    },
+    Pattern {
+        text: "HashMap",
+        call: false,
+        why: "iteration order may leak into metrics; use a Vec/BTreeMap or justify with lint:allow",
+    },
+    Pattern {
+        text: "HashSet",
+        call: false,
+        why: "iteration order may leak into metrics; use a Vec/BTreeSet or justify with lint:allow",
+    },
+];
+
+/// Rule identifiers, also usable in `lint:allow(...)` and baseline keys.
+pub const NO_PANIC: &str = "no-panic-in-lib";
+/// See [`NO_PANIC`].
+pub const DETERMINISTIC: &str = "deterministic-core";
+/// See [`NO_PANIC`].
+pub const FEATURE_GATE: &str = "feature-gate-obs";
+/// See [`NO_PANIC`].
+pub const VENDOR_FROZEN: &str = "vendor-frozen";
+/// See [`NO_PANIC`].
+pub const ALLOW_NEEDS_REASON: &str = "allow-needs-reason";
+
+/// All content rules (vendor-frozen works on hashes, not content).
+pub const CONTENT_RULES: &[&str] = &[NO_PANIC, DETERMINISTIC, FEATURE_GATE, ALLOW_NEEDS_REASON];
+
+/// Runs every content rule over one analysed file. `rel_path` is
+/// workspace-relative with `/` separators.
+pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
+    let origin = FileOrigin::of(rel_path);
+    let mut out = Vec::new();
+
+    let lib_scoped =
+        origin.crate_name.is_some_and(|c| LIB_CRATES.contains(&c)) && origin.is_lib_source();
+    let det_scoped = origin
+        .crate_name
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+        && origin.is_lib_source()
+        && origin.file_name() != INSTRUMENT_FILE;
+    let gate_scoped = origin.crate_name == Some("core")
+        && origin.is_lib_source()
+        && origin.file_name() != INSTRUMENT_FILE;
+
+    if lib_scoped {
+        scan_patterns(NO_PANIC, PANIC_PATTERNS, rel_path, file, &mut out);
+    }
+    if det_scoped {
+        scan_patterns(DETERMINISTIC, ENTROPY_PATTERNS, rel_path, file, &mut out);
+    }
+    if gate_scoped {
+        for off in token_offsets(&file.masked.code, "icn_obs", false) {
+            let line = file.masked.line_of(off);
+            if file.is_test_line(line) || file.is_obs_gated(line) {
+                continue;
+            }
+            if file.is_allowed(FEATURE_GATE, line) {
+                continue;
+            }
+            out.push(Violation {
+                rule: FEATURE_GATE,
+                path: rel_path.to_string(),
+                line,
+                message: "`icn_obs` reference outside `#[cfg(feature = \"obs\")]` \
+                          (and outside instrument.rs)"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Directives are themselves linted: an allow without a reason defeats
+    // the audit trail the directive exists to create.
+    for d in &file.allows {
+        if !d.has_reason {
+            out.push(Violation {
+                rule: ALLOW_NEEDS_REASON,
+                path: rel_path.to_string(),
+                line: d.line,
+                message: "lint:allow directive must carry a `: <reason>`".to_string(),
+            });
+        }
+    }
+
+    out
+}
+
+fn scan_patterns(
+    rule: &'static str,
+    patterns: &[Pattern],
+    rel_path: &str,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    for p in patterns {
+        for off in token_offsets(&file.masked.code, p.text, p.call) {
+            let line = file.masked.line_of(off);
+            if file.is_test_line(line) || file.is_allowed(rule, line) {
+                continue;
+            }
+            out.push(Violation {
+                rule,
+                path: rel_path.to_string(),
+                line,
+                message: format!("`{}`: {}", p.text, p.why),
+            });
+        }
+    }
+}
+
+/// Byte offsets of identifier-boundary matches of `pat` in `code`; with
+/// `call`, the token must be immediately followed by `(`.
+fn token_offsets(code: &str, pat: &str, call: bool) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find(pat) {
+        let at = from + rel;
+        let end = at + pat.len();
+        let pre_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let post_ok = if call {
+            b.get(end) == Some(&b'(')
+        } else {
+            end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_')
+        };
+        if pre_ok && post_ok {
+            out.push(at);
+        }
+        from = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(path, &SourceFile::analyze(src))
+    }
+
+    #[test]
+    fn unwrap_in_lib_crate_is_flagged_with_exact_line() {
+        let v = check("crates/core/src/sim.rs", "fn f() {\n    x.unwrap();\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_PANIC);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_else_and_unwrap_or_are_not_unwrap() {
+        let v = check(
+            "crates/core/src/sim.rs",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(Vec::new); }\n",
+        );
+        assert!(v.is_empty());
+        let v = check(
+            "crates/core/src/sim.rs",
+            "fn f() { x.unwrap_or_else(|| panic!(\"boom\")); }\n",
+        );
+        assert_eq!(v.len(), 1, "the panic! inside still fires");
+        assert!(v[0].message.contains("panic!"));
+    }
+
+    #[test]
+    fn tests_benches_bins_are_exempt() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(check("crates/core/tests/t.rs", src).is_empty());
+        assert!(check("crates/bench/src/bin/fig6.rs", src).is_empty());
+        assert!(check("crates/lint/src/main.rs", src).is_empty());
+        assert!(!check("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(check("crates/cache/src/fifo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deterministic_core_flags_entropy_and_hash_iteration() {
+        let src = "use std::collections::HashMap;\nfn f() { let _ = rand::thread_rng(); }\n";
+        let v = check("crates/core/src/sweep.rs", src);
+        let rules: Vec<_> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert!(rules.contains(&(DETERMINISTIC, 1)));
+        assert!(rules.contains(&(DETERMINISTIC, 2)));
+        // Out of scope: same content in workload is fine.
+        assert!(check("crates/workload/src/zipf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instrument_rs_is_exempt_from_determinism_and_gating() {
+        let src = "use icn_obs::Registry;\nfn f() { let t = std::time::Instant::now(); }\n";
+        assert!(check("crates/core/src/instrument.rs", src).is_empty());
+        assert_eq!(check("crates/core/src/sim.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn obs_gated_reference_passes_ungated_fails() {
+        let gated = "#[cfg(feature = \"obs\")]\nuse icn_obs::Registry;\n";
+        assert!(check("crates/core/src/sweep.rs", gated).is_empty());
+        let ungated = "use icn_obs::Registry;\n";
+        let v = check("crates/core/src/sweep.rs", ungated);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, FEATURE_GATE);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_and_needs_reason() {
+        let ok =
+            "fn f() {\n    // lint:allow(no-panic-in-lib): checked by caller\n    x.unwrap();\n}\n";
+        assert!(check("crates/core/src/sim.rs", ok).is_empty());
+        let bad = "fn f() {\n    x.unwrap(); // lint:allow(no-panic-in-lib)\n}\n";
+        let v = check("crates/core/src/sim.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, ALLOW_NEEDS_REASON);
+    }
+
+    #[test]
+    fn patterns_in_comments_and_strings_never_fire() {
+        let src = "// calls unwrap() on the inner value\nfn f() { g(\"panic!\"); }\n";
+        assert!(check("crates/core/src/sim.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Per-file semantic context on top of the lexer: suppression directives,
+//! `#[cfg(test)]` / `#[test]` regions, and `feature = "obs"` gated regions.
+//!
+//! Region detection is lexical but literal-safe: attributes are located in
+//! the masked view (so `#[cfg(test)]` inside a string can't open a region),
+//! while the attribute's own text is read from the raw source (the
+//! `"obs"` feature name is itself a string literal, which masking blanks).
+
+use crate::lexer::{mask, Masked};
+
+/// An inline `// lint:allow(<rule>): <reason>` directive.
+pub struct AllowDirective {
+    /// 1-indexed line the comment sits on.
+    pub line: usize,
+    /// Rule names listed inside the parentheses (comma separated).
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason followed the colon.
+    pub has_reason: bool,
+}
+
+/// Everything the rule engine needs to know about one file.
+pub struct SourceFile {
+    /// Masked view (comments/literals blanked).
+    pub masked: Masked,
+    /// Parsed suppression directives.
+    pub allows: Vec<AllowDirective>,
+    /// `in_test[line-1]` — line is inside a `#[cfg(test)]` module/item or a
+    /// `#[test]` function.
+    in_test: Vec<bool>,
+    /// `obs_gated[line-1]` — line is inside an item gated on
+    /// `#[cfg(feature = "obs")]` (or an `all(...)` containing it).
+    obs_gated: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes and analyses `src`.
+    pub fn analyze(src: &str) -> Self {
+        let masked = mask(src);
+        let lines = masked.line_starts.len();
+        let mut in_test = vec![false; lines];
+        let mut obs_gated = vec![false; lines];
+        mark_attribute_regions(src, &masked, &mut in_test, &mut obs_gated);
+        let allows = parse_allow_directives(&masked);
+        Self {
+            masked,
+            allows,
+            in_test,
+            obs_gated,
+        }
+    }
+
+    /// True when `line` (1-indexed) is test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// True when `line` (1-indexed) sits under an `obs` feature gate.
+    pub fn is_obs_gated(&self, line: usize) -> bool {
+        self.obs_gated.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// True when `rule` is suppressed at `line`: a directive naming it sits
+    /// on the line itself or on the line directly above.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|d| (d.line == line || d.line + 1 == line) && d.rules.iter().any(|r| r == rule))
+    }
+}
+
+fn parse_allow_directives(masked: &Masked) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (line, text) in &masked.line_comments {
+        let Some(pos) = text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        // Only well-formed rule identifiers count: prose like
+        // `lint:allow(...)` in documentation must not parse as a directive.
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| is_rule_name(r))
+            .collect();
+        let tail = rest[close + 1..].trim_start();
+        let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+        if !rules.is_empty() {
+            out.push(AllowDirective {
+                line: *line,
+                rules,
+                has_reason,
+            });
+        }
+    }
+    out
+}
+
+/// Finds `#[...]` attributes in the masked view, classifies them, and marks
+/// the lines of the item they cover.
+/// `[a-z][a-z0-9-]*` — the shape of every rule identifier.
+fn is_rule_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+fn mark_attribute_regions(src: &str, masked: &Masked, test: &mut [bool], obs: &mut [bool]) {
+    let code = masked.code.as_bytes();
+    let mut i = 0usize;
+    while let Some(rel) = masked.code[i..].find("#[") {
+        let start = i + rel;
+        let Some(attr_end) = bracket_end(code, start + 1) else {
+            break;
+        };
+        // Normalized views: token structure from the masked text, feature
+        // names from the raw text.
+        let norm_masked: String = masked.code[start..attr_end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        let norm_raw: String = src[start..attr_end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        let is_cfg = norm_masked.starts_with("#[cfg(");
+        let is_test_attr = norm_masked == "#[test]"
+            || norm_masked == "#[bench]"
+            || (is_cfg && has_token(&norm_masked, "test"));
+        let is_obs_attr = is_cfg
+            && norm_raw.contains("feature=\"obs\"")
+            && !norm_raw.contains("not(feature=\"obs\")");
+        if is_test_attr || is_obs_attr {
+            if let Some(item_end) = item_end(code, attr_end) {
+                let first = masked.line_of(start);
+                let last = masked.line_of(item_end.saturating_sub(1));
+                for l in first..=last {
+                    if is_test_attr {
+                        test[l - 1] = true;
+                    }
+                    if is_obs_attr {
+                        obs[l - 1] = true;
+                    }
+                }
+            }
+        }
+        i = attr_end;
+    }
+}
+
+/// True when `needle` appears in `hay` with identifier boundaries.
+fn has_token(hay: &str, needle: &str) -> bool {
+    let b = hay.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let pre_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let after = at + needle.len();
+        let post_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Offset one past the `]` matching the `[` at `open` (masked bytes).
+fn bracket_end(code: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, &c) in code.iter().enumerate().skip(open) {
+        match c {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extent of the item following an attribute ending at `from`: skips
+/// further attributes, then runs to the matching `}` of the item's block,
+/// or to the terminating `;` for block-less items (`use`, `type`, ...).
+fn item_end(code: &[u8], mut from: usize) -> Option<usize> {
+    loop {
+        while from < code.len() && (code[from] as char).is_whitespace() {
+            from += 1;
+        }
+        if code.get(from) == Some(&b'#') && code.get(from + 1) == Some(&b'[') {
+            from = bracket_end(code, from + 1)?;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0usize;
+    for (j, &c) in code.iter().enumerate().skip(from) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            b';' if depth == 0 => return Some(j + 1),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_lines() {
+        let src =
+            "fn lib_code() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n";
+        let f = SourceFile::analyze(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_function_is_test_region() {
+        let src = "#[test]\nfn t() {\n    a.unwrap();\n}\nfn real() {}\n";
+        let f = SourceFile::analyze(src);
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"obs\"))]\nmod t {\n    fn x() {}\n}\n";
+        let f = SourceFile::analyze(src);
+        assert!(f.is_test_line(3));
+        assert!(f.is_obs_gated(3));
+    }
+
+    #[test]
+    fn feature_name_containing_test_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"test-utils\")]\nmod m {\n    fn x() {}\n}\n";
+        let f = SourceFile::analyze(src);
+        assert!(!f.is_test_line(3), "string content must not leak tokens");
+    }
+
+    #[test]
+    fn obs_gate_covers_blockless_items() {
+        let src = "#[cfg(feature = \"obs\")]\nuse icn_obs::Registry;\nfn ungated() {}\n";
+        let f = SourceFile::analyze(src);
+        assert!(f.is_obs_gated(2));
+        assert!(!f.is_obs_gated(3));
+    }
+
+    #[test]
+    fn not_obs_gate_does_not_count() {
+        let src = "#[cfg(not(feature = \"obs\"))]\nmod shell {\n    fn x() {}\n}\n";
+        let f = SourceFile::analyze(src);
+        assert!(!f.is_obs_gated(3));
+    }
+
+    #[test]
+    fn allow_directive_parses_and_applies() {
+        let src = "// lint:allow(no-panic-in-lib): invariant checked above\nx.unwrap();\ny.unwrap(); // lint:allow(no-panic-in-lib, deterministic-core): both\n";
+        let f = SourceFile::analyze(src);
+        assert!(f.is_allowed("no-panic-in-lib", 2));
+        assert!(f.is_allowed("no-panic-in-lib", 3));
+        assert!(f.is_allowed("deterministic-core", 3));
+        assert!(!f.is_allowed("deterministic-core", 2));
+        assert!(f.allows.iter().all(|d| d.has_reason));
+    }
+
+    #[test]
+    fn reasonless_allow_is_flagged() {
+        let src = "x.unwrap(); // lint:allow(no-panic-in-lib)\n";
+        let f = SourceFile::analyze(src);
+        assert!(!f.allows[0].has_reason);
+    }
+
+    #[test]
+    fn prose_mention_of_the_directive_is_not_a_directive() {
+        let src = "/// Also usable in `lint:allow(...)` and baseline keys.\nfn f() {}\n";
+        let f = SourceFile::analyze(src);
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn attribute_inside_string_does_not_open_region() {
+        let src = "let s = \"#[cfg(test)]\";\nfn real() { x.unwrap(); }\n";
+        let f = SourceFile::analyze(src);
+        assert!(!f.is_test_line(2));
+    }
+}

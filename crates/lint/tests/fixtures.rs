@@ -1,0 +1,284 @@
+//! End-to-end fixture tests: build a miniature workspace on disk, scan it
+//! with the real engine, and assert exact `file:line` diagnostics,
+//! baseline reconciliation, and vendor freezing.
+
+use icn_lint::config::Config;
+use icn_lint::engine;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static FIXTURE_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A throwaway workspace rooted in the OS temp dir; removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "icn-lint-fixture-{}-{}",
+            std::process::id(),
+            FIXTURE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdirs");
+        fs::write(path, content).expect("write fixture file");
+        self
+    }
+
+    fn scan(&self, config: &Config) -> engine::Report {
+        engine::scan(&self.root, config).expect("scan fixture")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn keys(report: &engine::Report) -> Vec<String> {
+    report.new.iter().map(|v| v.key()).collect()
+}
+
+#[test]
+fn exact_file_line_diagnostics() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/sim.rs",
+        "//! Doc.\nfn route() {\n    let x = compute();\n    x.unwrap();\n}\n",
+    );
+    let report = fx.scan(&Config::default());
+    assert_eq!(
+        keys(&report),
+        vec!["no-panic-in-lib:crates/core/src/sim.rs:4"]
+    );
+    assert!(!report.ok());
+}
+
+#[test]
+fn rules_do_not_fire_inside_literals_or_comments() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/cache/src/lru.rs",
+        concat!(
+            "/* block /* nested unwrap() */ still comment */\n",
+            "fn f() -> usize {\n",
+            "    let s = r#\"x.unwrap() and panic!(\"no\")\"#;\n",
+            "    let c = '\"';\n",
+            "    let _ = c;\n",
+            "    s.len() // trailing unwrap() mention\n",
+            "}\n",
+        ),
+    );
+    let report = fx.scan(&Config::default());
+    assert!(report.ok(), "unexpected: {:?}", report.new);
+}
+
+#[test]
+fn allow_directive_suppresses_but_reasonless_allow_fails() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/topology/src/net.rs",
+        concat!(
+            "fn ok() {\n",
+            "    // lint:allow(no-panic-in-lib): adjacency validated at build\n",
+            "    x.unwrap();\n",
+            "}\n",
+            "fn bad() {\n",
+            "    y.unwrap(); // lint:allow(no-panic-in-lib)\n",
+            "}\n",
+        ),
+    );
+    let report = fx.scan(&Config::default());
+    assert_eq!(
+        keys(&report),
+        vec!["allow-needs-reason:crates/topology/src/net.rs:6"],
+        "the reasonless directive suppresses the unwrap but is itself flagged"
+    );
+}
+
+#[test]
+fn baseline_grandfathers_and_reports_stale_entries() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/workload/src/zipf.rs",
+        "fn f() {\n    x.unwrap();\n}\n",
+    );
+    let mut config = Config::default();
+    config
+        .baseline
+        .push("no-panic-in-lib:crates/workload/src/zipf.rs:2".into());
+    config
+        .baseline
+        .push("no-panic-in-lib:crates/workload/src/gone.rs:9".into());
+    let report = fx.scan(&config);
+    assert!(report.ok(), "baselined violation must not fail the run");
+    assert_eq!(report.baselined.len(), 1);
+    assert_eq!(
+        report.stale,
+        vec!["no-panic-in-lib:crates/workload/src/gone.rs:9".to_string()]
+    );
+}
+
+#[test]
+fn deterministic_core_and_feature_gate_scoping() {
+    let fx = Fixture::new();
+    // HashMap in core: flagged; in workload: fine. icn_obs ungated in core:
+    // flagged; gated: fine; in instrument.rs: fine.
+    fx.write(
+        "crates/core/src/sweep.rs",
+        "use std::collections::HashMap;\nuse icn_obs::Registry;\n#[cfg(feature = \"obs\")]\nuse icn_obs::Counter;\n",
+    )
+    .write("crates/core/src/instrument.rs", "use icn_obs::Registry;\n")
+    .write(
+        "crates/workload/src/trace.rs",
+        "use std::collections::HashMap;\n",
+    );
+    let report = fx.scan(&Config::default());
+    assert_eq!(
+        keys(&report),
+        vec![
+            "deterministic-core:crates/core/src/sweep.rs:1",
+            "feature-gate-obs:crates/core/src/sweep.rs:2",
+        ]
+    );
+}
+
+#[test]
+fn cfg_test_modules_are_exempt_everywhere() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/idicn/src/proxy.rs",
+        concat!(
+            "fn lib_fn() -> u32 { 7 }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::time::Instant;\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        let _ = Instant::now();\n",
+            "        lib_fn().checked_mul(2).unwrap();\n",
+            "        panic!(\"assert style\");\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.scan(&Config::default());
+    assert!(report.ok(), "unexpected: {:?}", report.new);
+}
+
+#[test]
+fn vendor_edits_require_a_hash_bump() {
+    let fx = Fixture::new();
+    fx.write("vendor/rand/src/lib.rs", "pub fn seeded() {}\n");
+    // Unfrozen vendor crate: flagged.
+    let report = fx.scan(&Config::default());
+    assert_eq!(keys(&report), vec!["vendor-frozen:vendor/rand:0"]);
+
+    // Freeze it, scan again: clean.
+    let config = Config {
+        baseline: Vec::new(),
+        vendor: engine::vendor_digests(&fx.root).expect("digests"),
+    };
+    assert!(fx.scan(&config).ok());
+
+    // Edit the vendored file: flagged again until the hash is bumped.
+    fx.write(
+        "vendor/rand/src/lib.rs",
+        "pub fn seeded() { /* changed */ }\n",
+    );
+    let report = fx.scan(&config);
+    assert_eq!(keys(&report), vec!["vendor-frozen:vendor/rand:0"]);
+    assert!(report.new[0].message.contains("changed"));
+}
+
+#[test]
+fn write_baseline_round_trip_makes_the_tree_pass() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/analysis/src/stats.rs",
+        "fn f() {\n    a.unwrap();\n    b.expect(\"msg\");\n}\n",
+    )
+    .write("vendor/serde/src/lib.rs", "pub struct S;\n");
+    let fresh = engine::regenerate_baseline(&fx.root, &Config::default()).expect("regen");
+    assert_eq!(fresh.baseline.len(), 2);
+    assert_eq!(fresh.vendor.len(), 1);
+    // The regenerated config round-trips through lint.toml text and the
+    // tree then scans clean.
+    let parsed = Config::parse(&fresh.render());
+    assert_eq!(parsed, fresh);
+    let report = fx.scan(&parsed);
+    assert!(report.ok(), "unexpected: {:?}", report.new);
+    assert_eq!(report.baselined.len(), 2);
+}
+
+#[test]
+fn json_report_counts_burn_down() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/sim.rs",
+        "fn f() {\n    x.unwrap();\n    y.unwrap();\n}\n",
+    );
+    let mut config = Config::default();
+    config
+        .baseline
+        .push("no-panic-in-lib:crates/core/src/sim.rs:2".into());
+    let report = fx.scan(&config);
+    let json = report.render_json();
+    assert!(json.contains("\"new_total\":1"), "{json}");
+    assert!(json.contains("\"baselined_total\":1"), "{json}");
+    assert!(
+        json.contains("\"new_counts\":{\"no-panic-in-lib\":1}"),
+        "{json}"
+    );
+    assert!(json.contains("\"line\":3"), "{json}");
+}
+
+#[test]
+fn multibyte_utf8_keeps_line_numbers_exact() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/obs/src/hist.rs",
+        "// héllo — ünïcode ↑↓\nfn f() {\n    let s = \"μ σ → ∞\";\n    s.parse::<f64>().unwrap();\n}\n",
+    );
+    let report = fx.scan(&Config::default());
+    assert_eq!(
+        keys(&report),
+        vec!["no-panic-in-lib:crates/obs/src/hist.rs:4"]
+    );
+}
+
+/// Guard for the acceptance criterion: introducing a forbidden `unwrap()`
+/// into `crates/core/src/sim.rs` must fail a previously clean scan.
+#[test]
+fn regression_new_unwrap_in_core_sim_fails() {
+    let fx = Fixture::new();
+    fx.write("crates/core/src/sim.rs", "fn route() -> u32 { 1 }\n");
+    let config = Config::default();
+    assert!(fx.scan(&config).ok());
+    fx.write(
+        "crates/core/src/sim.rs",
+        "fn route() -> u32 { compute().unwrap() }\n",
+    );
+    let report = fx.scan(&config);
+    assert!(!report.ok());
+    assert_eq!(report.new[0].rule, "no-panic-in-lib");
+}
+
+#[test]
+fn fixture_paths_are_real() {
+    let fx = Fixture::new();
+    fx.write("crates/core/src/lib.rs", "fn ok() {}\n");
+    assert!(Path::new(&fx.root).join("crates/core/src/lib.rs").is_file());
+    let report = fx.scan(&Config::default());
+    assert_eq!(report.files, 1);
+}

@@ -214,7 +214,7 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+fn expect_byte(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     if *pos < b.len() && b[*pos] == c {
         *pos += 1;
         Ok(())
@@ -264,7 +264,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
                 skip_ws(b, pos);
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
-                expect(b, pos, b':')?;
+                expect_byte(b, pos, b':')?;
                 map.insert(key, parse_value(b, pos)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -291,7 +291,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, St
 }
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
+    expect_byte(b, pos, b'"')?;
     let mut out = String::new();
     loop {
         match b.get(*pos) {
@@ -330,7 +330,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar.
                 let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
-                let c = s.chars().next().unwrap();
+                let c = s.chars().next().ok_or("unterminated string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -162,7 +162,10 @@ impl Registry {
 
     /// Gets or creates the counter `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Counter(Arc::clone(
             inner.counters.entry(name.to_string()).or_default(),
         ))
@@ -170,7 +173,10 @@ impl Registry {
 
     /// Gets or creates the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Gauge(Arc::clone(
             inner.gauges.entry(name.to_string()).or_default(),
         ))
@@ -178,7 +184,10 @@ impl Registry {
 
     /// Gets or creates the histogram `name`.
     pub fn histogram(&self, name: &str) -> HistHandle {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         HistHandle(Arc::clone(
             inner.histograms.entry(name.to_string()).or_default(),
         ))
@@ -186,7 +195,10 @@ impl Registry {
 
     /// Gets or creates the timer `name` (pre-resolved form for hot loops).
     pub fn timer_handle(&self, name: &str) -> TimerHandle {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         TimerHandle(Arc::clone(
             inner.timers.entry(name.to_string()).or_default(),
         ))
@@ -208,7 +220,10 @@ impl Registry {
 
     /// A point-in-time copy of every metric, quantiles included.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut snap = Snapshot::default();
         for (name, c) in &inner.counters {
             snap.counters

@@ -163,10 +163,11 @@ impl Network {
     #[inline]
     pub fn core_link(&self, a: PopId, b: PopId) -> LinkId {
         let e = (a.min(b), a.max(b));
-        *self
-            .core_link_ids
-            .get(&e)
-            .unwrap_or_else(|| panic!("PoPs {a} and {b} are not adjacent"))
+        match self.core_link_ids.get(&e) {
+            Some(&id) => id,
+            // lint:allow(no-panic-in-lib): adjacency is validated at construction; non-adjacent args are a caller bug worth failing fast on
+            None => panic!("PoPs {a} and {b} are not adjacent"),
+        }
     }
 
     /// Invokes `f` for every PoP on the shortest core path from `a` to `b`,
@@ -227,13 +228,13 @@ impl Network {
                 if t == lca {
                     break;
                 }
-                t = self.tree.parent(t).unwrap();
+                t = self.tree.up(t);
             }
             let start = out.len();
             let mut t = tb;
             while t != lca {
                 out.push(self.node(pa, t));
-                t = self.tree.parent(t).unwrap();
+                t = self.tree.up(t);
             }
             out[start..].reverse();
         } else {
@@ -253,7 +254,7 @@ impl Network {
             let mut t = self.tree_index(b);
             while t != 0 {
                 out.push(self.node(pb, t));
-                t = self.tree.parent(t).unwrap();
+                t = self.tree.up(t);
             }
             out[start..].reverse();
         }
@@ -287,19 +288,19 @@ impl Network {
         let (mut lx, mut ly) = (self.tree.level_of(x), self.tree.level_of(y));
         while lx > ly {
             out.push(self.tree_link(self.node(pop, x)));
-            x = self.tree.parent(x).unwrap();
+            x = self.tree.up(x);
             lx -= 1;
         }
         while ly > lx {
             out.push(self.tree_link(self.node(pop, y)));
-            y = self.tree.parent(y).unwrap();
+            y = self.tree.up(y);
             ly -= 1;
         }
         while x != y {
             out.push(self.tree_link(self.node(pop, x)));
             out.push(self.tree_link(self.node(pop, y)));
-            x = self.tree.parent(x).unwrap();
-            y = self.tree.parent(y).unwrap();
+            x = self.tree.up(x);
+            y = self.tree.up(y);
         }
     }
 

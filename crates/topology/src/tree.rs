@@ -84,6 +84,7 @@ impl AccessTree {
 
     /// Total number of nodes, including the root.
     pub fn nodes(&self) -> u32 {
+        // lint:allow(no-panic-in-lib): shape validated in `new`; overflow means a struct literal bypassed construction
         self.checked_nodes().expect("validated at construction")
     }
 
@@ -125,6 +126,14 @@ impl AccessTree {
         }
     }
 
+    /// Panic-free parent step: the parent of `i`, or the root for the root.
+    /// Level-guarded walks (`distance`, `lca`) never take the root branch,
+    /// so this is equivalent to `parent(i).unwrap()` there without the
+    /// panic path.
+    pub(crate) fn up(&self, i: u32) -> u32 {
+        i.saturating_sub(1) / self.arity
+    }
+
     /// Children of node `i` (empty for leaves).
     pub fn children(&self, i: u32) -> std::ops::Range<u32> {
         let first = i * self.arity + 1;
@@ -155,18 +164,18 @@ impl AccessTree {
         let (mut la, mut lb) = (self.level_of(a), self.level_of(b));
         let mut hops = 0;
         while la > lb {
-            a = self.parent(a).unwrap();
+            a = self.up(a);
             la -= 1;
             hops += 1;
         }
         while lb > la {
-            b = self.parent(b).unwrap();
+            b = self.up(b);
             lb -= 1;
             hops += 1;
         }
         while a != b {
-            a = self.parent(a).unwrap();
-            b = self.parent(b).unwrap();
+            a = self.up(a);
+            b = self.up(b);
             hops += 2;
         }
         hops
@@ -177,16 +186,16 @@ impl AccessTree {
         let (mut a, mut b) = (a, b);
         let (mut la, mut lb) = (self.level_of(a), self.level_of(b));
         while la > lb {
-            a = self.parent(a).unwrap();
+            a = self.up(a);
             la -= 1;
         }
         while lb > la {
-            b = self.parent(b).unwrap();
+            b = self.up(b);
             lb -= 1;
         }
         while a != b {
-            a = self.parent(a).unwrap();
-            b = self.parent(b).unwrap();
+            a = self.up(a);
+            b = self.up(b);
         }
         a
     }

@@ -40,7 +40,9 @@ pub fn assign_origins(
                 acc += p as f64 / total as f64;
                 cum.push(acc);
             }
-            *cum.last_mut().unwrap() = 1.0;
+            if let Some(last) = cum.last_mut() {
+                *last = 1.0;
+            }
             (0..objects)
                 .map(|_| {
                     let u: f64 = rng.gen();

@@ -49,7 +49,7 @@ impl SpatialModel {
                 let key = (1.0 - skew) * obj as f64 + skew * noise;
                 keys.push((key, obj));
             }
-            keys.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            keys.sort_by(|a, b| a.0.total_cmp(&b.0));
             rank_to_object.push(keys.iter().map(|&(_, obj)| obj).collect());
         }
         SpatialModel::PerPop { rank_to_object }

@@ -195,7 +195,9 @@ impl Trace {
             acc += p as f64 / total as f64;
             cum.push(acc);
         }
-        *cum.last_mut().unwrap() = 1.0;
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
 
         // Per-leaf recent-history ring buffers for the locality component.
         let (loc_q, loc_window) = match config.locality {

@@ -47,7 +47,9 @@ impl Zipf {
         for c in cdf.iter_mut() {
             *c /= norm;
         }
-        *cdf.last_mut().unwrap() = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Self { alpha, cdf }
     }
 

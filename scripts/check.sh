@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "=== cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== icn-lint (panic paths, determinism, feature gates)"
+cargo run -q -p icn-lint -- --workspace
+
 echo "=== cargo fmt --check"
 cargo fmt --check --all
 
