@@ -48,6 +48,42 @@ fn simulator_benches(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Cooperative sibling lookup under a wide tree (arity 8 → 7 siblings
+    // probed per edge miss): guards the scratch-buffer fix that removed the
+    // per-miss heap allocation in the sibling walk.
+    let wide_net = Network::new(pop::abilene(), AccessTree::new(8, 2));
+    let mut wide_cfg = TraceConfig::small();
+    wide_cfg.requests = REQUESTS;
+    wide_cfg.objects = 10_000;
+    wide_cfg.alpha = 1.04;
+    let wide_trace = Trace::synthesize(
+        wide_cfg,
+        &wide_net.core.populations,
+        wide_net.leaves_per_pop(),
+    );
+    let wide_origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        wide_trace.config.objects,
+        &wide_net.core.populations,
+        1,
+    );
+    let mut coop = c.benchmark_group("sibling-coop");
+    coop.sample_size(10);
+    coop.throughput(criterion::Throughput::Elements(REQUESTS as u64));
+    coop.bench_function("EDGE-Coop/arity8", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &wide_net,
+                ExperimentConfig::baseline(DesignKind::EdgeCoop),
+                &wide_origins,
+                &wide_trace.object_sizes,
+            );
+            sim.run(&wide_trace.requests);
+            black_box(sim.metrics().cache_hits)
+        })
+    });
+    coop.finish();
 }
 
 criterion_group!(benches, simulator_benches);

@@ -46,27 +46,31 @@ fn main() {
     );
     icn_bench::rule(74);
 
-    let s = att_scenario(SizeModel::Unit);
+    // Both scenarios (unit sizes and Pareto sizes) are built up front so
+    // that all eleven ablation rows go through one parallel gap batch.
+    let jobs = icn_bench::jobs();
+    eprintln!("... building 2 scenarios, running 22 cells (JOBS={jobs})");
+    let scenarios = icn_bench::par_build(2, jobs, |i| {
+        att_scenario(if i == 0 {
+            SizeModel::Unit
+        } else {
+            SizeModel::web_default()
+        })
+    });
+    let (s, s_sizes) = (&scenarios[0], &scenarios[1]);
     let base_template = ExperimentConfig::baseline(DesignKind::Edge);
-    print_gap(
-        "unit hop cost (baseline)",
-        telemetry.nr_vs_edge_gap(&s, &base_template),
-    );
+
+    let mut rows: Vec<(String, &Scenario, ExperimentConfig)> = Vec::new();
+    rows.push(("unit hop cost (baseline)".into(), s, base_template.clone()));
 
     // 1. Latency models chosen to magnify ICN-NR's advantage.
     let mut prog = base_template.clone();
     prog.latency = LatencyModel::Progression;
-    print_gap(
-        "arithmetic progression to core",
-        telemetry.nr_vs_edge_gap(&s, &prog),
-    );
+    rows.push(("arithmetic progression to core".into(), s, prog));
     for d in [4, 16] {
         let mut core = base_template.clone();
         core.latency = LatencyModel::CoreMultiplier { d };
-        print_gap(
-            &format!("core links cost {d}x"),
-            telemetry.nr_vs_edge_gap(&s, &core),
-        );
+        rows.push((format!("core links cost {d}x"), s, core));
     }
 
     // 2. Request-serving capacity with redirection.
@@ -76,21 +80,17 @@ fn main() {
             per_node,
             window: 10_000,
         });
-        print_gap(
-            &format!("capacity {per_node}/10k-request window"),
-            telemetry.nr_vs_edge_gap(&s, &cap),
-        );
+        rows.push((format!("capacity {per_node}/10k-request window"), s, cap));
     }
 
     // 3. Heterogeneous object sizes: congestion counts bytes, not objects.
-    eprintln!("... resynthesizing with Pareto sizes");
-    let s_sizes = att_scenario(SizeModel::web_default());
     let mut sized = base_template.clone();
     sized.weight_by_size = true;
-    print_gap(
-        "bounded-Pareto sizes (byte-weighted)",
-        telemetry.nr_vs_edge_gap(&s_sizes, &sized),
-    );
+    rows.push((
+        "bounded-Pareto sizes (byte-weighted)".into(),
+        s_sizes,
+        sized,
+    ));
 
     // 4. Insertion-policy ablation (extension): the ICN literature's
     //    leave-copy-down and probabilistic caching vs the paper's
@@ -108,7 +108,7 @@ fn main() {
     ] {
         let mut cfgi = base_template.clone();
         cfgi.insertion = ins;
-        print_gap(label, telemetry.nr_vs_edge_gap(&s, &cfgi));
+        rows.push((label.into(), s, cfgi));
     }
 
     // 5. Replacement policy ablation (extension beyond the paper's text).
@@ -118,10 +118,14 @@ fn main() {
     ] {
         let mut p = base_template.clone();
         p.policy = policy;
-        print_gap(
-            &format!("{policy:?} replacement"),
-            telemetry.nr_vs_edge_gap(&s, &p),
-        );
+        rows.push((format!("{policy:?} replacement"), s, p));
+    }
+
+    let pairs: Vec<(&Scenario, ExperimentConfig)> =
+        rows.iter().map(|(_, sc, cfg)| (*sc, cfg.clone())).collect();
+    let gaps = telemetry.nr_vs_edge_gap_batch(&pairs);
+    for ((label, _, _), gap) in rows.iter().zip(gaps) {
+        print_gap(label, gap);
     }
 
     println!(

@@ -11,7 +11,7 @@ use icn_cache::budget::BudgetPolicy;
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
 use icn_core::metrics::Improvement;
-use icn_core::sweep::Scenario;
+use icn_core::sweep::{Scenario, SweepCell};
 use icn_workload::origin::OriginPolicy;
 
 fn main() {
@@ -21,29 +21,33 @@ fn main() {
         "EDGE extensions vs the best case for ICN-NR (AT&T)",
     );
 
-    // The Figure 9 end-point workload.
-    let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
-    trace_cfg.alpha = 0.1;
-    trace_cfg.skew = 1.0;
-    let s = Scenario::build(
-        icn_topology::pop::att(),
-        icn_bench::baseline_tree(),
-        trace_cfg,
-        OriginPolicy::PopulationProportional,
-    );
+    // The Figure 9 end-point workload plus the Section-4 reference
+    // scenario, both built up front so every cell can go through one
+    // parallel batch (12 cells, submission order = the printed order).
+    let jobs = icn_bench::jobs();
+    eprintln!("... building 2 scenarios, running 12 cells (JOBS={jobs})");
+    let scenarios = icn_bench::par_build(2, jobs, |i| {
+        if i == 0 {
+            let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
+            trace_cfg.alpha = 0.1;
+            trace_cfg.skew = 1.0;
+            Scenario::build(
+                icn_topology::pop::att(),
+                icn_bench::baseline_tree(),
+                trace_cfg,
+                OriginPolicy::PopulationProportional,
+            )
+        } else {
+            icn_bench::baseline_scenario(icn_topology::pop::att())
+        }
+    });
+    let (s, s4) = (&scenarios[0], &scenarios[1]);
     let best_cfg = |design: DesignKind| {
         let mut c = ExperimentConfig::baseline(design);
         c.budget_policy = BudgetPolicy::Uniform;
         c.f_fraction = 0.02;
         c
     };
-    let nr = telemetry.improvement(&s, best_cfg(DesignKind::IcnNr));
-
-    println!(
-        "{:<22} {:>10} {:>12} {:>14}",
-        "ICN-NR advantage over", "Latency", "Congestion", "Origin-Load"
-    );
-    icn_bench::rule(62);
     let variants = [
         ("Baseline (EDGE)", DesignKind::Edge),
         ("2-Levels", DesignKind::TwoLevels),
@@ -53,10 +57,34 @@ fn main() {
         ("Norm-Coop", DesignKind::NormCoop),
         ("Double-Budget-Coop", DesignKind::DoubleBudgetCoop),
     ];
-    for (label, design) in variants {
-        eprintln!("... simulating {label}");
-        let edge_variant = telemetry.improvement(&s, best_cfg(design));
-        let gap = Improvement::gap(&nr, &edge_variant);
+    let mut cells = vec![SweepCell {
+        scenario: s,
+        cfg: best_cfg(DesignKind::IcnNr),
+    }];
+    cells.extend(variants.map(|(_, design)| SweepCell {
+        scenario: s,
+        cfg: best_cfg(design),
+    }));
+    cells.extend([DesignKind::IcnNr, DesignKind::Edge].map(|d| SweepCell {
+        scenario: s4,
+        cfg: ExperimentConfig::baseline(d),
+    }));
+    cells.extend(
+        [DesignKind::InfiniteIcnNr, DesignKind::InfiniteEdge].map(|d| SweepCell {
+            scenario: s,
+            cfg: best_cfg(d),
+        }),
+    );
+    let results = telemetry.improvement_batch(&cells);
+    let nr = results[0].0;
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>14}",
+        "ICN-NR advantage over", "Latency", "Congestion", "Origin-Load"
+    );
+    icn_bench::rule(62);
+    for ((label, _), (edge_variant, _)) in variants.iter().zip(&results[1..=7]) {
+        let gap = Improvement::gap(&nr, edge_variant);
         println!(
             "{label:<22} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct
@@ -64,19 +92,14 @@ fn main() {
     }
 
     // Reference point 1: the Section 4 baseline gap.
-    eprintln!("... simulating Section-4 reference");
-    let s4 = icn_bench::baseline_scenario(icn_topology::pop::att());
-    let sec4 = telemetry.nr_vs_edge_gap(&s4, &ExperimentConfig::baseline(DesignKind::Edge));
+    let sec4 = Improvement::gap(&results[8].0, &results[9].0);
     println!(
         "{:<22} {:>10.2} {:>12.2} {:>14.2}",
         "Section-4 (reference)", sec4.latency_pct, sec4.congestion_pct, sec4.origin_pct
     );
 
     // Reference point 2: infinite budgets on both sides.
-    eprintln!("... simulating Inf-Budget reference");
-    let inf_nr = telemetry.improvement(&s, best_cfg(DesignKind::InfiniteIcnNr));
-    let inf_edge = telemetry.improvement(&s, best_cfg(DesignKind::InfiniteEdge));
-    let inf = Improvement::gap(&inf_nr, &inf_edge);
+    let inf = Improvement::gap(&results[10].0, &results[11].0);
     println!(
         "{:<22} {:>10.2} {:>12.2} {:>14.2}",
         "Inf-Budget (reference)", inf.latency_pct, inf.congestion_pct, inf.origin_pct

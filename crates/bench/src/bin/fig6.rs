@@ -20,21 +20,37 @@ fn main() {
 /// Shared by fig6 (proportional) and fig7 (uniform).
 pub fn run(telemetry: &icn_bench::Telemetry, budget: icn_cache::budget::BudgetPolicy) {
     let designs = DesignKind::figure6_designs();
-    let mut rows: Vec<(String, Vec<icn_core::metrics::Improvement>)> = Vec::new();
-    for topo in icn_bench::paper_topologies() {
-        let name = topo.name.clone();
-        eprintln!("... simulating {name}");
-        let s = icn_bench::baseline_scenario(topo);
-        let imps = designs
-            .iter()
-            .map(|&d| {
+    let topos = icn_bench::paper_topologies();
+    let jobs = icn_bench::jobs();
+    eprintln!(
+        "... building {} scenarios, running {} cells (JOBS={jobs})",
+        topos.len(),
+        topos.len() * designs.len()
+    );
+    let scenarios = icn_bench::par_build(topos.len(), jobs, |i| {
+        icn_bench::baseline_scenario(topos[i].clone())
+    });
+    let cells: Vec<icn_core::sweep::SweepCell<'_>> = scenarios
+        .iter()
+        .flat_map(|s| {
+            designs.iter().map(move |&d| {
                 let mut cfg = icn_core::config::ExperimentConfig::baseline(d);
                 cfg.budget_policy = budget;
-                telemetry.improvement(&s, cfg)
+                icn_core::sweep::SweepCell { scenario: s, cfg }
             })
-            .collect();
-        rows.push((name, imps));
-    }
+        })
+        .collect();
+    let results = telemetry.improvement_batch(&cells);
+    let rows: Vec<(String, Vec<icn_core::metrics::Improvement>)> = topos
+        .iter()
+        .zip(results.chunks(designs.len()))
+        .map(|(topo, chunk)| {
+            (
+                topo.name.clone(),
+                chunk.iter().map(|(imp, _)| *imp).collect(),
+            )
+        })
+        .collect();
 
     for (metric, pick) in [
         ("(a) Query latency improvement (%)", 0usize),

@@ -4,7 +4,7 @@
 
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
-use icn_core::sweep::Scenario;
+use icn_core::sweep::{Scenario, SweepCell};
 use icn_workload::origin::OriginPolicy;
 
 fn main() {
@@ -14,26 +14,42 @@ fn main() {
         "design improvements over no caching, uniform budgets & origins",
     );
     let designs = DesignKind::figure6_designs();
-    let mut rows = Vec::new();
-    for topo in icn_bench::paper_topologies() {
-        let name = topo.name.clone();
-        eprintln!("... simulating {name}");
-        let s = Scenario::build(
-            topo,
+    let topos = icn_bench::paper_topologies();
+    let jobs = icn_bench::jobs();
+    eprintln!(
+        "... building {} scenarios, running {} cells (JOBS={jobs})",
+        topos.len(),
+        topos.len() * designs.len()
+    );
+    let scenarios = icn_bench::par_build(topos.len(), jobs, |i| {
+        Scenario::build(
+            topos[i].clone(),
             icn_bench::baseline_tree(),
             icn_bench::asia_trace(icn_bench::scale()),
             OriginPolicy::Uniform,
-        );
-        let imps: Vec<_> = designs
-            .iter()
-            .map(|&d| {
+        )
+    });
+    let cells: Vec<SweepCell<'_>> = scenarios
+        .iter()
+        .flat_map(|s| {
+            designs.iter().map(move |&d| {
                 let mut cfg = ExperimentConfig::baseline(d);
                 cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
-                telemetry.improvement(&s, cfg)
+                SweepCell { scenario: s, cfg }
             })
-            .collect();
-        rows.push((name, imps));
-    }
+        })
+        .collect();
+    let results = telemetry.improvement_batch(&cells);
+    let rows: Vec<(String, Vec<_>)> = topos
+        .iter()
+        .zip(results.chunks(designs.len()))
+        .map(|(topo, chunk)| {
+            (
+                topo.name.clone(),
+                chunk.iter().map(|(imp, _)| *imp).collect(),
+            )
+        })
+        .collect();
 
     for (metric, pick) in [
         ("(a) Query latency improvement (%)", 0usize),

@@ -17,16 +17,24 @@ fn main() {
         "alpha", "Delay", "Congestion", "Origin load"
     );
     icn_bench::rule(46);
-    for alpha in [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6] {
+    let alphas = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6];
+    let jobs = icn_bench::jobs();
+    eprintln!("... building {} scenarios (JOBS={jobs})", alphas.len());
+    let scenarios = icn_bench::par_build(alphas.len(), jobs, |i| {
         let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
-        trace_cfg.alpha = alpha;
-        let s = Scenario::build(
+        trace_cfg.alpha = alphas[i];
+        Scenario::build(
             icn_topology::pop::att(),
             icn_bench::baseline_tree(),
             trace_cfg,
             OriginPolicy::PopulationProportional,
-        );
-        let gap = telemetry.nr_vs_edge_gap(&s, &ExperimentConfig::baseline(DesignKind::Edge));
+        )
+    });
+    let pairs: Vec<(&Scenario, ExperimentConfig)> = scenarios
+        .iter()
+        .map(|s| (s, ExperimentConfig::baseline(DesignKind::Edge)))
+        .collect();
+    for (alpha, gap) in alphas.iter().zip(telemetry.nr_vs_edge_gap_batch(&pairs)) {
         println!(
             "{alpha:>6.1} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct

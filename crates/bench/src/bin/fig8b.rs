@@ -27,10 +27,21 @@ fn main() {
         "F", "Delay", "Congestion", "Origin load"
     );
     icn_bench::rule(50);
-    for f in [1e-5, 1e-4, 1e-3, 5e-3, 0.02, 0.05, 0.1, 0.3, 1.0] {
-        let mut template = ExperimentConfig::baseline(DesignKind::Edge);
-        template.f_fraction = f;
-        let gap = telemetry.nr_vs_edge_gap(&s, &template);
+    let fractions = [1e-5, 1e-4, 1e-3, 5e-3, 0.02, 0.05, 0.1, 0.3, 1.0];
+    eprintln!(
+        "... running {} cells (JOBS={})",
+        fractions.len() * 2,
+        icn_bench::jobs()
+    );
+    let pairs: Vec<_> = fractions
+        .iter()
+        .map(|&f| {
+            let mut template = ExperimentConfig::baseline(DesignKind::Edge);
+            template.f_fraction = f;
+            (&s, template)
+        })
+        .collect();
+    for (f, gap) in fractions.iter().zip(telemetry.nr_vs_edge_gap_batch(&pairs)) {
         println!(
             "{f:>10.5} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct

@@ -21,9 +21,26 @@ fn main() {
         "skew", "measured skew", "Delay", "Congestion", "Origin load"
     );
     icn_bench::rule(60);
-    for skew in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+    let skews = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let jobs = icn_bench::jobs();
+    eprintln!("... building {} scenarios (JOBS={jobs})", skews.len());
+    let scenarios = icn_bench::par_build(skews.len(), jobs, |i| {
         let mut trace_cfg = icn_bench::asia_trace(icn_bench::scale());
-        trace_cfg.skew = skew;
+        trace_cfg.skew = skews[i];
+        Scenario::build(
+            icn_topology::pop::att(),
+            icn_bench::baseline_tree(),
+            trace_cfg,
+            OriginPolicy::PopulationProportional,
+        )
+    });
+    let pairs: Vec<(&Scenario, ExperimentConfig)> = scenarios
+        .iter()
+        .map(|s| (s, ExperimentConfig::baseline(DesignKind::Edge)))
+        .collect();
+    let gaps = telemetry.nr_vs_edge_gap_batch(&pairs);
+    let trace_cfg = icn_bench::asia_trace(icn_bench::scale());
+    for (&skew, gap) in skews.iter().zip(gaps) {
         // Report the paper's skew metric for this setting.
         let measured = SpatialModel::new(
             trace_cfg.objects,
@@ -32,13 +49,6 @@ fn main() {
             trace_cfg.seed ^ 0x5b5b_5b5b,
         )
         .measured_skew();
-        let s = Scenario::build(
-            icn_topology::pop::att(),
-            icn_bench::baseline_tree(),
-            trace_cfg,
-            OriginPolicy::PopulationProportional,
-        );
-        let gap = telemetry.nr_vs_edge_gap(&s, &ExperimentConfig::baseline(DesignKind::Edge));
         println!(
             "{skew:>6.1} {measured:>14.3} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct

@@ -52,15 +52,24 @@ fn main() {
     icn_bench::rule(56);
     // Fix the Alpha* step to also apply to later steps' configs (the
     // construction is cumulative in the trace; configs above already are).
-    for (name, trace_cfg, template) in steps() {
-        eprintln!("... simulating {name}");
-        let s = Scenario::build(
+    let steps = steps();
+    let jobs = icn_bench::jobs();
+    eprintln!("... building {} scenarios (JOBS={jobs})", steps.len());
+    let scenarios = icn_bench::par_build(steps.len(), jobs, |i| {
+        Scenario::build(
             icn_topology::pop::att(),
             icn_bench::baseline_tree(),
-            trace_cfg,
+            steps[i].1.clone(),
             OriginPolicy::PopulationProportional,
-        );
-        let gap = telemetry.nr_vs_edge_gap(&s, &template);
+        )
+    });
+    let pairs: Vec<(&Scenario, ExperimentConfig)> = scenarios
+        .iter()
+        .zip(&steps)
+        .map(|(s, (_, _, template))| (s, template.clone()))
+        .collect();
+    let gaps = telemetry.nr_vs_edge_gap_batch(&pairs);
+    for ((name, _, _), gap) in steps.iter().zip(gaps) {
         println!(
             "{name:<16} {:>10.2} {:>12.2} {:>14.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct

@@ -13,7 +13,7 @@
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
 use icn_core::metrics::{Improvement, RunMetrics};
-use icn_core::sweep::Scenario;
+use icn_core::sweep::{Scenario, SweepCell};
 use icn_workload::origin::OriginPolicy;
 
 /// Paper's Table 3 (query latency gap, %): (topology, trace, synthetic).
@@ -43,12 +43,49 @@ fn main() {
         "Topology", "Trace", "Synthetic", "Diff", "Trace", "Synthetic", "Diff"
     );
     icn_bench::rule(72);
+    // Two scenarios per topology (locality trace, best-fit synthetic) and
+    // two cells per scenario (ICN-NR, EDGE): built and simulated through
+    // the parallel sweep engine, printed in topology order.
+    let topos = icn_bench::paper_topologies();
+    let jobs = icn_bench::jobs();
+    eprintln!(
+        "... building {} scenarios, running {} cells (JOBS={jobs})",
+        topos.len() * 2,
+        topos.len() * 4
+    );
+    let scenarios = icn_bench::par_build(topos.len() * 2, jobs, |i| {
+        let with_locality = i % 2 == 0;
+        let mut cfg = icn_bench::asia_trace(icn_bench::scale());
+        if !with_locality {
+            cfg.locality = None;
+        }
+        Scenario::build(
+            topos[i / 2].clone(),
+            icn_bench::baseline_tree(),
+            cfg,
+            OriginPolicy::PopulationProportional,
+        )
+    });
+    let cells: Vec<SweepCell<'_>> = scenarios
+        .iter()
+        .flat_map(|s| {
+            [DesignKind::IcnNr, DesignKind::Edge].map(|d| SweepCell {
+                scenario: s,
+                cfg: ExperimentConfig::baseline(d),
+            })
+        })
+        .collect();
+    let results = telemetry.improvement_batch(&cells);
+    let gaps: Vec<Improvement> = results
+        .chunks(2)
+        .map(|pair| Improvement::gap(&pair[0].0, &pair[1].0))
+        .collect();
     let mut nr_runs: Vec<(String, RunMetrics)> = Vec::new();
-    for (i, topo) in icn_bench::paper_topologies().into_iter().enumerate() {
+    for (i, topo) in topos.iter().enumerate() {
         let name = topo.name.clone();
-        eprintln!("... simulating {name}");
-        let (trace_gap, nr_run) = gap(&telemetry, topo.clone(), true);
-        let (synth_gap, _) = gap(&telemetry, topo, false);
+        let trace_gap = gaps[2 * i].latency_pct;
+        let synth_gap = gaps[2 * i + 1].latency_pct;
+        let nr_run = results[4 * i].1.clone();
         let (pname, pt, ps) = PAPER[i];
         assert_eq!(pname, name);
         println!(
@@ -87,26 +124,4 @@ fn main() {
          still pay near-origin latency under every design."
     );
     telemetry.finish();
-}
-
-/// ICN-NR − EDGE latency gap for one topology, plus the ICN-NR run.
-fn gap(
-    telemetry: &icn_bench::Telemetry,
-    topo: icn_topology::PopGraph,
-    with_locality: bool,
-) -> (f64, RunMetrics) {
-    let mut cfg = icn_bench::asia_trace(icn_bench::scale());
-    if !with_locality {
-        cfg.locality = None;
-    }
-    let s = Scenario::build(
-        topo,
-        icn_bench::baseline_tree(),
-        cfg,
-        OriginPolicy::PopulationProportional,
-    );
-    let (nr, nr_run) =
-        telemetry.improvement_detailed(&s, ExperimentConfig::baseline(DesignKind::IcnNr));
-    let edge = telemetry.improvement(&s, ExperimentConfig::baseline(DesignKind::Edge));
-    (Improvement::gap(&nr, &edge).latency_pct, nr_run)
 }

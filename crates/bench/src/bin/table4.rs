@@ -29,16 +29,23 @@ fn main() {
         "arity", "Latency", "Congestion", "Origin", "p.Lat", "p.Cong", "p.Orig"
     );
     icn_bench::rule(70);
-    for (arity, p_lat, p_cong, p_orig) in PAPER {
-        eprintln!("... simulating arity {arity}");
-        let tree = AccessTree::with_fixed_leaves(arity, 64);
-        let s = Scenario::build(
+    let jobs = icn_bench::jobs();
+    eprintln!("... building {} scenarios (JOBS={jobs})", PAPER.len());
+    let scenarios = icn_bench::par_build(PAPER.len(), jobs, |i| {
+        let tree = AccessTree::with_fixed_leaves(PAPER[i].0, 64);
+        Scenario::build(
             icn_topology::pop::att(),
             tree,
             icn_bench::asia_trace(icn_bench::scale()),
             OriginPolicy::PopulationProportional,
-        );
-        let gap = telemetry.nr_vs_edge_gap(&s, &ExperimentConfig::baseline(DesignKind::Edge));
+        )
+    });
+    let pairs: Vec<(&Scenario, ExperimentConfig)> = scenarios
+        .iter()
+        .map(|s| (s, ExperimentConfig::baseline(DesignKind::Edge)))
+        .collect();
+    let gaps = telemetry.nr_vs_edge_gap_batch(&pairs);
+    for ((arity, p_lat, p_cong, p_orig), gap) in PAPER.into_iter().zip(gaps) {
         println!(
             "{arity:>6} {:>8.2} {:>10.2} {:>8.2} | {p_lat:>8.2} {p_cong:>10.2} {p_orig:>8.2}",
             gap.latency_pct, gap.congestion_pct, gap.origin_pct

@@ -27,11 +27,89 @@ pub mod telemetry;
 pub use telemetry::Telemetry;
 
 /// The experiment scale factor (fraction of the paper's trace volume).
+///
+/// A malformed, zero, or negative `SCALE` aborts with a clear error
+/// instead of silently falling back to the default — a typo like
+/// `SCALE=1,0` used to mislabel every printed figure as a 0.25 run.
 pub fn scale() -> f64 {
-    std::env::var("SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25)
+    match std::env::var("SCALE") {
+        Err(std::env::VarError::NotPresent) => 0.25,
+        Err(e) => die(&format!("invalid SCALE value: {e}")),
+        Ok(s) => parse_scale(&s).unwrap_or_else(|e| die(&e)),
+    }
+}
+
+/// Validates a `SCALE` value: a finite decimal fraction > 0.
+pub fn parse_scale(s: &str) -> Result<f64, String> {
+    let v: f64 = s.trim().parse().map_err(|_| {
+        format!(
+            "invalid SCALE value {s:?}: expected a decimal fraction of the \
+             paper's trace volume, e.g. SCALE=0.25"
+        )
+    })?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!(
+            "invalid SCALE value {s:?}: must be finite and > 0 (e.g. SCALE=0.25)"
+        ));
+    }
+    Ok(v)
+}
+
+/// Worker-thread count for the parallel sweep engine: the `JOBS` env var,
+/// defaulting to [`std::thread::available_parallelism`]. `JOBS=1` restores
+/// the fully sequential path; any value produces identical output (see
+/// EXPERIMENTS.md, "Parallelism").
+pub fn jobs() -> usize {
+    match std::env::var("JOBS") {
+        Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        Err(e) => die(&format!("invalid JOBS value: {e}")),
+        Ok(s) => parse_jobs(&s).unwrap_or_else(|e| die(&e)),
+    }
+}
+
+/// Validates a `JOBS` value: a positive integer.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid JOBS value {s:?}: expected a positive worker count \
+             (JOBS=1 disables parallelism)"
+        )),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Deterministic parallel build: computes `f(0..n)` over [`jobs`] scoped
+/// worker threads (work-stealing index) and returns the results in index
+/// order. Used to parallelize scenario construction — trace synthesis is
+/// seeded, so the built scenarios are identical at any worker count.
+pub fn par_build<R: Send + Sync>(n: usize, jobs: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<std::sync::OnceLock<R>> = (0..n).map(|_| std::sync::OnceLock::new()).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let _ = slots[i].set(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("par_build worker filled every slot"))
+        .collect()
 }
 
 /// The §4 baseline workload: Asia-region synthetic trace at [`scale`].
@@ -95,6 +173,36 @@ mod tests {
         if std::env::var("SCALE").is_err() {
             assert_eq!(scale(), 0.25);
         }
+    }
+
+    #[test]
+    fn scale_values_are_validated_not_silently_defaulted() {
+        // Regression: these all used to fall back to 0.25 without a word,
+        // mislabelling every printed figure.
+        for bad in ["1,0", "0", "-1", "0.0", "-0.25", "nan", "inf", "", "fast"] {
+            assert!(parse_scale(bad).is_err(), "SCALE={bad:?} must be rejected");
+        }
+        assert_eq!(parse_scale("0.25"), Ok(0.25));
+        assert_eq!(parse_scale(" 1.0 "), Ok(1.0));
+        assert_eq!(parse_scale("2"), Ok(2.0));
+    }
+
+    #[test]
+    fn jobs_values_are_validated() {
+        for bad in ["0", "-2", "four", "1.5", ""] {
+            assert!(parse_jobs(bad).is_err(), "JOBS={bad:?} must be rejected");
+        }
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 8 "), Ok(8));
+    }
+
+    #[test]
+    fn par_build_preserves_index_order_at_any_worker_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for jobs in [1, 2, 4, 16] {
+            assert_eq!(par_build(37, jobs, |i| i * i), expect, "jobs={jobs}");
+        }
+        assert!(par_build(0, 4, |i| i).is_empty());
     }
 
     #[test]

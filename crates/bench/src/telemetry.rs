@@ -21,7 +21,7 @@ use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
 use icn_core::instrument::SimObs;
 use icn_core::metrics::{Improvement, RunMetrics};
-use icn_core::sweep::Scenario;
+use icn_core::sweep::{run_cells_with, Scenario, SweepCell};
 use icn_obs::{Registry, Snapshot, TraceSink};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -117,6 +117,83 @@ impl Telemetry {
         (imp, run)
     }
 
+    /// Runs a batch of sweep cells — in parallel over [`crate::jobs`]
+    /// workers — returning `(Improvement, RunMetrics)` per cell in
+    /// submission order. Output is bit-identical at any worker count:
+    /// simulation results come from [`run_cells_with`]'s ordered merge,
+    /// per-worker metric registries fold into this collector with
+    /// commutative adds, and per-run latency histograms merge in
+    /// submission order. Only wall-clock timer durations vary.
+    ///
+    /// With `JOBS=1` — or when a `--trace` sink is active, since a
+    /// streamed JSONL trace is inherently completion-ordered — this is
+    /// exactly the sequential instrumented path (progress lines included).
+    pub fn improvement_batch(&self, cells: &[SweepCell<'_>]) -> Vec<(Improvement, RunMetrics)> {
+        self.improvement_batch_jobs(cells, crate::jobs())
+    }
+
+    /// [`Telemetry::improvement_batch`] with an explicit worker count.
+    pub fn improvement_batch_jobs(
+        &self,
+        cells: &[SweepCell<'_>],
+        jobs: usize,
+    ) -> Vec<(Improvement, RunMetrics)> {
+        if jobs <= 1 || self.trace.is_some() {
+            return cells
+                .iter()
+                .map(|c| self.improvement_detailed(c.scenario, c.cfg.clone()))
+                .collect();
+        }
+        let workers: Vec<Registry> = (0..jobs).map(|_| Registry::new()).collect();
+        let results = run_cells_with(cells, jobs, |worker, _idx, cell| {
+            Some(SimObs::new(&workers[worker], cell.cfg.design.name()))
+        });
+        // Deterministic merge: worker registries in worker-index order
+        // (commutative counter/histogram adds), then each run's latency
+        // histogram in submission order — the same order the sequential
+        // path records them.
+        for r in &workers {
+            self.registry.merge_from(r);
+        }
+        for (_, run) in &results {
+            self.record_run(run);
+        }
+        results
+    }
+
+    /// Batched [`Telemetry::nr_vs_edge_gap`]: one `(scenario, template)`
+    /// pair per output row, expanded to an ICN-NR and an EDGE cell each
+    /// (the template's design field is overwritten, as in the scalar
+    /// form), all run through one [`Telemetry::improvement_batch`].
+    pub fn nr_vs_edge_gap_batch(
+        &self,
+        pairs: &[(&Scenario, ExperimentConfig)],
+    ) -> Vec<Improvement> {
+        let cells: Vec<SweepCell<'_>> = pairs
+            .iter()
+            .flat_map(|(s, template)| {
+                let mut nr_cfg = template.clone();
+                nr_cfg.design = DesignKind::IcnNr;
+                let mut edge_cfg = template.clone();
+                edge_cfg.design = DesignKind::Edge;
+                [
+                    SweepCell {
+                        scenario: s,
+                        cfg: nr_cfg,
+                    },
+                    SweepCell {
+                        scenario: s,
+                        cfg: edge_cfg,
+                    },
+                ]
+            })
+            .collect();
+        self.improvement_batch(&cells)
+            .chunks(2)
+            .map(|pair| Improvement::gap(&pair[0].0, &pair[1].0))
+            .collect()
+    }
+
     /// Instrumented [`Scenario::nr_vs_edge_gap`].
     pub fn nr_vs_edge_gap(&self, s: &Scenario, template: &ExperimentConfig) -> Improvement {
         let mut nr_cfg = template.clone();
@@ -191,6 +268,52 @@ mod tests {
         // The sidecar JSON round-trips.
         let back = Snapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_bit_for_bit() {
+        let s = tiny_scenario();
+        let cells = || -> Vec<SweepCell<'_>> {
+            DesignKind::figure6_designs()
+                .iter()
+                .map(|&d| SweepCell {
+                    scenario: &s,
+                    cfg: ExperimentConfig::baseline(d),
+                })
+                .collect()
+        };
+        let t_seq = Telemetry::disabled();
+        let seq = t_seq.improvement_batch_jobs(&cells(), 1);
+        let t_par = Telemetry::disabled();
+        let par = t_par.improvement_batch_jobs(&cells(), 4);
+        assert_eq!(seq.len(), par.len());
+        for (i, ((imp_s, run_s), (imp_p, run_p))) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(imp_s, imp_p, "cell {i}: improvement");
+            assert_eq!(run_s, run_p, "cell {i}: run metrics");
+        }
+        // The merged telemetry agrees on everything except wall-clock
+        // timer durations.
+        let snap_seq = t_seq.snapshot();
+        let snap_par = t_par.snapshot();
+        assert_eq!(snap_seq.counters, snap_par.counters);
+        assert_eq!(snap_seq.histograms, snap_par.histograms);
+        assert_eq!(
+            snap_seq.timers.keys().collect::<Vec<_>>(),
+            snap_par.timers.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gap_batch_matches_scalar_gaps() {
+        let s = tiny_scenario();
+        let t = Telemetry::disabled();
+        let template = ExperimentConfig::baseline(DesignKind::Edge);
+        let mut small_f = template.clone();
+        small_f.f_fraction = 0.01;
+        let batch = t.nr_vs_edge_gap_batch(&[(&s, template.clone()), (&s, small_f.clone())]);
+        let t2 = Telemetry::disabled();
+        assert_eq!(batch[0], t2.nr_vs_edge_gap(&s, &template));
+        assert_eq!(batch[1], t2.nr_vs_edge_gap(&s, &small_f));
     }
 
     #[test]

@@ -31,13 +31,18 @@ pub enum LatencyModel {
 
 impl LatencyModel {
     /// Cost of the tree link whose deeper endpoint is at `deeper_level`
-    /// (1 ..= depth).
+    /// (nominally 1 ..= depth).
+    ///
+    /// Out-of-range levels saturate instead of wrapping: a `deeper_level`
+    /// at or beyond `depth` costs 1, like a leaf link. The arithmetic is
+    /// explicitly saturating so the contract holds identically in debug
+    /// and release builds — a plain `depth - deeper_level` would panic in
+    /// debug but silently wrap to a ~2^32 cost with `--release`.
     #[inline]
     pub fn tree_link_cost(&self, deeper_level: u32, depth: u32) -> f64 {
-        debug_assert!(deeper_level >= 1 && deeper_level <= depth);
         match *self {
             LatencyModel::Unit | LatencyModel::CoreMultiplier { .. } => 1.0,
-            LatencyModel::Progression => (depth - deeper_level + 1) as f64,
+            LatencyModel::Progression => (depth.saturating_sub(deeper_level) + 1) as f64,
         }
     }
 
@@ -52,14 +57,19 @@ impl LatencyModel {
     }
 
     /// Cost of climbing within a tree from `from_level` up to `to_level`
-    /// (`from_level >= to_level`).
+    /// (nominally `from_level >= to_level`).
+    ///
+    /// Saturating: "climbing" to a level at or below `from_level` crosses
+    /// no links and costs 0, in both build profiles — the unchecked
+    /// `from_level - to_level` this replaces wrapped to ~2^32 hops in
+    /// `--release`. (The `Progression` arm was already safe: its range is
+    /// simply empty when `to_level >= from_level`.)
     pub fn climb_cost(&self, from_level: u32, to_level: u32, depth: u32) -> f64 {
-        debug_assert!(from_level >= to_level);
         match *self {
             LatencyModel::Unit | LatencyModel::CoreMultiplier { .. } => {
-                (from_level - to_level) as f64
+                from_level.saturating_sub(to_level) as f64
             }
-            LatencyModel::Progression => (to_level + 1..=from_level)
+            LatencyModel::Progression => (to_level.saturating_add(1)..=from_level)
                 .map(|l| self.tree_link_cost(l, depth))
                 .sum(),
         }
@@ -135,6 +145,35 @@ mod tests {
         let b = net.leaf(1, 0);
         let core_hops = net.core_distance(0, 1) as f64;
         assert_eq!(m.path_cost(&net, a, b), 3.0 + 3.0 + 5.0 * core_hops);
+    }
+
+    /// Regression: the level bounds used to be `debug_assert!`-only, so a
+    /// `deeper_level > depth` or `from_level < to_level` call wrapped the
+    /// `u32` subtraction to a ~4-billion-hop cost under `--release` while
+    /// aborting under debug. The saturating contract must now hold in
+    /// *both* profiles — this test is exercised by `cargo test` (debug)
+    /// and by the release-profile test pass in `scripts/check.sh`.
+    #[test]
+    fn boundary_levels_saturate_instead_of_wrapping() {
+        let m = LatencyModel::Progression;
+        // Deeper than the tree: clamps to a leaf-level link (cost 1).
+        assert_eq!(m.tree_link_cost(4, 3), 1.0);
+        assert_eq!(m.tree_link_cost(u32::MAX, 3), 1.0);
+        for m in [
+            LatencyModel::Unit,
+            LatencyModel::Progression,
+            LatencyModel::CoreMultiplier { d: 7 },
+        ] {
+            // "Climbing" downward crosses no links.
+            assert_eq!(m.climb_cost(1, 3, 5), 0.0, "{m:?}");
+            assert_eq!(m.climb_cost(0, u32::MAX, 5), 0.0, "{m:?}");
+            // Every in-range cost stays far below any wrapped u32 value.
+            for from in 0..=5u32 {
+                for to in 0..=from {
+                    assert!(m.climb_cost(from, to, 5) <= 6.0 * 5.0, "{m:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct Simulator<'a> {
     path_buf: Vec<NodeId>,
     nodes_buf: Vec<NodeId>,
     links_buf: Vec<u32>,
+    /// Scratch for sibling tree indices in the cooperative lookup — the
+    /// lookup runs on every cache-equipped router a miss climbs past, so
+    /// allocating a fresh `Vec` per probe would be a per-miss heap hit.
+    siblings_buf: Vec<u32>,
 }
 
 impl<'a> Simulator<'a> {
@@ -129,6 +133,7 @@ impl<'a> Simulator<'a> {
             path_buf: Vec::new(),
             nodes_buf: Vec::new(),
             links_buf: Vec::new(),
+            siblings_buf: Vec::new(),
         }
     }
 
@@ -199,17 +204,26 @@ impl<'a> Simulator<'a> {
                 let coop_span = self.obs.as_ref().and_then(|o| o.coop_span(idx));
                 let pop = self.net.pop_of(node);
                 let t = self.net.tree_index(node);
-                for st in self.net.tree.siblings(t).collect::<Vec<_>>() {
+                let mut sibs = std::mem::take(&mut self.siblings_buf);
+                sibs.clear();
+                sibs.extend(self.net.tree.siblings(t));
+                let mut found = None;
+                for &st in &sibs {
                     let sib = self.net.node(pop, st);
                     if self.cache_contains(sib, object) && self.try_capacity(sib, idx) {
-                        server = Server::Sibling {
-                            sibling: sib,
-                            via_idx: i,
-                        };
-                        break 'walk;
+                        found = Some(sib);
+                        break;
                     }
                 }
+                self.siblings_buf = sibs;
                 drop(coop_span);
+                if let Some(sib) = found {
+                    server = Server::Sibling {
+                        sibling: sib,
+                        via_idx: i,
+                    };
+                    break 'walk;
+                }
             }
         }
         drop(route_span);

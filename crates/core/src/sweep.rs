@@ -4,17 +4,31 @@
 //! trace, and an origin assignment, and can evaluate any design on it. The
 //! improvement metrics are always computed against a no-caching run of the
 //! *same* scenario, as the paper does.
+//!
+//! Independent `(scenario, config)` cells of a sweep grid are
+//! embarrassingly parallel: [`run_cells`] distributes them over scoped
+//! worker threads (each with its own [`Simulator`]) and returns results in
+//! the caller's submission order, so a parallel sweep is bit-identical to
+//! the sequential one. The `deterministic-core` lint rule enforces the
+//! merge discipline in this file: results land in pre-indexed slots, never
+//! in a completion-ordered accumulator.
 
 use crate::config::ExperimentConfig;
 use crate::design::DesignKind;
 use crate::instrument::SimObs;
+use crate::latency::LatencyModel;
 use crate::metrics::{Improvement, RunMetrics};
 use crate::sim::Simulator;
 use icn_topology::{AccessTree, Network, PopGraph};
 use icn_workload::origin::{assign_origins, OriginPolicy};
 use icn_workload::trace::{Trace, TraceConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// A reusable experiment setting: network + trace + origin map.
+///
+/// `Send + Sync`: the cached no-cache baseline lives in a [`OnceLock`], so
+/// a scenario can be shared by reference across sweep worker threads.
 pub struct Scenario {
     /// The router-level network.
     pub net: Network,
@@ -22,7 +36,7 @@ pub struct Scenario {
     pub trace: Trace,
     /// `origins[object]` = owning PoP.
     pub origins: Vec<u16>,
-    baseline: std::cell::OnceCell<RunMetrics>,
+    baseline: OnceLock<RunMetrics>,
 }
 
 impl Scenario {
@@ -46,7 +60,7 @@ impl Scenario {
             net,
             trace,
             origins,
-            baseline: std::cell::OnceCell::new(),
+            baseline: OnceLock::new(),
         }
     }
 
@@ -77,7 +91,7 @@ impl Scenario {
             net,
             trace,
             origins,
-            baseline: std::cell::OnceCell::new(),
+            baseline: OnceLock::new(),
         }
     }
 
@@ -140,8 +154,7 @@ impl Scenario {
         cfg: ExperimentConfig,
         obs: Option<SimObs>,
     ) -> (Improvement, RunMetrics) {
-        use crate::latency::LatencyModel;
-        let needs_custom_base = cfg.latency != LatencyModel::Unit || cfg.weight_by_size;
+        let needs_custom_base = !uses_shared_baseline(&cfg);
         let run = match obs {
             Some(obs) => self.run_config_instrumented(cfg.clone(), obs),
             None => self.run_config(cfg.clone()),
@@ -175,6 +188,117 @@ impl Scenario {
         let edge = self.improvement(edge_cfg);
         Improvement::gap(&nr, &edge)
     }
+}
+
+/// True when `cfg` normalizes against the scenario's single cached
+/// no-cache baseline (see [`Scenario::improvement`]): only the latency
+/// model and size weighting change the baseline itself.
+fn uses_shared_baseline(cfg: &ExperimentConfig) -> bool {
+    cfg.latency == LatencyModel::Unit && !cfg.weight_by_size
+}
+
+/// One unit of parallel sweep work: evaluate `cfg` on `scenario`.
+pub struct SweepCell<'a> {
+    /// The scenario the configuration runs against.
+    pub scenario: &'a Scenario,
+    /// The design + knobs to evaluate.
+    pub cfg: ExperimentConfig,
+}
+
+/// Runs every cell — over `jobs` scoped worker threads when `jobs > 1` —
+/// and returns `(Improvement, RunMetrics)` per cell **in submission
+/// order**, bit-identical to running the cells sequentially.
+///
+/// Each worker owns its [`Simulator`] (per-run seeded RNG included), so
+/// cells never share mutable state; the only cross-cell state is each
+/// scenario's cached no-cache baseline, which is pre-warmed exactly once
+/// before the fan-out. `jobs <= 1` is the plain sequential loop.
+pub fn run_cells(cells: &[SweepCell<'_>], jobs: usize) -> Vec<(Improvement, RunMetrics)> {
+    run_cells_with(cells, jobs, |_, _, _| None)
+}
+
+/// [`run_cells`] with per-cell instrumentation: `mk_obs(worker, index,
+/// cell)` is invoked on the worker thread that claimed the cell, so
+/// callers can bind each [`SimObs`] to a per-worker registry and merge
+/// the registries deterministically afterwards.
+pub fn run_cells_with<F>(
+    cells: &[SweepCell<'_>],
+    jobs: usize,
+    mk_obs: F,
+) -> Vec<(Improvement, RunMetrics)>
+where
+    F: Fn(usize, usize, &SweepCell<'_>) -> Option<SimObs> + Sync,
+{
+    let run_cell = |worker: usize, idx: usize, cell: &SweepCell<'_>| match mk_obs(worker, idx, cell)
+    {
+        Some(obs) => cell
+            .scenario
+            .improvement_instrumented(cell.cfg.clone(), obs),
+        None => cell.scenario.improvement_detailed(cell.cfg.clone()),
+    };
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    if jobs == 1 {
+        return cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| run_cell(0, i, c))
+            .collect();
+    }
+
+    // Pre-warm: every distinct scenario that at least one cell normalizes
+    // against the shared baseline gets its no-cache run computed exactly
+    // once, in parallel, *before* the cell fan-out — so no worker stalls
+    // inside another worker's `OnceLock` initialization.
+    let mut warm: Vec<&Scenario> = Vec::new();
+    for c in cells {
+        if uses_shared_baseline(&c.cfg)
+            && c.scenario.baseline.get().is_none()
+            && !warm.iter().any(|s| std::ptr::eq(*s, c.scenario))
+        {
+            warm.push(c.scenario);
+        }
+    }
+    if !warm.is_empty() {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(warm.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(s) = warm.get(i) else { break };
+                    let _ = s.baseline_metrics();
+                });
+            }
+        });
+    }
+
+    // Fan-out: an atomic index hands cells to whichever worker is free;
+    // each result is written to its own submission-indexed slot, so the
+    // final collection is in the caller's order, never completion order.
+    let slots: Vec<OnceLock<(Improvement, RunMetrics)>> =
+        cells.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let slots = &slots;
+            let next = &next;
+            let run_cell = &run_cell;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let _ = slots[i].set(run_cell(worker, i, cell));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            // Every index < cells.len() is claimed by exactly one worker,
+            // which fills the slot; a worker panic propagates out of
+            // `thread::scope` before this collection runs.
+            // lint:allow(no-panic-in-lib): unreachable, see the invariant above
+            slot.into_inner().expect("sweep worker filled every slot")
+        })
+        .collect()
 }
 
 #[cfg(test)]

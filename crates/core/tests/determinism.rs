@@ -8,6 +8,7 @@ use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
 use icn_core::metrics::RunMetrics;
 use icn_core::sim::Simulator;
+use icn_core::sweep::{run_cells, Scenario, SweepCell};
 use icn_topology::{pop, AccessTree, Network};
 use icn_workload::origin::{assign_origins, OriginPolicy};
 use icn_workload::trace::{Region, Trace};
@@ -52,6 +53,49 @@ fn identical_runs_produce_bit_identical_metrics() {
         );
         // And the whole struct, to catch any field added later.
         assert_eq!(a, b, "{design:?}: RunMetrics must be bit-identical");
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    // The tentpole invariant: `run_cells` must return the same bytes at any
+    // worker count. One cell per Figure-6 design over a small scenario,
+    // compared slot-by-slot between a 1-worker (sequential path) run and
+    // runs at several worker counts (including more workers than cells on
+    // the tail, to exercise the clamp).
+    let s = Scenario::build(
+        pop::abilene(),
+        AccessTree::new(2, 3),
+        Region::Us.config(0.005),
+        OriginPolicy::PopulationProportional,
+    );
+    let cells: Vec<SweepCell<'_>> = DesignKind::figure6_designs()
+        .iter()
+        .map(|&d| SweepCell {
+            scenario: &s,
+            cfg: ExperimentConfig::baseline(d),
+        })
+        .collect();
+    let sequential = run_cells(&cells, 1);
+    for jobs in [2, 4, 64] {
+        let parallel = run_cells(&cells, jobs);
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, ((seq_imp, seq_run), (par_imp, par_run))) in
+            sequential.iter().zip(&parallel).enumerate()
+        {
+            let design = cells[i].cfg.design;
+            assert_eq!(
+                seq_imp.latency_pct.to_bits(),
+                par_imp.latency_pct.to_bits(),
+                "{design:?} (jobs={jobs}): latency improvement must match bitwise"
+            );
+            assert_eq!(seq_imp, par_imp, "{design:?} (jobs={jobs}): Improvement");
+            assert_eq!(
+                seq_run.latency_hist, par_run.latency_hist,
+                "{design:?} (jobs={jobs}): latency histogram"
+            );
+            assert_eq!(seq_run, par_run, "{design:?} (jobs={jobs}): RunMetrics");
+        }
     }
 }
 

@@ -19,6 +19,10 @@ pub const DETERMINISTIC_CRATES: &[&str] = &["core", "cache"];
 /// `icn_obs` without a feature gate (it *is* the gate).
 pub const INSTRUMENT_FILE: &str = "instrument.rs";
 
+/// The parallel sweep engine: its results must be merged in submission
+/// order, so completion-order collection primitives are banned there.
+pub const SWEEP_FILE: &str = "sweep.rs";
+
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -153,6 +157,36 @@ const ENTROPY_PATTERNS: &[Pattern] = &[
     },
 ];
 
+/// Completion-order collection primitives, banned in the sweep engine:
+/// parallel results must land in pre-sized submission-indexed slots so the
+/// output is bit-identical at any worker count (`JOBS=1` vs `JOBS=N`).
+const ORDERED_MERGE_PATTERNS: &[Pattern] = &[
+    Pattern {
+        text: "mpsc",
+        call: false,
+        why: "channel receive order is completion order; write results into \
+              submission-indexed slots instead",
+    },
+    Pattern {
+        text: "Mutex",
+        call: false,
+        why: "locked accumulation interleaves in completion order; write \
+              results into submission-indexed slots instead",
+    },
+    Pattern {
+        text: "rayon",
+        call: false,
+        why: "external parallelism runtimes are out; use std::thread::scope \
+              with submission-indexed slots",
+    },
+    Pattern {
+        text: "par_iter",
+        call: false,
+        why: "external parallelism runtimes are out; use std::thread::scope \
+              with submission-indexed slots",
+    },
+];
+
 /// Rule identifiers, also usable in `lint:allow(...)` and baseline keys.
 pub const NO_PANIC: &str = "no-panic-in-lib";
 /// See [`NO_PANIC`].
@@ -189,6 +223,15 @@ pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
     }
     if det_scoped {
         scan_patterns(DETERMINISTIC, ENTROPY_PATTERNS, rel_path, file, &mut out);
+        if origin.file_name() == SWEEP_FILE {
+            scan_patterns(
+                DETERMINISTIC,
+                ORDERED_MERGE_PATTERNS,
+                rel_path,
+                file,
+                &mut out,
+            );
+        }
     }
     if gate_scoped {
         for off in token_offsets(&file.masked.code, "icn_obs", false) {
@@ -327,6 +370,27 @@ mod tests {
         assert!(rules.contains(&(DETERMINISTIC, 2)));
         // Out of scope: same content in workload is fine.
         assert!(check("crates/workload/src/zipf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sweep_rs_rejects_completion_order_collection() {
+        let src = "use std::sync::mpsc;\nfn f(m: &std::sync::Mutex<Vec<u8>>) {}\n";
+        let v = check("crates/core/src/sweep.rs", src);
+        let rules: Vec<_> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert!(rules.contains(&(DETERMINISTIC, 1)), "mpsc flagged: {v:?}");
+        assert!(rules.contains(&(DETERMINISTIC, 2)), "Mutex flagged: {v:?}");
+        // The ban is scoped to the sweep engine: the same content elsewhere
+        // in the deterministic crates is only subject to the base patterns.
+        assert!(check("crates/core/src/sim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sweep_rs_rejects_external_parallelism_runtimes() {
+        let src = "fn f() { xs.par_iter(); }\nuse rayon::prelude::*;\n";
+        let v = check("crates/core/src/sweep.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == DETERMINISTIC));
+        assert!(check("crates/cache/src/lru.rs", src).is_empty());
     }
 
     #[test]

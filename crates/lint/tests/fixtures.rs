@@ -154,6 +154,35 @@ fn deterministic_core_and_feature_gate_scoping() {
 }
 
 #[test]
+fn sweep_engine_must_merge_in_submission_order() {
+    let fx = Fixture::new();
+    // Completion-order collection (channels, locked accumulators, rayon)
+    // is banned in the sweep engine specifically; the same tokens in
+    // another deterministic-crate file only hit the base entropy rules.
+    fx.write(
+        "crates/core/src/sweep.rs",
+        concat!(
+            "use std::sync::mpsc;\n",
+            "fn collect(m: &std::sync::Mutex<Vec<u32>>) {}\n",
+            "// mentioning Mutex in a comment is fine\n",
+        ),
+    )
+    .write(
+        "crates/core/src/sim.rs",
+        "fn f(m: &std::sync::Mutex<Vec<u32>>) {}\n",
+    );
+    let report = fx.scan(&Config::default());
+    assert_eq!(
+        keys(&report),
+        vec![
+            "deterministic-core:crates/core/src/sweep.rs:1",
+            "deterministic-core:crates/core/src/sweep.rs:2",
+        ]
+    );
+    assert!(report.new[0].message.contains("submission-indexed"));
+}
+
+#[test]
 fn cfg_test_modules_are_exempt_everywhere() {
     let fx = Fixture::new();
     fx.write(

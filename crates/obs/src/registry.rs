@@ -218,6 +218,65 @@ impl Registry {
         self.histogram(name).0.merge_plain(h);
     }
 
+    /// Folds every metric of `other` into this registry: counters and
+    /// gauges add, histograms and timers merge bucket-wise; names are
+    /// unioned. Built for folding per-worker registries into a main one
+    /// after a parallel sweep — every operation is commutative, so the
+    /// merged counts are independent of worker scheduling (only timer
+    /// *durations*, which record wall clock, can differ run to run).
+    pub fn merge_from(&self, other: &Registry) {
+        // Snapshot `other` into plain data first so the two registry
+        // locks are never held at once.
+        let (counters, gauges, histograms, timers) = {
+            let o = other
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (
+                o.counters
+                    .iter()
+                    .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+                    .collect::<Vec<_>>(),
+                o.gauges
+                    .iter()
+                    .map(|(n, g)| (n.clone(), g.load(Ordering::Relaxed)))
+                    .collect::<Vec<_>>(),
+                o.histograms
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.snapshot()))
+                    .collect::<Vec<_>>(),
+                o.timers
+                    .iter()
+                    .map(|(n, t)| (n.clone(), t.snapshot()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (name, v) in counters {
+            inner
+                .counters
+                .entry(name)
+                .or_default()
+                .fetch_add(v, Ordering::Relaxed);
+        }
+        for (name, v) in gauges {
+            inner
+                .gauges
+                .entry(name)
+                .or_default()
+                .fetch_add(v, Ordering::Relaxed);
+        }
+        for (name, h) in histograms {
+            inner.histograms.entry(name).or_default().merge_plain(&h);
+        }
+        for (name, t) in timers {
+            inner.timers.entry(name).or_default().merge_plain(&t);
+        }
+    }
+
     /// A point-in-time copy of every metric, quantiles included.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self
@@ -280,6 +339,41 @@ mod tests {
         }
         assert_eq!(r.counter("hits").get(), 80_000);
         assert_eq!(r.histogram("lat").snapshot().count(), 80_000);
+    }
+
+    #[test]
+    fn merge_from_adds_counts_and_unions_names() {
+        let main = Registry::new();
+        main.counter("sim.requests").add(10);
+        main.histogram("lat").record(5);
+        let worker = Registry::new();
+        worker.counter("sim.requests").add(32);
+        worker.counter("sim.coop_probes").add(7);
+        worker.gauge("depth").add(-2);
+        worker.histogram("lat").record(9);
+        worker.timer_handle("span").observe_ns(100);
+
+        main.merge_from(&worker);
+        let snap = main.snapshot();
+        assert_eq!(snap.counters["sim.requests"], 42);
+        assert_eq!(snap.counters["sim.coop_probes"], 7);
+        assert_eq!(snap.gauges["depth"], -2);
+        assert_eq!(snap.histograms["lat"].count, 2);
+        assert_eq!(snap.histograms["lat"].sum, 14);
+        assert_eq!(snap.timers["span"].count, 1);
+        // The merge is additive and order-independent: folding two worker
+        // registries in either order yields the same counts.
+        let a = Registry::new();
+        a.counter("c").add(1);
+        let b = Registry::new();
+        b.counter("c").add(2);
+        let ab = Registry::new();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let ba = Registry::new();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        assert_eq!(ab.snapshot().counters, ba.snapshot().counters);
     }
 
     #[test]

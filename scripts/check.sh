@@ -22,12 +22,25 @@ cargo fmt --check --all
 echo "=== --no-default-features builds"
 cargo build --release --workspace --no-default-features
 
+echo "=== release-profile boundary tests (saturating latency arithmetic)"
+cargo test -q --release -p icn-core --lib latency::
+
 echo "=== telemetry smoke (fig6 --telemetry)"
 sidecar="$(mktemp /tmp/fig6-telemetry.XXXXXX.json)"
-trap 'rm -f "$sidecar"' EXIT
+out1="$(mktemp /tmp/fig6-jobs1.XXXXXX.txt)"
+out4="$(mktemp /tmp/fig6-jobs4.XXXXXX.txt)"
+trap 'rm -f "$sidecar" "$out1" "$out4"' EXIT
 SCALE="${SCALE:-0.02}" cargo run --release -p icn-bench --bin fig6 -- \
     --telemetry "$sidecar" >/dev/null
 cargo run --release -p icn-bench --bin telemetry_check -- "$sidecar" >/dev/null
 echo "telemetry sidecar OK: $sidecar"
+
+echo "=== parallel determinism cross-check (fig6 JOBS=1 vs JOBS=4)"
+SCALE="${SCALE:-0.02}" JOBS=1 cargo run --release -p icn-bench --bin fig6 \
+    >"$out1" 2>/dev/null
+SCALE="${SCALE:-0.02}" JOBS=4 cargo run --release -p icn-bench --bin fig6 \
+    >"$out4" 2>/dev/null
+cmp "$out1" "$out4"
+echo "JOBS=1 and JOBS=4 stdout byte-identical"
 
 echo "all checks passed"
