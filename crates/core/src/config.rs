@@ -2,6 +2,7 @@
 
 use crate::capacity::ServingCapacity;
 use crate::design::DesignKind;
+use crate::fault::FaultConfig;
 use crate::latency::LatencyModel;
 use icn_cache::budget::BudgetPolicy;
 use icn_cache::policy::PolicyKind;
@@ -54,6 +55,9 @@ pub struct ExperimentConfig {
     pub weight_by_size: bool,
     /// Response-path insertion policy (the paper uses `Everywhere`).
     pub insertion: InsertionPolicy,
+    /// Optional deterministic fault schedule (robustness extension);
+    /// `None` keeps the fault-free hot path.
+    pub fault: Option<FaultConfig>,
 }
 
 impl ExperimentConfig {
@@ -69,6 +73,7 @@ impl ExperimentConfig {
             capacity: None,
             weight_by_size: false,
             insertion: InsertionPolicy::Everywhere,
+            fault: None,
         }
     }
 }
@@ -87,5 +92,6 @@ mod tests {
         assert!(c.capacity.is_none());
         assert!(!c.weight_by_size);
         assert_eq!(c.insertion, InsertionPolicy::Everywhere);
+        assert!(c.fault.is_none(), "the §4 baseline world is fault-free");
     }
 }

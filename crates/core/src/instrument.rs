@@ -35,6 +35,7 @@ mod real {
     pub struct SimObs {
         design: String,
         requests: Counter,
+        failed: Counter,
         coop_probes: Counter,
         route: TimerHandle,
         coop: TimerHandle,
@@ -51,6 +52,7 @@ mod real {
             Self {
                 design: design.to_string(),
                 requests: registry.counter("sim.requests"),
+                failed: registry.counter("sim.failed_requests"),
                 coop_probes: registry.counter("sim.coop_probes"),
                 route: registry.timer_handle("sim.route"),
                 coop: registry.timer_handle("sim.coop_lookup"),
@@ -108,6 +110,13 @@ mod real {
                     p.finish(total);
                 }
             }
+        }
+
+        /// Called when a request fails under an active fault schedule
+        /// (origin unreachable or saturated) — exact, never sampled.
+        #[inline]
+        pub fn on_failed(&self) {
+            self.failed.inc();
         }
 
         /// A sampled span covering route computation + cache lookups.
@@ -188,6 +197,10 @@ mod real {
 
         /// See the `obs`-enabled variant.
         pub fn on_finish(&self, _total: u64) {}
+
+        /// See the `obs`-enabled variant.
+        #[inline]
+        pub fn on_failed(&self) {}
 
         /// See the `obs`-enabled variant.
         #[inline]

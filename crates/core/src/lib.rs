@@ -22,6 +22,7 @@
 pub mod capacity;
 pub mod config;
 pub mod design;
+pub mod fault;
 pub mod instrument;
 pub mod latency;
 pub mod metrics;
@@ -30,6 +31,7 @@ pub mod sweep;
 
 pub use config::ExperimentConfig;
 pub use design::{CacheSet, DesignKind, DesignSpec, Routing};
+pub use fault::{FaultConfig, FaultSchedule};
 pub use latency::LatencyModel;
 pub use metrics::{Improvement, RunMetrics};
 pub use sim::Simulator;

@@ -42,6 +42,15 @@ pub struct RunMetrics {
     pub hits_by_level: Vec<u64>,
     /// Cache hits served by a sibling after a scoped cooperative lookup.
     pub coop_hits: u64,
+    /// Requests that could not be served at all (origin unreachable or
+    /// saturated under an active fault schedule). Always 0 in fault-free
+    /// runs. Failed requests contribute no latency and no transfers.
+    pub failed_requests: u64,
+    /// Latency distribution of requests *served during fault-active
+    /// windows* (millicost units, like [`RunMetrics::latency_hist`]).
+    /// Empty in fault-free runs, so fault-free metrics stay bit-identical
+    /// to runs built before fault injection existed.
+    pub fault_latency_hist: Histogram,
 }
 
 impl RunMetrics {
@@ -58,15 +67,34 @@ impl RunMetrics {
             origin_hits: 0,
             hits_by_level: vec![0; depth as usize + 1],
             coop_hits: 0,
+            failed_requests: 0,
+            fault_latency_hist: Histogram::new(),
         }
     }
 
-    /// Mean request latency.
-    pub fn avg_latency(&self) -> f64 {
+    /// Requests that were actually served (requests minus failures).
+    pub fn served(&self) -> u64 {
+        self.requests - self.failed_requests
+    }
+
+    /// Availability in percent: the fraction of requests that were served.
+    /// An empty run is vacuously 100% available.
+    pub fn availability_pct(&self) -> f64 {
         if self.requests == 0 {
+            100.0
+        } else {
+            self.served() as f64 / self.requests as f64 * 100.0
+        }
+    }
+
+    /// Mean latency over *served* requests (failed requests have no
+    /// latency to average; with zero failures this is the plain mean).
+    pub fn avg_latency(&self) -> f64 {
+        let served = self.served();
+        if served == 0 {
             0.0
         } else {
-            self.total_latency / self.requests as f64
+            self.total_latency / served as f64
         }
     }
 
@@ -97,6 +125,24 @@ impl RunMetrics {
     /// 99th-percentile request latency.
     pub fn latency_p99(&self) -> f64 {
         self.latency_quantile(0.99)
+    }
+
+    /// Records one served request's latency during a fault-active window
+    /// into the under-failure distribution.
+    #[inline]
+    pub fn record_fault_latency(&mut self, latency: f64) {
+        self.fault_latency_hist
+            .record((latency * LATENCY_HIST_SCALE).round() as u64);
+    }
+
+    /// Latency percentile over requests served during fault-active
+    /// windows (`q` in `[0, 1]`); 0 when no such request exists.
+    pub fn fault_latency_quantile(&self, q: f64) -> f64 {
+        if self.fault_latency_hist.count() == 0 {
+            0.0
+        } else {
+            self.fault_latency_hist.quantile(q) / LATENCY_HIST_SCALE
+        }
     }
 
     /// Mean transfers per link (0 when the network has no links). Reported

@@ -20,6 +20,7 @@
 use crate::capacity::CapacityTracker;
 use crate::config::{ExperimentConfig, InsertionPolicy};
 use crate::design::{DesignSpec, Routing};
+use crate::fault::FaultSchedule;
 use crate::instrument::SimObs;
 use crate::metrics::{RunMetrics, LATENCY_HIST_SCALE};
 use icn_cache::budget::per_node_budgets;
@@ -43,6 +44,81 @@ enum Server {
     Origin(NodeId),
 }
 
+/// Where a nearest-replica request is served once faults are considered.
+enum NrChoice {
+    /// A live replica at this cost.
+    Replica(f64, NodeId),
+    /// No eligible replica; the (reachable) origin serves.
+    Origin,
+    /// Origin unreachable and no live replica: the request fails.
+    Failed,
+}
+
+/// Materialized fault state for the current request window.
+///
+/// The [`FaultSchedule`] itself is stateless; this caches its answers for
+/// one window as flat `Vec<bool>`s so the per-request cost under faults is
+/// an index, not a hash. Rebuilt at every window transition by
+/// [`Simulator::advance_faults`] — the run loop visits request indices in
+/// order, so windows advance gap-free and crash events (which flush cache
+/// contents) are never skipped.
+struct FaultState {
+    schedule: FaultSchedule,
+    /// Window the vectors below describe; `u64::MAX` forces the first
+    /// rebuild at request 0.
+    window: u64,
+    node_down: Vec<bool>,
+    link_down: Vec<bool>,
+    origin_degraded: Vec<bool>,
+    /// Fast skip for path-liveness checks when no link is down.
+    any_link_down: bool,
+    /// True when any fault (node, link, or origin) is active this window;
+    /// drives the latency-under-failure histogram.
+    fault_active: bool,
+    /// Serving-capacity gate applied to *degraded* origin PoPs, reusing
+    /// the §5.1 capacity model (indexed by PoP, not router).
+    origin_capacity: CapacityTracker,
+}
+
+impl FaultState {
+    fn new(schedule: FaultSchedule, net: &Network) -> Self {
+        let origin_capacity =
+            CapacityTracker::new(schedule.config().degraded_origin, net.pops() as usize);
+        Self {
+            schedule,
+            window: u64::MAX,
+            node_down: vec![false; net.node_count() as usize],
+            link_down: vec![false; net.link_count() as usize],
+            origin_degraded: vec![false; net.pops() as usize],
+            any_link_down: false,
+            fault_active: false,
+            origin_capacity,
+        }
+    }
+
+    /// Re-evaluates every entity's fault state for window `w`.
+    fn rebuild(&mut self, w: u64) {
+        self.window = w;
+        let mut any_node = false;
+        for (n, down) in self.node_down.iter_mut().enumerate() {
+            *down = self.schedule.node_down(n as u32, w);
+            any_node |= *down;
+        }
+        let mut any_link = false;
+        for (l, down) in self.link_down.iter_mut().enumerate() {
+            *down = self.schedule.link_down(l as u32, w);
+            any_link |= *down;
+        }
+        let mut any_origin = false;
+        for (p, deg) in self.origin_degraded.iter_mut().enumerate() {
+            *deg = self.schedule.origin_degraded(p as u16, w);
+            any_origin |= *deg;
+        }
+        self.any_link_down = any_link;
+        self.fault_active = any_node || any_link || any_origin;
+    }
+}
+
 /// A configured simulator bound to a network, an origin map, and object
 /// sizes. Feed it a request stream with [`Simulator::run`].
 pub struct Simulator<'a> {
@@ -56,6 +132,10 @@ pub struct Simulator<'a> {
     origins: &'a [u16],
     object_sizes: &'a [u32],
     capacity: Option<CapacityTracker>,
+    /// Deterministic fault injection; `None` (the default) keeps the
+    /// fault-free hot path — every fault check starts with one
+    /// `Option::is_none` branch.
+    fault: Option<FaultState>,
     /// Drives probabilistic insertion decisions; fixed seed keeps runs
     /// reproducible.
     rng: StdRng,
@@ -113,6 +193,9 @@ impl<'a> Simulator<'a> {
         let capacity = cfg
             .capacity
             .map(|c| CapacityTracker::new(c, net.node_count() as usize));
+        let fault = cfg
+            .fault
+            .map(|fc| FaultState::new(FaultSchedule::new(fc), net));
         let metrics = RunMetrics::new(
             net.link_count() as usize,
             net.pops() as usize,
@@ -127,6 +210,7 @@ impl<'a> Simulator<'a> {
             origins,
             object_sizes,
             capacity,
+            fault,
             rng: StdRng::seed_from_u64(0xd1ce_cafe),
             metrics,
             obs: None,
@@ -171,9 +255,159 @@ impl<'a> Simulator<'a> {
         let leaf = self.net.leaf(req.pop as u32, req.leaf as u32);
         let origin_pop = self.origins[req.object as usize] as u32;
         self.metrics.requests += 1;
+        if self.fault.is_some() {
+            self.advance_faults(idx);
+        }
         match self.spec.routing {
             Routing::ShortestPathToOrigin => self.process_sp(idx, leaf, req.object, origin_pop),
             Routing::NearestReplica => self.process_nr(idx, leaf, req.object, origin_pop),
+        }
+    }
+
+    /// Rolls the fault state forward to the window containing `idx`,
+    /// flushing the contents of every cache whose crash event fires in a
+    /// newly entered window (a crash is a cold restart, not a pause).
+    fn advance_faults(&mut self, idx: u64) {
+        let Some(mut fault) = self.fault.take() else {
+            return;
+        };
+        let w = fault.schedule.window_of(idx);
+        if w != fault.window {
+            // The run loop processes indices in order, so at most one new
+            // window opens per call — but iterate defensively in case a
+            // caller feeds a sparse index sequence, so no crash (and its
+            // flush) is ever skipped.
+            let first = if fault.window == u64::MAX {
+                0
+            } else {
+                fault.window + 1
+            };
+            for step in first..=w {
+                for n in 0..self.net.node_count() {
+                    if self.caches[n as usize].is_some() && fault.schedule.node_crashes(n, step) {
+                        self.flush_cache(n);
+                    }
+                }
+            }
+            fault.rebuild(w);
+        }
+        self.fault = Some(fault);
+    }
+
+    /// Empties the cache at `node` (crash semantics), keeping the
+    /// nearest-replica directory consistent.
+    fn flush_cache(&mut self, node: NodeId) {
+        let track = self.spec.routing == Routing::NearestReplica;
+        if let Some(c) = &mut self.caches[node as usize] {
+            if track && !c.is_empty() {
+                for dir in &mut self.replica_dir {
+                    if let Some(pos) = dir.iter().position(|&n| n == node) {
+                        dir.swap_remove(pos);
+                    }
+                }
+            }
+            c.clear();
+        }
+    }
+
+    /// True when the cache node is not crashed (vacuously true without a
+    /// fault schedule).
+    #[inline]
+    fn node_up(&self, node: NodeId) -> bool {
+        self.fault
+            .as_ref()
+            .is_none_or(|f| !f.node_down[node as usize])
+    }
+
+    /// True when every link on the unique path between `a` and `b` is up.
+    fn path_live(&mut self, a: NodeId, b: NodeId) -> bool {
+        match &self.fault {
+            None => return true,
+            Some(f) if !f.any_link_down => return true,
+            Some(_) => {}
+        }
+        let mut links = std::mem::take(&mut self.links_buf);
+        links.clear();
+        self.net.path_links_into(a, b, &mut links);
+        let live = match &self.fault {
+            Some(f) => links.iter().all(|&l| !f.link_down[l as usize]),
+            None => true,
+        };
+        self.links_buf = links;
+        live
+    }
+
+    /// The link id between two *adjacent* routers on a shortest path that
+    /// only climbs (`a` is the deeper endpoint, or both are PoP roots).
+    #[inline]
+    fn link_between(&self, a: NodeId, b: NodeId) -> u32 {
+        let (pa, pb) = (self.net.pop_of(a), self.net.pop_of(b));
+        if pa == pb {
+            self.net.tree_link(a)
+        } else {
+            self.net.core_link(pa, pb)
+        }
+    }
+
+    /// Index of the last node on `path` still reachable from `path[0]`
+    /// under the current link faults (the whole path when fault-free).
+    fn reachable_prefix(&self, path: &[NodeId]) -> usize {
+        let last = path.len() - 1;
+        let Some(f) = &self.fault else {
+            return last;
+        };
+        if !f.any_link_down {
+            return last;
+        }
+        for j in 1..path.len() {
+            if f.link_down[self.link_between(path[j - 1], path[j]) as usize] {
+                return j - 1;
+            }
+        }
+        last
+    }
+
+    /// Gate for an origin serve: a degraded origin PoP serves through the
+    /// reduced-capacity tracker; a saturated one fails the request.
+    /// Healthy origins (and fault-free runs) always serve.
+    #[inline]
+    fn try_origin(&mut self, origin_pop: u32, idx: u64) -> bool {
+        match &mut self.fault {
+            None => true,
+            Some(f) => {
+                !f.origin_degraded[origin_pop as usize]
+                    || f.origin_capacity.try_serve(origin_pop, idx)
+            }
+        }
+    }
+
+    /// Accounts one served request's latency (and, during fault-active
+    /// windows, the under-failure distribution).
+    #[inline]
+    fn record_served(&mut self, latency: f64) {
+        self.metrics.total_latency += latency;
+        self.metrics.record_latency(latency);
+        if self.fault.as_ref().is_some_and(|f| f.fault_active) {
+            self.metrics.record_fault_latency(latency);
+        }
+    }
+
+    /// Accounts one failed request: counted, but no latency and no
+    /// transfers (nothing was delivered).
+    fn record_failed(&mut self, idx: u64, object: u32) {
+        self.metrics.failed_requests += 1;
+        if let Some(o) = &self.obs {
+            o.on_failed();
+            o.trace_with(|design| TraceRecord {
+                seq: idx,
+                object: object as u64,
+                design: design.to_string(),
+                level: 0,
+                hops: 0,
+                hit: false,
+                coop: false,
+                cost_milli: 0,
+            });
         }
     }
 
@@ -187,17 +421,28 @@ impl<'a> Simulator<'a> {
         self.net.sp_path_nodes_into(leaf, origin_pop, &mut path);
         let last = path.len() - 1;
 
-        let mut server = Server::Origin(path[last]);
+        // Under link faults the walk stops at the last reachable node; the
+        // origin only serves when the whole path is live — EDGE designs
+        // "fall through to origin", so a severed origin path with no
+        // on-path copy is a failed request.
+        let reach = self.reachable_prefix(&path);
+
+        let mut server = if reach == last {
+            Some(Server::Origin(path[last]))
+        } else {
+            None
+        };
         'walk: for (i, &node) in path.iter().enumerate() {
-            if i == last {
+            if i == last || i > reach {
                 break; // the origin always serves what it owns
             }
             if self.cache_contains(node, object) && self.try_capacity(node, idx) {
-                server = Server::Cache { node, path_idx: i };
+                server = Some(Server::Cache { node, path_idx: i });
                 break;
             }
             if self.spec.sibling_coop
                 && self.caches[node as usize].is_some()
+                && self.node_up(node)
                 && self.net.tree_index(node) != 0
             {
                 // Scoped cooperative lookup in the access-tree siblings.
@@ -210,7 +455,10 @@ impl<'a> Simulator<'a> {
                 let mut found = None;
                 for &st in &sibs {
                     let sib = self.net.node(pop, st);
-                    if self.cache_contains(sib, object) && self.try_capacity(sib, idx) {
+                    if self.detour_live(node, sib)
+                        && self.cache_contains(sib, object)
+                        && self.try_capacity(sib, idx)
+                    {
                         found = Some(sib);
                         break;
                     }
@@ -218,18 +466,40 @@ impl<'a> Simulator<'a> {
                 self.siblings_buf = sibs;
                 drop(coop_span);
                 if let Some(sib) = found {
-                    server = Server::Sibling {
+                    server = Some(Server::Sibling {
                         sibling: sib,
                         via_idx: i,
-                    };
+                    });
                     break 'walk;
                 }
             }
         }
         drop(route_span);
 
-        self.account_sp(idx, &path, server, leaf, object, origin_pop);
+        // A degraded, saturated origin fails the request like an
+        // unreachable one.
+        if matches!(server, Some(Server::Origin(_))) && !self.try_origin(origin_pop, idx) {
+            server = None;
+        }
+        match server {
+            Some(server) => self.account_sp(idx, &path, server, leaf, object, origin_pop),
+            None => self.record_failed(idx, object),
+        }
         self.path_buf = path;
+    }
+
+    /// True when both links of the sibling detour (`via` → parent →
+    /// `sibling`) are up.
+    #[inline]
+    fn detour_live(&self, via: NodeId, sibling: NodeId) -> bool {
+        match &self.fault {
+            None => true,
+            Some(f) => {
+                !f.any_link_down
+                    || (!f.link_down[self.net.tree_link(via) as usize]
+                        && !f.link_down[self.net.tree_link(sibling) as usize])
+            }
+        }
     }
 
     /// Accounts latency, congestion, response-path caching, and server load
@@ -279,8 +549,7 @@ impl<'a> Simulator<'a> {
             }
         }
         let latency = cost + detour_cost + 1.0;
-        self.metrics.total_latency += latency;
-        self.metrics.record_latency(latency);
+        self.record_served(latency);
 
         // Server-side bookkeeping.
         let serving_level = match server {
@@ -357,8 +626,7 @@ impl<'a> Simulator<'a> {
 
         // Fast path: the requesting leaf's own cache.
         if self.cache_contains(leaf, object) && self.try_capacity(leaf, idx) {
-            self.metrics.total_latency += 1.0;
-            self.metrics.record_latency(1.0);
+            self.record_served(1.0);
             self.metrics.cache_hits += 1;
             let level = self.net.level_of(leaf);
             self.metrics.hits_by_level[level as usize] += 1;
@@ -379,52 +647,73 @@ impl<'a> Simulator<'a> {
         }
 
         let origin_cost = self.cfg.latency.path_cost(self.net, leaf, origin_root);
-        let server = if self.capacity.is_some() {
-            // Capacity-limited: try candidates in cost order; overloaded
-            // replicas are skipped; the origin always serves.
-            let mut cands: Vec<(f64, NodeId)> = self.replica_dir[object as usize]
-                .iter()
-                .filter(|&&n| n != leaf)
-                .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
-                .collect();
-            cands.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let mut chosen = None;
-            for (cost, node) in cands {
-                if cost >= origin_cost {
-                    break; // origin is at least as close; prefer it
+        let choice = if self.fault.is_none() {
+            // Fault-free paths, kept verbatim: the Option-free hot loop.
+            let server = if self.capacity.is_some() {
+                // Capacity-limited: try candidates in cost order; overloaded
+                // replicas are skipped; the origin always serves.
+                let mut cands: Vec<(f64, NodeId)> = self.replica_dir[object as usize]
+                    .iter()
+                    .filter(|&&n| n != leaf)
+                    .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
+                    .collect();
+                cands.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut chosen = None;
+                for (cost, node) in cands {
+                    if cost >= origin_cost {
+                        break; // origin is at least as close; prefer it
+                    }
+                    if self.try_capacity(node, idx) {
+                        chosen = Some((cost, node));
+                        break;
+                    }
                 }
-                if self.try_capacity(node, idx) {
-                    chosen = Some((cost, node));
-                    break;
+                chosen
+            } else {
+                // Single pass for the minimum-cost replica.
+                let mut best: Option<(f64, NodeId)> = None;
+                for &n in &self.replica_dir[object as usize] {
+                    if n == leaf {
+                        continue; // leaf already checked (capacity may have failed)
+                    }
+                    let c = self.cfg.latency.path_cost(self.net, leaf, n);
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, n));
+                    }
                 }
+                best.filter(|&(c, _)| c < origin_cost)
+            };
+            match server {
+                Some((c, n)) => NrChoice::Replica(c, n),
+                None => NrChoice::Origin,
             }
-            chosen
         } else {
-            // Single pass for the minimum-cost replica.
-            let mut best: Option<(f64, NodeId)> = None;
-            for &n in &self.replica_dir[object as usize] {
-                if n == leaf {
-                    continue; // leaf already checked (capacity may have failed)
-                }
-                let c = self.cfg.latency.path_cost(self.net, leaf, n);
-                if best.is_none_or(|(bc, _)| c < bc) {
-                    best = Some((c, n));
-                }
-            }
-            best.filter(|&(c, _)| c < origin_cost)
+            self.select_nr_faulted(leaf, object, origin_root, origin_cost, idx)
         };
 
-        let (cost, server_node, is_origin) = match server {
-            Some((c, n)) => (c, n, false),
-            None => (origin_cost, origin_root, true),
+        let (cost, server_node, is_origin) = match choice {
+            NrChoice::Replica(c, n) => (c, n, false),
+            NrChoice::Origin => {
+                // A degraded, saturated origin fails the request.
+                if !self.try_origin(origin_pop, idx) {
+                    drop(route_span);
+                    self.record_failed(idx, object);
+                    return;
+                }
+                (origin_cost, origin_root, true)
+            }
+            NrChoice::Failed => {
+                drop(route_span);
+                self.record_failed(idx, object);
+                return;
+            }
         };
         drop(route_span);
         // Covers latency/congestion accounting and response-path insertion.
         let _transfer_span = self.obs.as_ref().and_then(|o| o.transfer_span(idx));
 
         let latency = cost + 1.0;
-        self.metrics.total_latency += latency;
-        self.metrics.record_latency(latency);
+        self.record_served(latency);
         let serving_level = if is_origin {
             self.metrics.origin_hits += 1;
             self.metrics.origin_served[origin_pop as usize] += 1;
@@ -472,6 +761,49 @@ impl<'a> Simulator<'a> {
         self.nodes_buf = nodes;
     }
 
+    /// Nearest-replica server selection under an active fault schedule:
+    /// ICN-NR falls back to the next-nearest *live* replica (up node, live
+    /// path), preferring the origin when it is reachable and at least as
+    /// close. With the origin unreachable, any live replica serves at any
+    /// cost; with none, the request fails.
+    ///
+    /// Under a zero-failure schedule every liveness check passes and the
+    /// selection reduces exactly to the fault-free paths: candidates in
+    /// ascending cost (stable sort preserves directory order on ties, like
+    /// the strict `<` min scan), stopping at `origin_cost`.
+    fn select_nr_faulted(
+        &mut self,
+        leaf: NodeId,
+        object: u32,
+        origin_root: NodeId,
+        origin_cost: f64,
+        idx: u64,
+    ) -> NrChoice {
+        let origin_reachable = self.path_live(leaf, origin_root);
+        let mut cands: Vec<(f64, NodeId)> = self.replica_dir[object as usize]
+            .iter()
+            .filter(|&&n| n != leaf)
+            .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
+            .collect();
+        cands.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (cost, node) in cands {
+            if origin_reachable && cost >= origin_cost {
+                break; // origin is at least as close; prefer it
+            }
+            if !self.node_up(node) || !self.path_live(leaf, node) {
+                continue;
+            }
+            if self.try_capacity(node, idx) {
+                return NrChoice::Replica(cost, node);
+            }
+        }
+        if origin_reachable {
+            NrChoice::Origin
+        } else {
+            NrChoice::Failed
+        }
+    }
+
     #[inline]
     fn transfer_weight(&self, object: u32) -> u64 {
         if self.cfg.weight_by_size {
@@ -488,9 +820,10 @@ impl<'a> Simulator<'a> {
 
     #[inline]
     fn cache_contains(&self, node: NodeId, object: u32) -> bool {
-        self.caches[node as usize]
-            .as_ref()
-            .is_some_and(|c| c.contains(object as u64))
+        self.node_up(node)
+            && self.caches[node as usize]
+                .as_ref()
+                .is_some_and(|c| c.contains(object as u64))
     }
 
     #[inline]
@@ -508,6 +841,10 @@ impl<'a> Simulator<'a> {
         if self.origins[object as usize] as u32 == self.net.pop_of(node)
             && self.net.tree_index(node) == 0
         {
+            return;
+        }
+        // A crashed node stores nothing until its outage ends.
+        if !self.node_up(node) {
             return;
         }
         let track = self.spec.routing == Routing::NearestReplica;
@@ -832,6 +1169,241 @@ mod tests {
             let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
             let m = sim.run(&[req(0, 0, 0), req(0, 0, 0)]);
             assert_eq!(m.cache_hits, expect_hits, "p = {p}");
+        }
+    }
+
+    mod faults {
+        use super::*;
+        use crate::capacity::ServingCapacity;
+        use crate::fault::{FaultConfig, FaultSchedule};
+
+        fn link_only(seed: u64, rate: f64, window: u32) -> FaultConfig {
+            FaultConfig {
+                seed,
+                window,
+                node_crash_rate: 0.0,
+                node_outage_windows: 1,
+                link_failure_rate: rate,
+                link_outage_windows: 1,
+                origin_degraded_rate: 0.0,
+                degraded_origin: ServingCapacity {
+                    per_node: u32::MAX,
+                    window: 1_000,
+                },
+            }
+        }
+
+        /// Deterministic seed search: the first seed whose schedule keeps
+        /// every link up in windows `healthy` and cuts exactly the
+        /// pop0–pop1 core link in windows `cut`. Purely a function of the
+        /// schedule hash, so the found seed is stable across runs,
+        /// processes, and worker counts.
+        fn seed_with_core_cut(
+            net: &Network,
+            cfg_of: impl Fn(u64) -> FaultConfig,
+            healthy: &[u64],
+            cut: &[u64],
+        ) -> u64 {
+            let core = net.core_link(0, 1);
+            (0..1_000_000u64)
+                .find(|&seed| {
+                    let s = FaultSchedule::new(cfg_of(seed));
+                    healthy
+                        .iter()
+                        .all(|&w| (0..net.link_count()).all(|l| !s.link_down(l, w)))
+                        && cut.iter().all(|&w| {
+                            (0..net.link_count()).all(|l| s.link_down(l, w) == (l == core))
+                        })
+                })
+                .expect("no seed with the wanted core-cut pattern in 1M tries")
+        }
+
+        #[test]
+        fn zero_schedule_is_bit_identical_to_no_fault_run() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 8];
+            let sizes = vec![1u32; 8];
+            let reqs: Vec<Request> = (0..200).map(|i| req(0, (i % 4) as u16, i % 8)).collect();
+            for design in [
+                DesignKind::Edge,
+                DesignKind::EdgeCoop,
+                DesignKind::IcnSp,
+                DesignKind::IcnNr,
+            ] {
+                let mut plain = sim_with(&net, design, &origins, &sizes);
+                let base = plain.run(&reqs).clone();
+                let mut cfg = ExperimentConfig::baseline(design);
+                cfg.f_fraction = 0.5;
+                cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+                cfg.fault = Some(FaultConfig::zero(0xdead_beef));
+                let mut faulted = Simulator::new(&net, cfg, &origins, &sizes);
+                let m = faulted.run(&reqs).clone();
+                assert_eq!(base, m, "{design:?}: zero schedule perturbed the run");
+                assert_eq!(m.failed_requests, 0);
+                assert_eq!(m.availability_pct(), 100.0);
+                assert_eq!(m.fault_latency_hist.count(), 0);
+            }
+        }
+
+        #[test]
+        fn total_link_failure_fails_every_cross_pop_request() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::NoCache);
+            cfg.fault = Some(link_only(7, 1.0, 1_000));
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = sim.run(&[req(0, 0, 0), req(0, 1, 1), req(1, 0, 2)]);
+            assert_eq!(m.requests, 3);
+            assert_eq!(m.failed_requests, 3, "origin unreachable behind dead links");
+            assert_eq!(m.availability_pct(), 0.0);
+            assert_eq!(m.total_latency, 0.0, "failed requests add no latency");
+            assert_eq!(m.link_transfers.iter().sum::<u64>(), 0);
+            assert_eq!(m.served(), 0);
+        }
+
+        #[test]
+        fn edge_cache_masks_an_origin_partition() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            // Requests 0 / 1 / 2 land in windows 0 / 1 / 2 (window = 1).
+            let seed = seed_with_core_cut(&net, |s| link_only(s, 0.1, 1), &[0], &[1, 2]);
+            let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(link_only(seed, 0.1, 1));
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            // Window 0 (healthy): origin serve warms the leaf. Windows 1–2
+            // (core cut): the cached object still serves locally, while an
+            // uncached object fails — graceful degradation, not collapse.
+            let m = sim.run(&[req(0, 0, 0), req(0, 0, 0), req(0, 0, 1)]);
+            assert_eq!(m.cache_hits, 1, "cached object survives the partition");
+            assert_eq!(m.origin_hits, 1);
+            assert_eq!(m.failed_requests, 1, "uncached object cannot reach origin");
+            assert_eq!(
+                m.fault_latency_hist.count(),
+                1,
+                "the window-1 leaf hit lands in the under-failure histogram"
+            );
+        }
+
+        #[test]
+        fn nr_falls_back_to_a_farther_live_replica_when_origin_is_cut() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            // Window length 4: warm-up requests 0..4 share healthy window
+            // 0; the probe request (index 4) lands in window 1 with the
+            // core link cut.
+            let seed = seed_with_core_cut(&net, |s| link_only(s, 0.1, 4), &[0], &[1]);
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.f_fraction = 0.5; // Uniform budget: 2 objects per cache
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(link_only(seed, 0.1, 4));
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            // Warm-up engineers a world where the ONLY replica of object 0
+            // is leaf (0,2): leaf (0,2) fetches it, then leaf (0,3)'s
+            // fetches of objects 1..=3 evict object 0 from the shared
+            // interior caches (capacity 2, LRU) but not from leaf (0,2).
+            // From leaf (0,0), that replica costs 4 — farther than the
+            // origin at cost 3, so fault-free ICN-NR would pick the
+            // origin. With the core cut, it must fall back to the farther
+            // live replica instead of failing.
+            let m = sim
+                .run(&[
+                    req(0, 2, 0),
+                    req(0, 3, 1),
+                    req(0, 3, 2),
+                    req(0, 3, 3),
+                    req(0, 0, 0),
+                ])
+                .clone();
+            assert_eq!(m.requests, 5);
+            assert_eq!(m.failed_requests, 0, "a live replica exists");
+            assert_eq!(m.origin_hits, 4, "the probe must not reach the origin");
+            assert_eq!(m.cache_hits, 1, "served by the leaf (0,2) replica");
+            // 4 warm serves at latency 4 + the detour serve at cost 4 + 1.
+            assert_eq!(m.total_latency, 4.0 * 4.0 + 5.0);
+
+            // Control: the identical request sequence without faults picks
+            // the origin for the probe (cost 3 beats the replica's 4).
+            let mut plain_cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            plain_cfg.f_fraction = 0.5;
+            plain_cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            let mut plain = Simulator::new(&net, plain_cfg, &origins, &sizes);
+            let p = plain
+                .run(&[
+                    req(0, 2, 0),
+                    req(0, 3, 1),
+                    req(0, 3, 2),
+                    req(0, 3, 3),
+                    req(0, 0, 0),
+                ])
+                .clone();
+            assert_eq!(p.origin_hits, 5, "fault-free NR prefers the origin");
+            assert_eq!(p.total_latency, 4.0 * 4.0 + 4.0);
+        }
+
+        #[test]
+        fn permanently_crashed_caches_never_serve_or_store() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(FaultConfig {
+                node_crash_rate: 1.0,
+                ..FaultConfig::zero(3)
+            });
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = sim.run(&[req(0, 0, 0), req(0, 0, 0), req(0, 0, 0)]);
+            assert_eq!(m.cache_hits, 0, "a crashed cache cannot serve");
+            assert_eq!(m.origin_hits, 3, "links are healthy: origin still serves");
+            assert_eq!(m.failed_requests, 0);
+        }
+
+        #[test]
+        fn crashed_nodes_leave_the_replica_directory() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(FaultConfig {
+                node_crash_rate: 1.0,
+                ..FaultConfig::zero(3)
+            });
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            sim.run(&[req(0, 0, 0), req(0, 0, 0)]);
+            assert!(
+                sim.replica_dir[0].is_empty(),
+                "crashed nodes must not advertise replicas: {:?}",
+                sim.replica_dir[0]
+            );
+        }
+
+        #[test]
+        fn degraded_origin_saturates_and_fails_overflow() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::NoCache);
+            cfg.fault = Some(FaultConfig {
+                origin_degraded_rate: 1.0,
+                degraded_origin: ServingCapacity {
+                    per_node: 1,
+                    window: 1_000,
+                },
+                ..FaultConfig::zero(11)
+            });
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = sim.run(&[req(0, 0, 0), req(0, 1, 0), req(0, 2, 0)]);
+            assert_eq!(m.origin_hits, 1, "degraded origin serves one per window");
+            assert_eq!(m.failed_requests, 2);
+            assert!((m.availability_pct() - 100.0 / 3.0).abs() < 1e-9);
         }
     }
 

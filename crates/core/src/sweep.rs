@@ -163,6 +163,10 @@ impl Scenario {
             let mut base_cfg = ExperimentConfig::baseline(DesignKind::NoCache);
             base_cfg.latency = cfg.latency;
             base_cfg.weight_by_size = cfg.weight_by_size;
+            // Faulted runs normalize against a no-cache run of the *same*
+            // faulted world, so the improvement isolates caching, not the
+            // faults themselves.
+            base_cfg.fault = cfg.fault;
             let base = self.run_config(base_cfg);
             Improvement::over_baseline(&base, &run)
         } else {
@@ -192,9 +196,13 @@ impl Scenario {
 
 /// True when `cfg` normalizes against the scenario's single cached
 /// no-cache baseline (see [`Scenario::improvement`]): only the latency
-/// model and size weighting change the baseline itself.
+/// model, size weighting, and an active fault schedule change the
+/// baseline itself. (A present-but-zero fault schedule cannot perturb a
+/// run, so it still shares the cached baseline.)
 fn uses_shared_baseline(cfg: &ExperimentConfig) -> bool {
-    cfg.latency == LatencyModel::Unit && !cfg.weight_by_size
+    cfg.latency == LatencyModel::Unit
+        && !cfg.weight_by_size
+        && cfg.fault.is_none_or(|f| f.is_zero())
 }
 
 /// One unit of parallel sweep work: evaluate `cfg` on `scenario`.

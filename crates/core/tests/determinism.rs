@@ -6,6 +6,7 @@
 
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
+use icn_core::fault::FaultConfig;
 use icn_core::metrics::RunMetrics;
 use icn_core::sim::Simulator;
 use icn_core::sweep::{run_cells, Scenario, SweepCell};
@@ -97,6 +98,100 @@ fn parallel_sweep_is_bit_identical_to_sequential() {
             assert_eq!(seq_run, par_run, "{design:?} (jobs={jobs}): RunMetrics");
         }
     }
+}
+
+#[test]
+fn parallel_faulted_sweep_is_bit_identical_to_sequential() {
+    // The robustness extension of the invariant above: fault injection is
+    // a pure function of (seed, config), so faulted cells must be exactly
+    // as deterministic as fault-free ones — one faulted config per
+    // Figure-6 design, compared slot-by-slot across worker counts.
+    let s = Scenario::build(
+        pop::abilene(),
+        AccessTree::new(2, 3),
+        Region::Us.config(0.005),
+        OriginPolicy::PopulationProportional,
+    );
+    let cells: Vec<SweepCell<'_>> = DesignKind::figure6_designs()
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let mut cfg = ExperimentConfig::baseline(d);
+            // Distinct seeds per design so the cells don't share schedules.
+            cfg.fault = Some(FaultConfig::uniform(0xfa17 + i as u64, 0.02));
+            SweepCell { scenario: &s, cfg }
+        })
+        .collect();
+    let sequential = run_cells(&cells, 1);
+    // The schedules must actually bite — otherwise this test collapses
+    // into the fault-free one above.
+    assert!(
+        sequential.iter().any(|(_, run)| run.failed_requests > 0),
+        "no cell saw a failed request; fault rate too low to test anything"
+    );
+    for jobs in [2, 4, 64] {
+        let parallel = run_cells(&cells, jobs);
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, ((seq_imp, seq_run), (par_imp, par_run))) in
+            sequential.iter().zip(&parallel).enumerate()
+        {
+            let design = cells[i].cfg.design;
+            assert_eq!(
+                seq_run.failed_requests, par_run.failed_requests,
+                "{design:?} (jobs={jobs}): failed-request count"
+            );
+            assert_eq!(
+                seq_run.fault_latency_hist, par_run.fault_latency_hist,
+                "{design:?} (jobs={jobs}): under-failure latency histogram"
+            );
+            assert_eq!(seq_imp, par_imp, "{design:?} (jobs={jobs}): Improvement");
+            assert_eq!(seq_run, par_run, "{design:?} (jobs={jobs}): RunMetrics");
+        }
+    }
+}
+
+#[test]
+fn zero_failure_schedule_reproduces_fault_free_metrics() {
+    // A present-but-zero fault schedule takes the fault-aware code paths
+    // yet must reproduce the fault-free run bit-for-bit — this is what
+    // keeps existing figure output byte-identical when the fault knob is
+    // plumbed through but switched off.
+    let s = Scenario::build(
+        pop::abilene(),
+        AccessTree::new(2, 3),
+        Region::Us.config(0.005),
+        OriginPolicy::PopulationProportional,
+    );
+    for design in DesignKind::figure6_designs() {
+        let plain = s.run_config(ExperimentConfig::baseline(design));
+        let mut cfg = ExperimentConfig::baseline(design);
+        cfg.fault = Some(FaultConfig::zero(0x5eed));
+        let zeroed = s.run_config(cfg);
+        assert_eq!(
+            plain, zeroed,
+            "{design:?}: zero-failure schedule perturbed the run"
+        );
+        assert_eq!(zeroed.failed_requests, 0);
+        assert_eq!(zeroed.availability_pct(), 100.0);
+    }
+}
+
+#[test]
+fn different_fault_seeds_actually_change_the_run() {
+    // Guards the faulted guard: if the simulator ignored the schedule the
+    // bit-identity tests above would pass vacuously.
+    let s = Scenario::build(
+        pop::abilene(),
+        AccessTree::new(2, 3),
+        Region::Us.config(0.005),
+        OriginPolicy::PopulationProportional,
+    );
+    let run = |seed: u64| {
+        let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+        cfg.fault = Some(FaultConfig::uniform(seed, 0.05));
+        s.run_config(cfg)
+    };
+    assert_ne!(run(1), run(2));
 }
 
 #[test]

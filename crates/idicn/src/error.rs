@@ -33,6 +33,14 @@ pub enum ProxyError {
         /// The status it returned.
         status: u16,
     },
+    /// An I/O deadline expired talking to an upstream; the transport cause
+    /// is preserved for `source()`.
+    Timeout(Error),
+    /// An upstream peer could not be reached at the transport level
+    /// (connection refused/reset); the cause is preserved for `source()`.
+    /// Distinct from [`ProxyError::NotFound`]: the service is down, not
+    /// the name — degradation ladders key off this variant.
+    Unreachable(Error),
     /// Content failed signature verification (or the metadata named a
     /// different object). Never cached, never served.
     Verification(String),
@@ -56,6 +64,8 @@ impl fmt::Display for ProxyError {
             ProxyError::UpstreamStatus { url, status } => {
                 write!(f, "upstream {url} returned {status}")
             }
+            ProxyError::Timeout(e) => write!(f, "upstream deadline expired: {e}"),
+            ProxyError::Unreachable(e) => write!(f, "upstream unreachable: {e}"),
             ProxyError::Verification(m) => write!(f, "verification failed: {m}"),
             ProxyError::Diverged { label } => {
                 write!(
@@ -71,7 +81,7 @@ impl fmt::Display for ProxyError {
 impl std::error::Error for ProxyError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ProxyError::Layer(e) => Some(e),
+            ProxyError::Layer(e) | ProxyError::Timeout(e) | ProxyError::Unreachable(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +99,8 @@ impl From<Error> for ProxyError {
         match e {
             Error::NotFound(n) => ProxyError::NotFound(n),
             Error::Verification(m) => ProxyError::Verification(m),
+            e @ Error::Timeout(_) => ProxyError::Timeout(e),
+            e @ Error::Unreachable(_) => ProxyError::Unreachable(e),
             other => ProxyError::Layer(other),
         }
     }
@@ -102,7 +114,9 @@ impl From<ProxyError> for Error {
             ProxyError::NotFound(n) => Error::NotFound(n),
             ProxyError::Verification(m) => Error::Verification(m),
             ProxyError::Diverged { .. } => Error::Verification(e.to_string()),
-            ProxyError::Layer(inner) => inner,
+            ProxyError::Layer(inner)
+            | ProxyError::Timeout(inner)
+            | ProxyError::Unreachable(inner) => inner,
             other => Error::Protocol(other.to_string()),
         }
     }
@@ -139,5 +153,23 @@ mod tests {
         assert!(matches!(p, ProxyError::Layer(Error::Protocol(_))));
         let e: Error = ProxyError::Diverged { label: "x".into() }.into();
         assert!(matches!(e, Error::Verification(_)));
+    }
+
+    #[test]
+    fn transport_failures_keep_their_class_and_source() {
+        let timeout = Error::Timeout(std::io::Error::from(std::io::ErrorKind::TimedOut));
+        let p: ProxyError = timeout.into();
+        assert!(matches!(p, ProxyError::Timeout(_)));
+        assert!(std::error::Error::source(&p).is_some(), "cause chained");
+        let e: Error = p.into();
+        assert!(matches!(e, Error::Timeout(_)), "round-trips losslessly");
+
+        let refused =
+            Error::Unreachable(std::io::Error::from(std::io::ErrorKind::ConnectionRefused));
+        let p: ProxyError = refused.into();
+        assert!(matches!(p, ProxyError::Unreachable(_)));
+        assert!(std::error::Error::source(&p).is_some());
+        let e: Error = p.into();
+        assert!(matches!(e, Error::Unreachable(_)));
     }
 }

@@ -25,6 +25,28 @@ const MAX_HEADER_BYTES: usize = 1 << 20;
 /// Maximum accepted body size (64 MiB).
 const MAX_BODY_BYTES: usize = 64 << 20;
 
+/// Deadline for establishing an outbound TCP connection. Loopback connects
+/// either succeed or are refused immediately; the deadline guards against
+/// black-holed addresses (a mobile server that moved away mid-transfer).
+pub const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// Read/write deadline applied to **every** TCP stream this crate touches,
+/// outbound and accepted alike — no socket may hang a worker forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Reclassifies I/O errors whose kind is a deadline expiry into
+/// [`Error::Timeout`] so callers can tell "slow peer" from "broken pipe".
+fn flag_timeout(e: Error) -> Error {
+    match e {
+        Error::Io(io)
+            if io.kind() == std::io::ErrorKind::WouldBlock
+                || io.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Error::Timeout(io)
+        }
+        other => other,
+    }
+}
+
 /// An ordered, case-insensitive header map.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Headers(Vec<(String, String)>);
@@ -222,8 +244,13 @@ fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>> {
         return Err(Error::Protocol(format!("body too large: {len}")));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)
-        .map_err(|e| Error::Protocol(format!("short body: {e}")))?;
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+            Error::Timeout(e)
+        } else {
+            Error::Protocol(format!("short body: {e}"))
+        }
+    })?;
     Ok(body)
 }
 
@@ -417,6 +444,8 @@ fn handle_connection(stream: TcpStream, handler: Handler, shutdown: Arc<AtomicBo
     let _ = stream.set_nodelay(true);
     // Bounded read timeout so keep-alive connections notice shutdown.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    // A stalled reader must not pin this worker thread forever either.
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -458,16 +487,27 @@ pub fn http_get(addr: SocketAddr, target: &str, headers: &[(&str, &str)]) -> Res
     request_once(addr, &req)
 }
 
-/// One-shot request helper.
+/// One-shot request helper. Every outbound stream carries connect, read,
+/// and write deadlines; a connection that cannot be established surfaces
+/// as [`Error::Unreachable`], an expired deadline as [`Error::Timeout`].
 pub fn request_once(addr: SocketAddr, req: &HttpRequest) -> Result<HttpResponse> {
-    let stream = TcpStream::connect(addr)?;
+    let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::TimedOut || e.kind() == std::io::ErrorKind::WouldBlock {
+            Error::Timeout(e)
+        } else {
+            Error::Unreachable(e)
+        }
+    })?;
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut req = req.clone();
     req.headers.set("Connection", "close");
-    write_request(&mut writer, &req)?;
-    read_response(&mut reader)?
+    write_request(&mut writer, &req).map_err(flag_timeout)?;
+    read_response(&mut reader)
+        .map_err(flag_timeout)?
         .ok_or_else(|| Error::Protocol("server closed without response".into()))
 }
 
@@ -554,6 +594,34 @@ mod tests {
         h.set("Content-Type", "final");
         assert_eq!(h.len(), 1);
         assert_eq!(h.get("content-type"), Some("final"));
+    }
+
+    #[test]
+    fn refused_connection_is_unreachable() {
+        // Nothing listens on port 1; loopback refuses instantly. The error
+        // class must say "service down", not a bare Io or NotFound.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let err = http_get(addr, "/", &[]).unwrap_err();
+        assert!(matches!(err, Error::Unreachable(_)), "{err:?}");
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "transport cause must chain through source()"
+        );
+    }
+
+    #[test]
+    fn deadline_expiries_are_reclassified() {
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            let e = flag_timeout(Error::Io(std::io::Error::from(kind)));
+            assert!(matches!(e, Error::Timeout(_)), "{kind:?}");
+        }
+        // Everything else passes through untouched.
+        let e = flag_timeout(Error::Io(std::io::Error::from(
+            std::io::ErrorKind::BrokenPipe,
+        )));
+        assert!(matches!(e, Error::Io(_)));
+        let e = flag_timeout(Error::Protocol("x".into()));
+        assert!(matches!(e, Error::Protocol(_)));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod name;
 pub mod origin;
 pub mod proxy;
 pub mod resolver;
+pub mod retry;
 pub mod reverse_proxy;
 pub mod wpad;
 
@@ -62,6 +63,14 @@ pub use name::{ContentName, Principal};
 pub enum Error {
     /// Underlying socket/file error.
     Io(std::io::Error),
+    /// A peer did not respond within the I/O deadline (see
+    /// [`http::IO_TIMEOUT`]). Distinct from [`Error::Io`] so callers can
+    /// retry deadline expiries without retrying, say, permission errors.
+    Timeout(std::io::Error),
+    /// A TCP connection to a peer could not be established (refused,
+    /// reset, no route). Distinct from [`Error::NotFound`]: the *service*
+    /// is gone, not the name — callers fall back instead of giving up.
+    Unreachable(std::io::Error),
     /// Malformed protocol input (HTTP, names, registry lines, ...).
     Protocol(String),
     /// Content failed cryptographic verification.
@@ -80,6 +89,8 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Timeout(e) => write!(f, "i/o deadline expired: {e}"),
+            Error::Unreachable(e) => write!(f, "peer unreachable: {e}"),
             Error::Protocol(m) => write!(f, "protocol error: {m}"),
             Error::Verification(m) => write!(f, "verification failed: {m}"),
             Error::NotFound(m) => write!(f, "not found: {m}"),
@@ -87,7 +98,14 @@ impl std::fmt::Display for Error {
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) | Error::Timeout(e) | Error::Unreachable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, Error>;

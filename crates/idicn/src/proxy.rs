@@ -12,12 +12,14 @@ use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
 use crate::metalink::Metadata;
 use crate::name::ContentName;
 use crate::resolver::{Resolution, ResolverClient};
+use crate::retry::{self, CircuitBreaker, RetryPolicy};
 use icn_obs::{Counter, Gauge, Registry, Snapshot, TimerHandle};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Parses `http://host:port/path` into a socket address and path.
 /// Only numeric loopback-style authorities are supported (the overlay uses
@@ -61,6 +63,16 @@ pub struct ProxyStats {
     pub requests: u64,
     /// Requests currently being handled.
     pub in_flight: i64,
+    /// Upstream fetch attempts beyond the first for a given location
+    /// (transient transport failures retried with backoff).
+    pub retries: u64,
+    /// Times an upstream's circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Upstream locations skipped because their circuit was open.
+    pub breaker_skips: u64,
+    /// Resolutions answered from the cached-registration table because the
+    /// resolver itself was unreachable.
+    pub resolver_fallbacks: u64,
 }
 
 struct Inner {
@@ -76,6 +88,17 @@ struct Inner {
     in_flight: Gauge,
     latency: TimerHandle,
     addr: Mutex<Option<SocketAddr>>,
+    // Failure-path machinery (PR 4): bounded retries toward upstreams, a
+    // per-URL circuit breaker, and the last successful resolution per name
+    // so resolver outages degrade to possibly-stale answers instead of
+    // hard failures.
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    known_locations: RwLock<HashMap<String, Vec<String>>>,
+    retries: Counter,
+    breaker_opens: Counter,
+    breaker_skips: Counter,
+    resolver_fallbacks: Counter,
 }
 
 /// A caching, verifying edge proxy.
@@ -85,8 +108,26 @@ pub struct EdgeProxy {
 }
 
 impl EdgeProxy {
-    /// Creates a proxy holding at most `capacity` objects.
+    /// Creates a proxy holding at most `capacity` objects, with the default
+    /// failure policy (3 attempts per upstream, breaker opens after 3
+    /// consecutive failures for 1 s).
     pub fn new(resolver: ResolverClient, capacity: usize) -> Self {
+        Self::new_with(
+            resolver,
+            capacity,
+            RetryPolicy::default(),
+            CircuitBreaker::new(3, Duration::from_secs(1)),
+        )
+    }
+
+    /// Creates a proxy with an explicit retry policy and circuit breaker
+    /// (tests use tight policies; production callers tune for their RTTs).
+    pub fn new_with(
+        resolver: ResolverClient,
+        capacity: usize,
+        retry: RetryPolicy,
+        breaker: CircuitBreaker,
+    ) -> Self {
         let obs = Registry::new();
         let hits = obs.counter("proxy.cache_hits");
         let misses = obs.counter("proxy.cache_misses");
@@ -94,6 +135,10 @@ impl EdgeProxy {
         let requests = obs.counter("proxy.requests");
         let in_flight = obs.gauge("proxy.in_flight");
         let latency = obs.timer_handle("proxy.request");
+        let retries = obs.counter("proxy.retries");
+        let breaker_opens = obs.counter("proxy.breaker_opens");
+        let breaker_skips = obs.counter("proxy.breaker_skips");
+        let resolver_fallbacks = obs.counter("proxy.resolver_fallbacks");
         Self {
             inner: Arc::new(Inner {
                 resolver,
@@ -108,6 +153,13 @@ impl EdgeProxy {
                 in_flight,
                 latency,
                 addr: Mutex::new(None),
+                retry,
+                breaker,
+                known_locations: RwLock::new(HashMap::new()),
+                retries,
+                breaker_opens,
+                breaker_skips,
+                resolver_fallbacks,
             }),
         }
     }
@@ -128,6 +180,10 @@ impl EdgeProxy {
             verify_failures: self.inner.verify_failures.get(),
             requests: self.inner.requests.get(),
             in_flight: self.inner.in_flight.get(),
+            retries: self.inner.retries.get(),
+            breaker_opens: self.inner.breaker_opens.get(),
+            breaker_skips: self.inner.breaker_skips.get(),
+            resolver_fallbacks: self.inner.resolver_fallbacks.get(),
         }
     }
 
@@ -182,6 +238,11 @@ impl EdgeProxy {
                 resp
             }
             Err(ProxyError::NotFound(m)) => HttpResponse::not_found(&m),
+            // Transport-level upstream failures are "try again later", not
+            // "bad gateway": 503 tells clients the outage is transient.
+            Err(e @ (ProxyError::Timeout(_) | ProxyError::Unreachable(_))) => {
+                HttpResponse::new(503, e.to_string().into_bytes())
+            }
             Err(e) => HttpResponse::new(502, e.to_string().into_bytes()),
         }
     }
@@ -249,31 +310,78 @@ impl EdgeProxy {
         Ok((content, metadata, false))
     }
 
-    fn fetch_remote(&self, name: &ContentName) -> ProxyResult<(Vec<u8>, Metadata)> {
-        let locations = match self.inner.resolver.resolve(name)? {
-            Resolution::Locations(locs) => locs,
-            Resolution::Delegation(base) => {
+    /// Resolves `name` to candidate upstream URLs, remembering each
+    /// successful answer. When the resolver itself is unreachable (down,
+    /// not "name unknown"), the last known locations for the name are
+    /// returned instead — a possibly-stale answer beats no answer, and the
+    /// signature check still rejects wrong bytes.
+    fn resolve_locations(&self, name: &ContentName) -> ProxyResult<Vec<String>> {
+        let key = name.to_flat();
+        match self.inner.resolver.resolve(name) {
+            Ok(Resolution::Locations(locs)) => {
+                self.inner.known_locations.write().insert(key, locs.clone());
+                Ok(locs)
+            }
+            Ok(Resolution::Delegation(base)) => {
                 // P-level fallback: ask the delegated proxy for the object.
                 let (addr, _) = parse_http_url(&base)?;
-                vec![format!("http://{addr}/fetch/{}", name.to_flat())]
+                Ok(vec![format!("http://{addr}/fetch/{}", name.to_flat())])
             }
-        };
+            Err(e) if retry::is_transient(&e) => {
+                match self.inner.known_locations.read().get(&key) {
+                    Some(cached) => {
+                        self.inner.resolver_fallbacks.inc();
+                        Ok(cached.clone())
+                    }
+                    None => Err(e.into()),
+                }
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn fetch_remote(&self, name: &ContentName) -> ProxyResult<(Vec<u8>, Metadata)> {
+        let locations = self.resolve_locations(name)?;
         let mut last_err = ProxyError::NotFound(name.to_flat());
         for url in locations {
-            match parse_http_url(&url)
-                .and_then(|(addr, path)| Ok(http::http_get(addr, &path, &[])?))
-            {
+            if !self.inner.breaker.allows(&url) {
+                self.inner.breaker_skips.inc();
+                continue;
+            }
+            let (addr, path) = match parse_http_url(&url) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            let attempt = self.inner.retry.run(|attempt| {
+                if attempt > 0 {
+                    self.inner.retries.inc();
+                }
+                http::http_get(addr, &path, &[])
+            });
+            match attempt {
                 Ok(resp) if resp.is_success() => {
+                    self.inner.breaker.record_success(&url);
                     let metadata = Metadata::from_headers(&resp.headers)?;
                     return Ok((resp.body, metadata));
                 }
                 Ok(resp) => {
+                    // The upstream is alive and answering; its refusal is
+                    // authoritative, not a circuit-breaker event.
+                    self.inner.breaker.record_success(&url);
                     last_err = ProxyError::UpstreamStatus {
                         url,
                         status: resp.status,
                     };
                 }
-                Err(e) => last_err = e,
+                Err(e) => {
+                    if self.inner.breaker.record_failure(&url) {
+                        self.inner.breaker_opens.inc();
+                    }
+                    last_err = e.into();
+                }
             }
         }
         Err(last_err)
@@ -299,6 +407,77 @@ pub fn fetch_verified(
     metadata.verify(&resp.body)?;
     let hit = resp.headers.get("X-Cache") == Some("HIT");
     Ok((resp.body, metadata, hit))
+}
+
+/// How [`fetch_verified_with_fallback`] obtained the content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Served from the edge proxy's cache.
+    ProxyHit,
+    /// Served via the edge proxy, which fetched upstream.
+    ProxyMiss,
+    /// The proxy was unreachable (or timed out); the client resolved the
+    /// name itself and fetched directly from a registered location.
+    DirectOrigin,
+}
+
+/// [`fetch_verified`] with the client half of the degradation ladder: if
+/// the *proxy* fails at the transport level (process killed, network
+/// partition), the client resolves the name itself and fetches directly
+/// from a registered location — losing the shared cache but not
+/// availability. Content is signature-verified on every path; a name-level
+/// failure (`NotFound`, bad signature) is authoritative and never triggers
+/// the fallback.
+pub fn fetch_verified_with_fallback(
+    proxy_addr: SocketAddr,
+    resolver: &ResolverClient,
+    name: &ContentName,
+) -> ProxyResult<(Vec<u8>, Metadata, FetchOutcome)> {
+    match fetch_verified(proxy_addr, name) {
+        Ok((body, metadata, hit)) => {
+            let outcome = if hit {
+                FetchOutcome::ProxyHit
+            } else {
+                FetchOutcome::ProxyMiss
+            };
+            Ok((body, metadata, outcome))
+        }
+        Err(ProxyError::Timeout(_) | ProxyError::Unreachable(_)) => {
+            let locations = match resolver.resolve(name)? {
+                Resolution::Locations(locs) => locs,
+                Resolution::Delegation(base) => {
+                    let (addr, _) = parse_http_url(&base)?;
+                    vec![format!("http://{addr}/fetch/{}", name.to_flat())]
+                }
+            };
+            let mut last_err = ProxyError::NotFound(name.to_flat());
+            for url in locations {
+                match parse_http_url(&url)
+                    .and_then(|(addr, path)| Ok(http::http_get(addr, &path, &[])?))
+                {
+                    Ok(resp) if resp.is_success() => {
+                        let metadata = Metadata::from_headers(&resp.headers)?;
+                        metadata.verify(&resp.body)?;
+                        if metadata.name != *name {
+                            return Err(ProxyError::Verification(
+                                "response metadata names a different object".into(),
+                            ));
+                        }
+                        return Ok((resp.body, metadata, FetchOutcome::DirectOrigin));
+                    }
+                    Ok(resp) => {
+                        last_err = ProxyError::UpstreamStatus {
+                            url,
+                            status: resp.status,
+                        };
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            Err(last_err)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

@@ -244,6 +244,12 @@ impl ResolverClient {
     }
 
     /// Registers a signed record.
+    ///
+    /// A resolver that cannot be reached surfaces as
+    /// [`Error::Unreachable`] / [`Error::Timeout`] (the transport failed);
+    /// a resolver that *refuses* the record surfaces as
+    /// [`Error::Protocol`]. Callers queue-and-retry the former but must
+    /// not retry the latter.
     pub fn register(&self, reg: &Registration) -> Result<()> {
         let req = HttpRequest::post("/register", serialize_registration(reg));
         let resp = http::request_once(self.addr, &req)?;
@@ -259,6 +265,13 @@ impl ResolverClient {
     }
 
     /// Resolves a name.
+    ///
+    /// The two failure classes are deliberately distinct: an unknown name
+    /// is [`Error::NotFound`] (authoritative — stop looking), while a dead
+    /// or stalled resolver is [`Error::Unreachable`] / [`Error::Timeout`]
+    /// (the *service* failed — fall back to cached registrations, see
+    /// [`crate::proxy::EdgeProxy`]). Conflating them used to make a
+    /// resolver outage look like every name vanishing at once.
     pub fn resolve(&self, name: &ContentName) -> Result<Resolution> {
         let resp = http::http_get(self.addr, &format!("/resolve/{}", name.to_flat()), &[])?;
         match resp.status {
@@ -397,6 +410,27 @@ mod tests {
         let missing = ContentName::new("nope", Principal(digest(b"nobody"))).unwrap();
         assert!(matches!(client.resolve(&missing), Err(Error::NotFound(_))));
         server.shutdown();
+    }
+
+    #[test]
+    fn dead_resolver_is_unreachable_not_not_found() {
+        let mut id = identity();
+        let resolver = Resolver::new();
+        let server = resolver.serve().unwrap();
+        let addr = server.addr();
+        let reg = signed_registration(&mut id, "gone", vec!["http://127.0.0.1:1/x".into()]);
+        server.shutdown(); // the service dies; the name was never the problem
+        let client = ResolverClient::new(addr);
+        let err = client.resolve(&reg.name).unwrap_err();
+        assert!(
+            matches!(err, Error::Unreachable(_) | Error::Timeout(_)),
+            "expected a transport-class error, got {err:?}"
+        );
+        let err = client.register(&reg).unwrap_err();
+        assert!(
+            matches!(err, Error::Unreachable(_) | Error::Timeout(_)),
+            "register must also distinguish transport failure, got {err:?}"
+        );
     }
 
     #[test]

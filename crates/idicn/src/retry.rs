@@ -1,0 +1,324 @@
+//! Bounded retries with deterministic backoff, and a per-key circuit
+//! breaker — the failure-path policy shared by the overlay components.
+//!
+//! [`RetryPolicy`] retries *transient* transport failures only
+//! ([`Error::Io`] / [`Error::Timeout`] / [`Error::Unreachable`]); protocol,
+//! verification, and not-found errors are authoritative and returned
+//! immediately. Backoff is exponential with **seeded, deterministic
+//! jitter** — the jitter sequence is a pure function of the policy's seed
+//! and the attempt index (the same SplitMix64 mixer the simulator's fault
+//! schedule uses), never of the wall clock, so tests can assert exact
+//! delay sequences. The sleep itself is injectable for the same reason.
+//!
+//! [`CircuitBreaker`] stops hammering an upstream that keeps failing:
+//! after `threshold` consecutive failures a key's circuit opens and
+//! callers skip it until a cooldown passes, after which one half-open
+//! trial is allowed through — success closes the circuit, failure
+//! re-opens it.
+
+use crate::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// True for failures worth retrying: the transport hiccuped, the peer may
+/// recover. Protocol/verification/not-found answers are final.
+pub fn is_transient(e: &Error) -> bool {
+    matches!(e, Error::Io(_) | Error::Timeout(_) | Error::Unreachable(_))
+}
+
+/// SplitMix64 finalizer (same construction as `icn_core::fault::mix`).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bounded-attempt retry with exponential backoff and deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (>= 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Cap on the un-jittered exponential delay.
+    pub max_delay: Duration,
+    /// Seed of the jitter sequence; equal seeds give equal delays.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms base doubling to at most 200 ms — sized for
+    /// loopback services where failure detection is immediate.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            jitter_seed: 0x1d1c_2013,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no delays).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The delay inserted after failed attempt `attempt` (0-based):
+    /// `base · 2^attempt` capped at `max_delay`, stretched by a
+    /// deterministic jitter factor in `[1.0, 1.5)` drawn from
+    /// `(jitter_seed, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_delay);
+        let draw = mix(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let frac = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // [0, 1)
+        exp.mul_f64(1.0 + frac * 0.5)
+    }
+
+    /// Runs `op` (passed the 0-based attempt index) until it succeeds, a
+    /// non-transient error occurs, or attempts are exhausted, sleeping
+    /// with [`std::thread::sleep`] between attempts.
+    pub fn run<T>(&self, op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        self.run_with_sleep(std::thread::sleep, op)
+    }
+
+    /// [`RetryPolicy::run`] with an injectable sleep, so tests can collect
+    /// the exact delay sequence instead of waiting it out.
+    pub fn run_with_sleep<T>(
+        &self,
+        mut sleep: impl FnMut(Duration),
+        mut op: impl FnMut(u32) -> Result<T>,
+    ) -> Result<T> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < attempts && is_transient(&e) => {
+                    sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct BreakerEntry {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// A per-key circuit breaker (keys are upstream URLs in the edge proxy).
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    entries: Mutex<HashMap<String, BreakerEntry>>,
+}
+
+impl CircuitBreaker {
+    /// Opens a key's circuit after `threshold` consecutive failures, for
+    /// `cooldown` per (re-)opening.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            cooldown,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// True when a request to `key` may proceed: the circuit is closed, or
+    /// it is open but the cooldown has passed (half-open trial).
+    pub fn allows(&self, key: &str) -> bool {
+        let entries = self.entries.lock();
+        match entries.get(key).and_then(|e| e.open_until) {
+            Some(until) => Instant::now() >= until,
+            None => true,
+        }
+    }
+
+    /// Records a success: the key's failure streak (and any open circuit)
+    /// is cleared.
+    pub fn record_success(&self, key: &str) {
+        self.entries.lock().remove(key);
+    }
+
+    /// Records a failure. Returns `true` when this failure opened (or
+    /// re-opened) the circuit — callers count "breaker tripped" events off
+    /// this edge.
+    pub fn record_failure(&self, key: &str) -> bool {
+        let mut entries = self.entries.lock();
+        let e = entries.entry(key.to_string()).or_default();
+        e.consecutive_failures += 1;
+        if e.consecutive_failures >= self.threshold {
+            let was_closed = e.open_until.is_none_or(|t| Instant::now() >= t);
+            e.open_until = Some(Instant::now() + self.cooldown);
+            was_closed
+        } else {
+            false
+        }
+    }
+
+    /// Number of keys with a currently-open circuit.
+    pub fn open_circuits(&self) -> usize {
+        let now = Instant::now();
+        self.entries
+            .lock()
+            .values()
+            .filter(|e| e.open_until.is_some_and(|t| now < t))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient() -> Error {
+        Error::Unreachable(std::io::Error::from(std::io::ErrorKind::ConnectionRefused))
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(is_transient(&transient()));
+        assert!(is_transient(&Error::Timeout(std::io::Error::from(
+            std::io::ErrorKind::TimedOut
+        ))));
+        assert!(is_transient(&Error::Io(std::io::Error::other("x"))));
+        assert!(!is_transient(&Error::NotFound("a.b".into())));
+        assert!(!is_transient(&Error::Verification("bad sig".into())));
+        assert!(!is_transient(&Error::Protocol("junk".into())));
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy::default();
+        let mut delays = Vec::new();
+        let got = policy
+            .run_with_sleep(
+                |d| delays.push(d),
+                |attempt| {
+                    if attempt < 2 {
+                        Err(transient())
+                    } else {
+                        Ok(attempt)
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(got, 2);
+        assert_eq!(delays.len(), 2, "one sleep per retry");
+        assert_eq!(delays[0], policy.backoff(0));
+        assert_eq!(delays[1], policy.backoff(1));
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0u32;
+        let err = policy
+            .run_with_sleep(
+                |_| {},
+                |_| -> Result<()> {
+                    calls += 1;
+                    Err(transient())
+                },
+            )
+            .unwrap_err();
+        assert_eq!(calls, 4, "exactly max_attempts calls");
+        assert!(matches!(err, Error::Unreachable(_)), "last error returned");
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let mut calls = 0u32;
+        let err = RetryPolicy::default()
+            .run_with_sleep(
+                |_| {},
+                |_| -> Result<()> {
+                    calls += 1;
+                    Err(Error::NotFound("gone.P".into()))
+                },
+            )
+            .unwrap_err();
+        assert_eq!(calls, 1, "authoritative answers end the loop");
+        assert!(matches!(err, Error::NotFound(_)));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let a = RetryPolicy::default();
+        let b = RetryPolicy::default();
+        for attempt in 0..6 {
+            assert_eq!(a.backoff(attempt), b.backoff(attempt), "pure in seed");
+        }
+        // Un-jittered base doubles; jitter stretches by < 1.5x, so each
+        // delay stays below 1.5x the cap and at/above the base.
+        assert!(a.backoff(0) >= a.base_delay);
+        assert!(a.backoff(1) > a.backoff(0));
+        assert!(a.backoff(10) <= a.max_delay.mul_f64(1.5));
+        // A different seed produces a different jitter sequence somewhere.
+        let c = RetryPolicy {
+            jitter_seed: 999,
+            ..RetryPolicy::default()
+        };
+        assert!((0..6).any(|i| c.backoff(i) != a.backoff(i)));
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let mut calls = 0u32;
+        let _ = RetryPolicy::none().run_with_sleep(
+            |_| panic!("no sleeps"),
+            |_| -> Result<()> {
+                calls += 1;
+                Err(transient())
+            },
+        );
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_success_resets() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert!(b.allows("u"));
+        assert!(!b.record_failure("u"));
+        assert!(!b.record_failure("u"));
+        assert!(b.allows("u"), "still closed below threshold");
+        assert!(b.record_failure("u"), "third failure opens the circuit");
+        assert!(!b.allows("u"), "open circuit rejects");
+        assert_eq!(b.open_circuits(), 1);
+        // Another key is independent.
+        assert!(b.allows("v"));
+        // Success (e.g. via a different path) closes it again.
+        b.record_success("u");
+        assert!(b.allows("u"));
+        assert_eq!(b.open_circuits(), 0);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(0));
+        assert!(b.record_failure("u"), "threshold 1 opens immediately");
+        // Zero cooldown: the very next check is the half-open trial.
+        assert!(b.allows("u"), "half-open trial allowed");
+        // A failed trial re-opens (and reports the re-opening edge).
+        assert!(b.record_failure("u"));
+        // A successful trial closes.
+        b.record_success("u");
+        assert!(b.allows("u"));
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end failure-path tests for the idICN overlay (PR 4).
+//!
+//! Each test kills a real component mid-workload — the edge proxy, the
+//! resolver, a registered mirror, the mobile server — and asserts that the
+//! client still retrieves correct, signature-verified content, and that the
+//! retry / circuit-breaker / fallback events show up in telemetry.
+
+use idicn::chunk::ChunkedDigests;
+use idicn::crypto::mss::Identity;
+use idicn::crypto::sha256::digest;
+use idicn::http::{self, HttpRequest, HttpResponse, HttpServer};
+use idicn::metalink::Metadata;
+use idicn::mobility::{resume_download, MobileServer};
+use idicn::name::{ContentName, Principal};
+use idicn::origin::OriginServer;
+use idicn::proxy::{fetch_verified, fetch_verified_with_fallback, EdgeProxy, FetchOutcome};
+use idicn::resolver::{registration_bytes, Registration, Resolver, ResolverClient};
+use idicn::retry::{CircuitBreaker, RetryPolicy};
+use idicn::reverse_proxy::ReverseProxy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Rig {
+    origin: OriginServer,
+    _origin_srv: HttpServer,
+    resolver_srv: HttpServer,
+    rp: ReverseProxy,
+    _rp_srv: HttpServer,
+    proxy: EdgeProxy,
+    proxy_srv: HttpServer,
+}
+
+fn rig(capacity: usize) -> Rig {
+    let origin = OriginServer::new();
+    let origin_srv = origin.serve().unwrap();
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().unwrap();
+    let rc = ResolverClient::new(resolver_srv.addr());
+    let identity = Identity::generate(&mut StdRng::seed_from_u64(77), 4);
+    let rp = ReverseProxy::new(identity, origin_srv.addr(), rc);
+    let rp_srv = rp.serve().unwrap();
+    let proxy = EdgeProxy::new(rc, capacity);
+    let proxy_srv = proxy.serve().unwrap();
+    Rig {
+        origin,
+        _origin_srv: origin_srv,
+        resolver_srv,
+        rp,
+        _rp_srv: rp_srv,
+        proxy,
+        proxy_srv,
+    }
+}
+
+/// An address that refuses connections: bind, read the port, drop the
+/// listener. Nothing re-binds it during the test.
+fn dead_url() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+    format!("http://{addr}/object")
+}
+
+#[test]
+fn client_falls_back_to_origin_when_proxy_dies() {
+    let rig = rig(16);
+    rig.origin
+        .add_content("news", b"the proxy is not a point of failure".to_vec());
+    let name = rig.rp.publish("news").unwrap();
+    let rc = ResolverClient::new(rig.resolver_srv.addr());
+
+    let proxy_addr = rig.proxy_srv.addr();
+    let (body, _, outcome) = fetch_verified_with_fallback(proxy_addr, &rc, &name).unwrap();
+    assert_eq!(outcome, FetchOutcome::ProxyMiss);
+    assert_eq!(body, b"the proxy is not a point of failure");
+
+    // Kill the edge proxy mid-workload. The client's next fetch hits a
+    // refused connection and walks down the ladder: resolve the name
+    // itself, fetch from the registered location, verify the signature.
+    drop(rig.proxy_srv);
+    let (body, metadata, outcome) = fetch_verified_with_fallback(proxy_addr, &rc, &name).unwrap();
+    assert_eq!(outcome, FetchOutcome::DirectOrigin);
+    assert_eq!(body, b"the proxy is not a point of failure");
+    assert_eq!(metadata.name, name, "verified end-to-end, right object");
+}
+
+#[test]
+fn proxy_survives_resolver_outage_via_cached_registrations() {
+    // Capacity 0: every request misses the object cache, so every request
+    // needs a resolution — the resolver outage is actually exercised.
+    let rig = rig(0);
+    rig.origin.add_content("evergreen", b"still here".to_vec());
+    let name = rig.rp.publish("evergreen").unwrap();
+
+    // One successful fetch seeds the proxy's known-locations table.
+    let (body, _, _) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+    assert_eq!(body, b"still here");
+
+    // Kill the resolver. The proxy now answers from its last known
+    // registration; content verification still gates what it serves.
+    drop(rig.resolver_srv);
+    let (body, _, _) = fetch_verified(rig.proxy_srv.addr(), &name).unwrap();
+    assert_eq!(body, b"still here");
+
+    let stats = rig.proxy.stats();
+    assert!(
+        stats.resolver_fallbacks >= 1,
+        "fallback must be visible in stats: {stats:?}"
+    );
+    let snap = rig.proxy.telemetry();
+    assert!(
+        snap.counters["proxy.resolver_fallbacks"] >= 1,
+        "and in the telemetry snapshot"
+    );
+}
+
+#[test]
+fn dead_mirror_is_retried_then_circuit_broken() {
+    // A name registered at two locations: a dead one first, then a live
+    // server under the same identity. The proxy must retry the dead
+    // mirror, fail over to the live one, and eventually stop hammering
+    // the dead one (open circuit) — all visible in telemetry.
+    let content = b"served from the second mirror".to_vec();
+    let mut identity = Identity::generate(&mut StdRng::seed_from_u64(9), 4);
+    let principal = Principal(identity.principal_digest());
+    let name = ContentName::new("mirrored", principal).unwrap();
+    let digests = ChunkedDigests::compute(&content, 1024);
+    let metadata = Metadata {
+        name: name.clone(),
+        digests: digests.clone(),
+        publisher_root: identity.root(),
+        signature: identity.sign(&digest(&name.binding_bytes(&digests.full))),
+        mirrors: Vec::new(),
+    };
+
+    // The live mirror serves the content with its Metalink headers.
+    let served = Arc::new(content.clone());
+    let served_md = metadata.clone();
+    let live_srv = http::serve(Arc::new(move |_req: &HttpRequest| {
+        let mut resp = HttpResponse::ok(served.as_ref().clone());
+        served_md.to_headers(&mut resp.headers);
+        resp
+    }))
+    .unwrap();
+
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().unwrap();
+    let rc = ResolverClient::new(resolver_srv.addr());
+    let locations = vec![dead_url(), format!("http://{}/object", live_srv.addr())];
+    let sig = identity.sign(&digest(&registration_bytes(&name, &locations)));
+    rc.register(&Registration {
+        name: name.clone(),
+        locations,
+        publisher_root: identity.root(),
+        signature: sig,
+    })
+    .unwrap();
+
+    // Tight policy so the test runs in milliseconds: 2 attempts per
+    // location, breaker opens after 2 consecutive failed fetches, long
+    // cooldown so the third fetch definitely sees it open.
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(4),
+        ..RetryPolicy::default()
+    };
+    let proxy = EdgeProxy::new_with(
+        rc,
+        0,
+        retry,
+        CircuitBreaker::new(2, Duration::from_secs(60)),
+    );
+
+    for _ in 0..3 {
+        let (body, md, _) = proxy.fetch(&name).unwrap();
+        assert_eq!(
+            body.as_ref(),
+            &content,
+            "every fetch fails over to the live mirror"
+        );
+        assert_eq!(md.name, name);
+    }
+
+    let stats = proxy.stats();
+    assert!(stats.retries >= 2, "dead mirror was retried: {stats:?}");
+    assert_eq!(
+        stats.breaker_opens, 1,
+        "circuit opened exactly once: {stats:?}"
+    );
+    assert!(
+        stats.breaker_skips >= 1,
+        "open circuit short-circuited at least one fetch: {stats:?}"
+    );
+    let snap = proxy.telemetry();
+    assert!(snap.counters["proxy.retries"] >= 2);
+    assert_eq!(snap.counters["proxy.breaker_opens"], 1);
+    assert!(snap.counters["proxy.breaker_skips"] >= 1);
+}
+
+#[test]
+fn relocation_mid_download_resumes_byte_identical() {
+    let content: Vec<u8> = (0..60_000u32).map(|i| (i % 241) as u8).collect();
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().unwrap();
+    let rc = ResolverClient::new(resolver_srv.addr());
+    let identity = Identity::generate(&mut StdRng::seed_from_u64(6), 4);
+    let server = MobileServer::start(identity, rc, "film", content.clone(), 1024).unwrap();
+    let name = server.name().clone();
+    let digests = server.digests().clone();
+
+    // Detach before the download starts (so at least one chunk fetch is
+    // guaranteed to fail), then relocate from another thread while the
+    // client is mid-retry — the relocate-during-download moment.
+    server.detach();
+    let mover = server.clone();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        mover.relocate().unwrap();
+    });
+
+    let (got, resumes) = resume_download(&rc, &name, content.len(), 2048, &digests, 200).unwrap();
+    handle.join().unwrap();
+    assert_eq!(got, content, "resumed bytes must be identical");
+    assert!(
+        resumes > 0,
+        "the outage must actually have been resumed over"
+    );
+}

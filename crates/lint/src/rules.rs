@@ -23,6 +23,12 @@ pub const INSTRUMENT_FILE: &str = "instrument.rs";
 /// order, so completion-order collection primitives are banned there.
 pub const SWEEP_FILE: &str = "sweep.rs";
 
+/// The fault-injection schedule: documented as a *pure function* of
+/// `(seed, config, window)`, so on top of the base entropy bans any clock
+/// or RNG machinery at all is rejected there — a bare `Instant`,
+/// `elapsed()`, or anything from the `rand` crate.
+pub const FAULT_FILE: &str = "fault.rs";
+
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -187,6 +193,40 @@ const ORDERED_MERGE_PATTERNS: &[Pattern] = &[
     },
 ];
 
+/// Clock/RNG machinery banned outright in the fault schedule. The base
+/// [`ENTROPY_PATTERNS`] already reject `SystemTime` / `Instant::now` /
+/// `thread_rng`; these close the gap to *any* time or randomness source,
+/// because `FaultSchedule` promises bit-equal answers for equal
+/// `(seed, config)` on any host.
+const PURE_SCHEDULE_PATTERNS: &[Pattern] = &[
+    Pattern {
+        text: "Instant",
+        call: false,
+        why: "the fault schedule is a pure function of (seed, window); \
+              no monotonic clocks, not even stored ones",
+    },
+    Pattern {
+        text: "elapsed",
+        call: true,
+        why: "elapsed time depends on the host; derive windows from \
+              request counts instead",
+    },
+    Pattern {
+        text: "rand",
+        call: false,
+        why: "the schedule draws from its own SplitMix64 hash of the \
+              seed, never from an RNG stream whose state depends on \
+              call order",
+    },
+    Pattern {
+        text: "Rng",
+        call: false,
+        why: "the schedule draws from its own SplitMix64 hash of the \
+              seed, never from an RNG stream whose state depends on \
+              call order",
+    },
+];
+
 /// Rule identifiers, also usable in `lint:allow(...)` and baseline keys.
 pub const NO_PANIC: &str = "no-panic-in-lib";
 /// See [`NO_PANIC`].
@@ -227,6 +267,15 @@ pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
             scan_patterns(
                 DETERMINISTIC,
                 ORDERED_MERGE_PATTERNS,
+                rel_path,
+                file,
+                &mut out,
+            );
+        }
+        if origin.file_name() == FAULT_FILE {
+            scan_patterns(
+                DETERMINISTIC,
+                PURE_SCHEDULE_PATTERNS,
                 rel_path,
                 file,
                 &mut out,
@@ -391,6 +440,27 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert!(v.iter().all(|v| v.rule == DETERMINISTIC));
         assert!(check("crates/cache/src/lru.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fault_rs_rejects_any_clock_or_rng_machinery() {
+        // A *stored* Instant and a generic RNG bound never call now() or
+        // thread_rng(), so the base entropy patterns let them through —
+        // the fault-schedule scope must not.
+        let src = "fn f(deadline: std::time::Instant) {}\nfn g<R: Rng>(r: &mut R) {}\n";
+        let v = check("crates/core/src/fault.rs", src);
+        let rules: Vec<_> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert!(rules.contains(&(DETERMINISTIC, 1)), "bare Instant: {v:?}");
+        assert!(rules.contains(&(DETERMINISTIC, 2)), "Rng bound: {v:?}");
+        // The same content elsewhere in the deterministic crates is only
+        // subject to the base patterns, which it satisfies.
+        assert!(check("crates/core/src/sim.rs", src).is_empty());
+        // And the classic offenders stay banned in fault.rs too.
+        let v = check(
+            "crates/core/src/fault.rs",
+            "fn h() { let _ = std::time::SystemTime::now(); }\n",
+        );
+        assert!(!v.is_empty());
     }
 
     #[test]

@@ -182,6 +182,50 @@ fn sweep_engine_must_merge_in_submission_order() {
     assert!(report.new[0].message.contains("submission-indexed"));
 }
 
+/// Guard for the PR 4 acceptance criterion: the fault schedule must stay a
+/// pure function of `(seed, config)`. Introducing any clock or RNG use into
+/// `crates/core/src/fault.rs` — even forms the base entropy rules allow
+/// elsewhere — must fail a previously clean scan.
+#[test]
+fn regression_clock_or_rng_in_fault_schedule_fails() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/fault.rs",
+        "fn crashes(seed: u64, window: u64) -> bool { seed ^ window != 0 }\n",
+    );
+    let config = Config::default();
+    assert!(fx.scan(&config).ok(), "pure schedule scans clean");
+
+    fx.write(
+        "crates/core/src/fault.rs",
+        concat!(
+            "use std::time::SystemTime;\n",
+            "fn f(deadline: std::time::Instant) {}\n",
+            "fn g<R: Rng>(r: &mut R) {}\n",
+        ),
+    );
+    let report = fx.scan(&config);
+    assert_eq!(
+        keys(&report),
+        vec![
+            "deterministic-core:crates/core/src/fault.rs:1",
+            "deterministic-core:crates/core/src/fault.rs:2",
+            "deterministic-core:crates/core/src/fault.rs:3",
+        ]
+    );
+    // The stored-Instant form is legal in other core files (only `::now`
+    // is entropy there) — the ban is scoped to the schedule.
+    fx.write(
+        "crates/core/src/fault.rs",
+        "fn crashes(seed: u64, window: u64) -> bool { seed ^ window != 0 }\n",
+    )
+    .write(
+        "crates/core/src/capacity.rs",
+        "fn f(deadline: std::time::Instant) {}\n",
+    );
+    assert!(fx.scan(&config).ok());
+}
+
 #[test]
 fn cfg_test_modules_are_exempt_everywhere() {
     let fx = Fixture::new();

@@ -29,7 +29,9 @@ echo "=== telemetry smoke (fig6 --telemetry)"
 sidecar="$(mktemp /tmp/fig6-telemetry.XXXXXX.json)"
 out1="$(mktemp /tmp/fig6-jobs1.XXXXXX.txt)"
 out4="$(mktemp /tmp/fig6-jobs4.XXXXXX.txt)"
-trap 'rm -f "$sidecar" "$out1" "$out4"' EXIT
+fail1="$(mktemp /tmp/failures-jobs1.XXXXXX.txt)"
+fail4="$(mktemp /tmp/failures-jobs4.XXXXXX.txt)"
+trap 'rm -f "$sidecar" "$out1" "$out4" "$fail1" "$fail4"' EXIT
 SCALE="${SCALE:-0.02}" cargo run --release -p icn-bench --bin fig6 -- \
     --telemetry "$sidecar" >/dev/null
 cargo run --release -p icn-bench --bin telemetry_check -- "$sidecar" >/dev/null
@@ -42,5 +44,13 @@ SCALE="${SCALE:-0.02}" JOBS=4 cargo run --release -p icn-bench --bin fig6 \
     >"$out4" 2>/dev/null
 cmp "$out1" "$out4"
 echo "JOBS=1 and JOBS=4 stdout byte-identical"
+
+echo "=== fault-injection smoke (failures JOBS=1 vs JOBS=4)"
+SCALE="${SCALE:-0.02}" JOBS=1 cargo run --release -p icn-bench --bin failures \
+    >"$fail1" 2>/dev/null
+SCALE="${SCALE:-0.02}" JOBS=4 cargo run --release -p icn-bench --bin failures \
+    >"$fail4" 2>/dev/null
+cmp "$fail1" "$fail4"
+echo "faulted sweep JOBS=1 and JOBS=4 stdout byte-identical"
 
 echo "all checks passed"
