@@ -1,0 +1,162 @@
+//! `perf`: simulator throughput benchmark, emitting `BENCH_sim.json`.
+//!
+//! Runs every Figure-6 design over the paper topologies under the §4
+//! baseline config and reports wall-clock throughput (requests/second)
+//! per design plus peak RSS — the numbers backing the "Performance"
+//! section of EXPERIMENTS.md. All seeds are the fixed experiment seeds,
+//! so the *work* is identical run to run; only the timings vary with the
+//! host.
+//!
+//! Usage: `perf [--smoke] [--out PATH]`
+//!
+//! `--smoke` shrinks the workload (one topology, 2% trace scale) so CI
+//! can exercise the binary and the JSON schema in seconds; `--out` picks
+//! the output path (default `BENCH_sim.json`).
+
+use icn_bench::{self as bench, par_build};
+use icn_core::config::ExperimentConfig;
+use icn_core::design::DesignKind;
+use icn_core::sweep::Scenario;
+use icn_topology::pop;
+use icn_workload::origin::OriginPolicy;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Peak resident set size in kB from `/proc/self/status` (Linux); 0 when
+/// unavailable so the schema stays stable on other platforms.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+struct DesignRow {
+    name: &'static str,
+    requests: u64,
+    seconds: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other:?} (usage: perf [--smoke] [--out PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = if smoke { 0.02 } else { bench::scale() };
+    let topos = if smoke {
+        vec![pop::abilene()]
+    } else {
+        bench::paper_topologies()
+    };
+    let trace_cfg = bench::asia_trace(scale);
+    let trace_seed = trace_cfg.seed;
+    eprintln!(
+        "[perf] building {} scenario(s) at scale {scale}...",
+        topos.len()
+    );
+    let scenarios: Vec<Scenario> = par_build(topos.len(), bench::jobs(), |i| {
+        Scenario::build(
+            topos[i].clone(),
+            bench::baseline_tree(),
+            trace_cfg.clone(),
+            OriginPolicy::PopulationProportional,
+        )
+    });
+    let requests_per_pass: u64 = scenarios
+        .iter()
+        .map(|s| s.trace.requests.len() as u64)
+        .sum();
+
+    // Sequential, single-threaded timing: this measures the simulator's
+    // per-request hot path, not the sweep engine's parallel speedup.
+    let mut rows = Vec::new();
+    for design in DesignKind::figure6_designs() {
+        let t0 = Instant::now();
+        let mut served = 0u64;
+        for s in &scenarios {
+            let m = s.run_config(ExperimentConfig::baseline(design));
+            served += m.requests;
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        assert_eq!(served, requests_per_pass, "{design:?}: request count drift");
+        eprintln!(
+            "[perf] {:10} {:>9} req in {seconds:7.3}s  ({:9.0} req/s)",
+            design.name(),
+            requests_per_pass,
+            requests_per_pass as f64 / seconds
+        );
+        rows.push(DesignRow {
+            name: design.name(),
+            requests: requests_per_pass,
+            seconds,
+        });
+    }
+
+    let total_requests: u64 = rows.iter().map(|r| r.requests).sum();
+    let total_seconds: f64 = rows.iter().map(|r| r.seconds).sum();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sim\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"topologies\": {},", topos.len());
+    let _ = writeln!(json, "  \"trace_seed\": {trace_seed},");
+    let _ = writeln!(json, "  \"peak_rss_kb\": {},", peak_rss_kb());
+    let _ = writeln!(json, "  \"total\": {{");
+    let _ = writeln!(json, "    \"requests\": {total_requests},");
+    let _ = writeln!(json, "    \"seconds\": {total_seconds:.3},");
+    let _ = writeln!(
+        json,
+        "    \"requests_per_sec\": {:.0}",
+        total_requests as f64 / total_seconds
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"designs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"design\": \"{}\", \"requests\": {}, \"seconds\": {:.3}, \
+             \"requests_per_sec\": {:.0}}}{comma}",
+            r.name,
+            r.requests,
+            r.seconds,
+            r.requests as f64 / r.seconds
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "perf: {total_requests} requests in {total_seconds:.3}s across {} designs -> {out}",
+        rows.len()
+    );
+}

@@ -82,8 +82,9 @@ impl Telemetry {
     }
 
     /// Instrumentation for one simulator run of `total` requests,
-    /// labelled `label` in progress lines and trace records.
-    pub fn obs(&self, label: &str, total: u64) -> SimObs {
+    /// labelled `label` in progress lines and trace records. The label is
+    /// `&'static` (design names are), so records borrow it allocation-free.
+    pub fn obs(&self, label: &'static str, total: u64) -> SimObs {
         let mut obs = SimObs::new(&self.registry, label).with_progress(label, total);
         if let Some(sink) = &self.trace {
             obs = obs.with_trace(Arc::clone(sink));

@@ -19,9 +19,11 @@ pub mod hash;
 pub mod lfu;
 pub mod lru;
 pub mod policy;
+pub mod slot;
 
 pub use budget::{per_node_budgets, BudgetPolicy};
 pub use fifo::Fifo;
 pub use lfu::Lfu;
 pub use lru::{CompactLru, Lru};
 pub use policy::{CachePolicy, PolicyKind};
+pub use slot::CacheSlot;

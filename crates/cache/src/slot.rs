@@ -1,0 +1,221 @@
+//! Enum-dispatched cache slots for hot loops.
+//!
+//! The simulator probes a cache on every hop of every request; routing
+//! those probes through `Box<dyn CachePolicy + Send>` costs a pointer
+//! chase plus a virtual call per probe and a heap allocation per node.
+//! [`CacheSlot`] is a closed enum over the concrete policies (plus an
+//! explicit [`CacheSlot::None`] for cache-less routers), so every probe
+//! is a direct — and inlinable — match dispatch, and a network's worth of
+//! slots lives in one flat `Vec<CacheSlot>`.
+//!
+//! The [`CachePolicy`](crate::CachePolicy) trait remains the public
+//! extension point (property tests and external policies keep using it);
+//! the enum is the hot-path mirror of the same behaviour, pinned by the
+//! equivalence test below.
+
+use crate::fifo::Fifo;
+use crate::lfu::Lfu;
+use crate::lru::CompactLru;
+use crate::policy::{CachePolicy, Key, PolicyKind};
+
+/// A cache slot for one router: either a concrete policy or nothing.
+///
+/// All methods on the `None` variant behave like an always-empty,
+/// zero-capacity cache, so callers can probe unconditionally.
+#[derive(Debug)]
+pub enum CacheSlot {
+    /// No cache equipped at this router.
+    None,
+    /// Compact index-based LRU (the default LRU implementation).
+    Lru(CompactLru),
+    /// First-in / first-out eviction.
+    Fifo(Fifo),
+    /// Least-frequently-used eviction.
+    Lfu(Lfu),
+}
+
+impl CacheSlot {
+    /// Builds a slot holding a concrete policy of `kind` with `capacity`
+    /// entries. Mirrors [`PolicyKind::build`] variant-for-variant.
+    #[must_use]
+    pub fn build(kind: PolicyKind, capacity: usize) -> Self {
+        match kind {
+            PolicyKind::Lru => CacheSlot::Lru(CompactLru::new(capacity)),
+            PolicyKind::Fifo => CacheSlot::Fifo(Fifo::new(capacity)),
+            PolicyKind::Lfu => CacheSlot::Lfu(Lfu::new(capacity)),
+        }
+    }
+
+    /// True when a concrete policy is equipped (the router has a cache).
+    #[inline]
+    #[must_use]
+    pub fn is_equipped(&self) -> bool {
+        !matches!(self, CacheSlot::None)
+    }
+
+    /// Maximum number of entries; 0 for [`CacheSlot::None`].
+    #[inline]
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        match self {
+            CacheSlot::None => 0,
+            CacheSlot::Lru(c) => c.capacity(),
+            CacheSlot::Fifo(c) => c.capacity(),
+            CacheSlot::Lfu(c) => c.capacity(),
+        }
+    }
+
+    /// Current number of entries; 0 for [`CacheSlot::None`].
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            CacheSlot::None => 0,
+            CacheSlot::Lru(c) => c.len(),
+            CacheSlot::Fifo(c) => c.len(),
+            CacheSlot::Lfu(c) => c.len(),
+        }
+    }
+
+    /// True when no entries are cached (always true for `None`).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership probe without touching recency/frequency state.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, key: Key) -> bool {
+        match self {
+            CacheSlot::None => false,
+            CacheSlot::Lru(c) => c.contains(key),
+            CacheSlot::Fifo(c) => c.contains(key),
+            CacheSlot::Lfu(c) => c.contains(key),
+        }
+    }
+
+    /// Records a hit on `key` (no-op when absent or on `None`).
+    #[inline]
+    pub fn touch(&mut self, key: Key) {
+        match self {
+            CacheSlot::None => {}
+            CacheSlot::Lru(c) => c.touch(key),
+            CacheSlot::Fifo(c) => c.touch(key),
+            CacheSlot::Lfu(c) => c.touch(key),
+        }
+    }
+
+    /// Inserts `key`, returning the evicted key if one was displaced.
+    /// A no-op returning `None` on the [`CacheSlot::None`] variant.
+    #[inline]
+    pub fn insert(&mut self, key: Key) -> Option<Key> {
+        match self {
+            CacheSlot::None => None,
+            CacheSlot::Lru(c) => c.insert(key),
+            CacheSlot::Fifo(c) => c.insert(key),
+            CacheSlot::Lfu(c) => c.insert(key),
+        }
+    }
+
+    /// Drops every entry (no-op on `None`).
+    #[inline]
+    pub fn clear(&mut self) {
+        match self {
+            CacheSlot::None => {}
+            CacheSlot::Lru(c) => c.clear(),
+            CacheSlot::Fifo(c) => c.clear(),
+            CacheSlot::Lfu(c) => c.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic op mix driving a slot and the equivalent boxed
+    /// trait object in lockstep: the enum must mirror the trait
+    /// behaviour exactly (same hits, same evictions, same lengths).
+    fn drive_equivalence(kind: PolicyKind) {
+        let capacity = 8;
+        let mut slot = CacheSlot::build(kind, capacity);
+        let mut boxed = kind.build(capacity);
+        assert_eq!(slot.capacity(), boxed.capacity());
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for step in 0..4_000u64 {
+            // SplitMix64 step: deterministic, no external RNG needed.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let key = z % 24;
+            match z >> 61 {
+                0..=2 => {
+                    slot.touch(key);
+                    boxed.touch(key);
+                    assert_eq!(
+                        slot.contains(key),
+                        boxed.contains(key),
+                        "touch {key} @ {step}"
+                    );
+                }
+                3..=5 => {
+                    assert_eq!(slot.insert(key), boxed.insert(key), "insert {key} @ {step}");
+                }
+                6 => {
+                    assert_eq!(
+                        slot.contains(key),
+                        boxed.contains(key),
+                        "contains {key} @ {step}"
+                    );
+                }
+                _ => {
+                    assert_eq!(slot.len(), boxed.len(), "len @ {step}");
+                    assert_eq!(slot.is_empty(), boxed.is_empty());
+                }
+            }
+        }
+        slot.clear();
+        boxed.clear();
+        assert!(slot.is_empty() && boxed.is_empty());
+    }
+
+    #[test]
+    fn lru_slot_mirrors_boxed_policy() {
+        drive_equivalence(PolicyKind::Lru);
+    }
+
+    #[test]
+    fn fifo_slot_mirrors_boxed_policy() {
+        drive_equivalence(PolicyKind::Fifo);
+    }
+
+    #[test]
+    fn lfu_slot_mirrors_boxed_policy() {
+        drive_equivalence(PolicyKind::Lfu);
+    }
+
+    #[test]
+    fn none_slot_is_an_inert_empty_cache() {
+        let mut slot = CacheSlot::None;
+        assert!(!slot.is_equipped());
+        assert_eq!(slot.capacity(), 0);
+        assert_eq!(slot.len(), 0);
+        assert!(slot.is_empty());
+        assert!(!slot.contains(7));
+        slot.touch(7);
+        assert_eq!(slot.insert(7), None);
+        assert!(!slot.contains(7));
+        slot.clear();
+    }
+
+    #[test]
+    fn equipped_variants_report_equipped() {
+        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Lfu] {
+            assert!(CacheSlot::build(kind, 4).is_equipped());
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! the latency histogram are exact; only durations are sampled.
 
 use icn_obs::{Registry, TraceRecord, TraceSink};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// How often span timers fire (1 = every request). Durations are sampled
@@ -33,7 +34,7 @@ mod real {
     /// Live instrumentation attached to a simulator run.
     #[derive(Clone)]
     pub struct SimObs {
-        design: String,
+        design: Cow<'static, str>,
         requests: Counter,
         failed: Counter,
         coop_probes: Counter,
@@ -47,10 +48,12 @@ mod real {
 
     impl SimObs {
         /// Instrumentation recording into `registry`, labelled with the
-        /// design under test (the label lands in trace records).
-        pub fn new(registry: &Registry, design: &str) -> Self {
+        /// design under test (the label lands in trace records). Design
+        /// names are `&'static str` in practice, so the label is borrowed
+        /// — trace records stamp it without allocating.
+        pub fn new(registry: &Registry, design: impl Into<Cow<'static, str>>) -> Self {
             Self {
-                design: design.to_string(),
+                design: design.into(),
                 requests: registry.counter("sim.requests"),
                 failed: registry.counter("sim.failed_requests"),
                 coop_probes: registry.counter("sim.coop_probes"),
@@ -142,11 +145,13 @@ mod real {
         }
 
         /// Offers a trace record; `build` runs only when a sink is attached
-        /// (the sink then applies its own every-Nth sampling).
+        /// (the sink then applies its own every-Nth sampling). `build`
+        /// receives the design label by value — cloning a borrowed `Cow`
+        /// copies a pointer, not the string.
         #[inline]
-        pub fn trace_with(&self, build: impl FnOnce(&str) -> TraceRecord) {
+        pub fn trace_with(&self, build: impl FnOnce(Cow<'static, str>) -> TraceRecord) {
             if let Some(sink) = &self.trace {
-                sink.offer_with(|| build(&self.design));
+                sink.offer_with(|| build(self.design.clone()));
             }
         }
     }
@@ -167,7 +172,7 @@ mod real {
 
     impl SimObs {
         /// See the `obs`-enabled variant.
-        pub fn new(_registry: &Registry, _design: &str) -> Self {
+        pub fn new(_registry: &Registry, _design: impl Into<Cow<'static, str>>) -> Self {
             Self
         }
 
@@ -222,7 +227,7 @@ mod real {
 
         /// See the `obs`-enabled variant.
         #[inline]
-        pub fn trace_with(&self, _build: impl FnOnce(&str) -> TraceRecord) {}
+        pub fn trace_with(&self, _build: impl FnOnce(Cow<'static, str>) -> TraceRecord) {}
     }
 }
 
@@ -272,7 +277,7 @@ mod tests {
         let obs = SimObs::new(&registry, "ICN-NR").with_trace(sink);
         obs.trace_with(|design| TraceRecord {
             seq: 1,
-            design: design.to_string(),
+            design,
             ..TraceRecord::default()
         });
         let text = String::from_utf8(store.0.lock().unwrap().clone()).unwrap();

@@ -21,7 +21,9 @@
 
 pub mod capacity;
 pub mod config;
+pub mod costs;
 pub mod design;
+pub mod dir;
 pub mod fault;
 pub mod instrument;
 pub mod latency;
@@ -30,6 +32,7 @@ pub mod sim;
 pub mod sweep;
 
 pub use config::ExperimentConfig;
+pub use costs::CostTable;
 pub use design::{CacheSet, DesignKind, DesignSpec, Routing};
 pub use fault::{FaultConfig, FaultSchedule};
 pub use latency::LatencyModel;

@@ -19,12 +19,14 @@
 
 use crate::capacity::CapacityTracker;
 use crate::config::{ExperimentConfig, InsertionPolicy};
+use crate::costs::CostTable;
 use crate::design::{DesignSpec, Routing};
+use crate::dir::{ReplicaMasks, MAX_MASK_TREE};
 use crate::fault::FaultSchedule;
 use crate::instrument::SimObs;
 use crate::metrics::{RunMetrics, LATENCY_HIST_SCALE};
 use icn_cache::budget::per_node_budgets;
-use icn_cache::policy::CachePolicy;
+use icn_cache::CacheSlot;
 // lint:allow(feature-gate-obs): TraceRecord is a plain data type built in every configuration; the `obs` feature gates instrumentation, not types
 use icn_obs::TraceRecord;
 use icn_topology::{Network, NodeId};
@@ -125,10 +127,24 @@ pub struct Simulator<'a> {
     net: &'a Network,
     spec: DesignSpec,
     cfg: ExperimentConfig,
-    caches: Vec<Option<Box<dyn CachePolicy + Send>>>,
+    /// Path costs precomputed over `net` × `cfg.latency`; every hot-path
+    /// cost query is a table load instead of an `O(depth)` climb.
+    costs: CostTable,
+    /// One enum-dispatched slot per router: cache probes inline instead of
+    /// chasing a `Box<dyn CachePolicy>` vtable per hop.
+    caches: Vec<CacheSlot>,
     /// `replica_dir[object]` = cache-equipped routers currently holding the
-    /// object. Maintained only under nearest-replica routing.
+    /// object, in *arbitrary* order (selection breaks cost ties by
+    /// `NodeId`, so insertion order never matters). Maintained under
+    /// nearest-replica routing when `masks` is inactive — reference mode,
+    /// or trees too large for a `u128` presence mask.
     replica_dir: Vec<Vec<NodeId>>,
+    /// Bit-packed replica directory (see [`crate::dir`]): the flat-mode
+    /// replacement for `replica_dir`. Selection reads one per-PoP
+    /// representative via `trailing_zeros` instead of scanning every
+    /// replica, and insert/evict/flush are branch-free bit updates.
+    /// Exactly one of `masks` / `replica_dir` is live at a time.
+    masks: Option<ReplicaMasks>,
     origins: &'a [u16],
     object_sizes: &'a [u32],
     capacity: Option<CapacityTracker>,
@@ -150,6 +166,18 @@ pub struct Simulator<'a> {
     /// lookup runs on every cache-equipped router a miss climbs past, so
     /// allocating a fresh `Vec` per probe would be a per-miss heap hit.
     siblings_buf: Vec<u32>,
+    /// Scratch for nearest-replica candidate lists (capacity-limited and
+    /// faulted selection) — same rationale as `siblings_buf`.
+    cand_buf: Vec<(f64, NodeId)>,
+    /// Validation mode (`ICN_SIM_REFERENCE=1`): route every path-cost
+    /// query through [`LatencyModel::path_cost`] and every candidate scan
+    /// through the legacy allocate-and-stable-sort implementation, under
+    /// the *same* `(cost, NodeId)` ordering contract. `scripts/check.sh`
+    /// byte-compares fig6 output with and without the flag, proving the
+    /// flat structures change nothing.
+    ///
+    /// [`LatencyModel::path_cost`]: crate::latency::LatencyModel::path_cost
+    reference: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -171,8 +199,7 @@ impl<'a> Simulator<'a> {
             &net.core.populations,
             net.nodes_per_pop(),
         );
-        let mut caches: Vec<Option<Box<dyn CachePolicy + Send>>> =
-            Vec::with_capacity(net.node_count() as usize);
+        let mut caches: Vec<CacheSlot> = Vec::with_capacity(net.node_count() as usize);
         for n in 0..net.node_count() {
             if spec.cache_set.has_cache(net, n) {
                 let cap = if spec.infinite_budget {
@@ -180,16 +207,20 @@ impl<'a> Simulator<'a> {
                 } else {
                     (budgets[n as usize] as f64 * spec.budget_multiplier).round() as usize
                 };
-                caches.push(Some(cfg.policy.build(cap)));
+                caches.push(CacheSlot::build(cfg.policy, cap));
             } else {
-                caches.push(None);
+                caches.push(CacheSlot::None);
             }
         }
-        let replica_dir = if spec.routing == Routing::NearestReplica {
+        let reference = std::env::var_os("ICN_SIM_REFERENCE").is_some_and(|v| v != "0");
+        let track = spec.routing == Routing::NearestReplica;
+        let use_masks = track && !reference && net.tree.nodes() <= MAX_MASK_TREE;
+        let replica_dir = if track && !use_masks {
             vec![Vec::new(); origins.len()]
         } else {
             Vec::new()
         };
+        let masks = use_masks.then(|| ReplicaMasks::new(origins.len()));
         let capacity = cfg
             .capacity
             .map(|c| CapacityTracker::new(c, net.node_count() as usize));
@@ -201,12 +232,15 @@ impl<'a> Simulator<'a> {
             net.pops() as usize,
             net.tree.depth,
         );
+        let costs = CostTable::new(net, cfg.latency);
         Self {
             net,
             spec,
             cfg,
+            costs,
             caches,
             replica_dir,
+            masks,
             origins,
             object_sizes,
             capacity,
@@ -218,7 +252,82 @@ impl<'a> Simulator<'a> {
             nodes_buf: Vec::new(),
             links_buf: Vec::new(),
             siblings_buf: Vec::new(),
+            cand_buf: Vec::new(),
+            reference,
         }
+    }
+
+    /// Switches between the flat hot path (default) and the reference
+    /// implementation it must match bit-for-bit; see the `reference` field.
+    /// Exposed so determinism tests can flip modes without racing on the
+    /// process-wide `ICN_SIM_REFERENCE` environment variable. Converts the
+    /// replica directory between its bitmask and `Vec` representations so
+    /// the flip is valid even mid-run.
+    pub fn set_reference(&mut self, reference: bool) {
+        if reference == self.reference {
+            return;
+        }
+        self.reference = reference;
+        if self.spec.routing != Routing::NearestReplica {
+            return;
+        }
+        let tn = self.net.tree.nodes();
+        if reference {
+            if let Some(masks) = self.masks.take() {
+                self.replica_dir = (0..masks.len() as u32)
+                    .map(|o| {
+                        let mut nodes = Vec::new();
+                        for &(p, mask) in masks.entries(o) {
+                            let mut bits = mask;
+                            while bits != 0 {
+                                let r = bits.trailing_zeros();
+                                bits &= bits - 1;
+                                nodes.push(p * tn + self.costs.t_of_rank(r));
+                            }
+                        }
+                        nodes
+                    })
+                    .collect();
+            }
+        } else if tn <= MAX_MASK_TREE {
+            let mut masks = ReplicaMasks::new(self.replica_dir.len());
+            for (o, nodes) in self.replica_dir.iter().enumerate() {
+                for &n in nodes {
+                    let (p, t) = (self.net.pop_of(n), self.net.tree_index(n));
+                    masks.insert(o as u32, p, self.costs.rank_of(t));
+                }
+            }
+            self.replica_dir = Vec::new();
+            self.masks = Some(masks);
+        }
+    }
+
+    /// The routers currently holding `object` per the nearest-replica
+    /// directory, ascending by `NodeId` — a diagnostics/test view that
+    /// works over either directory representation.
+    pub fn replicas_of(&self, object: u32) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = match &self.masks {
+            Some(masks) => {
+                let tn = self.net.tree.nodes();
+                let mut out = Vec::new();
+                for &(p, mask) in masks.entries(object) {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let r = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        out.push(p * tn + self.costs.t_of_rank(r));
+                    }
+                }
+                out
+            }
+            None => self
+                .replica_dir
+                .get(object as usize)
+                .cloned()
+                .unwrap_or_default(),
+        };
+        nodes.sort_unstable();
+        nodes
     }
 
     /// Attaches instrumentation; subsequent [`Simulator::run`] calls report
@@ -229,14 +338,29 @@ impl<'a> Simulator<'a> {
 
     /// Processes a request stream and returns the accumulated metrics.
     pub fn run(&mut self, requests: &[Request]) -> &RunMetrics {
-        for (idx, req) in requests.iter().enumerate() {
+        self.run_streamed(requests.iter().copied())
+    }
+
+    /// Processes requests straight off an iterator — the whole trace never
+    /// needs to exist in memory. Driving this with
+    /// [`TraceIter`](icn_workload::trace::TraceIter) runs a synthesized
+    /// workload in O(locality-window) memory instead of O(trace), and is
+    /// bit-identical to materializing the same iterator into a `Vec` and
+    /// calling [`Simulator::run`] (asserted in `tests/determinism.rs`).
+    pub fn run_streamed<I>(&mut self, requests: I) -> &RunMetrics
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        let mut count = 0u64;
+        for req in requests {
             if let Some(o) = &self.obs {
-                o.on_request(idx as u64);
+                o.on_request(count);
             }
-            self.process(idx as u64, req);
+            self.process(count, &req);
+            count += 1;
         }
         if let Some(o) = &self.obs {
-            o.on_finish(requests.len() as u64);
+            o.on_finish(count);
         }
         &self.metrics
     }
@@ -284,7 +408,8 @@ impl<'a> Simulator<'a> {
             };
             for step in first..=w {
                 for n in 0..self.net.node_count() {
-                    if self.caches[n as usize].is_some() && fault.schedule.node_crashes(n, step) {
+                    if self.caches[n as usize].is_equipped() && fault.schedule.node_crashes(n, step)
+                    {
                         self.flush_cache(n);
                     }
                 }
@@ -298,11 +423,20 @@ impl<'a> Simulator<'a> {
     /// nearest-replica directory consistent.
     fn flush_cache(&mut self, node: NodeId) {
         let track = self.spec.routing == Routing::NearestReplica;
-        if let Some(c) = &mut self.caches[node as usize] {
+        let c = &mut self.caches[node as usize];
+        if c.is_equipped() {
             if track && !c.is_empty() {
-                for dir in &mut self.replica_dir {
-                    if let Some(pos) = dir.iter().position(|&n| n == node) {
-                        dir.swap_remove(pos);
+                if let Some(masks) = &mut self.masks {
+                    let (p, t) = (self.net.pop_of(node), self.net.tree_index(node));
+                    let r = self.costs.rank_of(t);
+                    for o in 0..masks.len() as u32 {
+                        masks.remove(o, p, r);
+                    }
+                } else {
+                    for dir in &mut self.replica_dir {
+                        if let Some(pos) = dir.iter().position(|&n| n == node) {
+                            dir.swap_remove(pos);
+                        }
                     }
                 }
             }
@@ -401,7 +535,7 @@ impl<'a> Simulator<'a> {
             o.trace_with(|design| TraceRecord {
                 seq: idx,
                 object: object as u64,
-                design: design.to_string(),
+                design,
                 level: 0,
                 hops: 0,
                 hit: false,
@@ -441,7 +575,7 @@ impl<'a> Simulator<'a> {
                 break;
             }
             if self.spec.sibling_coop
-                && self.caches[node as usize].is_some()
+                && self.caches[node as usize].is_equipped()
                 && self.node_up(node)
                 && self.net.tree_index(node) != 0
             {
@@ -534,20 +668,35 @@ impl<'a> Simulator<'a> {
             }
         };
 
-        // Latency: cost of the climbed prefix plus any detour plus the
-        // serving hop; congestion on every climbed link.
-        let mut cost = 0.0;
+        // Congestion on every climbed link.
         for j in 1..=serve_idx {
             let (a, b) = (path[j - 1], path[j]);
             let (pa, pb) = (self.net.pop_of(a), self.net.pop_of(b));
             if pa == pb {
-                cost += self.cfg.latency.tree_link_cost(self.net.level_of(a), depth);
                 self.add_transfer(self.net.tree_link(a), weight);
             } else {
-                cost += self.cfg.latency.core_link_cost(depth);
                 self.add_transfer(self.net.core_link(pa, pb), weight);
             }
         }
+        // Latency: cost of the climbed prefix plus any detour plus the
+        // serving hop. The climbed prefix of a shortest path is itself a
+        // shortest path, so its cost is one [`CostTable`] lookup; the
+        // reference mode re-accumulates it hop by hop (bit-identical —
+        // every link cost is an integer-valued f64, see `crate::costs`).
+        let cost = if self.reference {
+            let mut c = 0.0;
+            for j in 1..=serve_idx {
+                let (a, b) = (path[j - 1], path[j]);
+                if self.net.pop_of(a) == self.net.pop_of(b) {
+                    c += self.cfg.latency.tree_link_cost(self.net.level_of(a), depth);
+                } else {
+                    c += self.cfg.latency.core_link_cost(depth);
+                }
+            }
+            c
+        } else {
+            self.costs.path_cost(path[0], path[serve_idx])
+        };
         let latency = cost + detour_cost + 1.0;
         self.record_served(latency);
 
@@ -580,7 +729,7 @@ impl<'a> Simulator<'a> {
             o.trace_with(|design| TraceRecord {
                 seq: idx,
                 object: object as u64,
-                design: design.to_string(),
+                design,
                 level: serving_level,
                 hops: (serve_idx + detour_links) as u32,
                 hit,
@@ -635,7 +784,7 @@ impl<'a> Simulator<'a> {
                 o.trace_with(|design| TraceRecord {
                     seq: idx,
                     object: object as u64,
-                    design: design.to_string(),
+                    design,
                     level,
                     hops: 0,
                     hit: true,
@@ -646,39 +795,69 @@ impl<'a> Simulator<'a> {
             return;
         }
 
-        let origin_cost = self.cfg.latency.path_cost(self.net, leaf, origin_root);
+        let origin_cost = self.path_cost(leaf, origin_root);
         let choice = if self.fault.is_none() {
-            // Fault-free paths, kept verbatim: the Option-free hot loop.
+            // Fault-free paths: the Option-free hot loop.
             let server = if self.capacity.is_some() {
-                // Capacity-limited: try candidates in cost order; overloaded
-                // replicas are skipped; the origin always serves.
-                let mut cands: Vec<(f64, NodeId)> = self.replica_dir[object as usize]
-                    .iter()
-                    .filter(|&&n| n != leaf)
-                    .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
-                    .collect();
-                cands.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let mut chosen = None;
-                for (cost, node) in cands {
-                    if cost >= origin_cost {
-                        break; // origin is at least as close; prefer it
-                    }
-                    if self.try_capacity(node, idx) {
-                        chosen = Some((cost, node));
-                        break;
-                    }
-                }
-                chosen
+                self.select_nr_capacity(leaf, object, origin_cost, idx)
             } else {
-                // Single pass for the minimum-cost replica.
+                // Single allocation-free pass for the minimum-(cost, id)
+                // replica — the tie-break makes selection independent of
+                // `replica_dir` insertion order.
                 let mut best: Option<(f64, NodeId)> = None;
-                for &n in &self.replica_dir[object as usize] {
-                    if n == leaf {
-                        continue; // leaf already checked (capacity may have failed)
+                if self.reference {
+                    for &n in &self.replica_dir[object as usize] {
+                        if n == leaf {
+                            continue; // leaf already checked (capacity may have failed)
+                        }
+                        let c = self.cfg.latency.path_cost(self.net, leaf, n);
+                        if best.is_none_or(|(bc, bn)| c < bc || (c == bc && n < bn)) {
+                            best = Some((c, n));
+                        }
                     }
-                    let c = self.cfg.latency.path_cost(self.net, leaf, n);
-                    if best.is_none_or(|(bc, _)| c < bc) {
-                        best = Some((c, n));
+                } else if let Some(masks) = &self.masks {
+                    // Rank-ordered masks: one candidate per foreign PoP
+                    // (its first set bit is provably that PoP's
+                    // (cost, NodeId)-minimal replica), full bit iteration
+                    // only within the leaf's own PoP.
+                    let from = self.costs.from(leaf);
+                    let (pa, ta) = (from.pop(), from.tree());
+                    let tn = self.net.tree.nodes();
+                    for &(p, mask) in masks.entries(object) {
+                        if p == pa {
+                            let mut bits = mask;
+                            while bits != 0 {
+                                let r = bits.trailing_zeros();
+                                bits &= bits - 1;
+                                let t = self.costs.t_of_rank(r);
+                                if t == ta {
+                                    continue; // the requesting leaf itself
+                                }
+                                let c = from.to_tree(t);
+                                let n = p * tn + t;
+                                if best.is_none_or(|(bc, bn)| c < bc || (c == bc && n < bn)) {
+                                    best = Some((c, n));
+                                }
+                            }
+                        } else {
+                            let r = mask.trailing_zeros();
+                            let c = from.to_pop_rank(p, r);
+                            let n = p * tn + self.costs.t_of_rank(r);
+                            if best.is_none_or(|(bc, bn)| c < bc || (c == bc && n < bn)) {
+                                best = Some((c, n));
+                            }
+                        }
+                    }
+                } else {
+                    let from = self.costs.from(leaf);
+                    for &n in &self.replica_dir[object as usize] {
+                        if n == leaf {
+                            continue; // leaf already checked (capacity may have failed)
+                        }
+                        let c = from.to(n);
+                        if best.is_none_or(|(bc, bn)| c < bc || (c == bc && n < bn)) {
+                            best = Some((c, n));
+                        }
                     }
                 }
                 best.filter(|&(c, _)| c < origin_cost)
@@ -739,7 +918,7 @@ impl<'a> Simulator<'a> {
             o.trace_with(|design| TraceRecord {
                 seq: idx,
                 object: object as u64,
-                design: design.to_string(),
+                design,
                 level: serving_level,
                 hops,
                 hit: !is_origin,
@@ -761,16 +940,137 @@ impl<'a> Simulator<'a> {
         self.nodes_buf = nodes;
     }
 
+    /// Path cost between two routers: a [`CostTable`] lookup on the hot
+    /// path, or the full [`LatencyModel`](crate::latency::LatencyModel)
+    /// recomputation in reference mode. The two are bit-identical.
+    #[inline]
+    fn path_cost(&self, a: NodeId, b: NodeId) -> f64 {
+        if self.reference {
+            self.cfg.latency.path_cost(self.net, a, b)
+        } else {
+            self.costs.path_cost(a, b)
+        }
+    }
+
+    /// Index of the `(cost, NodeId)`-minimal candidate, `None` when empty.
+    /// The composite key is a total order over candidates (node ids are
+    /// unique within a directory), so the minimum — and therefore every
+    /// selection built on it — is independent of candidate order.
+    #[inline]
+    fn min_candidate(cands: &[(f64, NodeId)]) -> Option<usize> {
+        let mut best: Option<(usize, f64, NodeId)> = None;
+        for (i, &(c, n)) in cands.iter().enumerate() {
+            if best.is_none_or(|(_, bc, bn)| c < bc || (c == bc && n < bn)) {
+                best = Some((i, c, n));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// Expands the mask directory's candidates for `object` into `out` as
+    /// `(cost, node)` pairs, skipping `leaf` — the mask-mode equivalent of
+    /// iterating `replica_dir[object]`. Used by the capacity-limited and
+    /// faulted selections, which may need to probe past the per-PoP
+    /// minimum and therefore want the full candidate set.
+    fn extend_cands_from_masks(&self, object: u32, leaf: NodeId, out: &mut Vec<(f64, NodeId)>) {
+        let Some(masks) = &self.masks else {
+            return; // callers gate on `masks.is_some()`
+        };
+        let from = self.costs.from(leaf);
+        let (pa, ta) = (from.pop(), from.tree());
+        let tn = self.net.tree.nodes();
+        for &(p, mask) in masks.entries(object) {
+            let mut bits = mask;
+            while bits != 0 {
+                let r = bits.trailing_zeros();
+                bits &= bits - 1;
+                let t = self.costs.t_of_rank(r);
+                if p == pa {
+                    if t == ta {
+                        continue; // the requesting leaf itself
+                    }
+                    out.push((from.to_tree(t), p * tn + t));
+                } else {
+                    out.push((from.to_pop_rank(p, r), p * tn + t));
+                }
+            }
+        }
+    }
+
+    /// Capacity-limited nearest-replica selection: probe candidates in
+    /// ascending `(cost, NodeId)` order until one has serving capacity
+    /// left; the origin serves when none does or when it is at least as
+    /// close. Allocation-free: candidates live in the persistent scratch
+    /// buffer, and the common case (nearest candidate has capacity) is a
+    /// single select-min pass with no sort. A failed `try_capacity` probe
+    /// does not mutate the tracker, so discarding the probed minimum and
+    /// rescanning preserves exact probe order without sorting.
+    fn select_nr_capacity(
+        &mut self,
+        leaf: NodeId,
+        object: u32,
+        origin_cost: f64,
+        idx: u64,
+    ) -> Option<(f64, NodeId)> {
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        cands.clear();
+        if self.reference {
+            cands.extend(
+                self.replica_dir[object as usize]
+                    .iter()
+                    .filter(|&&n| n != leaf)
+                    .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
+                    .filter(|&(c, _)| c < origin_cost),
+            );
+        } else if self.masks.is_some() {
+            self.extend_cands_from_masks(object, leaf, &mut cands);
+            cands.retain(|&(c, _)| c < origin_cost);
+        } else {
+            let from = self.costs.from(leaf);
+            cands.extend(
+                self.replica_dir[object as usize]
+                    .iter()
+                    .filter(|&&n| n != leaf)
+                    .map(|&n| (from.to(n), n))
+                    .filter(|&(c, _)| c < origin_cost),
+            );
+        }
+        let mut chosen = None;
+        if self.reference {
+            // Legacy shape: stable sort, then walk in order — same
+            // `(cost, NodeId)` contract, same capacity probe sequence.
+            cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for &(cost, node) in &cands {
+                if self.try_capacity(node, idx) {
+                    chosen = Some((cost, node));
+                    break;
+                }
+            }
+        } else {
+            while let Some(i) = Self::min_candidate(&cands) {
+                let (cost, node) = cands[i];
+                if self.try_capacity(node, idx) {
+                    chosen = Some((cost, node));
+                    break;
+                }
+                cands.swap_remove(i);
+            }
+        }
+        self.cand_buf = cands;
+        chosen
+    }
+
     /// Nearest-replica server selection under an active fault schedule:
     /// ICN-NR falls back to the next-nearest *live* replica (up node, live
     /// path), preferring the origin when it is reachable and at least as
     /// close. With the origin unreachable, any live replica serves at any
     /// cost; with none, the request fails.
     ///
-    /// Under a zero-failure schedule every liveness check passes and the
-    /// selection reduces exactly to the fault-free paths: candidates in
-    /// ascending cost (stable sort preserves directory order on ties, like
-    /// the strict `<` min scan), stopping at `origin_cost`.
+    /// Shares the fault-free ordering contract: candidates are considered
+    /// in ascending `(cost, NodeId)` order (scratch buffer + select-min,
+    /// or a stable sort in reference mode — identical probe sequences),
+    /// so under a zero-failure schedule every liveness check passes and
+    /// the selection reduces exactly to the fault-free paths.
     fn select_nr_faulted(
         &mut self,
         leaf: NodeId,
@@ -780,28 +1080,63 @@ impl<'a> Simulator<'a> {
         idx: u64,
     ) -> NrChoice {
         let origin_reachable = self.path_live(leaf, origin_root);
-        let mut cands: Vec<(f64, NodeId)> = self.replica_dir[object as usize]
-            .iter()
-            .filter(|&&n| n != leaf)
-            .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
-            .collect();
-        cands.sort_by(|a, b| a.0.total_cmp(&b.0));
-        for (cost, node) in cands {
-            if origin_reachable && cost >= origin_cost {
-                break; // origin is at least as close; prefer it
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        cands.clear();
+        if self.reference {
+            cands.extend(
+                self.replica_dir[object as usize]
+                    .iter()
+                    .filter(|&&n| n != leaf)
+                    .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n)),
+            );
+        } else if self.masks.is_some() {
+            self.extend_cands_from_masks(object, leaf, &mut cands);
+        } else {
+            let from = self.costs.from(leaf);
+            cands.extend(
+                self.replica_dir[object as usize]
+                    .iter()
+                    .filter(|&&n| n != leaf)
+                    .map(|&n| (from.to(n), n)),
+            );
+        }
+        let mut choice = None;
+        if self.reference {
+            cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for &(cost, node) in &cands {
+                if origin_reachable && cost >= origin_cost {
+                    break; // origin is at least as close; prefer it
+                }
+                if !self.node_up(node) || !self.path_live(leaf, node) {
+                    continue;
+                }
+                if self.try_capacity(node, idx) {
+                    choice = Some(NrChoice::Replica(cost, node));
+                    break;
+                }
             }
-            if !self.node_up(node) || !self.path_live(leaf, node) {
-                continue;
-            }
-            if self.try_capacity(node, idx) {
-                return NrChoice::Replica(cost, node);
+        } else {
+            while let Some(i) = Self::min_candidate(&cands) {
+                let (cost, node) = cands[i];
+                if origin_reachable && cost >= origin_cost {
+                    break; // origin is at least as close; prefer it
+                }
+                cands.swap_remove(i);
+                if !self.node_up(node) || !self.path_live(leaf, node) {
+                    continue;
+                }
+                if self.try_capacity(node, idx) {
+                    choice = Some(NrChoice::Replica(cost, node));
+                    break;
+                }
             }
         }
-        if origin_reachable {
+        self.cand_buf = cands;
+        choice.unwrap_or(if origin_reachable {
             NrChoice::Origin
         } else {
             NrChoice::Failed
-        }
+        })
     }
 
     #[inline]
@@ -820,17 +1155,12 @@ impl<'a> Simulator<'a> {
 
     #[inline]
     fn cache_contains(&self, node: NodeId, object: u32) -> bool {
-        self.node_up(node)
-            && self.caches[node as usize]
-                .as_ref()
-                .is_some_and(|c| c.contains(object as u64))
+        self.node_up(node) && self.caches[node as usize].contains(object as u64)
     }
 
     #[inline]
     fn cache_touch(&mut self, node: NodeId, object: u32) {
-        if let Some(c) = &mut self.caches[node as usize] {
-            c.touch(object as u64);
-        }
+        self.caches[node as usize].touch(object as u64);
     }
 
     /// Inserts `object` into the cache at `node` (if any), keeping the
@@ -848,17 +1178,31 @@ impl<'a> Simulator<'a> {
             return;
         }
         let track = self.spec.routing == Routing::NearestReplica;
-        if let Some(c) = &mut self.caches[node as usize] {
-            let had = c.contains(object as u64);
-            let evicted = c.insert(object as u64);
-            if track {
+        let c = &mut self.caches[node as usize];
+        if !c.is_equipped() {
+            return;
+        }
+        let had = c.contains(object as u64);
+        let evicted = c.insert(object as u64);
+        if track {
+            let inserted = !had && c.contains(object as u64);
+            if let Some(masks) = &mut self.masks {
+                let (p, t) = (self.net.pop_of(node), self.net.tree_index(node));
+                let r = self.costs.rank_of(t);
+                if let Some(e) = evicted {
+                    masks.remove(e as u32, p, r);
+                }
+                if inserted {
+                    masks.insert(object, p, r);
+                }
+            } else {
                 if let Some(e) = evicted {
                     let dir = &mut self.replica_dir[e as usize];
                     if let Some(pos) = dir.iter().position(|&n| n == node) {
                         dir.swap_remove(pos);
                     }
                 }
-                if !had && c.contains(object as u64) {
+                if inserted {
                     self.replica_dir[object as usize].push(node);
                 }
             }
@@ -871,7 +1215,7 @@ impl<'a> Simulator<'a> {
     /// below the server) is still unclaimed.
     #[inline]
     fn insert_on_response(&mut self, node: NodeId, object: u32, lcd_available: &mut bool) {
-        let equipped = self.caches[node as usize].is_some();
+        let equipped = self.caches[node as usize].is_equipped();
         let insert = match self.cfg.insertion {
             InsertionPolicy::Everywhere => true,
             InsertionPolicy::LeaveCopyDown => {
@@ -1068,9 +1412,9 @@ mod tests {
         // The origin root (pop 1, tree index 0) must not appear in the
         // replica directory for its own object.
         let root = net.pop_root(1);
-        assert!(!sim.replica_dir[0].contains(&root));
+        assert!(!sim.replicas_of(0).contains(&root));
         // But the leaf of pop 1 does cache it.
-        assert!(sim.replica_dir[0].contains(&net.leaf(1, 0)));
+        assert!(sim.replicas_of(0).contains(&net.leaf(1, 0)));
     }
 
     #[test]
@@ -1085,8 +1429,48 @@ mod tests {
         sim.run(&[req(0, 0, 0), req(0, 0, 1)]);
         let leaf = net.leaf(0, 0);
         // Object 0 was evicted from the leaf by object 1.
-        assert!(!sim.replica_dir[0].contains(&leaf));
-        assert!(sim.replica_dir[1].contains(&leaf));
+        assert!(!sim.replicas_of(0).contains(&leaf));
+        assert!(sim.replicas_of(1).contains(&leaf));
+    }
+
+    #[test]
+    fn selection_is_independent_of_replica_dir_order() {
+        // The ordering contract: selection depends on the directory only
+        // as a *set*. In reference mode the directory really is an
+        // order-carrying Vec, so adversarially permuting every entry list
+        // mid-run must not change a single metric bit. (The flat mode's
+        // bitmask directory is canonical by construction and is pinned to
+        // reference mode by `tests/determinism.rs`.)
+        let net = two_pop_net();
+        let origins = vec![1u16; 8];
+        let sizes = vec![1u32; 8];
+        // Interleaved requests from every leaf so objects are cached at
+        // several equal-cost nodes and ties actually occur.
+        let reqs: Vec<Request> = (0..64u64)
+            .map(|i| req((i % 2) as u16, (i % 4) as u16, (i % 8) as u32))
+            .collect();
+        let mid = reqs.len() / 2;
+        let mut plain = sim_with(&net, DesignKind::IcnNr, &origins, &sizes);
+        plain.set_reference(true);
+        plain.run(&reqs);
+        let want = plain.metrics().clone();
+        for flavor in 0..3u64 {
+            let mut sim = sim_with(&net, DesignKind::IcnNr, &origins, &sizes);
+            sim.set_reference(true);
+            sim.run(&reqs[..mid]);
+            for (o, dir) in sim.replica_dir.iter_mut().enumerate() {
+                match flavor {
+                    0 => dir.reverse(),
+                    1 => {
+                        let n = dir.len().max(1);
+                        dir.rotate_left(o % n);
+                    }
+                    _ => dir.sort_unstable_by_key(|&n| u32::MAX - n),
+                }
+            }
+            let got = sim.run(&reqs[mid..]).clone();
+            assert_eq!(want, got, "shuffle flavor {flavor} changed the outcome");
+        }
     }
 
     #[test]
@@ -1379,9 +1763,9 @@ mod tests {
             let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
             sim.run(&[req(0, 0, 0), req(0, 0, 0)]);
             assert!(
-                sim.replica_dir[0].is_empty(),
+                sim.replicas_of(0).is_empty(),
                 "crashed nodes must not advertise replicas: {:?}",
-                sim.replica_dir[0]
+                sim.replicas_of(0)
             );
         }
 

@@ -1,0 +1,127 @@
+//! Property test pinning the [`CostTable`] bit-identity contract: over
+//! randomized connected topologies and every latency model, the
+//! precomputed table must reproduce `LatencyModel::path_cost` *bitwise*
+//! for every ordered router pair — not approximately equal, equal in
+//! `to_bits()`. This is what licenses the simulator's flat hot path to
+//! replace the reference climb without an epsilon anywhere.
+
+use icn_core::costs::CostTable;
+use icn_core::latency::LatencyModel;
+use icn_topology::{pop::PopGraph, AccessTree, Network};
+use proptest::prelude::*;
+
+/// A random connected PoP graph: a chain backbone (which guarantees
+/// connectivity for any extra-edge sample) plus extra edges selected by
+/// the bits of `edge_bits` from the upper-triangular pair space.
+fn build_net(pops: u32, salt: u64, edge_bits: u64, arity: u32, depth: u32) -> Network {
+    let mut edges: Vec<(u32, u32)> = (1..pops).map(|b| (b - 1, b)).collect();
+    let mut bit = 0;
+    for a in 0..pops {
+        for b in a + 2..pops {
+            // Skip adjacent pairs (already chained) so every set bit adds
+            // a genuine shortcut that changes core distances.
+            if edge_bits & (1 << (bit % 64)) != 0 {
+                edges.push((a, b));
+            }
+            bit += 1;
+        }
+    }
+    let labels = (0..pops).map(|p| format!("P{p}")).collect();
+    // Populations only weight origin/trace draws, which these tests never
+    // exercise — vary them anyway so nothing accidentally keys off a
+    // constant.
+    let populations = (0..pops)
+        .map(|p| 1_000 + (salt.rotate_left(p) & 0xffff))
+        .collect();
+    Network::new(
+        PopGraph::new("prop", labels, populations, edges),
+        AccessTree::new(arity, depth),
+    )
+}
+
+fn arb_model() -> impl Strategy<Value = LatencyModel> {
+    prop_oneof![
+        Just(LatencyModel::Unit),
+        Just(LatencyModel::Progression),
+        (1u32..=9).prop_map(|d| LatencyModel::CoreMultiplier { d }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_table_matches_latency_model_bitwise(
+        pops in 2u32..=9,
+        salt in 0u64..u64::MAX,
+        edge_bits in 0u64..u64::MAX,
+        arity in 2u32..=3,
+        depth in 1u32..=3,
+        model in arb_model(),
+    ) {
+        let net = build_net(pops, salt, edge_bits, arity, depth);
+        let table = CostTable::new(&net, model);
+        // Exhaustive over ordered pairs: the per-topology node counts are
+        // small enough (≤ 9 PoPs × ≤ 40 nodes) that sampling would only
+        // hide corners — roots, leaves, same-node, cross-PoP.
+        for a in 0..net.node_count() {
+            let from = table.from(a);
+            for b in 0..net.node_count() {
+                let want = model.path_cost(&net, a, b);
+                let got = table.path_cost(a, b);
+                prop_assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{:?}: path_cost({}, {}) = {} want {}",
+                    model, a, b, got, want
+                );
+                // The source-pinned cursor must agree with the table.
+                prop_assert_eq!(from.to(b).to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_walk_is_the_cross_pop_cost_order(
+        pops in 2u32..=9,
+        salt in 0u64..u64::MAX,
+        edge_bits in 0u64..u64::MAX,
+        arity in 2u32..=3,
+        depth in 1u32..=3,
+        model in arb_model(),
+    ) {
+        // The bitmask replica directory serves each foreign PoP's
+        // lowest-rank resident as that PoP's best candidate; this holds
+        // only if rank order equals (cost, NodeId) order for every
+        // (source, foreign PoP) pair.
+        let net = build_net(pops, salt, edge_bits, arity, depth);
+        let table = CostTable::new(&net, model);
+        let tn = net.tree.nodes();
+        let sources = [
+            net.leaf(0, 0),
+            net.pop_root(0),
+            net.leaf(0, net.leaves_per_pop() - 1),
+        ];
+        for &src in &sources {
+            let from = table.from(src);
+            for pb in 1..net.pops() {
+                let mut prev: Option<(f64, u32)> = None;
+                for r in 0..tn {
+                    let node = pb * tn + table.t_of_rank(r);
+                    let cost = from.to_pop_rank(pb, r);
+                    prop_assert_eq!(
+                        cost.to_bits(),
+                        model.path_cost(&net, src, node).to_bits()
+                    );
+                    if let Some((pc, pn)) = prev {
+                        prop_assert!(
+                            pc < cost || (pc == cost && pn < node),
+                            "{:?}: rank {} breaks (cost, id) order", model, r
+                        );
+                    }
+                    prev = Some((cost, node));
+                }
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@ use icn_core::sim::Simulator;
 use icn_core::sweep::{run_cells, Scenario, SweepCell};
 use icn_topology::{pop, AccessTree, Network};
 use icn_workload::origin::{assign_origins, OriginPolicy};
-use icn_workload::trace::{Region, Trace};
+use icn_workload::trace::{Region, Trace, TraceIter};
 
 fn run_once(design: DesignKind) -> RunMetrics {
     let net = Network::new(pop::abilene(), AccessTree::new(2, 3));
@@ -173,6 +173,139 @@ fn zero_failure_schedule_reproduces_fault_free_metrics() {
         );
         assert_eq!(zeroed.failed_requests, 0);
         assert_eq!(zeroed.availability_pct(), 100.0);
+    }
+}
+
+#[test]
+fn run_streamed_is_bit_identical_to_materialized_run() {
+    // `Simulator::run_streamed` driven by `TraceIter` must reproduce the
+    // materialized `Trace::synthesize` + `run` pipeline bit-for-bit —
+    // fault-free and under an active fault schedule — or O(window)-memory
+    // runs would silently diverge from the figures.
+    let net = Network::new(pop::abilene(), AccessTree::new(2, 3));
+    let tc = Region::Us.config(0.005);
+    let trace = Trace::synthesize(tc.clone(), &net.core.populations, net.leaves_per_pop());
+    let origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        trace.config.objects,
+        &net.core.populations,
+        42,
+    );
+    for design in [DesignKind::IcnSp, DesignKind::IcnNr, DesignKind::EdgeCoop] {
+        for fault in [None, Some(FaultConfig::uniform(0xfa17, 0.02))] {
+            let mut cfg = ExperimentConfig::baseline(design);
+            cfg.fault = fault;
+            let mut materialized = Simulator::new(&net, cfg.clone(), &origins, &trace.object_sizes);
+            let a = materialized.run(&trace.requests).clone();
+            let mut streamed = Simulator::new(&net, cfg, &origins, &trace.object_sizes);
+            let iter = TraceIter::new(&tc, &net.core.populations, net.leaves_per_pop());
+            let b = streamed.run_streamed(iter).clone();
+            assert_eq!(
+                a.total_latency.to_bits(),
+                b.total_latency.to_bits(),
+                "{design:?} (fault={}): streamed latency must match bitwise",
+                fault_label(&a)
+            );
+            assert_eq!(
+                a.latency_hist, b.latency_hist,
+                "{design:?}: streamed latency histogram"
+            );
+            assert_eq!(
+                a, b,
+                "{design:?}: streamed RunMetrics must be bit-identical"
+            );
+        }
+    }
+}
+
+fn fault_label(m: &RunMetrics) -> &'static str {
+    if m.failed_requests > 0 {
+        "faulted"
+    } else {
+        "free"
+    }
+}
+
+#[test]
+fn flat_mode_is_bit_identical_to_reference_mode() {
+    // The flat hot path (CostTable + bitmask directory + select-min) and
+    // the reference implementation (LatencyModel climbs + Vec directory +
+    // stable sort) must agree on every metric bit — fault-free, faulted,
+    // and capacity-limited, across the Figure-6 designs.
+    let net = Network::new(pop::abilene(), AccessTree::new(2, 3));
+    let trace = Trace::synthesize(
+        Region::Us.config(0.005),
+        &net.core.populations,
+        net.leaves_per_pop(),
+    );
+    let origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        trace.config.objects,
+        &net.core.populations,
+        42,
+    );
+    let mut variants: Vec<ExperimentConfig> = DesignKind::figure6_designs()
+        .iter()
+        .map(|&d| ExperimentConfig::baseline(d))
+        .collect();
+    let mut faulted = ExperimentConfig::baseline(DesignKind::IcnNr);
+    faulted.fault = Some(FaultConfig::uniform(0xfa17, 0.02));
+    variants.push(faulted);
+    let mut capped = ExperimentConfig::baseline(DesignKind::IcnNr);
+    capped.capacity = Some(icn_core::capacity::ServingCapacity {
+        per_node: 3,
+        window: 100,
+    });
+    variants.push(capped);
+    for cfg in variants {
+        let design = cfg.design;
+        let mut flat = Simulator::new(&net, cfg.clone(), &origins, &trace.object_sizes);
+        flat.set_reference(false);
+        let a = flat.run(&trace.requests).clone();
+        let mut reference = Simulator::new(&net, cfg, &origins, &trace.object_sizes);
+        reference.set_reference(true);
+        let b = reference.run(&trace.requests).clone();
+        assert_eq!(
+            a.total_latency.to_bits(),
+            b.total_latency.to_bits(),
+            "{design:?}: flat/reference latency must match bitwise"
+        );
+        assert_eq!(a.latency_hist, b.latency_hist, "{design:?}: histogram");
+        assert_eq!(a, b, "{design:?}: flat/reference RunMetrics");
+    }
+}
+
+#[test]
+fn switching_modes_mid_run_preserves_the_directory() {
+    // `set_reference` converts the replica directory between its bitmask
+    // and Vec representations; flipping in either direction halfway
+    // through a trace must land on the same metrics as never flipping.
+    let net = Network::new(pop::abilene(), AccessTree::new(2, 3));
+    let trace = Trace::synthesize(
+        Region::Us.config(0.005),
+        &net.core.populations,
+        net.leaves_per_pop(),
+    );
+    let origins = assign_origins(
+        OriginPolicy::PopulationProportional,
+        trace.config.objects,
+        &net.core.populations,
+        42,
+    );
+    let cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+    let mid = trace.requests.len() / 2;
+    let mut straight = Simulator::new(&net, cfg.clone(), &origins, &trace.object_sizes);
+    let want = straight.run(&trace.requests).clone();
+    for start_in_reference in [false, true] {
+        let mut sim = Simulator::new(&net, cfg.clone(), &origins, &trace.object_sizes);
+        sim.set_reference(start_in_reference);
+        sim.run(&trace.requests[..mid]);
+        sim.set_reference(!start_in_reference);
+        let got = sim.run(&trace.requests[mid..]).clone();
+        assert_eq!(
+            want, got,
+            "flip starting from reference={start_in_reference} diverged"
+        );
     }
 }
 

@@ -29,6 +29,15 @@ pub const SWEEP_FILE: &str = "sweep.rs";
 /// `elapsed()`, or anything from the `rand` crate.
 pub const FAULT_FILE: &str = "fault.rs";
 
+/// The precomputed cost tables: construction must iterate dense index
+/// ranges only, because any ordered-container walk would bake that
+/// container's iteration order into `f64` summation order — a silent
+/// bit-identity break the equivalence tests could only catch after the
+/// fact. `HashMap`/`HashSet` are already banned crate-wide; this scope
+/// additionally rejects the tree/heap structures whose order is
+/// deterministic but still *insertion-shaped*.
+pub const COSTS_FILE: &str = "costs.rs";
+
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -227,6 +236,32 @@ const PURE_SCHEDULE_PATTERNS: &[Pattern] = &[
     },
 ];
 
+/// Ordered-container machinery banned in the cost tables (see
+/// [`COSTS_FILE`]): the dense-range construction loops are the guarantee
+/// that summation order is a function of indices alone.
+const DENSE_CONSTRUCTION_PATTERNS: &[Pattern] = &[
+    Pattern {
+        text: "BTreeMap",
+        call: false,
+        why: "cost-table construction iterates dense index ranges; an \
+              ordered map bakes insertion-shaped iteration into f64 \
+              summation order",
+    },
+    Pattern {
+        text: "BTreeSet",
+        call: false,
+        why: "cost-table construction iterates dense index ranges; an \
+              ordered set bakes insertion-shaped iteration into f64 \
+              summation order",
+    },
+    Pattern {
+        text: "BinaryHeap",
+        call: false,
+        why: "heap pop order depends on push history; cost tables must \
+              derive every entry from its index alone",
+    },
+];
+
 /// Rule identifiers, also usable in `lint:allow(...)` and baseline keys.
 pub const NO_PANIC: &str = "no-panic-in-lib";
 /// See [`NO_PANIC`].
@@ -276,6 +311,15 @@ pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
             scan_patterns(
                 DETERMINISTIC,
                 PURE_SCHEDULE_PATTERNS,
+                rel_path,
+                file,
+                &mut out,
+            );
+        }
+        if origin.file_name() == COSTS_FILE {
+            scan_patterns(
+                DETERMINISTIC,
+                DENSE_CONSTRUCTION_PATTERNS,
                 rel_path,
                 file,
                 &mut out,
@@ -461,6 +505,24 @@ mod tests {
             "fn h() { let _ = std::time::SystemTime::now(); }\n",
         );
         assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn costs_rs_rejects_ordered_container_construction() {
+        // BTree iteration order is deterministic but insertion-shaped —
+        // the base entropy patterns allow it (they even *recommend* it
+        // over HashMap), so the cost-table scope must close that gap.
+        let src = "use std::collections::BTreeMap;\nfn f() { let h = std::collections::BinaryHeap::<u32>::new(); }\nuse std::collections::BTreeSet;\n";
+        let v = check("crates/core/src/costs.rs", src);
+        let rules: Vec<_> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert!(rules.contains(&(DETERMINISTIC, 1)), "BTreeMap: {v:?}");
+        assert!(rules.contains(&(DETERMINISTIC, 2)), "BinaryHeap: {v:?}");
+        assert!(rules.contains(&(DETERMINISTIC, 3)), "BTreeSet: {v:?}");
+        // The same content elsewhere in the deterministic crates passes —
+        // BTreeMap is the sanctioned HashMap replacement outside the
+        // cost tables.
+        assert!(check("crates/core/src/sim.rs", src).is_empty());
+        assert!(check("crates/cache/src/lru.rs", src).is_empty());
     }
 
     #[test]

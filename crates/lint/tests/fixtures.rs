@@ -226,6 +226,49 @@ fn regression_clock_or_rng_in_fault_schedule_fails() {
     assert!(fx.scan(&config).ok());
 }
 
+/// Guard for the cost-table scope: ordered-container construction in
+/// `crates/core/src/costs.rs` — legal anywhere else in the deterministic
+/// crates — must fail a previously clean scan.
+#[test]
+fn regression_ordered_containers_in_cost_tables_fail() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/costs.rs",
+        "fn build(n: u32) -> Vec<f64> { (0..n).map(|i| i as f64).collect() }\n",
+    );
+    let config = Config::default();
+    assert!(fx.scan(&config).ok(), "dense construction scans clean");
+
+    fx.write(
+        "crates/core/src/costs.rs",
+        concat!(
+            "use std::collections::BTreeMap;\n",
+            "use std::collections::BTreeSet;\n",
+            "fn f() { let h = std::collections::BinaryHeap::<u32>::new(); }\n",
+        ),
+    );
+    let report = fx.scan(&config);
+    assert_eq!(
+        keys(&report),
+        vec![
+            "deterministic-core:crates/core/src/costs.rs:1",
+            "deterministic-core:crates/core/src/costs.rs:2",
+            "deterministic-core:crates/core/src/costs.rs:3",
+        ]
+    );
+    // The same tokens elsewhere in core are the *sanctioned* HashMap
+    // replacement — the ban is scoped to the cost tables.
+    fx.write(
+        "crates/core/src/costs.rs",
+        "fn build(n: u32) -> Vec<f64> { (0..n).map(|i| i as f64).collect() }\n",
+    )
+    .write(
+        "crates/core/src/metrics.rs",
+        "use std::collections::BTreeMap;\n",
+    );
+    assert!(fx.scan(&config).ok());
+}
+
 #[test]
 fn cfg_test_modules_are_exempt_everywhere() {
     let fx = Fixture::new();

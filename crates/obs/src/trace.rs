@@ -7,6 +7,7 @@
 //! so sidecar files stream into `jq`, pandas, or a shell loop unchanged.
 
 use crate::json::Value;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,8 +20,11 @@ pub struct TraceRecord {
     pub seq: u64,
     /// The object requested.
     pub object: u64,
-    /// The design label under test (e.g. `"idICN"`, `"NDN"`).
-    pub design: String,
+    /// The design label under test (e.g. `"idICN"`, `"NDN"`). A `Cow` so
+    /// the common case — a `&'static str` design name stamped onto every
+    /// record of a run — borrows instead of allocating per record; only
+    /// deserialized records own their label.
+    pub design: Cow<'static, str>,
     /// Tree level of the serving cache (meaningful only when `hit`).
     pub level: u32,
     /// Number of link hops traversed.
@@ -39,7 +43,10 @@ impl TraceRecord {
         let mut m = BTreeMap::new();
         m.insert("seq".into(), Value::UInt(self.seq));
         m.insert("object".into(), Value::UInt(self.object));
-        m.insert("design".into(), Value::Str(self.design.clone()));
+        m.insert(
+            "design".into(),
+            Value::Str(self.design.clone().into_owned()),
+        );
         m.insert("level".into(), Value::UInt(self.level as u64));
         m.insert("hops".into(), Value::UInt(self.hops as u64));
         m.insert("hit".into(), Value::Bool(self.hit));
@@ -59,11 +66,12 @@ impl TraceRecord {
         Ok(Self {
             seq: num("seq")?,
             object: num("object")?,
-            design: v
-                .get("design")
-                .and_then(Value::as_str)
-                .ok_or("missing 'design'")?
-                .to_string(),
+            design: Cow::Owned(
+                v.get("design")
+                    .and_then(Value::as_str)
+                    .ok_or("missing 'design'")?
+                    .to_string(),
+            ),
             level: num("level")? as u32,
             hops: num("hops")? as u32,
             hit: matches!(v.get("hit"), Some(Value::Bool(true))),

@@ -10,7 +10,6 @@
 
 use crate::pop::{PopGraph, PopId};
 use crate::tree::AccessTree;
-use std::collections::HashMap;
 
 /// Global router identifier: `pop * tree.nodes() + tree_index`.
 pub type NodeId = u32;
@@ -19,6 +18,14 @@ pub type NodeId = u32;
 pub type LinkId = u32;
 
 /// A core PoP graph combined with identical access trees at every PoP.
+///
+/// Construction precomputes flat lookup tables for every per-node and
+/// per-PoP-pair query the simulator's request loop makes — node → (pop,
+/// tree index, level, uplink id) and PoP pair → (link id, shortest core
+/// path) — so the accessors below are array loads, not div/mod chains,
+/// BFS-parent walks, or map probes. Total table memory is O(nodes +
+/// pops² × core diameter): a few hundred KB for the largest paper
+/// topology.
 #[derive(Debug, Clone)]
 pub struct Network {
     /// The PoP-level core graph.
@@ -26,39 +33,128 @@ pub struct Network {
     /// The shape of the access tree rooted at every PoP.
     pub tree: AccessTree,
     core_dist: Vec<Vec<u32>>,
-    /// `core_parents[src][x]` = next hop from `x` toward `src` on a shortest
-    /// path (BFS parent), enabling path reconstruction.
-    core_parents: Vec<Vec<PopId>>,
-    /// Maps a normalized core edge `(a, b)` with `a < b` to its link id
-    /// (already offset past the tree link id space).
-    core_link_ids: HashMap<(PopId, PopId), LinkId>,
     tree_nodes: u32,
     tree_links_total: u32,
+    first_leaf: u32,
+    /// `node_pop[n]` = owning PoP of router `n`.
+    node_pop: Vec<PopId>,
+    /// `node_tree[n]` = within-tree index of router `n`.
+    node_tree: Vec<u32>,
+    /// `tree_level[t]` = level of tree index `t` (0 = root).
+    tree_level: Vec<u32>,
+    /// `node_tree_link[n]` = link id of `n`'s uplink tree edge
+    /// (`LinkId::MAX` for PoP roots, which have none).
+    node_tree_link: Vec<LinkId>,
+    /// Dense `pops × pops` core link ids (`LinkId::MAX` when the PoPs are
+    /// not adjacent); replaces a per-hop map probe.
+    core_link_mat: Vec<LinkId>,
+    /// CSR of all-pairs shortest core paths: the path from `a` to `b`
+    /// (both endpoints included, in forward order) lives at
+    /// `core_path_data[core_path_off[a*P+b]..core_path_off[a*P+b+1]]`.
+    core_path_off: Vec<u32>,
+    core_path_data: Vec<PopId>,
+    /// CSR of tree climb paths: tree index `t` → `[t, parent(t), …, 0]`.
+    root_path_off: Vec<u32>,
+    root_path_data: Vec<u32>,
 }
 
 impl Network {
     /// Builds the combined network and precomputes core all-pairs shortest
-    /// paths.
+    /// paths plus the flat per-node / per-PoP-pair lookup tables.
     pub fn new(core: PopGraph, tree: AccessTree) -> Self {
         let core_dist = core.apsp();
         let core_parents = core.apsp_parents();
         let tree_nodes = tree.nodes();
-        let tree_links_total = (tree_nodes - 1) * core.len() as u32;
-        let core_link_ids = core
-            .edges()
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (e, tree_links_total + i as LinkId))
-            .collect();
+        let pops = core.len() as u32;
+        let tree_links_total = (tree_nodes - 1) * pops;
+
+        let tree_level: Vec<u32> = (0..tree_nodes).map(|t| tree.level_of(t)).collect();
+        let n_nodes = (pops * tree_nodes) as usize;
+        let mut node_pop = Vec::with_capacity(n_nodes);
+        let mut node_tree = Vec::with_capacity(n_nodes);
+        let mut node_tree_link = Vec::with_capacity(n_nodes);
+        for p in 0..pops {
+            for t in 0..tree_nodes {
+                node_pop.push(p);
+                node_tree.push(t);
+                node_tree_link.push(if t == 0 {
+                    LinkId::MAX
+                } else {
+                    p * (tree_nodes - 1) + (t - 1)
+                });
+            }
+        }
+
+        let mut core_link_mat = vec![LinkId::MAX; (pops * pops) as usize];
+        for (i, &(a, b)) in core.edges().iter().enumerate() {
+            let id = tree_links_total + i as LinkId;
+            core_link_mat[(a * pops + b) as usize] = id;
+            core_link_mat[(b * pops + a) as usize] = id;
+        }
+
+        // All-pairs core paths, emitted forward (a → b) by reversing the
+        // BFS-parent walk from b back toward a.
+        let mut core_path_off = Vec::with_capacity((pops * pops) as usize + 1);
+        let mut core_path_data = Vec::new();
+        core_path_off.push(0u32);
+        let mut rev: Vec<PopId> = Vec::new();
+        for a in 0..pops {
+            let parents = &core_parents[a as usize];
+            for b in 0..pops {
+                rev.clear();
+                let mut cur = b;
+                loop {
+                    rev.push(cur);
+                    if cur == a {
+                        break;
+                    }
+                    cur = parents[cur as usize];
+                }
+                core_path_data.extend(rev.iter().rev());
+                core_path_off.push(core_path_data.len() as u32);
+            }
+        }
+
+        let mut root_path_off = Vec::with_capacity(tree_nodes as usize + 1);
+        let mut root_path_data = Vec::new();
+        root_path_off.push(0u32);
+        for t in 0..tree_nodes {
+            root_path_data.extend(tree.path_to_root(t));
+            root_path_off.push(root_path_data.len() as u32);
+        }
+
         Self {
             core,
+            first_leaf: tree.first_leaf(),
             tree,
             core_dist,
-            core_parents,
-            core_link_ids,
             tree_nodes,
             tree_links_total,
+            node_pop,
+            node_tree,
+            tree_level,
+            node_tree_link,
+            core_link_mat,
+            core_path_off,
+            core_path_data,
+            root_path_off,
+            root_path_data,
         }
+    }
+
+    /// The shortest core path from `a` to `b`, both endpoints included, in
+    /// forward order.
+    #[inline]
+    fn core_path(&self, a: PopId, b: PopId) -> &[PopId] {
+        let i = (a * self.pops() + b) as usize;
+        &self.core_path_data[self.core_path_off[i] as usize..self.core_path_off[i + 1] as usize]
+    }
+
+    /// The climb path of tree index `t`: `[t, parent(t), …, 0]`.
+    #[inline]
+    fn root_path(&self, t: u32) -> &[u32] {
+        &self.root_path_data
+            [self.root_path_off[t as usize] as usize..self.root_path_off[t as usize + 1] as usize]
     }
 
     /// Number of PoPs.
@@ -89,13 +185,13 @@ impl Network {
     /// The PoP that router `n` belongs to.
     #[inline]
     pub fn pop_of(&self, n: NodeId) -> PopId {
-        n / self.tree_nodes
+        self.node_pop[n as usize]
     }
 
     /// The within-tree index of router `n` (0 = the PoP root).
     #[inline]
     pub fn tree_index(&self, n: NodeId) -> u32 {
-        n % self.tree_nodes
+        self.node_tree[n as usize]
     }
 
     /// Global id of a router given its PoP and within-tree index.
@@ -115,19 +211,19 @@ impl Network {
     #[inline]
     pub fn leaf(&self, pop: PopId, i: u32) -> NodeId {
         debug_assert!(i < self.tree.leaves());
-        self.node(pop, self.tree.first_leaf() + i)
+        self.node(pop, self.first_leaf + i)
     }
 
     /// True when router `n` is a leaf of its access tree.
     #[inline]
     pub fn is_leaf(&self, n: NodeId) -> bool {
-        self.tree.is_leaf(self.tree_index(n))
+        self.tree_index(n) >= self.first_leaf
     }
 
     /// Tree level of router `n` (0 = PoP root, `depth` = leaf).
     #[inline]
     pub fn level_of(&self, n: NodeId) -> u32 {
-        self.tree.level_of(self.tree_index(n))
+        self.tree_level[self.tree_index(n) as usize]
     }
 
     /// Core hop distance between two PoPs.
@@ -154,38 +250,27 @@ impl Network {
     /// parent.
     #[inline]
     pub fn tree_link(&self, n: NodeId) -> LinkId {
-        let t = self.tree_index(n);
-        debug_assert!(t >= 1, "root has no parent link");
-        self.pop_of(n) * (self.tree_nodes - 1) + (t - 1)
+        let id = self.node_tree_link[n as usize];
+        debug_assert!(id != LinkId::MAX, "root has no parent link");
+        id
     }
 
     /// Link id of the core edge between adjacent PoPs `a` and `b`.
     #[inline]
     pub fn core_link(&self, a: PopId, b: PopId) -> LinkId {
-        let e = (a.min(b), a.max(b));
-        match self.core_link_ids.get(&e) {
-            Some(&id) => id,
-            // lint:allow(no-panic-in-lib): adjacency is validated at construction; non-adjacent args are a caller bug worth failing fast on
-            None => panic!("PoPs {a} and {b} are not adjacent"),
+        match self.core_link_mat[(a * self.pops() + b) as usize] {
+            LinkId::MAX => {
+                // lint:allow(no-panic-in-lib): adjacency is validated at construction; non-adjacent args are a caller bug worth failing fast on
+                panic!("PoPs {a} and {b} are not adjacent")
+            }
+            id => id,
         }
     }
 
     /// Invokes `f` for every PoP on the shortest core path from `a` to `b`,
     /// in order, including both endpoints.
     pub fn for_each_core_hop(&self, a: PopId, b: PopId, mut f: impl FnMut(PopId)) {
-        // Walk BFS parents from b back toward a, then emit in forward order.
-        // Core paths are short (diameter ≤ ~10), so a stack buffer is cheap.
-        let parents = &self.core_parents[a as usize];
-        let mut rev = Vec::with_capacity(self.core_dist[a as usize][b as usize] as usize + 1);
-        let mut cur = b;
-        loop {
-            rev.push(cur);
-            if cur == a {
-                break;
-            }
-            cur = parents[cur as usize];
-        }
-        for &p in rev.iter().rev() {
+        for &p in self.core_path(a, b) {
             f(p);
         }
     }
@@ -197,18 +282,15 @@ impl Network {
     pub fn sp_path_nodes_into(&self, from: NodeId, origin_pop: PopId, out: &mut Vec<NodeId>) {
         out.clear();
         let pop = self.pop_of(from);
-        for t in self.tree.path_to_root(self.tree_index(from)) {
-            out.push(self.node(pop, t));
+        let base = pop * self.tree_nodes;
+        for &t in self.root_path(self.tree_index(from)) {
+            out.push(base + t);
         }
         if pop != origin_pop {
-            let mut first = true;
-            self.for_each_core_hop(pop, origin_pop, |p| {
-                if first {
-                    first = false; // local root already pushed
-                } else {
-                    out.push(self.pop_root(p));
-                }
-            });
+            // Skip the first hop: the local root is already pushed.
+            for &p in &self.core_path(pop, origin_pop)[1..] {
+                out.push(p * self.tree_nodes);
+            }
         }
     }
 
@@ -239,24 +321,20 @@ impl Network {
             out[start..].reverse();
         } else {
             // a up to its root, across the core, down from b's root to b.
-            for t in self.tree.path_to_root(self.tree_index(a)) {
-                out.push(self.node(pa, t));
+            let base_a = pa * self.tree_nodes;
+            for &t in self.root_path(self.tree_index(a)) {
+                out.push(base_a + t);
             }
-            let mut first = true;
-            self.for_each_core_hop(pa, pb, |p| {
-                if first {
-                    first = false;
-                } else {
-                    out.push(self.pop_root(p));
-                }
-            });
-            let start = out.len();
-            let mut t = self.tree_index(b);
-            while t != 0 {
-                out.push(self.node(pb, t));
-                t = self.tree.up(t);
+            for &p in &self.core_path(pa, pb)[1..] {
+                out.push(p * self.tree_nodes);
             }
-            out[start..].reverse();
+            // b's climb path is [tb, …, 0]; emit it root-first without the
+            // root (just pushed as the last core hop).
+            let base_b = pb * self.tree_nodes;
+            let climb = self.root_path(self.tree_index(b));
+            for &t in climb[..climb.len() - 1].iter().rev() {
+                out.push(base_b + t);
+            }
         }
     }
 
@@ -271,34 +349,33 @@ impl Network {
             // a up to its root, core crossing, b up to its root.
             self.tree_path_links(pa, self.tree_index(a), 0, out);
             self.tree_path_links(pb, self.tree_index(b), 0, out);
-            let mut prev: Option<PopId> = None;
-            self.for_each_core_hop(pa, pb, |p| {
-                if let Some(q) = prev {
-                    out.push(self.core_link(q, p));
-                }
-                prev = Some(p);
-            });
+            let path = self.core_path(pa, pb);
+            let pops = self.pops();
+            for w in path.windows(2) {
+                out.push(self.core_link_mat[(w[0] * pops + w[1]) as usize]);
+            }
         }
     }
 
     /// Appends the tree links on the path between tree indices `x` and `y`
     /// within `pop`'s access tree (via their LCA).
     fn tree_path_links(&self, pop: PopId, x: u32, y: u32, out: &mut Vec<LinkId>) {
+        let link_base = pop * (self.tree_nodes - 1);
         let (mut x, mut y) = (x, y);
-        let (mut lx, mut ly) = (self.tree.level_of(x), self.tree.level_of(y));
+        let (mut lx, mut ly) = (self.tree_level[x as usize], self.tree_level[y as usize]);
         while lx > ly {
-            out.push(self.tree_link(self.node(pop, x)));
+            out.push(link_base + x - 1);
             x = self.tree.up(x);
             lx -= 1;
         }
         while ly > lx {
-            out.push(self.tree_link(self.node(pop, y)));
+            out.push(link_base + y - 1);
             y = self.tree.up(y);
             ly -= 1;
         }
         while x != y {
-            out.push(self.tree_link(self.node(pop, x)));
-            out.push(self.tree_link(self.node(pop, y)));
+            out.push(link_base + x - 1);
+            out.push(link_base + y - 1);
             x = self.tree.up(x);
             y = self.tree.up(y);
         }

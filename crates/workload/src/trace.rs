@@ -156,6 +156,132 @@ impl Region {
     }
 }
 
+/// A deterministic streaming generator of synthesized requests.
+///
+/// This is [`Trace::synthesize`]'s generation loop lifted into an
+/// iterator: the same config, populations, and leaf count produce the
+/// same request sequence *by construction* (`synthesize` simply collects
+/// this iterator). Memory is O(PoPs × leaves × locality-window) for the
+/// per-leaf history ring buffers — independent of trace length — so a
+/// full SCALE=1.0 workload can be fed straight into
+/// `Simulator::run_streamed` without ever materializing the request
+/// vector.
+#[derive(Debug, Clone)]
+pub struct TraceIter {
+    rng: StdRng,
+    zipf: Zipf,
+    spatial: SpatialModel,
+    /// Cumulative population weights for PoP selection.
+    cum: Vec<f64>,
+    leaves_per_pop: u32,
+    loc_q: f64,
+    loc_window: usize,
+    /// Per-leaf recent-history ring buffers for the locality component.
+    history: Vec<Vec<u32>>,
+    hist_pos: Vec<usize>,
+    remaining: usize,
+}
+
+impl TraceIter {
+    /// A generator over a network with the given PoP populations and
+    /// leaves per access tree. Validates the same invariants as
+    /// [`Trace::synthesize`].
+    pub fn new(config: &TraceConfig, populations: &[u64], leaves_per_pop: u32) -> Self {
+        assert!(!populations.is_empty());
+        assert!(leaves_per_pop >= 1);
+        assert!(
+            populations.len() <= u16::MAX as usize,
+            "too many PoPs for u16"
+        );
+        assert!(leaves_per_pop <= u16::MAX as u32, "too many leaves for u16");
+        let rng = StdRng::seed_from_u64(config.seed);
+        let zipf = Zipf::new(config.objects as usize, config.alpha);
+        let spatial = SpatialModel::new(
+            config.objects,
+            populations.len() as u32,
+            config.skew,
+            config.seed ^ 0x5b5b_5b5b,
+        );
+        let mut cum: Vec<f64> = Vec::with_capacity(populations.len());
+        let total: u64 = populations.iter().sum();
+        assert!(total > 0, "zero total population");
+        let mut acc = 0.0;
+        for &p in populations {
+            acc += p as f64 / total as f64;
+            cum.push(acc);
+        }
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        let (loc_q, loc_window) = match config.locality {
+            Some(l) => {
+                assert!((0.0..=1.0).contains(&l.q), "locality q must be in [0,1]");
+                assert!(l.window >= 1, "locality window must be >= 1");
+                (l.q, l.window)
+            }
+            None => (0.0, 1),
+        };
+        let n_leaves = populations.len() * leaves_per_pop as usize;
+        let history: Vec<Vec<u32>> = vec![Vec::new(); if loc_q > 0.0 { n_leaves } else { 0 }];
+        let hist_pos: Vec<usize> = vec![0; history.len()];
+        Self {
+            rng,
+            zipf,
+            spatial,
+            cum,
+            leaves_per_pop,
+            loc_q,
+            loc_window,
+            history,
+            hist_pos,
+            remaining: config.requests,
+        }
+    }
+}
+
+impl Iterator for TraceIter {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let u: f64 = self.rng.gen();
+        let pop = self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1) as u16;
+        let leaf = self.rng.gen_range(0..self.leaves_per_pop) as u16;
+        let leaf_slot = pop as usize * self.leaves_per_pop as usize + leaf as usize;
+        let object = if self.loc_q > 0.0
+            && !self.history[leaf_slot].is_empty()
+            && self.rng.gen::<f64>() < self.loc_q
+        {
+            // Replay a recent request from this leaf.
+            let h = &self.history[leaf_slot];
+            h[self.rng.gen_range(0..h.len())]
+        } else {
+            let rank = self.zipf.sample(&mut self.rng) as u32;
+            self.spatial.object_for_rank(pop as u32, rank)
+        };
+        if self.loc_q > 0.0 {
+            let h = &mut self.history[leaf_slot];
+            if h.len() < self.loc_window {
+                h.push(object);
+            } else {
+                let p = &mut self.hist_pos[leaf_slot];
+                h[*p] = object;
+                *p = (*p + 1) % self.loc_window;
+            }
+        }
+        Some(Request { pop, leaf, object })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TraceIter {}
+
 /// A synthesized (or loaded) request trace plus per-object sizes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Trace {
@@ -169,76 +295,11 @@ pub struct Trace {
 
 impl Trace {
     /// Synthesizes a trace over a network with the given PoP populations and
-    /// leaves per access tree.
+    /// leaves per access tree. Equivalent to collecting [`TraceIter`] —
+    /// which is exactly what it does, so the streaming and materialized
+    /// paths cannot drift apart.
     pub fn synthesize(config: TraceConfig, populations: &[u64], leaves_per_pop: u32) -> Self {
-        assert!(!populations.is_empty());
-        assert!(leaves_per_pop >= 1);
-        assert!(
-            populations.len() <= u16::MAX as usize,
-            "too many PoPs for u16"
-        );
-        assert!(leaves_per_pop <= u16::MAX as u32, "too many leaves for u16");
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let zipf = Zipf::new(config.objects as usize, config.alpha);
-        let spatial = SpatialModel::new(
-            config.objects,
-            populations.len() as u32,
-            config.skew,
-            config.seed ^ 0x5b5b_5b5b,
-        );
-        // Cumulative population weights for PoP selection.
-        let mut cum: Vec<f64> = Vec::with_capacity(populations.len());
-        let total: u64 = populations.iter().sum();
-        assert!(total > 0, "zero total population");
-        let mut acc = 0.0;
-        for &p in populations {
-            acc += p as f64 / total as f64;
-            cum.push(acc);
-        }
-        if let Some(last) = cum.last_mut() {
-            *last = 1.0;
-        }
-
-        // Per-leaf recent-history ring buffers for the locality component.
-        let (loc_q, loc_window) = match config.locality {
-            Some(l) => {
-                assert!((0.0..=1.0).contains(&l.q), "locality q must be in [0,1]");
-                assert!(l.window >= 1, "locality window must be >= 1");
-                (l.q, l.window)
-            }
-            None => (0.0, 1),
-        };
-        let n_leaves = populations.len() * leaves_per_pop as usize;
-        let mut history: Vec<Vec<u32>> = vec![Vec::new(); if loc_q > 0.0 { n_leaves } else { 0 }];
-        let mut hist_pos: Vec<usize> = vec![0; history.len()];
-
-        let mut requests = Vec::with_capacity(config.requests);
-        for _ in 0..config.requests {
-            let u: f64 = rng.gen();
-            let pop = cum.partition_point(|&c| c < u).min(populations.len() - 1) as u16;
-            let leaf = rng.gen_range(0..leaves_per_pop) as u16;
-            let leaf_slot = pop as usize * leaves_per_pop as usize + leaf as usize;
-            let object =
-                if loc_q > 0.0 && !history[leaf_slot].is_empty() && rng.gen::<f64>() < loc_q {
-                    // Replay a recent request from this leaf.
-                    let h = &history[leaf_slot];
-                    h[rng.gen_range(0..h.len())]
-                } else {
-                    let rank = zipf.sample(&mut rng) as u32;
-                    spatial.object_for_rank(pop as u32, rank)
-                };
-            if loc_q > 0.0 {
-                let h = &mut history[leaf_slot];
-                if h.len() < loc_window {
-                    h.push(object);
-                } else {
-                    let p = &mut hist_pos[leaf_slot];
-                    h[*p] = object;
-                    *p = (*p + 1) % loc_window;
-                }
-            }
-            requests.push(Request { pop, leaf, object });
-        }
+        let requests: Vec<Request> = TraceIter::new(&config, populations, leaves_per_pop).collect();
         let object_sizes = config.sizes.generate(config.objects, config.seed ^ 0xa5a5);
         Self {
             config,

@@ -29,9 +29,11 @@ echo "=== telemetry smoke (fig6 --telemetry)"
 sidecar="$(mktemp /tmp/fig6-telemetry.XXXXXX.json)"
 out1="$(mktemp /tmp/fig6-jobs1.XXXXXX.txt)"
 out4="$(mktemp /tmp/fig6-jobs4.XXXXXX.txt)"
+outref="$(mktemp /tmp/fig6-reference.XXXXXX.txt)"
 fail1="$(mktemp /tmp/failures-jobs1.XXXXXX.txt)"
 fail4="$(mktemp /tmp/failures-jobs4.XXXXXX.txt)"
-trap 'rm -f "$sidecar" "$out1" "$out4" "$fail1" "$fail4"' EXIT
+benchjson="$(mktemp /tmp/bench-sim.XXXXXX.json)"
+trap 'rm -f "$sidecar" "$out1" "$out4" "$outref" "$fail1" "$fail4" "$benchjson"' EXIT
 SCALE="${SCALE:-0.02}" cargo run --release -p icn-bench --bin fig6 -- \
     --telemetry "$sidecar" >/dev/null
 cargo run --release -p icn-bench --bin telemetry_check -- "$sidecar" >/dev/null
@@ -44,6 +46,20 @@ SCALE="${SCALE:-0.02}" JOBS=4 cargo run --release -p icn-bench --bin fig6 \
     >"$out4" 2>/dev/null
 cmp "$out1" "$out4"
 echo "JOBS=1 and JOBS=4 stdout byte-identical"
+
+echo "=== flat-vs-reference cross-check (fig6 with ICN_SIM_REFERENCE=1)"
+# The flat hot path (CostTable, bitmask replica directory, select-min)
+# must reproduce the reference implementation byte-for-byte.
+SCALE="${SCALE:-0.02}" JOBS=1 ICN_SIM_REFERENCE=1 \
+    cargo run --release -p icn-bench --bin fig6 >"$outref" 2>/dev/null
+cmp "$out1" "$outref"
+echo "flat and reference stdout byte-identical"
+
+echo "=== perf benchmark smoke (perf --smoke emits parseable BENCH_sim.json)"
+cargo run --release -p icn-bench --bin perf -- --smoke --out "$benchjson" >/dev/null
+grep -q '"bench": "sim"' "$benchjson"
+grep -q '"requests_per_sec"' "$benchjson"
+echo "perf smoke OK: $benchjson"
 
 echo "=== fault-injection smoke (failures JOBS=1 vs JOBS=4)"
 SCALE="${SCALE:-0.02}" JOBS=1 cargo run --release -p icn-bench --bin failures \
