@@ -2,18 +2,19 @@
 //! price of instrumenting `Simulator::run`.
 //!
 //! The budget (DESIGN.md) is <5% on instrumented-vs-plain simulator
-//! throughput. Compare the `simulator/instrumented` and
-//! `simulator/plain` groups here; the primitive benches explain where the
+//! throughput — with or without the span profiler attached. Compare the
+//! `simulator/instrumented` and `simulator/profiled` groups against
+//! `simulator/plain` here; the primitive benches explain where the
 //! nanoseconds go (counter increments and histogram records are a few ns,
-//! span timers cost two `Instant::now()` reads — which is why the
-//! simulator samples them).
+//! span timers and profiler spans cost two `Instant::now()` reads plus a
+//! thread-local stack frame — which is why the simulator samples them).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
 use icn_core::instrument::SimObs;
 use icn_core::sim::Simulator;
-use icn_obs::{AtomicHistogram, Registry};
+use icn_obs::{AtomicHistogram, Profiler, Registry};
 use icn_topology::{pop, AccessTree, Network};
 use icn_workload::origin::{assign_origins, OriginPolicy};
 use icn_workload::trace::{Trace, TraceConfig};
@@ -42,6 +43,16 @@ fn primitive_benches(c: &mut Criterion) {
         b.iter(|| {
             v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
             h.record(black_box(v >> 32));
+        })
+    });
+    let profiler = Profiler::new();
+    let phase = profiler.phase("bench.phase");
+    group.bench_function("profiler_span", |b| b.iter(|| drop(phase.span())));
+    group.bench_function("profiler_nested_span", |b| {
+        let child = profiler.phase("bench.child");
+        b.iter(|| {
+            let _outer = phase.span();
+            drop(child.span());
         })
     });
     group.finish();
@@ -87,6 +98,20 @@ fn simulator_overhead_benches(c: &mut Criterion) {
                 &trace.object_sizes,
             );
             sim.attach_obs(SimObs::new(&registry, "EDGE-Coop"));
+            sim.run(&trace.requests);
+            black_box(sim.metrics().cache_hits)
+        })
+    });
+    let profiler = Profiler::new();
+    group.bench_function("profiled", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &net,
+                ExperimentConfig::baseline(DesignKind::EdgeCoop),
+                &origins,
+                &trace.object_sizes,
+            );
+            sim.attach_obs(SimObs::new(&registry, "EDGE-Coop").with_profiler(&profiler));
             sim.run(&trace.requests);
             black_box(sim.metrics().cache_hits)
         })

@@ -12,32 +12,24 @@
 //! `--smoke` shrinks the workload (one topology, 2% trace scale) so CI
 //! can exercise the binary and the JSON schema in seconds; `--out` picks
 //! the output path (default `BENCH_sim.json`).
+//!
+//! Besides the timed rows, the JSON carries a `"profile"` section: a
+//! per-phase self/total-time attribution (directory lookup, cache probe,
+//! cost selection, eviction, fault schedule) from a separate *untimed*
+//! profiled pass over the first topology, so the throughput numbers stay
+//! free of profiler overhead. With `--no-default-features` the section is
+//! present but empty (`{"phases": {}}`).
 
 use icn_bench::{self as bench, par_build};
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
+use icn_core::instrument::SimObs;
 use icn_core::sweep::Scenario;
+use icn_obs::{peak_rss_kb, Profiler, Registry};
 use icn_topology::pop;
 use icn_workload::origin::OriginPolicy;
 use std::fmt::Write as _;
 use std::time::Instant;
-
-/// Peak resident set size in kB from `/proc/self/status` (Linux); 0 when
-/// unavailable so the schema stays stable on other platforms.
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines().find_map(|l| {
-                l.strip_prefix("VmHWM:")?
-                    .split_whitespace()
-                    .next()?
-                    .parse()
-                    .ok()
-            })
-        })
-        .unwrap_or(0)
-}
 
 struct DesignRow {
     name: &'static str,
@@ -116,6 +108,19 @@ fn main() {
         });
     }
 
+    // Untimed profiled pass: per-phase attribution over the first
+    // topology only, kept out of the timed rows above so the reported
+    // req/s never carries profiler overhead.
+    eprintln!("[perf] profiling pass (first topology, untimed)...");
+    let profiler = Profiler::new();
+    let profile_registry = Registry::new();
+    for design in DesignKind::figure6_designs() {
+        let obs = SimObs::new(&profile_registry, design.name()).with_profiler(&profiler);
+        let _ = scenarios[0].run_config_instrumented(ExperimentConfig::baseline(design), obs);
+    }
+    let profile = profiler.snapshot();
+    eprint!("{}", profile.render_table());
+
     let total_requests: u64 = rows.iter().map(|r| r.requests).sum();
     let total_seconds: f64 = rows.iter().map(|r| r.seconds).sum();
     let mut json = String::new();
@@ -135,6 +140,7 @@ fn main() {
         total_requests as f64 / total_seconds
     );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"profile\": {},", profile.to_json());
     let _ = writeln!(json, "  \"designs\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

@@ -1,38 +1,344 @@
-//! Validates a telemetry sidecar written with `--telemetry PATH`: parses
-//! the JSON back into an [`icn_obs::Snapshot`], checks it survives a
-//! re-serialization round trip, and prints the human-readable table.
+//! Validates the repo's observability outputs. Three modes:
 //!
 //! ```console
-//! $ cargo run --release --bin fig6 -- --telemetry /tmp/t.json
-//! $ cargo run --release --bin telemetry_check -- /tmp/t.json
+//! $ telemetry_check <snapshot.json>              # a --telemetry sidecar
+//! $ telemetry_check --profile <BENCH_sim.json>   # the embedded profile section
+//! $ telemetry_check --live-metrics               # scrape a live idICN rig
 //! ```
 //!
-//! Exits non-zero (with a message on stderr) when the file is missing,
-//! unparseable, or empty of metrics — used by `scripts/check.sh`.
+//! * **Sidecar mode** parses the JSON back into an [`icn_obs::Snapshot`],
+//!   checks it survives a re-serialization round trip, and prints the
+//!   human-readable table.
+//! * **Profile mode** parses the `"profile"` section `perf` embeds in
+//!   `BENCH_sim.json` back into an [`icn_obs::ProfileSnapshot`] and checks
+//!   its internal invariants: per-phase `self ≤ total`, histogram bucket
+//!   indices strictly ascending, bucket counts summing to the phase count.
+//! * **Live mode** stands up the full idICN pipeline in-process (origin,
+//!   resolver, reverse proxy, edge proxy), drives a request through it, and
+//!   scrapes each component's `/metrics` endpoint twice — validating
+//!   Prometheus text-format well-formedness (`# TYPE` lines, `component`
+//!   labels, cumulative bucket ordering, `+Inf == _count`) and counter
+//!   monotonicity across scrapes.
+//!
+//! Exits non-zero (with a message on stderr) on any violation — used by
+//! `scripts/check.sh`.
 
-use icn_obs::Snapshot;
+use icn_obs::json::parse;
+use icn_obs::{ProfileSnapshot, Snapshot};
+use std::collections::BTreeMap;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("telemetry_check: {msg}");
+    std::process::exit(1);
+}
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: telemetry_check <snapshot.json>");
-        std::process::exit(2);
-    };
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
-    });
-    let snap = Snapshot::from_json(&text).unwrap_or_else(|e| {
-        eprintln!("{path} is not a valid telemetry snapshot: {e}");
-        std::process::exit(1);
-    });
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--profile") => match args.get(1) {
+            Some(path) => check_profile(path),
+            None => usage(),
+        },
+        Some("--live-metrics") => check_live_metrics(),
+        Some(path) if !path.starts_with("--") => check_sidecar(path),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: telemetry_check <snapshot.json>\n       telemetry_check --profile <BENCH_sim.json>\n       telemetry_check --live-metrics"
+    );
+    std::process::exit(2);
+}
+
+// ---------------------------------------------------------------- sidecar
+
+fn check_sidecar(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let snap = Snapshot::from_json(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not a valid telemetry snapshot: {e}")));
     let reparsed = Snapshot::from_json(&snap.to_json()).expect("re-serialized snapshot parses");
     assert_eq!(reparsed, snap, "snapshot JSON round trip is lossy");
     let metrics =
         snap.counters.len() + snap.gauges.len() + snap.histograms.len() + snap.timers.len();
     if metrics == 0 {
-        eprintln!("{path} parses but contains no metrics");
-        std::process::exit(1);
+        fail(&format!("{path} parses but contains no metrics"));
     }
     println!("{path}: valid snapshot, {metrics} metrics");
     print!("{}", snap.render_table());
+}
+
+// ---------------------------------------------------------------- profile
+
+fn check_hist(phase: &str, which: &str, s: &icn_obs::HistSummary, count: u64) {
+    if s.count != count {
+        fail(&format!(
+            "phase {phase}: {which} histogram count {} != span count {count}",
+            s.count
+        ));
+    }
+    let bucket_total: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+    if bucket_total != count {
+        fail(&format!(
+            "phase {phase}: {which} bucket counts sum to {bucket_total}, expected {count}"
+        ));
+    }
+    let mut prev: Option<usize> = None;
+    for &(idx, c) in &s.buckets {
+        if c == 0 {
+            fail(&format!("phase {phase}: {which} stores an empty bucket"));
+        }
+        if prev.is_some_and(|p| idx <= p) {
+            fail(&format!(
+                "phase {phase}: {which} bucket indices not strictly ascending at {idx}"
+            ));
+        }
+        prev = Some(idx);
+    }
+    if count > 0 && s.min > s.max {
+        fail(&format!(
+            "phase {phase}: {which} min {} > max {}",
+            s.min, s.max
+        ));
+    }
+}
+
+fn check_profile(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let root = parse(&text).unwrap_or_else(|e| fail(&format!("{path}: bad JSON: {e}")));
+    let profile_value = root
+        .get("profile")
+        .unwrap_or_else(|| fail(&format!("{path} has no \"profile\" section")));
+    let profile = ProfileSnapshot::from_value(profile_value)
+        .unwrap_or_else(|e| fail(&format!("{path}: invalid profile section: {e}")));
+
+    // With the obs feature compiled out the simulator records no spans, so
+    // an empty phase map is the *correct* output there.
+    if cfg!(feature = "obs") {
+        if profile.phases.is_empty() {
+            fail(&format!(
+                "{path}: profile has no phases (obs build expected spans)"
+            ));
+        }
+        if !profile.phases.contains_key("sim.request") {
+            fail(&format!(
+                "{path}: profile is missing the sim.request root phase"
+            ));
+        }
+    }
+    for (name, p) in &profile.phases {
+        // count == 0 is legal: a handle was registered but its code path
+        // never ran on this workload (e.g. fault_schedule without faults).
+        check_hist(name, "self", &p.self_ns, p.count);
+        check_hist(name, "total", &p.total_ns, p.count);
+        if p.self_ns.sum > p.total_ns.sum {
+            fail(&format!(
+                "phase {name}: self time {} exceeds total time {}",
+                p.self_ns.sum, p.total_ns.sum
+            ));
+        }
+    }
+    // Round trip, like the sidecar check.
+    let reparsed = ProfileSnapshot::from_json(&profile.to_json()).expect("round trip parses");
+    assert_eq!(reparsed, profile, "profile JSON round trip is lossy");
+    println!("{path}: valid profile, {} phases", profile.phases.len());
+    print!("{}", profile.render_table());
+}
+
+// ------------------------------------------------------------ live metrics
+
+/// One parsed exposition page.
+struct Scrape {
+    /// `# TYPE` declarations: metric family name → type.
+    types: BTreeMap<String, String>,
+    /// Sample lines in page order: (full sample id, value).
+    samples: Vec<(String, f64)>,
+}
+
+fn parse_scrape(text: &str) -> Scrape {
+    let mut types = BTreeMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                fail(&format!("malformed TYPE line: {line}"));
+            };
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let Some((id, value)) = line.rsplit_once(' ') else {
+            fail(&format!("malformed sample line: {line}"));
+        };
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("non-numeric sample value: {line}")));
+        samples.push((id.to_string(), value));
+    }
+    Scrape { types, samples }
+}
+
+/// The metric family a sample belongs to (strips the label block and any
+/// histogram sample suffix).
+fn family_of(id: &str) -> String {
+    let base = id.split('{').next().unwrap_or(id);
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = base.strip_suffix(suffix) {
+            return stripped.to_string();
+        }
+    }
+    base.to_string()
+}
+
+fn check_scrape(component: &str, text: &str) -> Scrape {
+    let scrape = parse_scrape(text);
+    if scrape.samples.is_empty() {
+        fail(&format!("{component}: /metrics page has no samples"));
+    }
+    let needle = format!("component=\"{component}\"");
+    let mut bucket_prev: BTreeMap<String, f64> = BTreeMap::new();
+    let mut inf_bucket: BTreeMap<String, f64> = BTreeMap::new();
+    for (id, value) in &scrape.samples {
+        if !id.contains(&needle) {
+            fail(&format!(
+                "{component}: sample lacks its component label: {id}"
+            ));
+        }
+        let family = family_of(id);
+        let declared = scrape
+            .types
+            .get(&family)
+            .unwrap_or_else(|| fail(&format!("{component}: no # TYPE for {family} ({id})")));
+        let base = id.split('{').next().unwrap_or(id);
+        if base.ends_with("_bucket") {
+            if declared != "histogram" {
+                fail(&format!(
+                    "{component}: _bucket sample on non-histogram {family}"
+                ));
+            }
+            // The renderer emits each histogram's buckets consecutively in
+            // ascending le order, so cumulative counts must never decrease.
+            let prev = bucket_prev.entry(family.clone()).or_insert(0.0);
+            if *value < *prev {
+                fail(&format!(
+                    "{component}: {family} cumulative buckets decreased ({value} < {prev})"
+                ));
+            }
+            *prev = *value;
+            if id.contains("le=\"+Inf\"") {
+                inf_bucket.insert(family, *value);
+            }
+        } else if base.ends_with("_count") && declared == "histogram" {
+            if let Some(inf) = inf_bucket.get(&family) {
+                if inf != value {
+                    fail(&format!(
+                        "{component}: {family} +Inf bucket {inf} != _count {value}"
+                    ));
+                }
+            }
+        }
+    }
+    scrape
+}
+
+fn counters_of(scrape: &Scrape) -> BTreeMap<String, f64> {
+    scrape
+        .samples
+        .iter()
+        .filter(|(id, _)| scrape.types.get(&family_of(id)).map(String::as_str) == Some("counter"))
+        .map(|(id, v)| (id.clone(), *v))
+        .collect()
+}
+
+fn check_live_metrics() {
+    use idicn::crypto::mss::Identity;
+    use idicn::http;
+    use idicn::origin::OriginServer;
+    use idicn::proxy::EdgeProxy;
+    use idicn::resolver::{Resolver, ResolverClient};
+    use idicn::reverse_proxy::ReverseProxy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let origin = OriginServer::new();
+    let origin_srv = origin.serve().expect("origin serves");
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().expect("resolver serves");
+    let rc = ResolverClient::new(resolver_srv.addr());
+    let identity = Identity::generate(&mut StdRng::seed_from_u64(7), 4);
+    let rp = ReverseProxy::new(identity, origin_srv.addr(), rc);
+    let rp_srv = rp.serve().expect("reverse proxy serves");
+    let proxy = EdgeProxy::new(rc, 16);
+    let proxy_srv = proxy.serve().expect("edge proxy serves");
+
+    origin.add_content("scrape-demo", b"observable bytes".to_vec());
+    let name = rp.publish("scrape-demo").expect("publish");
+    rp.evict("scrape-demo"); // force the full proxy->resolver->rp->origin chain
+    let fetch = |label: &str| {
+        http::http_get(proxy_srv.addr(), &format!("/fetch/{label}"), &[])
+            .expect("fetch through proxy")
+    };
+    assert_eq!(fetch(&name.to_flat()).status, 200);
+
+    let endpoints = [
+        ("edge_proxy", proxy_srv.addr()),
+        ("resolver", resolver_srv.addr()),
+        ("reverse_proxy", rp_srv.addr()),
+    ];
+    let mut first: BTreeMap<&str, Scrape> = BTreeMap::new();
+    for (component, addr) in endpoints {
+        let resp = http::http_get(addr, "/metrics", &[]).expect("scrape");
+        if resp.status != 200 {
+            fail(&format!("{component}: /metrics returned {}", resp.status));
+        }
+        if resp.headers.get("content-type") != Some(icn_obs::PROM_CONTENT_TYPE) {
+            fail(&format!("{component}: wrong /metrics content type"));
+        }
+        let text = String::from_utf8(resp.body).expect("utf8 exposition");
+        first.insert(component, check_scrape(component, &text));
+    }
+
+    // More traffic (a cache hit), then a second scrape: every counter must
+    // be monotonically non-decreasing.
+    assert_eq!(fetch(&name.to_flat()).status, 200);
+    for (component, addr) in endpoints {
+        let resp = http::http_get(addr, "/metrics", &[]).expect("second scrape");
+        let text = String::from_utf8(resp.body).expect("utf8 exposition");
+        let second = check_scrape(component, &text);
+        let before = counters_of(&first[component]);
+        let after = counters_of(&second);
+        for (id, v1) in &before {
+            match after.get(id) {
+                None => fail(&format!(
+                    "{component}: counter {id} vanished between scrapes"
+                )),
+                Some(v2) if v2 < v1 => fail(&format!(
+                    "{component}: counter {id} went backwards ({v1} -> {v2})"
+                )),
+                Some(_) => {}
+            }
+        }
+        // The edge proxy handled one more request between the scrapes.
+        if component == "edge_proxy" {
+            let key = before
+                .keys()
+                .find(|k| k.starts_with("proxy_requests"))
+                .unwrap_or_else(|| fail("edge_proxy exposes no proxy_requests counter"));
+            if after[key] <= before[key] {
+                fail("edge_proxy: proxy_requests did not advance across scrapes");
+            }
+        }
+    }
+
+    proxy_srv.shutdown();
+    rp_srv.shutdown();
+    resolver_srv.shutdown();
+    origin_srv.shutdown();
+    println!("live /metrics: 3 components scraped twice, all invariants hold");
 }

@@ -58,7 +58,10 @@ pub fn parse_scale(s: &str) -> Result<f64, String> {
 /// Worker-thread count for the parallel sweep engine: the `JOBS` env var,
 /// defaulting to [`std::thread::available_parallelism`]. `JOBS=1` restores
 /// the fully sequential path; any value produces identical output (see
-/// EXPERIMENTS.md, "Parallelism").
+/// EXPERIMENTS.md, "Parallelism"). One caveat: `--trace` forces the
+/// sequential path regardless of `JOBS` (the per-request JSONL stream
+/// must stay in request order) — [`Telemetry`](crate::Telemetry) warns on
+/// stderr when it ignores a `JOBS>1` setting for that reason.
 pub fn jobs() -> usize {
     match std::env::var("JOBS") {
         Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()

@@ -1,6 +1,6 @@
 //! Run telemetry shared by every figure/table binary.
 //!
-//! Each binary accepts three optional flags (anywhere on its command line;
+//! Each binary accepts four optional flags (anywhere on its command line;
 //! unrecognized flags are left for the binary's own parser):
 //!
 //! - `--telemetry PATH` — write an [`icn_obs::Snapshot`] of every counter,
@@ -8,33 +8,63 @@
 //!   when the binary finishes, and print the human-readable table to
 //!   stderr.
 //! - `--trace PATH` — stream sampled per-request [`icn_obs::TraceRecord`]s
-//!   as JSONL to `PATH`.
+//!   as JSONL to `PATH`. **Tracing forces sequential sweeps**: a streamed
+//!   JSONL trace is completion-ordered, so `JOBS > 1` is ignored (with a
+//!   stderr warning) while a trace sink is active.
 //! - `--sample N` — keep every `N`th trace record (default 64).
+//! - `--flight PATH` — write the sweep [`FlightRecorder`] JSON (totals plus
+//!   the ring of recent cell completions) to `PATH` at exit. The recorder
+//!   runs regardless; the flag only persists it. A panic mid-sweep dumps
+//!   the same JSON to stderr.
+//!
+//! Setting the `ICN_PROFILE` environment variable (to anything but `0`,
+//! `false`, or empty) attaches a sampling hot-path [`Profiler`] to every
+//! simulator run; the per-phase self/total table goes to stderr at exit.
+//! Profiling never changes the printed figures: spans alter no control
+//! flow and all profiler output is stderr/sidecar-only.
 //!
 //! Simulator runs are always instrumented (progress lines with
 //! requests/sec + ETA go to stderr); the flags only control what is
-//! persisted. With `--no-default-features` the `sim.*` counters and span
-//! timers compile out, but the latency histogram — which [`RunMetrics`]
-//! carries unconditionally — is still exported.
+//! persisted. With `--no-default-features` the `sim.*` counters, span
+//! timers, and profiler spans compile out, but the latency histogram —
+//! which [`RunMetrics`] carries unconditionally — is still exported.
 
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
-use icn_core::instrument::SimObs;
+use icn_core::instrument::{CellSample, SimObs};
 use icn_core::metrics::{Improvement, RunMetrics};
-use icn_core::sweep::{run_cells_with, Scenario, SweepCell};
-use icn_obs::{Registry, Snapshot, TraceSink};
+use icn_core::sweep::{run_cells_reported, Scenario, SweepCell};
+use icn_obs::{
+    install_panic_dump, CellEvent, FlightRecorder, ProfileSnapshot, Profiler, Registry, Snapshot,
+    TraceSink,
+};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 
 /// Default per-request trace sampling (keep every Nth record).
 pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
 
+/// True when the `ICN_PROFILE` environment variable asks for the hot-path
+/// span profiler (set, and not `0`/`false`/empty).
+pub fn profile_enabled() -> bool {
+    match std::env::var("ICN_PROFILE") {
+        Ok(v) => !matches!(v.trim(), "" | "0" | "false"),
+        Err(_) => false,
+    }
+}
+
 /// Telemetry collector for one binary invocation: a metric registry, an
-/// optional JSON snapshot sink, and an optional JSONL trace sink.
+/// optional JSON snapshot sink, an optional JSONL trace sink, a sweep
+/// flight recorder, and an optional hot-path span profiler.
 pub struct Telemetry {
     registry: Registry,
     out: Option<PathBuf>,
     trace: Option<Arc<TraceSink>>,
+    flight: Arc<FlightRecorder>,
+    flight_out: Option<PathBuf>,
+    profiler: Option<Profiler>,
+    bin: String,
+    warned_trace_seq: Once,
 }
 
 impl Telemetry {
@@ -57,10 +87,21 @@ impl Telemetry {
             eprintln!("[{bin}] tracing every {sample}th request to {path}");
             Arc::new(sink)
         });
+        let flight = Arc::new(FlightRecorder::new(bin));
+        install_panic_dump(Arc::clone(&flight));
+        let profiler = profile_enabled().then(|| {
+            eprintln!("[{bin}] ICN_PROFILE set: hot-path span profiler attached");
+            Profiler::new()
+        });
         let t = Self {
             registry: Registry::new(),
             out: get("--telemetry").map(PathBuf::from),
             trace,
+            flight,
+            flight_out: get("--flight").map(PathBuf::from),
+            profiler,
+            bin: bin.to_string(),
+            warned_trace_seq: Once::new(),
         };
         t.registry.counter("bench.runs"); // always present in the snapshot
         t
@@ -72,6 +113,19 @@ impl Telemetry {
             registry: Registry::new(),
             out: None,
             trace: None,
+            flight: Arc::new(FlightRecorder::new("test").silent()),
+            flight_out: None,
+            profiler: None,
+            bin: "test".to_string(),
+            warned_trace_seq: Once::new(),
+        }
+    }
+
+    /// [`Telemetry::disabled`] with the span profiler attached (tests).
+    pub fn disabled_with_profiler() -> Self {
+        Self {
+            profiler: Some(Profiler::new()),
+            ..Self::disabled()
         }
     }
 
@@ -89,7 +143,21 @@ impl Telemetry {
         if let Some(sink) = &self.trace {
             obs = obs.with_trace(Arc::clone(sink));
         }
+        if let Some(profiler) = &self.profiler {
+            obs = obs.with_profiler(profiler);
+        }
         obs
+    }
+
+    /// The sweep flight recorder (always running; `--flight PATH`
+    /// persists it, a panic dumps it to stderr).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The merged hot-path profile so far, when `ICN_PROFILE` is set.
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        self.profiler.as_ref().map(Profiler::snapshot)
     }
 
     /// Folds one finished run into the collector: bumps `bench.runs` and
@@ -139,23 +207,72 @@ impl Telemetry {
         cells: &[SweepCell<'_>],
         jobs: usize,
     ) -> Vec<(Improvement, RunMetrics)> {
-        if jobs <= 1 || self.trace.is_some() {
-            return cells
-                .iter()
-                .map(|c| self.improvement_detailed(c.scenario, c.cfg.clone()))
-                .collect();
+        if self.trace.is_some() && jobs > 1 {
+            self.warned_trace_seq.call_once(|| {
+                eprintln!(
+                    "[{}] warning: --trace forces a sequential sweep (JOBS={jobs} \
+                     ignored) — a streamed JSONL trace is completion-ordered; drop \
+                     --trace to parallelize (see EXPERIMENTS.md, \"Parallelism\")",
+                    self.bin
+                );
+            });
         }
-        let workers: Vec<Registry> = (0..jobs).map(|_| Registry::new()).collect();
-        let results = run_cells_with(cells, jobs, |worker, _idx, cell| {
-            Some(SimObs::new(&workers[worker], cell.cfg.design.name()))
-        });
-        // Deterministic merge: worker registries in worker-index order
-        // (commutative counter/histogram adds), then each run's latency
-        // histogram in submission order — the same order the sequential
-        // path records them.
-        for r in &workers {
-            self.registry.merge_from(r);
-        }
+        self.flight.add_planned(cells.len() as u64);
+        // Per-cell completion accounting feeds the flight recorder; the
+        // labels come from the caller's cells, so the panic-dump ring can
+        // say *which* configuration each completed cell was.
+        let on_done = |sample: CellSample| {
+            self.flight.record(CellEvent {
+                index: sample.index,
+                label: cells[sample.index].cfg.design.name().to_string(),
+                requests: sample.requests,
+                wall_ns: sample.wall_ns,
+                peak_rss_kb: sample.peak_rss_kb,
+            });
+        };
+        let results = if jobs <= 1 || self.trace.is_some() {
+            // Sequential: full instrumentation (progress lines, trace
+            // sink, profiler) straight into this collector's registry.
+            run_cells_reported(
+                cells,
+                1,
+                |_, _, cell| {
+                    Some(self.obs(cell.cfg.design.name(), cell.scenario.trace.len() as u64))
+                },
+                on_done,
+            )
+        } else {
+            // Parallel: per-worker registries and profilers, merged
+            // deterministically afterwards — registries in worker-index
+            // order (commutative counter/histogram adds), profilers
+            // likewise (profile merge is proptest-verified associative
+            // and commutative), then each run's latency histogram in
+            // submission order — the same order the sequential path
+            // records them.
+            let workers: Vec<Registry> = (0..jobs).map(|_| Registry::new()).collect();
+            let profilers: Vec<Profiler> = (0..jobs).map(|_| Profiler::new()).collect();
+            let results = run_cells_reported(
+                cells,
+                jobs,
+                |worker, _idx, cell| {
+                    let mut obs = SimObs::new(&workers[worker], cell.cfg.design.name());
+                    if self.profiler.is_some() {
+                        obs = obs.with_profiler(&profilers[worker]);
+                    }
+                    Some(obs)
+                },
+                on_done,
+            );
+            for r in &workers {
+                self.registry.merge_from(r);
+            }
+            if let Some(profiler) = &self.profiler {
+                for w in &profilers {
+                    profiler.merge_from(w);
+                }
+            }
+            results
+        };
         for (_, run) in &results {
             self.record_run(run);
         }
@@ -211,9 +328,28 @@ impl Telemetry {
         self.registry.snapshot()
     }
 
-    /// Flushes the trace sink and writes the JSON snapshot sidecar (plus
-    /// its human-readable table to stderr). Call once at the end of main.
+    /// Flushes the trace sink, persists the flight record and profile,
+    /// and writes the JSON snapshot sidecar (plus its human-readable
+    /// table to stderr). Call once at the end of main.
     pub fn finish(&self) {
+        if self.flight.done() > 0 {
+            self.flight.finish();
+        }
+        if let Some(path) = &self.flight_out {
+            match std::fs::write(path, self.flight.to_json()) {
+                Ok(()) => eprintln!("flight record written to {}", path.display()),
+                Err(e) => {
+                    eprintln!(
+                        "error: cannot write flight record to {}: {e}",
+                        path.display()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(profiler) = &self.profiler {
+            eprint!("{}", profiler.snapshot().render_table());
+        }
         if let Some(sink) = &self.trace {
             if let Err(e) = sink.flush() {
                 eprintln!("warning: trace flush failed: {e}");
@@ -315,6 +451,81 @@ mod tests {
         let t2 = Telemetry::disabled();
         assert_eq!(batch[0], t2.nr_vs_edge_gap(&s, &template));
         assert_eq!(batch[1], t2.nr_vs_edge_gap(&s, &small_f));
+    }
+
+    #[test]
+    fn flight_recorder_sees_every_cell_at_any_worker_count() {
+        let s = tiny_scenario();
+        let cells: Vec<SweepCell<'_>> = DesignKind::figure6_designs()
+            .iter()
+            .map(|&d| SweepCell {
+                scenario: &s,
+                cfg: ExperimentConfig::baseline(d),
+            })
+            .collect();
+        for jobs in [1usize, 4] {
+            let t = Telemetry::disabled();
+            let results = t.improvement_batch_jobs(&cells, jobs);
+            assert_eq!(t.flight().done(), cells.len() as u64, "jobs={jobs}");
+            let root = icn_obs::json::parse(&t.flight().to_json()).unwrap();
+            let get = |k: &str| root.get(k).and_then(icn_obs::json::Value::as_u64);
+            assert_eq!(get("cells_done"), Some(cells.len() as u64));
+            assert_eq!(get("cells_planned"), Some(cells.len() as u64));
+            let total: u64 = results.iter().map(|(_, r)| r.requests).sum();
+            assert_eq!(get("requests"), Some(total));
+            let recent = root
+                .get("recent")
+                .and_then(icn_obs::json::Value::as_arr)
+                .unwrap();
+            assert_eq!(recent.len(), cells.len());
+            // Every cell appears with its design label (order may vary
+            // when parallel; the ring holds completion order).
+            for (i, cell) in cells.iter().enumerate() {
+                assert!(
+                    recent.iter().any(|e| {
+                        e.get("index").and_then(icn_obs::json::Value::as_u64) == Some(i as u64)
+                            && e.get("label").and_then(icn_obs::json::Value::as_str)
+                                == Some(cell.cfg.design.name())
+                    }),
+                    "jobs={jobs}: cell {i} missing from flight ring"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiler_does_not_perturb_results_and_merges_across_workers() {
+        let s = tiny_scenario();
+        let cells = || -> Vec<SweepCell<'_>> {
+            DesignKind::figure6_designs()
+                .iter()
+                .map(|&d| SweepCell {
+                    scenario: &s,
+                    cfg: ExperimentConfig::baseline(d),
+                })
+                .collect()
+        };
+        let plain = Telemetry::disabled().improvement_batch_jobs(&cells(), 1);
+        for jobs in [1usize, 4] {
+            let t = Telemetry::disabled_with_profiler();
+            let profiled = t.improvement_batch_jobs(&cells(), jobs);
+            // The profiling-never-changes-numbers invariant.
+            assert_eq!(profiled, plain, "jobs={jobs}");
+            let snap = t.profile_snapshot().unwrap();
+            #[cfg(feature = "obs")]
+            {
+                let req = &snap.phases["sim.request"];
+                assert!(req.count > 0, "jobs={jobs}");
+                // Child phases nest under the request span.
+                let dir = &snap.phases["sim.dir_lookup"];
+                assert!(dir.total_ns.sum <= req.total_ns.sum, "jobs={jobs}");
+                for phase in snap.phases.values() {
+                    assert!(phase.self_ns.sum <= phase.total_ns.sum);
+                }
+            }
+            #[cfg(not(feature = "obs"))]
+            assert!(snap.phases.is_empty());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! measurable against a request that routes in a few hundred. Counters and
 //! the latency histogram are exact; only durations are sampled.
 
-use icn_obs::{Registry, TraceRecord, TraceSink};
+use icn_obs::{Profiler, Registry, TraceRecord, TraceSink};
 use std::borrow::Cow;
 use std::sync::Arc;
 
@@ -25,11 +25,39 @@ use std::sync::Arc;
 /// cost that is not "a few atomics".
 pub const DEFAULT_SPAN_SAMPLE: u64 = 64;
 
+/// Per-cell accounting emitted by sweep drivers when a cell completes:
+/// where the wall clock went, cell by cell. The struct exists in both
+/// builds so sweep callbacks are feature-independent; without `obs` the
+/// timing fields are zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSample {
+    /// Submission index of the cell within its batch.
+    pub index: usize,
+    /// Requests the cell simulated.
+    pub requests: u64,
+    /// Wall-clock nanoseconds the cell took (0 without `obs`).
+    pub wall_ns: u64,
+    /// Process peak RSS in KiB at completion (0 without `obs`).
+    pub peak_rss_kb: u64,
+}
+
 #[cfg(feature = "obs")]
 mod real {
     use super::*;
-    use icn_obs::{Counter, Progress, ScopedTimer, TimerHandle};
+    use icn_obs::{Counter, PhaseHandle, Progress, ScopedTimer, SpanGuard, TimerHandle};
     use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// Pre-resolved profiler phases for the simulator hot path.
+    #[derive(Clone)]
+    struct PhaseSpans {
+        request: PhaseHandle,
+        fault: PhaseHandle,
+        probe: PhaseHandle,
+        dir: PhaseHandle,
+        select: PhaseHandle,
+        evict: PhaseHandle,
+    }
 
     /// Live instrumentation attached to a simulator run.
     #[derive(Clone)]
@@ -44,6 +72,7 @@ mod real {
         span_every: u64,
         trace: Option<Arc<TraceSink>>,
         progress: Option<Arc<Mutex<Progress>>>,
+        profile: Option<PhaseSpans>,
     }
 
     impl SimObs {
@@ -63,6 +92,7 @@ mod real {
                 span_every: DEFAULT_SPAN_SAMPLE,
                 trace: None,
                 progress: None,
+                profile: None,
             }
         }
 
@@ -82,6 +112,21 @@ mod real {
         /// run of `total` requests.
         pub fn with_progress(mut self, label: &str, total: u64) -> Self {
             self.progress = Some(Arc::new(Mutex::new(Progress::new(label, total))));
+            self
+        }
+
+        /// Also record sampled per-phase spans (directory lookup, cache
+        /// probe, cost selection, eviction, fault schedule) into
+        /// `profiler`, at the same sampling interval as the span timers.
+        pub fn with_profiler(mut self, profiler: &Profiler) -> Self {
+            self.profile = Some(PhaseSpans {
+                request: profiler.phase("sim.request"),
+                fault: profiler.phase("sim.fault_schedule"),
+                probe: profiler.phase("sim.cache_probe"),
+                dir: profiler.phase("sim.dir_lookup"),
+                select: profiler.phase("sim.cost_select"),
+                evict: profiler.phase("sim.evict_insert"),
+            });
             self
         }
 
@@ -154,6 +199,79 @@ mod real {
                 sink.offer_with(|| build(self.design.clone()));
             }
         }
+
+        #[inline]
+        fn phase_span(
+            &self,
+            idx: u64,
+            pick: impl FnOnce(&PhaseSpans) -> &PhaseHandle,
+        ) -> Option<SpanGuard> {
+            self.profile
+                .as_ref()
+                .and_then(|p| idx.is_multiple_of(self.span_every).then(|| pick(p).span()))
+        }
+
+        /// Sampled profiler span covering one whole request (the parent of
+        /// every other phase span).
+        #[inline]
+        pub fn request_span(&self, idx: u64) -> Option<SpanGuard> {
+            self.phase_span(idx, |p| &p.request)
+        }
+
+        /// Sampled profiler span covering fault-schedule advancement.
+        #[inline]
+        pub fn fault_span(&self, idx: u64) -> Option<SpanGuard> {
+            self.phase_span(idx, |p| &p.fault)
+        }
+
+        /// Sampled profiler span covering cache probes along the path.
+        #[inline]
+        pub fn probe_span(&self, idx: u64) -> Option<SpanGuard> {
+            self.phase_span(idx, |p| &p.probe)
+        }
+
+        /// Sampled profiler span covering the replica-directory lookup and
+        /// candidate gathering.
+        #[inline]
+        pub fn dir_span(&self, idx: u64) -> Option<SpanGuard> {
+            self.phase_span(idx, |p| &p.dir)
+        }
+
+        /// Sampled profiler span covering cost-based replica selection
+        /// (nested inside [`SimObs::dir_span`]).
+        #[inline]
+        pub fn select_span(&self, idx: u64) -> Option<SpanGuard> {
+            self.phase_span(idx, |p| &p.select)
+        }
+
+        /// Sampled profiler span covering response-path cache insertion
+        /// and eviction.
+        #[inline]
+        pub fn evict_span(&self, idx: u64) -> Option<SpanGuard> {
+            self.phase_span(idx, |p| &p.evict)
+        }
+    }
+
+    /// A wall clock for per-cell sweep accounting. Lives here — not in
+    /// `sweep.rs` — because `Instant` is banned from the deterministic
+    /// core; this module is the one sanctioned gate.
+    pub struct CellClock(Instant);
+
+    impl CellClock {
+        /// Starts the clock.
+        pub fn start() -> Self {
+            Self(Instant::now())
+        }
+
+        /// Nanoseconds since [`CellClock::start`].
+        pub fn elapsed_ns(&self) -> u64 {
+            self.0.elapsed().as_nanos() as u64
+        }
+    }
+
+    /// Process peak RSS in KiB (0 when the platform hides it).
+    pub fn peak_rss_kb() -> u64 {
+        icn_obs::peak_rss_kb()
     }
 }
 
@@ -188,6 +306,11 @@ mod real {
 
         /// See the `obs`-enabled variant.
         pub fn with_progress(self, _label: &str, _total: u64) -> Self {
+            self
+        }
+
+        /// See the `obs`-enabled variant.
+        pub fn with_profiler(self, _profiler: &Profiler) -> Self {
             self
         }
 
@@ -228,10 +351,66 @@ mod real {
         /// See the `obs`-enabled variant.
         #[inline]
         pub fn trace_with(&self, _build: impl FnOnce(Cow<'static, str>) -> TraceRecord) {}
+
+        /// See the `obs`-enabled variant.
+        #[inline]
+        pub fn request_span(&self, _idx: u64) -> Option<NoSpan> {
+            None
+        }
+
+        /// See the `obs`-enabled variant.
+        #[inline]
+        pub fn fault_span(&self, _idx: u64) -> Option<NoSpan> {
+            None
+        }
+
+        /// See the `obs`-enabled variant.
+        #[inline]
+        pub fn probe_span(&self, _idx: u64) -> Option<NoSpan> {
+            None
+        }
+
+        /// See the `obs`-enabled variant.
+        #[inline]
+        pub fn dir_span(&self, _idx: u64) -> Option<NoSpan> {
+            None
+        }
+
+        /// See the `obs`-enabled variant.
+        #[inline]
+        pub fn select_span(&self, _idx: u64) -> Option<NoSpan> {
+            None
+        }
+
+        /// See the `obs`-enabled variant.
+        #[inline]
+        pub fn evict_span(&self, _idx: u64) -> Option<NoSpan> {
+            None
+        }
+    }
+
+    /// See the `obs`-enabled variant: compiled-out cell clock.
+    pub struct CellClock;
+
+    impl CellClock {
+        /// See the `obs`-enabled variant.
+        pub fn start() -> Self {
+            Self
+        }
+
+        /// See the `obs`-enabled variant (always 0 here).
+        pub fn elapsed_ns(&self) -> u64 {
+            0
+        }
+    }
+
+    /// See the `obs`-enabled variant (always 0 here).
+    pub fn peak_rss_kb() -> u64 {
+        0
     }
 }
 
-pub use real::SimObs;
+pub use real::{peak_rss_kb, CellClock, SimObs};
 
 #[cfg(not(feature = "obs"))]
 pub use real::NoSpan;
@@ -254,6 +433,49 @@ mod tests {
         assert_eq!(snap.counters["sim.requests"], 100);
         assert_eq!(snap.timers["sim.route"].count, 10);
         assert_eq!(snap.timers["sim.transfer"].count, 10);
+    }
+
+    #[test]
+    fn profiler_phases_sample_and_nest() {
+        let registry = Registry::new();
+        let profiler = Profiler::new();
+        let obs = SimObs::new(&registry, "EDGE")
+            .with_span_sampling(10)
+            .with_profiler(&profiler);
+        for idx in 0..100u64 {
+            let _req = obs.request_span(idx);
+            {
+                let _dir = obs.dir_span(idx);
+                drop(obs.select_span(idx));
+            }
+            drop(obs.evict_span(idx));
+        }
+        let snap = profiler.snapshot();
+        for phase in [
+            "sim.request",
+            "sim.dir_lookup",
+            "sim.cost_select",
+            "sim.evict_insert",
+        ] {
+            assert_eq!(snap.phases[phase].count, 10, "{phase}");
+        }
+        // Without a profiler attached, the same call sites are no-ops.
+        let bare = SimObs::new(&registry, "EDGE");
+        assert!(bare.request_span(0).is_none());
+        // The request span is the parent: nested phase totals fit inside.
+        let req = &snap.phases["sim.request"];
+        let dir = &snap.phases["sim.dir_lookup"];
+        assert!(dir.total_ns.sum <= req.total_ns.sum);
+        assert!(req.self_ns.sum <= req.total_ns.sum);
+    }
+
+    #[test]
+    fn cell_clock_advances() {
+        let clock = CellClock::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(clock.elapsed_ns() > 0);
+        // RSS is platform-dependent but must not panic.
+        let _ = peak_rss_kb();
     }
 
     #[test]

@@ -376,11 +376,17 @@ impl<'a> Simulator<'a> {
     }
 
     fn process(&mut self, idx: u64, req: &Request) {
+        // Sampled profiler span covering the whole request — the parent of
+        // every other phase span. Pure measurement: no branch below
+        // depends on it, so figures are byte-identical with it on or off.
+        let _request_span = self.obs.as_ref().and_then(|o| o.request_span(idx));
         let leaf = self.net.leaf(req.pop as u32, req.leaf as u32);
         let origin_pop = self.origins[req.object as usize] as u32;
         self.metrics.requests += 1;
         if self.fault.is_some() {
+            let fault_span = self.obs.as_ref().and_then(|o| o.fault_span(idx));
             self.advance_faults(idx);
+            drop(fault_span);
         }
         match self.spec.routing {
             Routing::ShortestPathToOrigin => self.process_sp(idx, leaf, req.object, origin_pop),
@@ -566,6 +572,7 @@ impl<'a> Simulator<'a> {
         } else {
             None
         };
+        let probe_span = self.obs.as_ref().and_then(|o| o.probe_span(idx));
         'walk: for (i, &node) in path.iter().enumerate() {
             if i == last || i > reach {
                 break; // the origin always serves what it owns
@@ -608,6 +615,7 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+        drop(probe_span);
         drop(route_span);
 
         // A degraded, saturated origin fails the request like an
@@ -746,6 +754,7 @@ impl<'a> Simulator<'a> {
         // *cache-equipped* router downstream of the server (standard LCD
         // semantics in cache hierarchies — copies descend one cache level
         // per request).
+        let _evict_span = self.obs.as_ref().and_then(|o| o.evict_span(idx));
         let mut lcd_available = true;
         match server {
             Server::Sibling { via_idx, .. } => {
@@ -773,8 +782,14 @@ impl<'a> Simulator<'a> {
         let route_span = self.obs.as_ref().and_then(|o| o.route_span(idx));
         let origin_root = self.net.pop_root(origin_pop);
 
-        // Fast path: the requesting leaf's own cache.
-        if self.cache_contains(leaf, object) && self.try_capacity(leaf, idx) {
+        // Fast path: the requesting leaf's own cache. The block form keeps
+        // the profiler span scoped to the probe while preserving the
+        // short-circuit.
+        let leaf_hit = {
+            let _probe_span = self.obs.as_ref().and_then(|o| o.probe_span(idx));
+            self.cache_contains(leaf, object) && self.try_capacity(leaf, idx)
+        };
+        if leaf_hit {
             self.record_served(1.0);
             self.metrics.cache_hits += 1;
             let level = self.net.level_of(leaf);
@@ -796,11 +811,15 @@ impl<'a> Simulator<'a> {
         }
 
         let origin_cost = self.path_cost(leaf, origin_root);
+        // Replica-directory lookup + candidate gathering; the cost-based
+        // selection inside nests as a child phase.
+        let dir_span = self.obs.as_ref().and_then(|o| o.dir_span(idx));
         let choice = if self.fault.is_none() {
             // Fault-free paths: the Option-free hot loop.
             let server = if self.capacity.is_some() {
                 self.select_nr_capacity(leaf, object, origin_cost, idx)
             } else {
+                let _select_span = self.obs.as_ref().and_then(|o| o.select_span(idx));
                 // Single allocation-free pass for the minimum-(cost, id)
                 // replica — the tie-break makes selection independent of
                 // `replica_dir` insertion order.
@@ -869,6 +888,7 @@ impl<'a> Simulator<'a> {
         } else {
             self.select_nr_faulted(leaf, object, origin_root, origin_cost, idx)
         };
+        drop(dir_span);
 
         let (cost, server_node, is_origin) = match choice {
             NrChoice::Replica(c, n) => (c, n, false),
@@ -930,6 +950,7 @@ impl<'a> Simulator<'a> {
 
         // Response-path caching per the insertion policy (the server
         // itself is skipped; it already has the object).
+        let _evict_span = self.obs.as_ref().and_then(|o| o.evict_span(idx));
         let mut nodes = std::mem::take(&mut self.nodes_buf);
         nodes.clear();
         self.net.path_nodes_into(server_node, leaf, &mut nodes);
@@ -1012,6 +1033,7 @@ impl<'a> Simulator<'a> {
         origin_cost: f64,
         idx: u64,
     ) -> Option<(f64, NodeId)> {
+        let _select_span = self.obs.as_ref().and_then(|o| o.select_span(idx));
         let mut cands = std::mem::take(&mut self.cand_buf);
         cands.clear();
         if self.reference {
@@ -1079,6 +1101,7 @@ impl<'a> Simulator<'a> {
         origin_cost: f64,
         idx: u64,
     ) -> NrChoice {
+        let _select_span = self.obs.as_ref().and_then(|o| o.select_span(idx));
         let origin_reachable = self.path_live(leaf, origin_root);
         let mut cands = std::mem::take(&mut self.cand_buf);
         cands.clear();

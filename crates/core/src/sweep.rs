@@ -15,7 +15,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::design::DesignKind;
-use crate::instrument::SimObs;
+use crate::instrument::{peak_rss_kb, CellClock, CellSample, SimObs};
 use crate::latency::LatencyModel;
 use crate::metrics::{Improvement, RunMetrics};
 use crate::sim::Simulator;
@@ -237,12 +237,41 @@ pub fn run_cells_with<F>(
 where
     F: Fn(usize, usize, &SweepCell<'_>) -> Option<SimObs> + Sync,
 {
-    let run_cell = |worker: usize, idx: usize, cell: &SweepCell<'_>| match mk_obs(worker, idx, cell)
-    {
-        Some(obs) => cell
-            .scenario
-            .improvement_instrumented(cell.cfg.clone(), obs),
-        None => cell.scenario.improvement_detailed(cell.cfg.clone()),
+    run_cells_reported(cells, jobs, mk_obs, |_| {})
+}
+
+/// [`run_cells_with`] plus per-cell completion accounting: `on_done` fires
+/// on the worker thread as each cell finishes, carrying its submission
+/// index, request count, wall-clock time, and peak RSS (a [`CellSample`]).
+/// Flight-recorder callers feed these into a ring buffer; the samples are
+/// side-band observability and never touch the returned results, so the
+/// submission-order determinism contract is unchanged. Timing fields are
+/// zero without the `obs` feature.
+pub fn run_cells_reported<F, D>(
+    cells: &[SweepCell<'_>],
+    jobs: usize,
+    mk_obs: F,
+    on_done: D,
+) -> Vec<(Improvement, RunMetrics)>
+where
+    F: Fn(usize, usize, &SweepCell<'_>) -> Option<SimObs> + Sync,
+    D: Fn(CellSample) + Sync,
+{
+    let run_cell = |worker: usize, idx: usize, cell: &SweepCell<'_>| {
+        let clock = CellClock::start();
+        let result = match mk_obs(worker, idx, cell) {
+            Some(obs) => cell
+                .scenario
+                .improvement_instrumented(cell.cfg.clone(), obs),
+            None => cell.scenario.improvement_detailed(cell.cfg.clone()),
+        };
+        on_done(CellSample {
+            index: idx,
+            requests: result.1.requests,
+            wall_ns: clock.elapsed_ns(),
+            peak_rss_kb: peak_rss_kb(),
+        });
+        result
     };
     let jobs = jobs.clamp(1, cells.len().max(1));
     if jobs == 1 {
@@ -421,5 +450,36 @@ mod tests {
         let b = s.baseline_metrics().avg_latency();
         assert_eq!(a, b);
         assert!(a > 1.0);
+    }
+
+    #[test]
+    fn reported_cells_cover_every_index_without_changing_results() {
+        let s = small_scenario();
+        let cells: Vec<SweepCell<'_>> = DesignKind::figure6_designs()
+            .iter()
+            .map(|&d| SweepCell {
+                scenario: &s,
+                cfg: ExperimentConfig::baseline(d),
+            })
+            .collect();
+        let plain = run_cells(&cells, 1);
+        for jobs in [1usize, 4] {
+            let samples = std::sync::Mutex::new(Vec::new());
+            let reported = run_cells_reported(
+                &cells,
+                jobs,
+                |_, _, _| None,
+                |sample| samples.lock().unwrap().push(sample),
+            );
+            // Side-band accounting must not perturb the figures.
+            assert_eq!(reported, plain, "jobs={jobs}");
+            let mut samples = samples.into_inner().unwrap();
+            samples.sort_by_key(|sample| sample.index);
+            assert_eq!(samples.len(), cells.len(), "jobs={jobs}");
+            for (i, sample) in samples.iter().enumerate() {
+                assert_eq!(sample.index, i, "jobs={jobs}");
+                assert_eq!(sample.requests, reported[i].1.requests, "jobs={jobs}");
+            }
+        }
     }
 }

@@ -1,0 +1,276 @@
+//! Request IDs, structured access logging, and `/metrics` exposition for
+//! the idICN pipeline.
+//!
+//! Every request entering the overlay at the edge proxy gets a process-wide
+//! unique request ID, carried hop to hop in the [`REQUEST_ID_HEADER`]
+//! header (edge proxy → resolver → reverse proxy → origin) and echoed back
+//! in every response, so one client-visible ID stitches together the access
+//! logs of all four components. Each component appends one [`AccessEntry`]
+//! per handled request to its [`AccessLog`] — a JSONL line carrying the
+//! request ID, upstream, attempt count, breaker state, latency, and
+//! outcome — kept in a bounded in-memory ring and optionally streamed to a
+//! file.
+//!
+//! [`metrics_response`] renders a component's [`icn_obs::Registry`] as a
+//! Prometheus `/metrics` page (text exposition format 0.0.4).
+
+use crate::http::HttpResponse;
+use icn_obs::json::Value;
+use icn_obs::{render_prometheus, Registry, PROM_CONTENT_TYPE};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The hop-to-hop request correlation header.
+pub const REQUEST_ID_HEADER: &str = "X-IdICN-Request-Id";
+
+/// Access-log lines retained in memory per component.
+pub const ACCESS_LOG_CAPACITY: usize = 256;
+
+/// Returns a process-wide unique request ID: a random-looking per-process
+/// prefix (so IDs from different runs don't collide in aggregated logs)
+/// plus a monotonic counter.
+pub fn next_request_id() -> String {
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut seed = SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // SplitMix64 of time ^ pid: cheap, and only uniqueness matters.
+        let mut z = (t ^ (u64::from(std::process::id()) << 32)).wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        seed = (z ^ (z >> 31)) | 1; // never 0, so init runs once
+        SEED.store(seed, Ordering::Relaxed);
+    }
+    format!(
+        "{seed:016x}-{:08x}",
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// One handled request, as logged by a pipeline component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEntry {
+    /// The hop-spanning correlation ID.
+    pub request_id: String,
+    /// Which component handled the request (`edge_proxy`, `resolver`,
+    /// `reverse_proxy`, `origin`).
+    pub component: &'static str,
+    /// The request target (path or absolute-form URI).
+    pub target: String,
+    /// The upstream URL the content came from, when one was contacted.
+    pub upstream: Option<String>,
+    /// Upstream fetch attempts made for this request (0 for local serves).
+    pub attempts: u64,
+    /// Upstream locations skipped because their circuit breaker was open.
+    pub breaker_skips: u64,
+    /// Wall-clock handling time in nanoseconds.
+    pub latency_ns: u64,
+    /// HTTP status returned to the caller.
+    pub status: u16,
+    /// Coarse outcome (`hit`, `miss`, `exact`, `not_found`, `error`, ...).
+    pub outcome: &'static str,
+}
+
+impl AccessEntry {
+    /// The entry as one JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> String {
+        let mut m = BTreeMap::new();
+        m.insert("request_id".into(), Value::Str(self.request_id.clone()));
+        m.insert("component".into(), Value::Str(self.component.into()));
+        m.insert("target".into(), Value::Str(self.target.clone()));
+        m.insert(
+            "upstream".into(),
+            match &self.upstream {
+                Some(u) => Value::Str(u.clone()),
+                None => Value::Null,
+            },
+        );
+        m.insert("attempts".into(), Value::UInt(self.attempts));
+        m.insert("breaker_skips".into(), Value::UInt(self.breaker_skips));
+        m.insert("latency_ns".into(), Value::UInt(self.latency_ns));
+        m.insert("status".into(), Value::UInt(u64::from(self.status)));
+        m.insert("outcome".into(), Value::Str(self.outcome.into()));
+        Value::Obj(m).to_json()
+    }
+}
+
+struct Sink {
+    recent: VecDeque<String>,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    lines: u64,
+}
+
+/// A per-component structured access log: a bounded in-memory ring of
+/// recent JSONL lines (always on, inspectable in tests and panics) plus an
+/// optional append-to-file stream.
+pub struct AccessLog {
+    sink: Mutex<Sink>,
+}
+
+impl Default for AccessLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessLog {
+    /// An in-memory-only log.
+    pub fn new() -> Self {
+        Self {
+            sink: Mutex::new(Sink {
+                recent: VecDeque::with_capacity(ACCESS_LOG_CAPACITY),
+                file: None,
+                lines: 0,
+            }),
+        }
+    }
+
+    /// Additionally streams every line to `path` (JSONL, appended).
+    pub fn stream_to_file(&self, path: &str) -> std::io::Result<()> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        self.sink.lock().file = Some(std::io::BufWriter::new(file));
+        Ok(())
+    }
+
+    /// Appends one entry.
+    pub fn log(&self, entry: &AccessEntry) {
+        let line = entry.to_json();
+        let mut sink = self.sink.lock();
+        sink.lines += 1;
+        if sink.recent.len() == ACCESS_LOG_CAPACITY {
+            sink.recent.pop_front();
+        }
+        if let Some(f) = &mut sink.file {
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+        sink.recent.push_back(line);
+    }
+
+    /// The retained recent lines, oldest first.
+    pub fn recent(&self) -> Vec<String> {
+        self.sink.lock().recent.iter().cloned().collect()
+    }
+
+    /// Total lines logged (including ones evicted from the ring).
+    pub fn len(&self) -> u64 {
+        self.sink.lock().lines
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Renders `registry` as a Prometheus `/metrics` response, labelling every
+/// sample with `component="<component>"`.
+pub fn metrics_response(registry: &Registry, component: &str) -> HttpResponse {
+    let body = render_prometheus(&registry.snapshot(), &[("component", component)]);
+    let mut resp = HttpResponse::ok(body.into_bytes());
+    resp.headers.set("Content-Type", PROM_CONTENT_TYPE);
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_obs::json::parse;
+
+    fn entry(id: &str) -> AccessEntry {
+        AccessEntry {
+            request_id: id.to_string(),
+            component: "edge_proxy",
+            target: "/fetch/x".into(),
+            upstream: Some("http://127.0.0.1:9/fetch/x".into()),
+            attempts: 2,
+            breaker_skips: 1,
+            latency_ns: 12_345,
+            status: 200,
+            outcome: "miss",
+        }
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_nonempty() {
+        let ids: Vec<String> = (0..100).map(|_| next_request_id()).collect();
+        for (i, a) in ids.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn entries_serialize_to_parseable_json() {
+        let line = entry("rid-1").to_json();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("request_id").and_then(Value::as_str), Some("rid-1"));
+        assert_eq!(
+            v.get("component").and_then(Value::as_str),
+            Some("edge_proxy")
+        );
+        assert_eq!(v.get("attempts").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("breaker_skips").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("status").and_then(Value::as_u64), Some(200));
+        assert_eq!(v.get("outcome").and_then(Value::as_str), Some("miss"));
+        assert_eq!(
+            v.get("upstream").and_then(Value::as_str),
+            Some("http://127.0.0.1:9/fetch/x")
+        );
+    }
+
+    #[test]
+    fn ring_bounds_memory_but_counts_everything() {
+        let log = AccessLog::new();
+        for i in 0..ACCESS_LOG_CAPACITY + 5 {
+            log.log(&entry(&format!("rid-{i}")));
+        }
+        assert_eq!(log.len(), (ACCESS_LOG_CAPACITY + 5) as u64);
+        let recent = log.recent();
+        assert_eq!(recent.len(), ACCESS_LOG_CAPACITY);
+        assert!(recent[0].contains("rid-5"), "{}", recent[0]);
+    }
+
+    #[test]
+    fn file_stream_appends_jsonl() {
+        let dir = std::env::temp_dir().join(format!("idicn-access-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let log = AccessLog::new();
+        log.stream_to_file(path.to_str().unwrap()).unwrap();
+        log.log(&entry("rid-a"));
+        log.log(&entry("rid-b"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            parse(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_response_is_prometheus_text() {
+        let r = Registry::new();
+        r.counter("proxy.requests").add(3);
+        let resp = metrics_response(&r, "edge_proxy");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.headers.get("content-type"), Some(PROM_CONTENT_TYPE));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(
+            body.contains("proxy_requests{component=\"edge_proxy\"} 3"),
+            "{body}"
+        );
+    }
+}

@@ -17,6 +17,8 @@
 //!                  origin server
 //! ```
 //!
+//! * [`access`] — hop-to-hop request-ID propagation, per-component JSONL
+//!   access logs, and Prometheus `/metrics` exposition;
 //! * [`crypto`] — SHA-256 (FIPS 180-4) and a Merkle one-time signature
 //!   scheme, both implemented in-repo (no crypto crates on the approved
 //!   dependency list); enough for self-certifying names;
@@ -40,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod adhoc;
 pub mod chunk;
 pub mod crypto;
@@ -55,6 +58,7 @@ pub mod retry;
 pub mod reverse_proxy;
 pub mod wpad;
 
+pub use access::{AccessEntry, AccessLog, REQUEST_ID_HEADER};
 pub use error::{ProxyError, ProxyResult};
 pub use name::{ContentName, Principal};
 

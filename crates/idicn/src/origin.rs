@@ -6,22 +6,30 @@
 //! idICN by fronting an unmodified origin with a Metalink-generating
 //! reverse proxy.
 
+use crate::access::{AccessEntry, AccessLog, REQUEST_ID_HEADER};
 use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
 use crate::Result;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An in-memory origin store served over HTTP at `/content/<label>`.
 #[derive(Clone, Default)]
 pub struct OriginServer {
     store: Arc<RwLock<HashMap<String, Vec<u8>>>>,
+    access: Arc<AccessLog>,
 }
 
 impl OriginServer {
     /// Creates an empty origin.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The structured JSONL access log (one entry per HTTP request).
+    pub fn access_log(&self) -> &AccessLog {
+        &self.access
     }
 
     /// Adds (or replaces) a content object.
@@ -51,15 +59,43 @@ impl OriginServer {
     }
 
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let started = Instant::now();
+        // The origin is an unmodified HTTP server in the paper's story, but
+        // it still echoes the correlation ID (standard tracing practice) so
+        // the full proxy → resolver → reverse proxy → origin chain joins up.
+        let request_id = req
+            .headers
+            .get(REQUEST_ID_HEADER)
+            .unwrap_or("-")
+            .to_string();
+        let (mut resp, outcome) = self.handle_inner(req);
+        if request_id != "-" {
+            resp.headers.set(REQUEST_ID_HEADER, &request_id);
+        }
+        self.access.log(&AccessEntry {
+            request_id,
+            component: "origin",
+            target: req.target.clone(),
+            upstream: None,
+            attempts: 0,
+            breaker_skips: 0,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            status: resp.status,
+            outcome,
+        });
+        resp
+    }
+
+    fn handle_inner(&self, req: &HttpRequest) -> (HttpResponse, &'static str) {
         if req.method != "GET" {
-            return HttpResponse::new(400, b"only GET".to_vec());
+            return (HttpResponse::new(400, b"only GET".to_vec()), "bad_request");
         }
         match req.target.strip_prefix("/content/") {
             Some(label) => match self.get_content(label) {
-                Some(body) => HttpResponse::ok(body),
-                None => HttpResponse::not_found(label),
+                Some(body) => (HttpResponse::ok(body), "ok"),
+                None => (HttpResponse::not_found(label), "not_found"),
             },
-            None => HttpResponse::not_found("unknown path"),
+            None => (HttpResponse::not_found("unknown path"), "unknown"),
         }
     }
 }

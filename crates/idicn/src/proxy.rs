@@ -7,6 +7,7 @@
 //! never serves bytes it could not authenticate — and responds with the
 //! Metalink headers intact so clients can re-verify end-to-end.
 
+use crate::access::{metrics_response, next_request_id, AccessEntry, AccessLog, REQUEST_ID_HEADER};
 use crate::error::{ProxyError, ProxyResult};
 use crate::http::{self, HttpRequest, HttpResponse, HttpServer};
 use crate::metalink::Metadata;
@@ -19,7 +20,7 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Parses `http://host:port/path` into a socket address and path.
 /// Only numeric loopback-style authorities are supported (the overlay uses
@@ -99,6 +100,17 @@ struct Inner {
     breaker_opens: Counter,
     breaker_skips: Counter,
     resolver_fallbacks: Counter,
+    access: AccessLog,
+}
+
+/// Side-band accounting for one upstream fetch, reported in the access
+/// log: which upstream finally served, how many transport attempts were
+/// made, and how many locations the open circuit breaker skipped.
+#[derive(Default)]
+struct FetchTrace {
+    upstream: Option<String>,
+    attempts: u64,
+    breaker_skips: u64,
 }
 
 /// A caching, verifying edge proxy.
@@ -160,8 +172,14 @@ impl EdgeProxy {
                 breaker_opens,
                 breaker_skips,
                 resolver_fallbacks,
+                access: AccessLog::new(),
             }),
         }
+    }
+
+    /// The structured JSONL access log (one entry per handled request).
+    pub fn access_log(&self) -> &AccessLog {
+        &self.inner.access
     }
 
     /// Starts serving on a fresh loopback port.
@@ -199,22 +217,57 @@ impl EdgeProxy {
     }
 
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        // The metrics scrape is observability, not traffic: it bypasses
+        // the request counters and the access log.
+        if req.method == "GET" && req.target == "/metrics" {
+            return metrics_response(&self.inner.obs, "edge_proxy");
+        }
         self.inner.requests.inc();
         self.inner.in_flight.inc();
         let _latency = self.inner.latency.start();
-        let resp = self.handle_inner(req);
+        let started = Instant::now();
+        // The request ID enters here: reuse a client-supplied one, mint
+        // one otherwise; either way it travels in REQUEST_ID_HEADER to the
+        // resolver, the reverse proxy, and the origin, and is echoed back.
+        let request_id = req
+            .headers
+            .get(REQUEST_ID_HEADER)
+            .map(str::to_string)
+            .unwrap_or_else(next_request_id);
+        let mut trace = FetchTrace::default();
+        let (mut resp, outcome) = self.handle_inner(req, &request_id, &mut trace);
+        resp.headers.set(REQUEST_ID_HEADER, request_id.clone());
+        self.inner.access.log(&AccessEntry {
+            request_id,
+            component: "edge_proxy",
+            target: req.target.clone(),
+            upstream: trace.upstream,
+            attempts: trace.attempts,
+            breaker_skips: trace.breaker_skips,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            status: resp.status,
+            outcome,
+        });
         self.inner.in_flight.dec();
         resp
     }
 
-    fn handle_inner(&self, req: &HttpRequest) -> HttpResponse {
+    fn handle_inner(
+        &self,
+        req: &HttpRequest,
+        request_id: &str,
+        trace: &mut FetchTrace,
+    ) -> (HttpResponse, &'static str) {
         if req.method != "GET" {
-            return HttpResponse::new(400, b"only GET".to_vec());
+            return (HttpResponse::new(400, b"only GET".to_vec()), "bad_request");
         }
         let Some(name) = Self::name_from_request(req) else {
-            return HttpResponse::new(400, b"cannot extract idICN name".to_vec());
+            return (
+                HttpResponse::new(400, b"cannot extract idICN name".to_vec()),
+                "bad_request",
+            );
         };
-        match self.fetch(&name) {
+        match self.fetch_traced(&name, request_id, trace) {
             Ok((content, metadata, was_hit)) => {
                 // Range support: a resuming client may ask for a slice.
                 let (status, body, range_hdr) = match req.headers.get("range") {
@@ -224,7 +277,7 @@ impl EdgeProxy {
                             content[s..e].to_vec(),
                             Some(http::content_range(s, e, content.len())),
                         ),
-                        None => return HttpResponse::new(416, Vec::new()),
+                        None => return (HttpResponse::new(416, Vec::new()), "bad_range"),
                     },
                     None => (200, content.as_ref().clone(), None),
                 };
@@ -235,15 +288,16 @@ impl EdgeProxy {
                 }
                 resp.headers
                     .set("X-Cache", if was_hit { "HIT" } else { "MISS" });
-                resp
+                (resp, if was_hit { "hit" } else { "miss" })
             }
-            Err(ProxyError::NotFound(m)) => HttpResponse::not_found(&m),
+            Err(ProxyError::NotFound(m)) => (HttpResponse::not_found(&m), "not_found"),
             // Transport-level upstream failures are "try again later", not
             // "bad gateway": 503 tells clients the outage is transient.
-            Err(e @ (ProxyError::Timeout(_) | ProxyError::Unreachable(_))) => {
-                HttpResponse::new(503, e.to_string().into_bytes())
-            }
-            Err(e) => HttpResponse::new(502, e.to_string().into_bytes()),
+            Err(e @ (ProxyError::Timeout(_) | ProxyError::Unreachable(_))) => (
+                HttpResponse::new(503, e.to_string().into_bytes()),
+                "unavailable",
+            ),
+            Err(e) => (HttpResponse::new(502, e.to_string().into_bytes()), "error"),
         }
     }
 
@@ -263,6 +317,17 @@ impl EdgeProxy {
 
     /// Returns `(content, metadata, was_cache_hit)`.
     pub fn fetch(&self, name: &ContentName) -> ProxyResult<(Arc<Vec<u8>>, Metadata, bool)> {
+        self.fetch_traced(name, &next_request_id(), &mut FetchTrace::default())
+    }
+
+    /// [`EdgeProxy::fetch`] carrying an explicit request ID downstream and
+    /// reporting upstream attempt accounting into `trace`.
+    fn fetch_traced(
+        &self,
+        name: &ContentName,
+        request_id: &str,
+        trace: &mut FetchTrace,
+    ) -> ProxyResult<(Arc<Vec<u8>>, Metadata, bool)> {
         let key = name.to_flat();
         {
             let mut cache = self.inner.cache.write();
@@ -273,7 +338,7 @@ impl EdgeProxy {
             }
         }
         self.inner.misses.inc();
-        let (content, metadata) = self.fetch_remote(name)?;
+        let (content, metadata) = self.fetch_remote(name, request_id, trace)?;
         // Verify BEFORE caching or serving.
         if let Err(e) = metadata.verify(&content) {
             self.inner.verify_failures.inc();
@@ -315,9 +380,9 @@ impl EdgeProxy {
     /// not "name unknown"), the last known locations for the name are
     /// returned instead — a possibly-stale answer beats no answer, and the
     /// signature check still rejects wrong bytes.
-    fn resolve_locations(&self, name: &ContentName) -> ProxyResult<Vec<String>> {
+    fn resolve_locations(&self, name: &ContentName, request_id: &str) -> ProxyResult<Vec<String>> {
         let key = name.to_flat();
-        match self.inner.resolver.resolve(name) {
+        match self.inner.resolver.resolve_with_id(name, Some(request_id)) {
             Ok(Resolution::Locations(locs)) => {
                 self.inner.known_locations.write().insert(key, locs.clone());
                 Ok(locs)
@@ -340,12 +405,18 @@ impl EdgeProxy {
         }
     }
 
-    fn fetch_remote(&self, name: &ContentName) -> ProxyResult<(Vec<u8>, Metadata)> {
-        let locations = self.resolve_locations(name)?;
+    fn fetch_remote(
+        &self,
+        name: &ContentName,
+        request_id: &str,
+        trace: &mut FetchTrace,
+    ) -> ProxyResult<(Vec<u8>, Metadata)> {
+        let locations = self.resolve_locations(name, request_id)?;
         let mut last_err = ProxyError::NotFound(name.to_flat());
         for url in locations {
             if !self.inner.breaker.allows(&url) {
                 self.inner.breaker_skips.inc();
+                trace.breaker_skips += 1;
                 continue;
             }
             let (addr, path) = match parse_http_url(&url) {
@@ -359,12 +430,14 @@ impl EdgeProxy {
                 if attempt > 0 {
                     self.inner.retries.inc();
                 }
-                http::http_get(addr, &path, &[])
+                trace.attempts += 1;
+                http::http_get(addr, &path, &[(REQUEST_ID_HEADER, request_id)])
             });
             match attempt {
                 Ok(resp) if resp.is_success() => {
                     self.inner.breaker.record_success(&url);
                     let metadata = Metadata::from_headers(&resp.headers)?;
+                    trace.upstream = Some(url);
                     return Ok((resp.body, metadata));
                 }
                 Ok(resp) => {

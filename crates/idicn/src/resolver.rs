@@ -11,6 +11,7 @@
 //! The wire protocol is HTTP (POST /register, GET /resolve) so the whole
 //! overlay speaks one protocol.
 
+use crate::access::{metrics_response, AccessEntry, AccessLog, REQUEST_ID_HEADER};
 use crate::crypto::mss::MssSignature;
 use crate::crypto::sha256::digest;
 use crate::crypto::{from_hex, to_hex, Digest};
@@ -21,6 +22,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What a resolution returns.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,12 +67,21 @@ struct Store {
 pub struct Resolver {
     store: Arc<RwLock<Store>>,
     obs: Arc<icn_obs::Registry>,
+    access: Arc<AccessLog>,
 }
 
 impl Resolver {
     /// Creates an empty resolver.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            access: Arc::new(AccessLog::new()),
+            ..Self::default()
+        }
+    }
+
+    /// The structured JSONL access log (one entry per HTTP request).
+    pub fn access_log(&self) -> &AccessLog {
+        &self.access
     }
 
     /// Telemetry snapshot: `resolver.registrations`,
@@ -147,34 +158,72 @@ impl Resolver {
     }
 
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        // Metrics scrapes bypass counters and the access log so that
+        // monitoring does not pollute the numbers it reads.
+        if req.method == "GET" && req.target == "/metrics" {
+            return metrics_response(&self.obs, "resolver");
+        }
+        let started = Instant::now();
+        // The resolver never mints request IDs — it correlates with the
+        // edge proxy's ID when one arrives, and logs "-" otherwise.
+        let request_id = req
+            .headers
+            .get(REQUEST_ID_HEADER)
+            .unwrap_or("-")
+            .to_string();
+        let (mut resp, outcome) = self.handle_inner(req);
+        if request_id != "-" {
+            resp.headers.set(REQUEST_ID_HEADER, &request_id);
+        }
+        self.access.log(&AccessEntry {
+            request_id,
+            component: "resolver",
+            target: req.target.clone(),
+            upstream: None,
+            attempts: 0,
+            breaker_skips: 0,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            status: resp.status,
+            outcome,
+        });
+        resp
+    }
+
+    fn handle_inner(&self, req: &HttpRequest) -> (HttpResponse, &'static str) {
         match (req.method.as_str(), req.target.as_str()) {
             ("POST", "/register") => match parse_registration(&req.body) {
                 Ok(reg) => match self.register(&reg) {
-                    Ok(()) => HttpResponse::new(201, b"registered".to_vec()),
-                    Err(e) => HttpResponse::new(403, e.to_string().into_bytes()),
+                    Ok(()) => (HttpResponse::new(201, b"registered".to_vec()), "registered"),
+                    Err(e) => (
+                        HttpResponse::new(403, e.to_string().into_bytes()),
+                        "rejected",
+                    ),
                 },
-                Err(e) => HttpResponse::new(400, e.to_string().into_bytes()),
+                Err(e) => (
+                    HttpResponse::new(400, e.to_string().into_bytes()),
+                    "bad_request",
+                ),
             },
             ("GET", target) if target.starts_with("/resolve/") => {
                 let flat = &target["/resolve/".len()..];
                 match ContentName::parse(flat) {
-                    None => HttpResponse::new(400, b"bad name".to_vec()),
+                    None => (HttpResponse::new(400, b"bad name".to_vec()), "bad_request"),
                     Some(name) => match self.resolve(&name) {
                         Some(Resolution::Locations(locs)) => {
                             let mut resp = HttpResponse::ok(locs.join("\n").into_bytes());
                             resp.headers.set("X-IdICN-Resolution", "exact");
-                            resp
+                            (resp, "exact")
                         }
                         Some(Resolution::Delegation(loc)) => {
                             let mut resp = HttpResponse::ok(loc.into_bytes());
                             resp.headers.set("X-IdICN-Resolution", "delegation");
-                            resp
+                            (resp, "delegation")
                         }
-                        None => HttpResponse::not_found("no such name"),
+                        None => (HttpResponse::not_found("no such name"), "not_found"),
                     },
                 }
             }
-            _ => HttpResponse::not_found("unknown endpoint"),
+            _ => (HttpResponse::not_found("unknown endpoint"), "unknown"),
         }
     }
 }
@@ -273,7 +322,21 @@ impl ResolverClient {
     /// [`crate::proxy::EdgeProxy`]). Conflating them used to make a
     /// resolver outage look like every name vanishing at once.
     pub fn resolve(&self, name: &ContentName) -> Result<Resolution> {
-        let resp = http::http_get(self.addr, &format!("/resolve/{}", name.to_flat()), &[])?;
+        self.resolve_with_id(name, None)
+    }
+
+    /// Like [`ResolverClient::resolve`], forwarding the edge proxy's
+    /// request-correlation ID in [`REQUEST_ID_HEADER`] so the resolver's
+    /// access log lines join up with the proxy's.
+    pub fn resolve_with_id(
+        &self,
+        name: &ContentName,
+        request_id: Option<&str>,
+    ) -> Result<Resolution> {
+        let headers: Vec<(&str, &str)> = request_id
+            .map(|r| vec![(REQUEST_ID_HEADER, r)])
+            .unwrap_or_default();
+        let resp = http::http_get(self.addr, &format!("/resolve/{}", name.to_flat()), &headers)?;
         match resp.status {
             200 => {
                 let body = String::from_utf8_lossy(&resp.body).to_string();

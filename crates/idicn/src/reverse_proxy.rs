@@ -7,6 +7,7 @@
 //! metadata attached (routing to the origin if it has no fresh copy of a
 //! previously published object).
 
+use crate::access::{metrics_response, next_request_id, AccessEntry, AccessLog, REQUEST_ID_HEADER};
 use crate::chunk::ChunkedDigests;
 use crate::crypto::mss::Identity;
 use crate::crypto::sha256::digest;
@@ -19,6 +20,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default Metalink piece size (64 KiB).
 pub const DEFAULT_PIECE_SIZE: usize = 64 * 1024;
@@ -39,6 +41,7 @@ struct Inner {
     published: RwLock<HashMap<String, Metadata>>,
     addr: Mutex<Option<SocketAddr>>,
     obs: icn_obs::Registry,
+    access: AccessLog,
 }
 
 /// A running reverse proxy bound to one origin, one resolver, and one
@@ -63,8 +66,14 @@ impl ReverseProxy {
                 published: RwLock::new(HashMap::new()),
                 addr: Mutex::new(None),
                 obs: icn_obs::Registry::new(),
+                access: AccessLog::new(),
             }),
         }
+    }
+
+    /// The structured JSONL access log (one entry per HTTP request).
+    pub fn access_log(&self) -> &AccessLog {
+        &self.inner.access
     }
 
     /// Telemetry snapshot: `rp.publishes`, `rp.serves`, `rp.fresh_hits`,
@@ -98,7 +107,7 @@ impl ReverseProxy {
     pub fn publish(&self, label: &str) -> ProxyResult<ContentName> {
         let name = ContentName::new(label, self.inner.principal)
             .ok_or_else(|| ProxyError::InvalidLabel(label.to_string()))?;
-        let content = self.fetch_origin(label)?;
+        let content = self.fetch_origin(label, &next_request_id())?;
         let digests = ChunkedDigests::compute(&content, DEFAULT_PIECE_SIZE);
         let mut id = self.inner.identity.lock();
         let binding = name.binding_bytes(&digests.full);
@@ -144,8 +153,12 @@ impl ReverseProxy {
         self.inner.cache.write().remove(label);
     }
 
-    fn fetch_origin(&self, label: &str) -> ProxyResult<Vec<u8>> {
-        let resp = http::http_get(self.inner.origin_addr, &format!("/content/{label}"), &[])?;
+    fn fetch_origin(&self, label: &str, request_id: &str) -> ProxyResult<Vec<u8>> {
+        let resp = http::http_get(
+            self.inner.origin_addr,
+            &format!("/content/{label}"),
+            &[(REQUEST_ID_HEADER, request_id)],
+        )?;
         if !resp.is_success() {
             return Err(ProxyError::NotFound(format!("origin has no {label:?}")));
         }
@@ -153,22 +166,64 @@ impl ReverseProxy {
     }
 
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        // Metrics scrapes bypass counters and the access log so that
+        // monitoring does not pollute the numbers it reads.
+        if req.method == "GET" && req.target == "/metrics" {
+            return metrics_response(&self.inner.obs, "reverse_proxy");
+        }
+        let started = Instant::now();
+        let request_id = req
+            .headers
+            .get(REQUEST_ID_HEADER)
+            .unwrap_or("-")
+            .to_string();
+        let mut upstream = None;
+        let mut attempts = 0;
+        let (mut resp, outcome) = self.handle_inner(req, &request_id, &mut upstream, &mut attempts);
+        if request_id != "-" {
+            resp.headers.set(REQUEST_ID_HEADER, &request_id);
+        }
+        self.inner.access.log(&AccessEntry {
+            request_id,
+            component: "reverse_proxy",
+            target: req.target.clone(),
+            upstream,
+            attempts,
+            breaker_skips: 0,
+            latency_ns: started.elapsed().as_nanos() as u64,
+            status: resp.status,
+            outcome,
+        });
+        resp
+    }
+
+    fn handle_inner(
+        &self,
+        req: &HttpRequest,
+        request_id: &str,
+        upstream: &mut Option<String>,
+        attempts: &mut u64,
+    ) -> (HttpResponse, &'static str) {
         if req.method != "GET" {
-            return HttpResponse::new(400, b"only GET".to_vec());
+            return (HttpResponse::new(400, b"only GET".to_vec()), "bad_request");
         }
         let Some(flat) = req.target.strip_prefix("/fetch/") else {
-            return HttpResponse::not_found("unknown path");
+            return (HttpResponse::not_found("unknown path"), "unknown");
         };
         let Some(name) = ContentName::parse(flat) else {
-            return HttpResponse::new(400, b"bad name".to_vec());
+            return (HttpResponse::new(400, b"bad name".to_vec()), "bad_request");
         };
         if name.principal != self.inner.principal {
-            return HttpResponse::new(403, b"not our principal".to_vec());
+            return (
+                HttpResponse::new(403, b"not our principal".to_vec()),
+                "forbidden",
+            );
         }
         // Fresh copy? Serve it (step 6). Otherwise route to the origin
         // (step 5) — but only for published (signed) labels.
         self.inner.obs.counter("rp.serves").inc();
         let cached = self.inner.cache.read().get(&name.label).cloned();
+        let mut outcome = "fresh_hit";
         let (content, metadata) = match cached {
             Some((c, m)) => {
                 self.inner.obs.counter("rp.fresh_hits").inc();
@@ -176,10 +231,15 @@ impl ReverseProxy {
             }
             None => {
                 let Some(metadata) = self.inner.published.read().get(&name.label).cloned() else {
-                    return HttpResponse::not_found("not published");
+                    return (HttpResponse::not_found("not published"), "not_published");
                 };
                 self.inner.obs.counter("rp.origin_refetches").inc();
-                match self.fetch_origin(&name.label) {
+                *attempts += 1;
+                *upstream = Some(format!(
+                    "http://{}/content/{}",
+                    self.inner.origin_addr, name.label
+                ));
+                match self.fetch_origin(&name.label, request_id) {
                     Ok(content) => {
                         // Refuse to serve origin bytes that no longer match
                         // the published signature.
@@ -188,22 +248,31 @@ impl ReverseProxy {
                             let err = ProxyError::Diverged {
                                 label: name.label.clone(),
                             };
-                            return HttpResponse::new(502, err.to_string().into_bytes());
+                            return (
+                                HttpResponse::new(502, err.to_string().into_bytes()),
+                                "diverged",
+                            );
                         }
                         let content = Arc::new(content);
                         self.inner
                             .cache
                             .write()
                             .insert(name.label.clone(), (content.clone(), metadata.clone()));
+                        outcome = "origin_refetch";
                         (content, metadata)
                     }
-                    Err(e) => return HttpResponse::new(502, e.to_string().into_bytes()),
+                    Err(e) => {
+                        return (
+                            HttpResponse::new(502, e.to_string().into_bytes()),
+                            "origin_error",
+                        )
+                    }
                 }
             }
         };
         let mut resp = HttpResponse::ok(content.as_ref().clone());
         metadata.to_headers(&mut resp.headers);
-        resp
+        (resp, outcome)
     }
 }
 

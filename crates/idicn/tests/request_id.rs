@@ -1,0 +1,219 @@
+//! End-to-end request-ID propagation (PR 6).
+//!
+//! One request entering the overlay at the edge proxy must be traceable
+//! through every hop: the proxy mints (or reuses) an ID, forwards it in
+//! `X-IdICN-Request-Id` to the resolver and the reverse proxy, the reverse
+//! proxy forwards it to the origin, and every component logs one access
+//! line carrying that exact ID.
+
+use idicn::crypto::mss::Identity;
+use idicn::http::{self, HttpServer};
+use idicn::origin::OriginServer;
+use idicn::proxy::EdgeProxy;
+use idicn::resolver::{Resolver, ResolverClient};
+use idicn::reverse_proxy::ReverseProxy;
+use idicn::REQUEST_ID_HEADER;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Rig {
+    origin: OriginServer,
+    _origin_srv: HttpServer,
+    resolver: Resolver,
+    _resolver_srv: HttpServer,
+    rp: ReverseProxy,
+    _rp_srv: HttpServer,
+    proxy: EdgeProxy,
+    proxy_srv: HttpServer,
+}
+
+fn rig() -> Rig {
+    let origin = OriginServer::new();
+    let origin_srv = origin.serve().unwrap();
+    let resolver = Resolver::new();
+    let resolver_srv = resolver.serve().unwrap();
+    let rc = ResolverClient::new(resolver_srv.addr());
+    let identity = Identity::generate(&mut StdRng::seed_from_u64(123), 4);
+    let rp = ReverseProxy::new(identity, origin_srv.addr(), rc);
+    let rp_srv = rp.serve().unwrap();
+    let proxy = EdgeProxy::new(rc, 16);
+    let proxy_srv = proxy.serve().unwrap();
+    Rig {
+        origin,
+        _origin_srv: origin_srv,
+        resolver,
+        _resolver_srv: resolver_srv,
+        rp,
+        _rp_srv: rp_srv,
+        proxy,
+        proxy_srv,
+    }
+}
+
+/// Lines in `log` whose `request_id` field equals `id`.
+fn lines_with_id(log: &idicn::AccessLog, id: &str) -> Vec<String> {
+    let needle = format!("\"request_id\":\"{id}\"");
+    log.recent()
+        .into_iter()
+        .filter(|l| l.contains(&needle))
+        .collect()
+}
+
+#[test]
+fn one_request_id_survives_every_hop() {
+    let rig = rig();
+    rig.origin.add_content("traced", b"follow the id".to_vec());
+    let name = rig.rp.publish("traced").unwrap();
+    // Evict the reverse proxy's fresh copy so the fetch exercises the full
+    // chain: proxy -> resolver -> reverse proxy -> origin.
+    rig.rp.evict("traced");
+
+    let id = "e2e-trace-0001";
+    let resp = http::http_get(
+        rig.proxy_srv.addr(),
+        &format!("/fetch/{}", name.to_flat()),
+        &[(REQUEST_ID_HEADER, id)],
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"follow the id");
+    // The client-supplied ID is echoed back, not replaced.
+    assert_eq!(resp.headers.get(REQUEST_ID_HEADER), Some(id));
+
+    // Every hop logged exactly that ID.
+    for (component, log) in [
+        ("edge_proxy", rig.proxy.access_log()),
+        ("resolver", rig.resolver.access_log()),
+        ("reverse_proxy", rig.rp.access_log()),
+        ("origin", rig.origin.access_log()),
+    ] {
+        let lines = lines_with_id(log, id);
+        assert!(
+            !lines.is_empty(),
+            "{component} has no access-log line for {id}: {:?}",
+            log.recent()
+        );
+        for line in &lines {
+            assert!(
+                line.contains(&format!("\"component\":\"{component}\"")),
+                "{line}"
+            );
+        }
+    }
+
+    // The edge proxy's line records the miss, the upstream it fetched
+    // from, and at least one attempt.
+    let proxy_line = &lines_with_id(rig.proxy.access_log(), id)[0];
+    assert!(proxy_line.contains("\"outcome\":\"miss\""), "{proxy_line}");
+    assert!(proxy_line.contains("\"attempts\":1"), "{proxy_line}");
+    assert!(proxy_line.contains("/fetch/"), "{proxy_line}");
+    // The reverse proxy refetched from the origin under the same ID.
+    let rp_line = &lines_with_id(rig.rp.access_log(), id)[0];
+    assert!(
+        rp_line.contains("\"outcome\":\"origin_refetch\""),
+        "{rp_line}"
+    );
+    assert!(rp_line.contains("/content/traced"), "{rp_line}");
+}
+
+#[test]
+fn proxy_mints_id_when_client_sends_none() {
+    let rig = rig();
+    rig.origin.add_content("auto", b"minted".to_vec());
+    let name = rig.rp.publish("auto").unwrap();
+    rig.rp.evict("auto");
+
+    let resp = http::http_get(
+        rig.proxy_srv.addr(),
+        &format!("/fetch/{}", name.to_flat()),
+        &[],
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    let id = resp
+        .headers
+        .get(REQUEST_ID_HEADER)
+        .expect("proxy must mint and echo a request ID")
+        .to_string();
+    assert!(!id.is_empty() && id != "-");
+
+    // The minted ID reached every downstream hop.
+    for log in [
+        rig.proxy.access_log(),
+        rig.resolver.access_log(),
+        rig.rp.access_log(),
+        rig.origin.access_log(),
+    ] {
+        assert!(
+            !lines_with_id(log, &id).is_empty(),
+            "missing {id} in {:?}",
+            log.recent()
+        );
+    }
+}
+
+#[test]
+fn cache_hit_logs_only_at_the_proxy() {
+    let rig = rig();
+    rig.origin.add_content("hot", b"cached".to_vec());
+    let name = rig.rp.publish("hot").unwrap();
+
+    // Warm the proxy cache.
+    let warm = http::http_get(
+        rig.proxy_srv.addr(),
+        &format!("/fetch/{}", name.to_flat()),
+        &[(REQUEST_ID_HEADER, "warmup-id")],
+    )
+    .unwrap();
+    assert_eq!(warm.status, 200);
+
+    let id = "hit-id-42";
+    let resp = http::http_get(
+        rig.proxy_srv.addr(),
+        &format!("/fetch/{}", name.to_flat()),
+        &[(REQUEST_ID_HEADER, id)],
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.headers.get("x-cache"), Some("HIT"));
+    assert_eq!(resp.headers.get(REQUEST_ID_HEADER), Some(id));
+
+    let proxy_line = &lines_with_id(rig.proxy.access_log(), id)[0];
+    assert!(proxy_line.contains("\"outcome\":\"hit\""), "{proxy_line}");
+    assert!(proxy_line.contains("\"attempts\":0"), "{proxy_line}");
+    assert!(proxy_line.contains("\"upstream\":null"), "{proxy_line}");
+    // A hit never leaves the proxy: no downstream component saw the ID.
+    for log in [
+        rig.resolver.access_log(),
+        rig.rp.access_log(),
+        rig.origin.access_log(),
+    ] {
+        assert!(lines_with_id(log, id).is_empty());
+    }
+}
+
+#[test]
+fn metrics_scrapes_stay_out_of_access_logs_and_counters() {
+    let rig = rig();
+    rig.origin.add_content("page", b"bytes".to_vec());
+    let name = rig.rp.publish("page").unwrap();
+    let _ = http::http_get(
+        rig.proxy_srv.addr(),
+        &format!("/fetch/{}", name.to_flat()),
+        &[],
+    )
+    .unwrap();
+    let logged_before = rig.proxy.access_log().len();
+    let requests_before = rig.proxy.stats().requests;
+
+    let scrape = http::http_get(rig.proxy_srv.addr(), "/metrics", &[]).unwrap();
+    assert_eq!(scrape.status, 200);
+    let body = String::from_utf8(scrape.body).unwrap();
+    assert!(
+        body.contains("component=\"edge_proxy\""),
+        "scrape body: {body}"
+    );
+
+    assert_eq!(rig.proxy.access_log().len(), logged_before);
+    assert_eq!(rig.proxy.stats().requests, requests_before);
+}

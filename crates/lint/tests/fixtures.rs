@@ -154,6 +154,45 @@ fn deterministic_core_and_feature_gate_scoping() {
 }
 
 #[test]
+fn ungated_timing_machinery_is_flagged_gated_is_not() {
+    let fx = Fixture::new();
+    // A stored Profiler and a bare Instant::now in core source must be
+    // feature-gate findings; the identical machinery behind
+    // `#[cfg(feature = "obs")]` or inside instrument.rs passes.
+    fx.write(
+        "crates/core/src/sim.rs",
+        concat!(
+            "struct Obs { profiler: Profiler }\n",
+            "fn t() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }\n",
+            "#[cfg(feature = \"obs\")]\n",
+            "fn gated(p: &PhaseHandle) {}\n",
+        ),
+    )
+    .write(
+        "crates/core/src/instrument.rs",
+        "use icn_obs::Profiler;\nfn t() { let _ = std::time::Instant::now(); }\n",
+    );
+    let report = fx.scan(&Config::default());
+    let found = keys(&report);
+    assert!(
+        found.contains(&"feature-gate-obs:crates/core/src/sim.rs:1".to_string()),
+        "{found:?}"
+    );
+    assert!(
+        found.contains(&"feature-gate-obs:crates/core/src/sim.rs:2".to_string()),
+        "{found:?}"
+    );
+    assert!(
+        !found.iter().any(|k| k.contains("sim.rs:4")),
+        "gated PhaseHandle must pass: {found:?}"
+    );
+    assert!(
+        !found.iter().any(|k| k.contains("instrument.rs")),
+        "instrument.rs is the sanctioned home: {found:?}"
+    );
+}
+
+#[test]
 fn sweep_engine_must_merge_in_submission_order() {
     let fx = Fixture::new();
     // Completion-order collection (channels, locked accumulators, rayon)

@@ -1,0 +1,236 @@
+//! The sweep flight recorder: a fixed-size ring of recent cell-completion
+//! events plus live cell-level progress/ETA.
+//!
+//! A long parameter sweep (hundreds of simulator cells, tens of minutes at
+//! SCALE=1.0) previously died silently: a panic in cell 412 left no record
+//! of the 411 cells that finished or how fast they were going. A
+//! [`FlightRecorder`] keeps the last [`RING_CAPACITY`] completions
+//! (submission index, config label, request count, wall time, peak RSS) and
+//! a running total, emits throttled `cells/s` + ETA lines through
+//! [`Progress`], and serializes to JSON — written on normal completion and,
+//! via [`install_panic_dump`], to stderr when the process panics, so a
+//! dying run leaves a forensic record instead of nothing.
+
+use crate::json::Value;
+use crate::progress::Progress;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Number of recent cell completions retained (oldest evicted first).
+pub const RING_CAPACITY: usize = 64;
+
+/// One completed sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellEvent {
+    /// Submission index of the cell within its batch.
+    pub index: usize,
+    /// Human label for the cell's configuration (design/topology/knob).
+    pub label: String,
+    /// Requests the cell simulated.
+    pub requests: u64,
+    /// Wall-clock nanoseconds the cell took (0 when timing is unavailable,
+    /// e.g. in `--no-default-features` builds).
+    pub wall_ns: u64,
+    /// Process peak RSS in KiB observed at completion (0 when unknown).
+    pub peak_rss_kb: u64,
+}
+
+impl CellEvent {
+    fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("index".to_string(), Value::UInt(self.index as u64));
+        m.insert("label".to_string(), Value::Str(self.label.clone()));
+        m.insert("requests".to_string(), Value::UInt(self.requests));
+        m.insert("wall_ns".to_string(), Value::UInt(self.wall_ns));
+        m.insert("peak_rss_kb".to_string(), Value::UInt(self.peak_rss_kb));
+        Value::Obj(m)
+    }
+}
+
+struct Inner {
+    ring: VecDeque<CellEvent>,
+    done: u64,
+    planned: u64,
+    requests: u64,
+    wall_ns: u64,
+    progress: Progress,
+}
+
+/// A thread-safe recorder of recent sweep-cell completions. Wrap in an
+/// [`Arc`] to share with a panic hook and with parallel workers.
+pub struct FlightRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// An empty recorder; `label` prefixes its progress lines.
+    pub fn new(label: &str) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(RING_CAPACITY),
+                done: 0,
+                planned: 0,
+                requests: 0,
+                wall_ns: 0,
+                progress: Progress::new(label, 0).with_units("cells", "cells/s"),
+            }),
+        }
+    }
+
+    /// Silences the progress lines (the JSON record is still kept).
+    pub fn silent(self) -> Self {
+        {
+            let mut inner = self.lock();
+            inner.progress.set_enabled(false);
+        }
+        self
+    }
+
+    /// Announces `n` more cells about to run (grid bins run several
+    /// batches; the ETA tracks the cumulative plan).
+    pub fn add_planned(&self, n: u64) {
+        let mut inner = self.lock();
+        inner.planned += n;
+        let planned = inner.planned;
+        inner.progress.set_total(planned);
+    }
+
+    /// Records one completed cell and ticks the progress line.
+    pub fn record(&self, ev: CellEvent) {
+        let mut inner = self.lock();
+        inner.done += 1;
+        inner.requests += ev.requests;
+        inner.wall_ns = inner.wall_ns.saturating_add(ev.wall_ns);
+        if inner.ring.len() == RING_CAPACITY {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(ev);
+        let done = inner.done;
+        inner.progress.tick(done);
+    }
+
+    /// Prints the final progress line.
+    pub fn finish(&self) {
+        let mut inner = self.lock();
+        let done = inner.done;
+        inner.progress.finish(done);
+    }
+
+    /// Number of cells recorded so far.
+    pub fn done(&self) -> u64 {
+        self.lock().done
+    }
+
+    /// Serializes the full record (totals + the recent-event ring) to a
+    /// compact JSON object.
+    pub fn to_json(&self) -> String {
+        let inner = self.lock();
+        let mut root = BTreeMap::new();
+        root.insert("record".to_string(), Value::Str("sweep-flight".into()));
+        root.insert("cells_done".to_string(), Value::UInt(inner.done));
+        root.insert("cells_planned".to_string(), Value::UInt(inner.planned));
+        root.insert("requests".to_string(), Value::UInt(inner.requests));
+        root.insert("cell_wall_ns".to_string(), Value::UInt(inner.wall_ns));
+        root.insert("peak_rss_kb".to_string(), Value::UInt(peak_rss_kb()));
+        root.insert(
+            "recent".to_string(),
+            Value::Arr(inner.ring.iter().map(CellEvent::to_value).collect()),
+        );
+        Value::Obj(root).to_json()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Installs a panic hook that dumps `recorder`'s JSON to stderr before
+/// delegating to the previous hook, so an aborted sweep leaves its flight
+/// record behind. Call once per process.
+pub fn install_panic_dump(recorder: Arc<FlightRecorder>) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        eprintln!("sweep flight record (panic dump): {}", recorder.to_json());
+        previous(info);
+    }));
+}
+
+/// Process peak resident set size in KiB (`VmHWM` from `/proc`), or 0
+/// when the platform does not expose it.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn ev(index: usize, requests: u64) -> CellEvent {
+        CellEvent {
+            index,
+            label: format!("cell-{index}"),
+            requests,
+            wall_ns: 1_000,
+            peak_rss_kb: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_recent_events() {
+        let rec = FlightRecorder::new("test").silent();
+        rec.add_planned(RING_CAPACITY as u64 + 10);
+        for i in 0..RING_CAPACITY + 10 {
+            rec.record(ev(i, 5));
+        }
+        assert_eq!(rec.done(), RING_CAPACITY as u64 + 10);
+        let root = parse(&rec.to_json()).unwrap();
+        let recent = root.get("recent").and_then(Value::as_arr).unwrap();
+        assert_eq!(recent.len(), RING_CAPACITY);
+        // Oldest entries were evicted: the first retained index is 10.
+        assert_eq!(
+            recent[0].get("index").and_then(Value::as_u64),
+            Some(10),
+            "{:?}",
+            recent[0]
+        );
+    }
+
+    #[test]
+    fn totals_accumulate_across_batches() {
+        let rec = FlightRecorder::new("test").silent();
+        rec.add_planned(2);
+        rec.record(ev(0, 100));
+        rec.add_planned(3);
+        rec.record(ev(1, 50));
+        let root = parse(&rec.to_json()).unwrap();
+        assert_eq!(root.get("cells_done").and_then(Value::as_u64), Some(2));
+        assert_eq!(root.get("cells_planned").and_then(Value::as_u64), Some(5));
+        assert_eq!(root.get("requests").and_then(Value::as_u64), Some(150));
+        assert_eq!(
+            root.get("cell_wall_ns").and_then(Value::as_u64),
+            Some(2_000)
+        );
+        rec.finish();
+    }
+
+    #[test]
+    fn peak_rss_is_plausible() {
+        // On Linux /proc is available and the value is nonzero; elsewhere
+        // the helper degrades to 0 rather than failing.
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0);
+        }
+    }
+}

@@ -20,6 +20,15 @@
 //!   `--telemetry out.json` sidecar format), lossless round-trip via
 //!   [`Snapshot::from_json`], exact cross-run merging, and a human table.
 //! - **Progress lines** ([`Progress`]): throttled requests/sec + ETA.
+//! - **Hierarchical span profiler** ([`Profiler`]): sampling,
+//!   zero-allocation self/total time attribution per phase via a
+//!   thread-local span stack, mergeable across workers and exported as
+//!   JSON ([`ProfileSnapshot`]).
+//! - **Flight recorder** ([`FlightRecorder`]): a ring of recent sweep-cell
+//!   completions with cell-level progress/ETA, dumped as JSON on
+//!   completion or panic.
+//! - **Prometheus exposition** ([`render_prometheus`]): text-format
+//!   `/metrics` rendering of any snapshot.
 //!
 //! The JSON itself is this crate's own ~300-line implementation
 //! ([`json`]), kept deliberately boring: objects are `BTreeMap`s so
@@ -27,15 +36,21 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod hist;
 pub mod json;
+pub mod profiler;
 pub mod progress;
+pub mod prom;
 pub mod registry;
 pub mod snapshot;
 pub mod trace;
 
+pub use flight::{install_panic_dump, peak_rss_kb, CellEvent, FlightRecorder};
 pub use hist::{AtomicHistogram, Histogram};
+pub use profiler::{PhaseHandle, PhaseSummary, ProfileSnapshot, Profiler, SpanGuard};
 pub use progress::Progress;
+pub use prom::{render_prometheus, sanitize_metric_name, PROM_CONTENT_TYPE};
 pub use registry::{Counter, Gauge, HistHandle, Registry, ScopedTimer, TimerHandle};
 pub use snapshot::{fmt_ns, HistSummary, Snapshot};
 pub use trace::{TraceRecord, TraceSink};

@@ -18,6 +18,8 @@ pub struct Progress {
     next_check: u64,
     min_interval: Duration,
     enabled: bool,
+    unit: &'static str,
+    rate_unit: &'static str,
 }
 
 impl Progress {
@@ -35,6 +37,8 @@ impl Progress {
             next_check: 0,
             min_interval: Duration::from_secs(2),
             enabled: true,
+            unit: "requests",
+            rate_unit: "req/s",
         }
     }
 
@@ -43,6 +47,26 @@ impl Progress {
     pub fn silent(mut self) -> Self {
         self.enabled = false;
         self
+    }
+
+    /// Relabels the counted items (default `"requests"` / `"req/s"`), e.g.
+    /// `"cells"` / `"cells/s"` for sweep-level progress.
+    pub fn with_units(mut self, unit: &'static str, rate_unit: &'static str) -> Self {
+        self.unit = unit;
+        self.rate_unit = rate_unit;
+        self
+    }
+
+    /// Enables or disables output after construction.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Replaces the expected total (dynamic plans grow batch by batch);
+    /// retunes the count throttle to the new total.
+    pub fn set_total(&mut self, total: u64) {
+        self.total = total;
+        self.check_every = (total / 100).clamp(1, 65_536);
     }
 
     /// Reports that `done` items are complete. Prints at most every
@@ -75,8 +99,8 @@ impl Progress {
         let mut err = io::stderr().lock();
         let _ = writeln!(
             err,
-            "[{}] done: {} requests in {:.1}s ({:.0} req/s)",
-            self.label, done, elapsed, rate
+            "[{}] done: {} {} in {:.1}s ({:.0} {})",
+            self.label, done, self.unit, elapsed, rate, self.rate_unit
         );
     }
 
@@ -92,11 +116,15 @@ impl Progress {
             let pct = 100.0 * done as f64 / self.total as f64;
             let _ = writeln!(
                 err,
-                "[{}] {done}/{} ({pct:.0}%) {rate:.0} req/s, eta {eta:.0}s",
-                self.label, self.total
+                "[{}] {done}/{} ({pct:.0}%) {rate:.0} {}, eta {eta:.0}s",
+                self.label, self.total, self.rate_unit
             );
         } else {
-            let _ = writeln!(err, "[{}] {done} requests, {rate:.0} req/s", self.label);
+            let _ = writeln!(
+                err,
+                "[{}] {done} {}, {rate:.0} {}",
+                self.label, self.unit, self.rate_unit
+            );
         }
     }
 }

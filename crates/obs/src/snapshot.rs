@@ -58,7 +58,7 @@ impl HistSummary {
         Histogram::from_parts(&self.buckets, self.count, self.sum, self.min, self.max)
     }
 
-    fn to_value(&self) -> Value {
+    pub(crate) fn to_value(&self) -> Value {
         let mut m = BTreeMap::new();
         m.insert("count".into(), Value::UInt(self.count));
         m.insert("sum".into(), Value::UInt(self.sum));
@@ -81,7 +81,7 @@ impl HistSummary {
         Value::Obj(m)
     }
 
-    fn from_value(v: &Value) -> Result<Self, String> {
+    pub(crate) fn from_value(v: &Value) -> Result<Self, String> {
         let num = |k: &str| -> Result<u64, String> {
             v.get(k)
                 .and_then(Value::as_u64)

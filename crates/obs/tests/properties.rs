@@ -1,8 +1,8 @@
 //! Property tests for the observability primitives: quantile accuracy
-//! against an exact oracle, merge algebra, concurrent recording, and
-//! snapshot JSON round trips.
+//! against an exact oracle, merge algebra, concurrent recording, snapshot
+//! JSON round trips, and the span profiler's merge/nesting invariants.
 
-use icn_obs::{Histogram, Registry, Snapshot};
+use icn_obs::{Histogram, ProfileSnapshot, Profiler, Registry, Snapshot};
 use proptest::prelude::*;
 
 /// The same rank convention `Histogram::quantile` uses.
@@ -101,6 +101,102 @@ proptest! {
         // And a second round trip is a fixed point.
         let again = Snapshot::from_json(&back.to_json()).unwrap();
         prop_assert_eq!(&again, &back);
+    }
+}
+
+/// Observations as `(phase, self_ns, total_ns)` with `self ≤ total`.
+fn observations() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+    prop::collection::vec(
+        (0u8..4, 0u64..1_000_000, 0u64..1_000_000).prop_map(|(n, a, b)| (n, a.min(b), a.max(b))),
+        0..50,
+    )
+}
+
+fn profiler_of(obs: &[(u8, u64, u64)]) -> Profiler {
+    let p = Profiler::new();
+    for &(name, self_ns, total_ns) in obs {
+        p.phase(&format!("phase.{name}"))
+            .observe_ns(self_ns, total_ns);
+    }
+    p
+}
+
+proptest! {
+    #[test]
+    fn profiler_merge_is_associative_and_commutative(
+        a in observations(), b in observations(), c in observations()
+    ) {
+        let (pa, pb, pc) = (profiler_of(&a), profiler_of(&b), profiler_of(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let ab_c = profiler_of(&a);
+        ab_c.merge_from(&pb);
+        ab_c.merge_from(&pc);
+        let bc = profiler_of(&b);
+        bc.merge_from(&pc);
+        let a_bc = profiler_of(&a);
+        a_bc.merge_from(&bc);
+        prop_assert_eq!(ab_c.snapshot(), a_bc.snapshot());
+
+        // a ∪ b == b ∪ a
+        let ab = profiler_of(&a);
+        ab.merge_from(&pb);
+        let ba = profiler_of(&b);
+        ba.merge_from(&pa);
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+    }
+
+    #[test]
+    fn profile_json_round_trips(obs in observations()) {
+        let snap = profiler_of(&obs).snapshot();
+        let back = ProfileSnapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(&back, &snap);
+        let again = ProfileSnapshot::from_json(&back.to_json()).unwrap();
+        prop_assert_eq!(&again, &back);
+    }
+
+    #[test]
+    fn span_nesting_tiles_the_root(ops in prop::collection::vec(0u8..2, 0..40)) {
+        // Interpret `ops` as open/close events of a random span tree under
+        // a single root, phases named by depth. On one thread the self
+        // times must tile the root's total exactly: every nanosecond of
+        // the root span is the self time of exactly one phase.
+        let p = Profiler::new();
+        let root = p.phase("root");
+        {
+            let _root = root.span();
+            let mut guards = Vec::new();
+            for op in ops {
+                if op == 1 {
+                    guards.push(p.phase(&format!("depth.{}", guards.len() + 1)).span());
+                } else {
+                    guards.pop();
+                }
+            }
+            while guards.pop().is_some() {}
+        }
+        let snap = p.snapshot();
+        let mut self_sum = 0u64;
+        for (name, phase) in &snap.phases {
+            prop_assert!(
+                phase.self_ns.sum <= phase.total_ns.sum,
+                "{name}: self {} > total {}",
+                phase.self_ns.sum,
+                phase.total_ns.sum
+            );
+            prop_assert_eq!(phase.self_ns.count, phase.count);
+            prop_assert_eq!(phase.total_ns.count, phase.count);
+            self_sum += phase.self_ns.sum;
+        }
+        prop_assert_eq!(self_sum, snap.phases["root"].total_ns.sum);
+        // Children at depth d+1 are fully contained in spans at depth d.
+        for d in 1.. {
+            let Some(child) = snap.phases.get(&format!("depth.{}", d + 1)) else {
+                break;
+            };
+            let parent = &snap.phases[&format!("depth.{d}")];
+            prop_assert!(child.total_ns.sum <= parent.total_ns.sum);
+        }
     }
 }
 
