@@ -212,6 +212,9 @@ impl<'a> Simulator<'a> {
                 caches.push(CacheSlot::None);
             }
         }
+        // Build-mode switch: selects the slow reference implementation that check.sh
+        // byte-compares against the flat path; within either mode runs are bit-reproducible.
+        // lint:allow(deterministic-core-reach): build-mode switch, not a per-run input
         let reference = std::env::var_os("ICN_SIM_REFERENCE").is_some_and(|v| v != "0");
         let track = spec.routing == Routing::NearestReplica;
         let use_masks = track && !reference && net.tree.nodes() <= MAX_MASK_TREE;

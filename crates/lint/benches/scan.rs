@@ -1,0 +1,28 @@
+//! Full-workspace lint scan latency.
+//!
+//! The scan runs on every `scripts/check.sh` invocation, so its cost is
+//! developer-loop latency; `check.sh` enforces a wall-clock budget with
+//! `--budget-ms`, and this bench is where regressions are diagnosed
+//! (per-rule timings come from `icn-lint --json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use icn_lint::{engine, Config};
+use std::path::Path;
+
+fn scan_benches(c: &mut Criterion) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = Config::load(&root.join("lint.toml")).expect("load lint.toml");
+
+    let mut group = c.benchmark_group("lint");
+    group.sample_size(10);
+    group.bench_function("workspace_scan", |b| {
+        b.iter(|| {
+            let report = engine::scan(black_box(&root), black_box(&config)).expect("scan");
+            black_box(report.files)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scan_benches);
+criterion_main!(benches);

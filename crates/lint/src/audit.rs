@@ -1,0 +1,91 @@
+//! `unsafe-audit`: every `unsafe` site needs a `// SAFETY:` justification
+//! and an inventory entry in `lint.toml`.
+//!
+//! Two requirements, both auditable in review:
+//! 1. an `unsafe` keyword (block, fn, impl, trait) must have a line
+//!    comment containing `SAFETY:` on the same line or the line directly
+//!    above — the argument for soundness lives next to the code it argues
+//!    about;
+//! 2. every justified site must be listed under `[unsafe] sites` in
+//!    `lint.toml` (as `path:line`), so the reviewer diff of any PR that
+//!    adds unsafe code necessarily touches the committed inventory.
+//!
+//! The keyword is matched in the masked view, so `unsafe` in strings,
+//! comments, and docs never counts. Sites in test code are audited too:
+//! unsound test scaffolding corrupts exactly the determinism evidence the
+//! test suite exists to produce.
+
+use crate::rules::{token_offsets, RuleOutcome, Suppressed, Violation, UNSAFE_AUDIT};
+use crate::symtab::FileUnit;
+use std::collections::BTreeSet;
+
+/// Runs the rule over all scanned files. Returns the outcome, the stale
+/// inventory entries (listed in `lint.toml` but no longer in the code),
+/// and the current inventory (every justified site, for
+/// `--write-baseline`).
+pub fn check(units: &[FileUnit], inventory: &[String]) -> (RuleOutcome, Vec<String>, Vec<String>) {
+    let mut out = RuleOutcome::default();
+    let mut current: Vec<String> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+
+    for unit in units {
+        let mut lines: Vec<usize> = token_offsets(&unit.source.masked.code, "unsafe", false)
+            .into_iter()
+            .map(|off| unit.source.masked.line_of(off))
+            .collect();
+        lines.dedup();
+        for line in lines {
+            let site = format!("{}:{}", unit.rel, line);
+            seen.insert(site.clone());
+            if !has_safety_comment(unit, line) {
+                if unit.source.is_allowed(UNSAFE_AUDIT, line) {
+                    // The allow covers the whole rule at this site —
+                    // neither justification nor inventory is demanded.
+                    out.suppressed.push(Suppressed {
+                        path: unit.rel.clone(),
+                        line,
+                        rule: UNSAFE_AUDIT,
+                    });
+                } else {
+                    out.violations.push(Violation {
+                        rule: UNSAFE_AUDIT,
+                        path: unit.rel.clone(),
+                        line,
+                        message: "`unsafe` without an adjacent `// SAFETY:` justification"
+                            .to_string(),
+                    });
+                }
+                continue;
+            }
+            current.push(site.clone());
+            if !inventory.contains(&site) {
+                out.violations.push(Violation {
+                    rule: UNSAFE_AUDIT,
+                    path: unit.rel.clone(),
+                    line,
+                    message: format!(
+                        "unsafe site `{site}` is not inventoried under [unsafe] sites \
+                         in lint.toml (--write-baseline to record it)"
+                    ),
+                });
+            }
+        }
+    }
+
+    let stale: Vec<String> = inventory
+        .iter()
+        .filter(|s| !seen.contains(*s))
+        .cloned()
+        .collect();
+    current.sort();
+    (out, stale, current)
+}
+
+/// A line comment containing `SAFETY:` on `line` or the line above.
+fn has_safety_comment(unit: &FileUnit, line: usize) -> bool {
+    unit.source
+        .masked
+        .line_comments
+        .iter()
+        .any(|(l, text)| (*l == line || *l + 1 == line) && text.contains("SAFETY:"))
+}

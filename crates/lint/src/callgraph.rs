@@ -1,0 +1,497 @@
+//! Conservative call graph over the workspace symbol table.
+//!
+//! Call sites are extracted lexically from each function body (masked
+//! view, so strings and comments contribute nothing): `path::to::f(...)`,
+//! `recv.method(...)`, `Type::assoc(...)`, with turbofish skipped and
+//! macro invocations excluded. Resolution is deliberately
+//! *over-approximate* — a `.method(` call with no receiver type
+//! information links to every same-named method in the workspace — because
+//! the consumer is a taint-reachability rule where a missed edge is a
+//! silent false negative but a spurious edge is at worst a suppressible
+//! diagnostic. Precision comes from tiering, not type inference:
+//!
+//! 1. `self.m(...)` inside `impl T` prefers methods of `T`;
+//! 2. bare `f(...)` prefers, in order: a fn in the same file module, a
+//!    `use`-imported fn, a same-crate fn, and only then any fn;
+//! 3. qualified paths resolve by path suffix (after expanding `crate`,
+//!    `Self`, and import aliases).
+//!
+//! Edges record their call-site line plus whether the site is obs-gated or
+//! test-only, so reachability can stop at exactly the boundaries the
+//! per-file rules already honor.
+
+use crate::parser::{tokenize, TokKind, Token};
+use crate::symtab::{FileUnit, SymbolTable};
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee definition (index into [`SymbolTable::fns`]).
+    pub callee: usize,
+    /// 1-indexed call-site line in the caller's file.
+    pub line: usize,
+}
+
+/// Call edges per function definition, indexed like [`SymbolTable::fns`].
+pub struct CallGraph {
+    /// `edges[caller]` — sorted by `(callee, line)`, deduplicated.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Extracts and resolves every call site in every function body.
+    pub fn build(units: &[FileUnit], tab: &SymbolTable) -> Self {
+        let mut edges: Vec<Vec<Edge>> = (0..tab.fns.len()).map(|_| Vec::new()).collect();
+        for (caller, def) in tab.fns.iter().enumerate() {
+            let Some((start, end)) = def.body else {
+                continue;
+            };
+            let unit = &units[def.unit];
+            let body = &unit.source.masked.code[start..end];
+            for call in extract_calls(body) {
+                let line = unit.source.masked.line_of(start + call.offset);
+                // Calls on test-only lines (a `#[cfg(test)]` helper inside
+                // a lib fn's span cannot occur, but gated assertions can)
+                // and obs-gated lines never happen in the deterministic
+                // default build, so they contribute no edges.
+                if unit.source.is_test_line(line) || unit.source.is_obs_gated(line) {
+                    continue;
+                }
+                for callee in resolve(&call, unit, def.type_name.as_deref(), tab) {
+                    edges[caller].push(Edge { callee, line });
+                }
+            }
+            edges[caller].sort_by_key(|e| (e.callee, e.line));
+            edges[caller].dedup_by_key(|e| e.callee);
+        }
+        Self { edges }
+    }
+}
+
+/// A lexically-extracted call site (offsets relative to the body slice).
+#[derive(Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments as written (`["Self", "min_candidate"]`, `["go"]`).
+    pub segs: Vec<String>,
+    /// True for `.name(...)` method-call syntax.
+    pub method: bool,
+    /// True when the method receiver is literally `self`.
+    pub self_recv: bool,
+    /// Byte offset of the first path segment within the body.
+    pub offset: usize,
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const NON_CALLS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "async", "await", "unsafe", "in", "as", "where", "impl", "dyn", "box",
+    "yield",
+];
+
+/// Extracts call sites from one body's masked text.
+pub fn extract_calls(body: &str) -> Vec<CallSite> {
+    let toks = tokenize(body);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        if !matches!(t.kind, TokKind::Ident { .. }) {
+            i += 1;
+            continue;
+        }
+        // Only start at the leftmost segment of a path.
+        if i >= 2 && toks[i - 1].is_punct(b':') && toks[i - 2].is_punct(b':') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut segs = vec![ident_text(&t, body)];
+        let mut j = i + 1;
+        loop {
+            if !is_path_sep(&toks, j) {
+                break;
+            }
+            let after = j + 2;
+            // `::<turbofish>` — skip the generic args; the path may
+            // continue with another `::` (e.g. `Vec::<u8>::new`).
+            if toks.get(after).is_some_and(|t| t.is_punct(b'<')) {
+                j = skip_angles_toks(&toks, after);
+                continue;
+            }
+            match toks.get(after) {
+                Some(nt) if matches!(nt.kind, TokKind::Ident { .. }) => {
+                    segs.push(ident_text(nt, body));
+                    j = after + 1;
+                }
+                _ => break,
+            }
+        }
+        let is_call = toks.get(j).is_some_and(|t| t.is_punct(b'('));
+        let is_macro = toks.get(j).is_some_and(|t| t.is_punct(b'!'));
+        if is_call && !is_macro {
+            let method = segs.len() == 1 && prev_is_dot(&toks, start);
+            let keyword = segs.len() == 1
+                && matches!(t.kind, TokKind::Ident { raw: false })
+                && NON_CALLS.contains(&segs[0].as_str());
+            if !keyword {
+                let self_recv = method
+                    && start >= 2
+                    && toks[start - 2].is_kw(body, "self")
+                    && !prev_is_dot(&toks, start - 2);
+                out.push(CallSite {
+                    segs,
+                    method,
+                    self_recv,
+                    offset: t.start,
+                });
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+fn ident_text(t: &Token, body: &str) -> String {
+    t.ident_name(body).unwrap_or("").to_string()
+}
+
+/// True when `toks[i]`/`toks[i+1]` are the two colons of a `::`.
+fn is_path_sep(toks: &[Token], i: usize) -> bool {
+    i + 1 < toks.len() && toks[i].is_punct(b':') && toks[i + 1].is_punct(b':')
+}
+
+fn prev_is_dot(toks: &[Token], i: usize) -> bool {
+    i >= 1 && toks[i - 1].is_punct(b'.')
+}
+
+/// Skips a `<...>` group starting at token `open` (which is `<`); returns
+/// the index one past the matching `>`.
+fn skip_angles_toks(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    let mut prev_dash = false;
+    while i < toks.len() {
+        if toks[i].is_punct(b'<') {
+            depth += 1;
+        } else if toks[i].is_punct(b'>') && !prev_dash {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        prev_dash = toks[i].is_punct(b'-');
+        i += 1;
+    }
+    i
+}
+
+/// Resolves one call site to candidate definitions.
+fn resolve(
+    call: &CallSite,
+    unit: &FileUnit,
+    impl_type: Option<&str>,
+    tab: &SymbolTable,
+) -> Vec<usize> {
+    if call.method {
+        let name = call.segs[0].as_str();
+        if call.self_recv {
+            if let Some(ty) = impl_type {
+                let own: Vec<usize> = tab
+                    .by_name(name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| tab.fns[id].type_name.as_deref() == Some(ty))
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+        }
+        // Unknown receiver: any same-named *method* in the workspace.
+        return tab
+            .by_name(name)
+            .iter()
+            .copied()
+            .filter(|&id| tab.fns[id].type_name.is_some())
+            .collect();
+    }
+
+    // Expand leading `crate` / `Self` / `super`; `self::` just drops.
+    let mut segs: Vec<String> = call.segs.clone();
+    if let Some(first) = segs.first().cloned() {
+        match first.as_str() {
+            "crate" => segs[0] = unit.crate_name.clone(),
+            "Self" => match impl_type {
+                Some(ty) => segs[0] = ty.to_string(),
+                None => return Vec::new(),
+            },
+            "self" => {
+                segs.remove(0);
+            }
+            "super" => {
+                segs.remove(0);
+            }
+            _ => {}
+        }
+    }
+    if segs.is_empty() {
+        return Vec::new();
+    }
+
+    if segs.len() == 1 {
+        return resolve_bare(&segs[0], unit, tab);
+    }
+
+    let seg_refs: Vec<&str> = segs.iter().map(String::as_str).collect();
+    let direct = tab.resolve_suffix(&seg_refs);
+    if !direct.is_empty() {
+        return direct;
+    }
+    // The first segment may be an import alias: `sweep::run_cells` under
+    // `use icn_core::sweep;` resolves via the import's full path.
+    for imp in &unit.parsed.imports {
+        if imp.alias == segs[0] {
+            let mut full: Vec<&str> = imp
+                .path
+                .iter()
+                .filter(|s| *s != "crate" && *s != "self" && *s != "super")
+                .map(String::as_str)
+                .collect();
+            full.extend(seg_refs[1..].iter().copied());
+            let via = tab.resolve_suffix(&full);
+            if !via.is_empty() {
+                return via;
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Bare `f(...)`: same file module, then imports, then same crate, then
+/// any free fn of that name.
+fn resolve_bare(name: &str, unit: &FileUnit, tab: &SymbolTable) -> Vec<usize> {
+    let ids = tab.by_name(name);
+    let free: Vec<usize> = ids
+        .iter()
+        .copied()
+        .filter(|&id| tab.fns[id].type_name.is_none())
+        .collect();
+
+    let mut local_prefix = vec![unit.crate_name.clone()];
+    local_prefix.extend(unit.file_mods.iter().cloned());
+    let local_path = {
+        let mut p = local_prefix.clone();
+        p.push(name.to_string());
+        p.join("::")
+    };
+    let local: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&id| tab.fns[id].path == local_path || in_module(&tab.fns[id].path, &local_path))
+        .collect();
+    if !local.is_empty() {
+        return local;
+    }
+
+    for imp in &unit.parsed.imports {
+        if imp.alias == name {
+            let full: Vec<&str> = imp
+                .path
+                .iter()
+                .filter(|s| *s != "crate" && *s != "self" && *s != "super")
+                .map(String::as_str)
+                .collect();
+            let via = tab.resolve_suffix(&full);
+            if !via.is_empty() {
+                return via;
+            }
+        }
+    }
+
+    let crate_prefix = format!("{}::", unit.crate_name);
+    let same_crate: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&id| tab.fns[id].path.starts_with(&crate_prefix))
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    free
+}
+
+/// True when `path` is `local_path` plus inline-module nesting below the
+/// same file module (covers fns in nested `mod` blocks of the same file).
+fn in_module(path: &str, local_path: &str) -> bool {
+    let Some((module, name)) = local_path.rsplit_once("::") else {
+        return false;
+    };
+    path.starts_with(module) && path.ends_with(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        FileUnit::build(rel, src, &BTreeMap::new())
+    }
+
+    fn graph(units: &[FileUnit]) -> (SymbolTable, CallGraph) {
+        let tab = SymbolTable::build(units);
+        let g = CallGraph::build(units, &tab);
+        (tab, g)
+    }
+
+    fn callees<'a>(tab: &'a SymbolTable, g: &CallGraph, caller_path: &str) -> Vec<&'a str> {
+        let caller = tab
+            .fns
+            .iter()
+            .position(|f| f.path == caller_path)
+            .unwrap_or_else(|| panic!("no fn {caller_path}"));
+        g.edges[caller]
+            .iter()
+            .map(|e| tab.fns[e.callee].path.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn extracts_paths_methods_and_skips_macros() {
+        let calls = extract_calls("{ helper(); x.touch(); a::b::go(); println!(\"no\"); }");
+        let names: Vec<String> = calls.iter().map(|c| c.segs.join("::")).collect();
+        assert_eq!(names, vec!["helper", "touch", "a::b::go"]);
+        assert!(calls[1].method);
+        assert!(!calls[1].self_recv);
+    }
+
+    #[test]
+    fn self_method_and_turbofish() {
+        let calls = extract_calls("{ self.step(); Vec::<u8>::new(); iter.collect::<Vec<_>>(); }");
+        assert!(calls.iter().any(|c| c.segs == ["step"] && c.self_recv));
+        // Turbofish paths still count as calls on the base path.
+        assert!(calls.iter().any(|c| c.segs == ["collect"] && c.method));
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let calls = extract_calls("{ if (x) { return (y); } match (z) { _ => {} } }");
+        assert!(calls.is_empty(), "{calls:?}");
+    }
+
+    #[test]
+    fn same_file_bare_call_resolves_locally() {
+        let u = unit(
+            "crates/core/src/sim.rs",
+            "fn outer() { helper() }\nfn helper() {}\n",
+        );
+        let (tab, g) = graph(&[u]);
+        assert_eq!(
+            callees(&tab, &g, "icn_core::sim::outer"),
+            vec!["icn_core::sim::helper"]
+        );
+    }
+
+    #[test]
+    fn cross_module_call_via_import() {
+        let a = unit(
+            "crates/core/src/sim.rs",
+            "use crate::timing::tick;\nfn run() { tick() }\n",
+        );
+        let b = unit("crates/core/src/timing.rs", "pub fn tick() {}\n");
+        let (tab, g) = graph(&[a, b]);
+        assert_eq!(
+            callees(&tab, &g, "icn_core::sim::run"),
+            vec!["icn_core::timing::tick"]
+        );
+    }
+
+    #[test]
+    fn qualified_module_call_resolves_by_suffix() {
+        let a = unit(
+            "crates/core/src/sweep.rs",
+            "fn drive() { crate::sim::enter() }\n",
+        );
+        let b = unit("crates/core/src/sim.rs", "pub fn enter() {}\n");
+        let (tab, g) = graph(&[a, b]);
+        assert_eq!(
+            callees(&tab, &g, "icn_core::sweep::drive"),
+            vec!["icn_core::sim::enter"]
+        );
+    }
+
+    #[test]
+    fn self_receiver_prefers_current_impl_type() {
+        let u = unit(
+            "crates/core/src/sim.rs",
+            "impl Simulator {\n    fn run(&mut self) { self.step() }\n    fn step(&mut self) {}\n}\nimpl Other {\n    fn step(&mut self) {}\n}\n",
+        );
+        let (tab, g) = graph(&[u]);
+        assert_eq!(
+            callees(&tab, &g, "icn_core::sim::Simulator::run"),
+            vec!["icn_core::sim::Simulator::step"]
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_over_approximates_to_all_methods() {
+        let a = unit(
+            "crates/core/src/sim.rs",
+            "fn poke(c: &mut dyn Policy) { c.touch() }\n",
+        );
+        let b = unit(
+            "crates/cache/src/lru.rs",
+            "impl Lru {\n    pub fn touch(&mut self) {}\n}\n",
+        );
+        let c = unit(
+            "crates/cache/src/fifo.rs",
+            "impl Fifo {\n    pub fn touch(&mut self) {}\n}\nfn touch() {}\n",
+        );
+        let (tab, g) = graph(&[a, b, c]);
+        let got = callees(&tab, &g, "icn_core::sim::poke");
+        assert!(got.contains(&"icn_cache::lru::Lru::touch"));
+        assert!(got.contains(&"icn_cache::fifo::Fifo::touch"));
+        // The free fn is not a method and is not a candidate.
+        assert!(!got.contains(&"icn_cache::fifo::touch"));
+    }
+
+    #[test]
+    fn self_type_qualified_call() {
+        let u = unit(
+            "crates/core/src/sim.rs",
+            "impl Simulator {\n    fn pick(&self) { Self::min_candidate() }\n    fn min_candidate() {}\n}\n",
+        );
+        let (tab, g) = graph(&[u]);
+        assert_eq!(
+            callees(&tab, &g, "icn_core::sim::Simulator::pick"),
+            vec!["icn_core::sim::Simulator::min_candidate"]
+        );
+    }
+
+    #[test]
+    fn obs_gated_and_test_call_sites_contribute_no_edges() {
+        let u = unit(
+            "crates/core/src/sim.rs",
+            "fn run() {\n    #[cfg(feature = \"obs\")]\n    timed();\n    plain();\n}\nfn timed() {}\nfn plain() {}\n",
+        );
+        let (tab, g) = graph(&[u]);
+        assert_eq!(
+            callees(&tab, &g, "icn_core::sim::run"),
+            vec!["icn_core::sim::plain"]
+        );
+    }
+
+    #[test]
+    fn cross_crate_call_via_use() {
+        let a = unit(
+            "crates/bench/src/bin/fig6.rs",
+            "use icn_core::sweep::run_cells;\nfn main() { run_cells() }\n",
+        );
+        let b = unit("crates/core/src/sweep.rs", "pub fn run_cells() {}\n");
+        let (tab, g) = graph(&[a, b]);
+        assert_eq!(
+            callees(&tab, &g, "icn_bench::fig6::main"),
+            vec!["icn_core::sweep::run_cells"]
+        );
+    }
+}

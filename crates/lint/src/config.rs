@@ -22,6 +22,17 @@ pub struct Config {
     pub baseline: Vec<String>,
     /// Frozen content digest per vendored crate (`vendor/<name>`).
     pub vendor: BTreeMap<String, String>,
+    /// `[reach] entries` — deterministic entry points for the
+    /// `deterministic-core-reach` taint analysis (function paths; a
+    /// trailing `*` prefix-matches the final segment, a type/module path
+    /// matches all functions directly inside it).
+    pub reach_entries: Vec<String>,
+    /// `[hot-path] functions` — roots of the `hot-path-alloc` ban
+    /// (same path syntax as `[reach] entries`).
+    pub hot_path: Vec<String>,
+    /// `[unsafe] sites` — the committed inventory of justified `unsafe`
+    /// sites, as `path:line`.
+    pub unsafe_sites: Vec<String>,
 }
 
 impl Config {
@@ -39,18 +50,16 @@ impl Config {
     pub fn parse(text: &str) -> Self {
         let mut cfg = Self::default();
         let mut section = String::new();
-        let mut in_entries_array = false;
+        let mut open_array: Option<ArrayKey> = None;
         for raw in text.lines() {
             let line = strip_comment(raw).trim();
             if line.is_empty() {
                 continue;
             }
-            if in_entries_array {
-                for s in quoted_strings(line) {
-                    cfg.baseline.push(s);
-                }
+            if let Some(key) = open_array {
+                cfg.array_mut(key).extend(quoted_strings(line));
                 if line.contains(']') {
-                    in_entries_array = false;
+                    open_array = None;
                 }
                 continue;
             }
@@ -62,22 +71,33 @@ impl Config {
                 continue;
             };
             let (key, value) = (key.trim(), value.trim());
-            match section.as_str() {
-                "baseline" if key == "entries" => {
-                    for s in quoted_strings(value) {
-                        cfg.baseline.push(s);
-                    }
-                    in_entries_array = !value.contains(']');
-                }
-                "vendor" => {
-                    if let Some(v) = quoted_strings(value).into_iter().next() {
-                        cfg.vendor.insert(key.to_string(), v);
+            match ArrayKey::of(&section, key) {
+                Some(k) => {
+                    cfg.array_mut(k).extend(quoted_strings(value));
+                    if !value.contains(']') {
+                        open_array = Some(k);
                     }
                 }
-                _ => {}
+                None => {
+                    if section == "vendor" {
+                        if let Some(v) = quoted_strings(value).into_iter().next() {
+                            cfg.vendor.insert(key.to_string(), v);
+                        }
+                    }
+                }
             }
         }
         cfg
+    }
+
+    /// The string-array field an [`ArrayKey`] names.
+    fn array_mut(&mut self, key: ArrayKey) -> &mut Vec<String> {
+        match key {
+            ArrayKey::Baseline => &mut self.baseline,
+            ArrayKey::Reach => &mut self.reach_entries,
+            ArrayKey::HotPath => &mut self.hot_path,
+            ArrayKey::Unsafe => &mut self.unsafe_sites,
+        }
     }
 
     /// Renders the config back to `lint.toml` text.
@@ -98,6 +118,38 @@ impl Config {
         }
         out.push_str("]\n\n");
         out.push_str(
+            "# Entry points of the deterministic-core-reach taint analysis:\n\
+             # everything transitively callable from these must be free of\n\
+             # nondeterminism sources. A trailing `*` prefix-matches the final\n\
+             # path segment; a type/module path covers every fn directly in it.\n\
+             [reach]\nentries = [\n",
+        );
+        for e in &self.reach_entries {
+            let _ = writeln!(out, "    \"{e}\",");
+        }
+        out.push_str("]\n\n");
+        out.push_str(
+            "# Roots of the hot-path-alloc ban: these functions and their direct\n\
+             # callees must not allocate (same path syntax as [reach]).\n\
+             [hot-path]\nfunctions = [\n",
+        );
+        for e in &self.hot_path {
+            let _ = writeln!(out, "    \"{e}\",");
+        }
+        out.push_str("]\n\n");
+        out.push_str(
+            "# Inventory of justified unsafe sites (`path:line`), maintained by\n\
+             # --write-baseline. A new unsafe block shows up as a diff here, so\n\
+             # review sees every one; a removed one goes stale and must be pruned.\n\
+             [unsafe]\nsites = [\n",
+        );
+        let mut sites = self.unsafe_sites.clone();
+        sites.sort();
+        for e in &sites {
+            let _ = writeln!(out, "    \"{e}\",");
+        }
+        out.push_str("]\n\n");
+        out.push_str(
             "# Frozen digests of the vendored offline stand-ins. Editing anything\n\
              # under vendor/ requires bumping the hash here (--write-baseline),\n\
              # which makes vendor drift visible in review.\n[vendor]\n",
@@ -111,6 +163,27 @@ impl Config {
     /// Writes the rendered config to `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         fs::write(path, self.render())
+    }
+}
+
+/// Which string-array config field a `(section, key)` pair fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArrayKey {
+    Baseline,
+    Reach,
+    HotPath,
+    Unsafe,
+}
+
+impl ArrayKey {
+    fn of(section: &str, key: &str) -> Option<Self> {
+        match (section, key) {
+            ("baseline", "entries") => Some(Self::Baseline),
+            ("reach", "entries") => Some(Self::Reach),
+            ("hot-path", "functions") => Some(Self::HotPath),
+            ("unsafe", "sites") => Some(Self::Unsafe),
+            _ => None,
+        }
     }
 }
 
@@ -171,6 +244,31 @@ mod tests {
     fn missing_file_is_empty() {
         let cfg = Config::load(Path::new("/nonexistent/lint.toml")).expect("empty");
         assert!(cfg.baseline.is_empty() && cfg.vendor.is_empty());
+    }
+
+    #[test]
+    fn reach_hotpath_and_unsafe_sections_round_trip() {
+        let mut cfg = Config::default();
+        cfg.reach_entries
+            .push("icn_core::sim::Simulator::run".into());
+        cfg.reach_entries.push("icn_core::sweep::run_cells*".into());
+        cfg.hot_path.push("Simulator::process".into());
+        cfg.unsafe_sites.push("crates/cache/src/lru.rs:40".into());
+        cfg.baseline.push("a:b:1".into());
+        let back = Config::parse(&cfg.render());
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn multiline_arrays_parse_in_every_section() {
+        let text = "[reach]\nentries = [\n  \"a::b\",\n  \"c::d*\",\n]\n\
+                    [hot-path]\nfunctions = [\"X::y\"]\n\
+                    [unsafe]\nsites = [\n]\n";
+        let cfg = Config::parse(text);
+        assert_eq!(cfg.reach_entries, vec!["a::b".to_string(), "c::d*".into()]);
+        assert_eq!(cfg.hot_path, vec!["X::y".to_string()]);
+        assert!(cfg.unsafe_sites.is_empty());
+        assert!(cfg.baseline.is_empty());
     }
 
     #[test]

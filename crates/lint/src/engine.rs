@@ -1,14 +1,24 @@
-//! Workspace scan: walks `crates/*/src` and `vendor/*`, applies the rules,
-//! reconciles against the `lint.toml` baseline, and renders reports.
+//! Workspace scan: walks `crates/*/src` and `vendor/*`, builds the symbol
+//! table and call graph, applies the per-file and interprocedural rules,
+//! reconciles against the `lint.toml` baseline and unsafe inventory, and
+//! renders reports.
+//!
+//! The engine also owns the `stale-allow` rule: every rule pass reports
+//! which `lint:allow` directives it actually honored
+//! ([`rules::Suppressed`]), and a directive credited by no rule at all is
+//! itself a violation — a suppression that suppresses nothing only exists
+//! to hide a future regression.
 
 use crate::config::Config;
 use crate::rules::{self, Violation};
-use crate::source::SourceFile;
-use std::collections::BTreeMap;
+use crate::symtab::{self, FileUnit, SymbolTable};
+use crate::{audit, callgraph, hotpath, reach};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// The outcome of one workspace scan.
 #[derive(Debug, Default)]
@@ -20,8 +30,18 @@ pub struct Report {
     /// Baseline entries whose violation no longer exists (fixed code with
     /// a leftover entry) — prune these from `lint.toml`.
     pub stale: Vec<String>,
+    /// `[unsafe] sites` inventory entries with no matching `unsafe` in the
+    /// code any more — prune these from `lint.toml`.
+    pub stale_unsafe: Vec<String>,
+    /// Current justified unsafe sites (feeds `--write-baseline`).
+    pub unsafe_inventory: Vec<String>,
     /// Files scanned.
     pub files: usize,
+    /// Wall-clock milliseconds per rule pass, in execution order
+    /// (`graph` covers parse + symbol table + call graph).
+    pub timings: Vec<(&'static str, f64)>,
+    /// Total scan wall-clock milliseconds (for `--budget-ms`).
+    pub elapsed_ms: f64,
 }
 
 impl Report {
@@ -57,13 +77,20 @@ impl Report {
         for e in &self.stale {
             let _ = writeln!(out, "stale baseline entry (fixed — remove it): {e}");
         }
+        for e in &self.stale_unsafe {
+            let _ = writeln!(
+                out,
+                "stale [unsafe] inventory entry (gone — remove it): {e}"
+            );
+        }
         let _ = writeln!(
             out,
-            "icn-lint: {} file(s), {} new violation(s), {} baselined, {} stale",
+            "icn-lint: {} file(s), {} new violation(s), {} baselined, {} stale ({:.0} ms)",
             self.files,
             self.new.len(),
             self.baselined.len(),
-            self.stale.len()
+            self.stale.len() + self.stale_unsafe.len(),
+            self.elapsed_ms,
         );
         if !self.baselined.is_empty() {
             let per: Vec<String> = self
@@ -114,7 +141,21 @@ impl Report {
             }
             let _ = write!(out, "\"{}\"", json_escape(e));
         }
-        out.push_str("]}");
+        out.push_str("],\"stale_unsafe\":[");
+        for (i, e) in self.stale_unsafe.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(e));
+        }
+        out.push_str("],\"timings_ms\":{");
+        for (i, (rule, ms)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{rule}\":{ms:.3}");
+        }
+        let _ = write!(out, "}},\"elapsed_ms\":{:.3}}}", self.elapsed_ms);
         out
     }
 }
@@ -146,20 +187,66 @@ fn json_escape(s: &str) -> String {
 
 /// Scans the workspace at `root` against `config`.
 pub fn scan(root: &Path, config: &Config) -> io::Result<Report> {
-    let mut violations = Vec::new();
-    let mut files = 0usize;
+    let t_scan = Instant::now();
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let mut outcome = rules::RuleOutcome::default();
 
+    // Pass 1: read, lex, and parse every file; build the workspace view.
+    let t = Instant::now();
+    let names = symtab::crate_names(root);
+    let mut units: Vec<FileUnit> = Vec::new();
     for file in rust_sources(root)? {
         let rel = rel_path(root, &file);
         let src = fs::read_to_string(&file)?;
-        files += 1;
-        violations.extend(rules::check_file(&rel, &SourceFile::analyze(&src)));
+        units.push(FileUnit::build(&rel, &src, &names));
     }
+    let tab = SymbolTable::build(&units);
+    let graph = callgraph::CallGraph::build(&units, &tab);
+    timings.push(("graph", ms_since(t)));
+
+    // Pass 2: per-file content rules, one timed sweep per rule.
+    for rule in rules::CONTENT_RULES {
+        let t = Instant::now();
+        for u in &units {
+            outcome.merge(rules::check_rule(rule, &u.rel, &u.source));
+        }
+        timings.push((rule, ms_since(t)));
+    }
+
+    // Interprocedural rules.
+    let t = Instant::now();
+    outcome.merge(reach::check(&units, &tab, &graph, &config.reach_entries));
+    timings.push((rules::REACH, ms_since(t)));
+
+    let t = Instant::now();
+    outcome.merge(hotpath::check(&units, &tab, &graph, &config.hot_path));
+    timings.push((rules::HOT_PATH_ALLOC, ms_since(t)));
+
+    let t = Instant::now();
+    let (unsafe_outcome, stale_unsafe, unsafe_inventory) =
+        audit::check(&units, &config.unsafe_sites);
+    outcome.merge(unsafe_outcome);
+    timings.push((rules::UNSAFE_AUDIT, ms_since(t)));
+
+    // stale-allow: a directive no rule credited suppresses nothing.
+    let t = Instant::now();
+    outcome
+        .violations
+        .extend(stale_allows(&units, &outcome.suppressed));
+    timings.push((rules::STALE_ALLOW, ms_since(t)));
+
+    let t = Instant::now();
+    let mut violations = outcome.violations;
     violations.extend(vendor_violations(root, config)?);
+    timings.push((rules::VENDOR_FROZEN, ms_since(t)));
+
     violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
     let mut report = Report {
-        files,
+        files: units.len(),
+        stale_unsafe,
+        unsafe_inventory,
+        timings,
         ..Report::default()
     };
     let mut used = vec![false; config.baseline.len()];
@@ -179,18 +266,74 @@ pub fn scan(root: &Path, config: &Config) -> io::Result<Report> {
         .filter(|(_, &u)| !u)
         .map(|(e, _)| e.clone())
         .collect();
+    report.elapsed_ms = ms_since(t_scan);
     Ok(report)
 }
 
-/// A config whose baseline covers exactly the current violations and whose
-/// vendor digests match the current tree (`--write-baseline`).
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Directives that no rule pass credited with a suppression. A directive
+/// covers its own line and the one below (mirroring
+/// [`crate::source::SourceFile::is_allowed`]), so it is *used* when any of
+/// its named rules recorded a suppressed match on either line.
+fn stale_allows(units: &[FileUnit], suppressed: &[rules::Suppressed]) -> Vec<Violation> {
+    let index: BTreeSet<(&str, usize, &str)> = suppressed
+        .iter()
+        .map(|s| (s.path.as_str(), s.line, s.rule))
+        .collect();
+    let mut out = Vec::new();
+    for unit in units {
+        for d in &unit.source.allows {
+            let used = d.rules.iter().any(|r| {
+                index.contains(&(unit.rel.as_str(), d.line, r.as_str()))
+                    || index.contains(&(unit.rel.as_str(), d.line + 1, r.as_str()))
+            });
+            if !used {
+                out.push(Violation {
+                    rule: rules::STALE_ALLOW,
+                    path: unit.rel.clone(),
+                    line: d.line,
+                    message: format!(
+                        "lint:allow({}) suppresses nothing — the code it excused is \
+                         gone or out of the rule's scope; remove the directive",
+                        d.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A config whose baseline and unsafe inventory cover exactly the current
+/// findings and whose vendor digests match the current tree
+/// (`--write-baseline`). Reach entries and hot-path roots are policy, not
+/// findings: they are copied through verbatim.
 pub fn regenerate_baseline(root: &Path, config: &Config) -> io::Result<Config> {
-    let empty = Config {
+    // First pass discovers the current justified unsafe sites.
+    let probe = Config {
         baseline: Vec::new(),
         vendor: config.vendor.clone(),
+        reach_entries: config.reach_entries.clone(),
+        hot_path: config.hot_path.clone(),
+        unsafe_sites: Vec::new(),
     };
-    let report = scan(root, &empty)?;
-    let mut fresh = Config::default();
+    let inventory = scan(root, &probe)?.unsafe_inventory;
+
+    // Second pass against that inventory: what remains is the baseline.
+    let with_inventory = Config {
+        unsafe_sites: inventory.clone(),
+        ..probe
+    };
+    let report = scan(root, &with_inventory)?;
+    let mut fresh = Config {
+        reach_entries: config.reach_entries.clone(),
+        hot_path: config.hot_path.clone(),
+        unsafe_sites: inventory,
+        ..Config::default()
+    };
     for v in report.new.iter().filter(|v| v.rule != rules::VENDOR_FROZEN) {
         fresh.baseline.push(v.key());
     }

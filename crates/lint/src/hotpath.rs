@@ -1,0 +1,164 @@
+//! `hot-path-alloc`: allocation constructs banned in the configured
+//! hot-path functions and their direct callees.
+//!
+//! PR 5 flattened the simulator hot path to be allocation-free
+//! (`O(1)` path costs, enum-dispatched caches, index-buffer candidate
+//! selection); this rule keeps it that way by construction. The functions
+//! under `[hot-path] functions` in `lint.toml` are the roots; the ban
+//! covers each root's body plus its direct callees in the deterministic
+//! universe (one hop — transitive closure would swallow the cold
+//! constructors the hot path legitimately reaches through setup calls
+//! that run once per cell, not once per request).
+//!
+//! A configured path that resolves to no function is itself a violation:
+//! a rename must not silently shrink the protected set.
+
+use crate::callgraph::CallGraph;
+use crate::reach::in_universe;
+use crate::rules::{token_offsets, RuleOutcome, Suppressed, Violation, HOT_PATH_ALLOC};
+use crate::symtab::{FileUnit, SymbolTable};
+use std::collections::BTreeMap;
+
+struct AllocPattern {
+    text: &'static str,
+    call: bool,
+}
+
+const ALLOC_PATTERNS: &[AllocPattern] = &[
+    AllocPattern {
+        text: "Vec::new",
+        call: false,
+    },
+    AllocPattern {
+        text: "Box::new",
+        call: false,
+    },
+    AllocPattern {
+        text: "String::new",
+        call: false,
+    },
+    AllocPattern {
+        text: "vec!",
+        call: false,
+    },
+    AllocPattern {
+        text: "format!",
+        call: false,
+    },
+    AllocPattern {
+        text: "collect",
+        call: true,
+    },
+    AllocPattern {
+        text: "to_string",
+        call: true,
+    },
+    AllocPattern {
+        text: "to_vec",
+        call: true,
+    },
+    AllocPattern {
+        text: "to_owned",
+        call: true,
+    },
+    AllocPattern {
+        text: "with_capacity",
+        call: false,
+    },
+];
+
+/// Runs the rule. `functions` come from `[hot-path] functions` in
+/// `lint.toml`; with no entries the rule is inert.
+pub fn check(
+    units: &[FileUnit],
+    tab: &SymbolTable,
+    graph: &CallGraph,
+    functions: &[String],
+) -> RuleOutcome {
+    let mut out = RuleOutcome::default();
+    if functions.is_empty() {
+        return out;
+    }
+
+    // fn id → the configured root that pulled it into the protected set
+    // (first in config order wins, for stable messages).
+    let mut protected: BTreeMap<usize, String> = BTreeMap::new();
+    for entry in functions {
+        let roots: Vec<usize> = tab
+            .resolve_entry(entry)
+            .into_iter()
+            .filter(|&id| in_universe(&units[tab.fns[id].unit], tab.fns[id].is_test))
+            .collect();
+        if roots.is_empty() {
+            out.violations.push(Violation {
+                rule: HOT_PATH_ALLOC,
+                path: "lint.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "[hot-path] function `{entry}` resolves to nothing — \
+                     renamed? fix the entry"
+                ),
+            });
+            continue;
+        }
+        for &r in &roots {
+            protected.entry(r).or_insert_with(|| entry.clone());
+            for e in &graph.edges[r] {
+                let callee = &tab.fns[e.callee];
+                if in_universe(&units[callee.unit], callee.is_test) {
+                    protected
+                        .entry(e.callee)
+                        .or_insert_with(|| format!("{entry} (direct callee)"));
+                }
+            }
+        }
+    }
+
+    for (&id, root) in &protected {
+        let def = &tab.fns[id];
+        let Some((start, end)) = def.body else {
+            continue;
+        };
+        let unit = &units[def.unit];
+        let body = &unit.source.masked.code[start..end];
+        for p in ALLOC_PATTERNS {
+            for off in token_offsets(body, p.text, p.call) {
+                let line = unit.source.masked.line_of(start + off);
+                if unit.source.is_test_line(line) || unit.source.is_obs_gated(line) {
+                    continue;
+                }
+                if unit.source.is_allowed(HOT_PATH_ALLOC, line) {
+                    out.suppressed.push(Suppressed {
+                        path: unit.rel.clone(),
+                        line,
+                        rule: HOT_PATH_ALLOC,
+                    });
+                    continue;
+                }
+                out.violations.push(Violation {
+                    rule: HOT_PATH_ALLOC,
+                    path: unit.rel.clone(),
+                    line,
+                    message: format!(
+                        "`{}` allocates in hot-path fn `{}` (protected via `{}`)",
+                        p.text,
+                        display(&def.path),
+                        root
+                    ),
+                });
+            }
+        }
+    }
+    out.violations
+        .sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out
+}
+
+fn display(path: &str) -> String {
+    let parts: Vec<&str> = path.split("::").collect();
+    if parts.len() >= 2 {
+        parts[parts.len() - 2..].join("::")
+    } else {
+        path.to_string()
+    }
+}

@@ -3,7 +3,10 @@
 //!
 //! The paper's quantitative claims rest on a simulator whose runs must be
 //! bit-reproducible and whose libraries must not hide panic paths; this
-//! crate audits exactly those policies (see DESIGN.md, "Static analysis"):
+//! crate audits exactly those policies (see DESIGN.md, "Static analysis"
+//! and "Semantic analysis"):
+//!
+//! Per-file rules (token patterns over the masked source):
 //!
 //! * **`no-panic-in-lib`** — no `unwrap()` / `expect()` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in library crates
@@ -20,6 +23,23 @@
 //!   drift without an explicit hash bump in `lint.toml`.
 //! * **`allow-needs-reason`** — every suppression must say why.
 //!
+//! Interprocedural rules (item [`parser`] → workspace [`symtab`] →
+//! conservative [`callgraph`]):
+//!
+//! * **`deterministic-core-reach`** — taint reachability from the
+//!   configured entry points (`Simulator::run`, `sweep::run_cells*`,
+//!   `FaultSchedule`, `CostTable::new`) to nondeterminism sources hidden
+//!   behind helpers in *any* universe crate, with the full call chain in
+//!   the diagnostic (see [`reach`]).
+//! * **`unsafe-audit`** — every `unsafe` needs an adjacent `// SAFETY:`
+//!   justification and an entry in the committed `[unsafe] sites`
+//!   inventory (see [`audit`]).
+//! * **`hot-path-alloc`** — allocation constructs banned in the
+//!   configured hot-path functions and their direct callees (see
+//!   [`hotpath`]).
+//! * **`stale-allow`** — a `lint:allow` that suppresses nothing is itself
+//!   an error (engine-level; see [`engine`]).
+//!
 //! Matching runs on a lexed view of the source (comments and string/char
 //! literals blanked, see [`lexer`]), so rules never fire inside literals
 //! or comments. A site is suppressed with an inline
@@ -29,11 +49,17 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod callgraph;
 pub mod config;
 pub mod engine;
+pub mod hotpath;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod rules;
 pub mod source;
+pub mod symtab;
 
 pub use config::Config;
 pub use engine::{scan, Report};

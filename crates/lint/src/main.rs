@@ -10,7 +10,7 @@ icn-lint — project-invariant auditor (panic paths, determinism, feature gates)
 
 USAGE:
     icn-lint [--workspace] [--root <dir>] [--config <lint.toml>]
-             [--json] [--write-baseline]
+             [--json] [--write-baseline] [--budget-ms <n>]
 
 OPTIONS:
     --workspace        Scan the enclosing cargo workspace (default; the flag
@@ -21,7 +21,11 @@ OPTIONS:
     --config <path>    Baseline file (default: <root>/lint.toml)
     --json             Emit a machine-readable report on stdout
     --write-baseline   Rewrite the baseline to cover the current tree and
-                       freeze current vendor hashes, then exit 0
+                       freeze current vendor hashes (plus the unsafe-site
+                       inventory), then exit 0
+    --budget-ms <n>    Fail (exit 1) when the scan takes longer than <n>
+                       wall-clock milliseconds — the committed CI budget
+                       that keeps the call-graph pass from going quadratic
     -h, --help         This text
 ";
 
@@ -30,6 +34,7 @@ struct Args {
     config: Option<PathBuf>,
     json: bool,
     write_baseline: bool,
+    budget_ms: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         json: false,
         write_baseline: false,
+        budget_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,6 +57,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--write-baseline" => args.write_baseline = true,
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms needs a number")?;
+                args.budget_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--budget-ms: bad number `{v}`"))?,
+                );
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -112,6 +125,16 @@ fn run() -> Result<bool, String> {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_human());
+    }
+    if let Some(budget) = args.budget_ms {
+        if report.elapsed_ms > budget {
+            eprintln!(
+                "icn-lint: scan took {:.0} ms, over the {budget:.0} ms budget \
+                 (per-rule breakdown via --json timings_ms)",
+                report.elapsed_ms
+            );
+            return Ok(false);
+        }
     }
     Ok(report.ok())
 }

@@ -1,0 +1,857 @@
+//! Item-level parser on top of the masked lexer view.
+//!
+//! The per-file pattern rules need no structure, but the interprocedural
+//! rules (`deterministic-core-reach`, `hot-path-alloc`) need to know *which
+//! function* a token sits in and *which functions it calls*. This module
+//! recovers exactly that much structure — `fn` items (free and inside
+//! `impl`/`trait` blocks, with byte-exact body spans), `use` trees, and
+//! inline `mod` nesting — from the [`crate::lexer::Masked`] view, so item
+//! boundaries can never be faked from inside a string or comment.
+//!
+//! It is deliberately *not* a full Rust parser: anything it does not
+//! understand it skips, and the downstream analyses are written so that a
+//! skipped item can only lose call-graph edges inside code the per-file
+//! rules already police. Offsets always refer to the original source
+//! bytes (masking is length-preserving), so diagnostics stay exact.
+
+use crate::lexer::Masked;
+
+/// One lexical token of masked code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// Token classification — only as fine-grained as item parsing needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; `raw` marks `r#ident` (never a keyword).
+    Ident {
+        /// True for raw identifiers (`r#fn` is a name, not a keyword).
+        raw: bool,
+    },
+    /// A lifetime or loop label (`'a`).
+    Lifetime,
+    /// A numeric literal (char/str literals are blanked by the lexer).
+    Number,
+    /// Any single punctuation byte.
+    Punct(u8),
+}
+
+impl Token {
+    /// The token's text within `code`.
+    pub fn text<'a>(&self, code: &'a str) -> &'a str {
+        &code[self.start..self.end]
+    }
+
+    /// Identifier name with any `r#` prefix stripped; `None` for
+    /// non-identifier tokens.
+    pub fn ident_name<'a>(&self, code: &'a str) -> Option<&'a str> {
+        match self.kind {
+            TokKind::Ident { raw } => {
+                let t = self.text(code);
+                Some(if raw { &t[2..] } else { t })
+            }
+            _ => None,
+        }
+    }
+
+    /// True for a non-raw identifier equal to `kw` (i.e. a keyword use —
+    /// `r#fn` is an ordinary name and never matches).
+    pub fn is_kw(&self, code: &str, kw: &str) -> bool {
+        self.kind == TokKind::Ident { raw: false } && self.text(code) == kw
+    }
+
+    /// True for the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes masked code (strings/comments already blanked to spaces).
+pub fn tokenize(code: &str) -> Vec<Token> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'r'
+            && b.get(i + 1) == Some(&b'#')
+            && b.get(i + 2).is_some_and(|&n| is_ident_start(n))
+        {
+            // Raw identifier: r#fn, r#match — a name, never a keyword.
+            let start = i;
+            i += 2;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Ident { raw: true },
+                start,
+                end: i,
+            });
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Ident { raw: false },
+                start,
+                end: i,
+            });
+        } else if c.is_ascii_digit() {
+            // Number literal (incl. float/suffix forms); `0..n` must leave
+            // the range dots alone, so a dot is only eaten when a digit
+            // follows it.
+            let start = i;
+            while i < b.len() && (is_ident_continue(b[i]) || b[i] == b'.') {
+                if b[i] == b'.' && !b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Number,
+                start,
+                end: i,
+            });
+        } else if c == b'\'' && b.get(i + 1).is_some_and(|&n| is_ident_start(n)) {
+            // Lifetime/label (char literals were blanked by the lexer).
+            let start = i;
+            i += 1;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Lifetime,
+                start,
+                end: i,
+            });
+        } else {
+            out.push(Token {
+                kind: TokKind::Punct(c),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// One `fn` item (free function, inherent/trait method, or trait default).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Name with any `r#` stripped.
+    pub name: String,
+    /// Enclosing inline-module path within the file (outermost first).
+    pub modules: Vec<String>,
+    /// Self type for methods (`impl Foo` / `trait Foo`), `None` for free fns.
+    pub type_name: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Byte offset of the `fn` keyword.
+    pub offset: usize,
+    /// Byte span `[start, end)` of the `{ ... }` body; `None` for
+    /// body-less declarations (trait required methods, extern decls).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One name bound by a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// The name visible in this file (`as` rename wins; `*` for globs).
+    pub alias: String,
+    /// Full path segments as written (`crate`/`super`/`self` preserved).
+    pub path: Vec<String>,
+}
+
+/// Everything item-level parsing extracts from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use`-bound name.
+    pub imports: Vec<Import>,
+}
+
+/// Parses the masked view of one file into items.
+pub fn parse(masked: &Masked) -> ParsedFile {
+    let toks = tokenize(&masked.code);
+    let mut p = Parser {
+        code: &masked.code,
+        masked,
+        toks,
+        i: 0,
+        out: ParsedFile::default(),
+    };
+    let mut mods = Vec::new();
+    p.parse_scope(&mut mods, None, false);
+    p.out
+}
+
+struct Parser<'a> {
+    code: &'a str,
+    masked: &'a Masked,
+    toks: Vec<Token>,
+    i: usize,
+    out: ParsedFile,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<Token> {
+        self.toks.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.peek();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, b: u8) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(b))
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(self.code, kw))
+    }
+
+    /// Skips a balanced `open`/`close` group whose opener is the current
+    /// token; stops at end of input if unbalanced.
+    fn skip_group(&mut self, open: u8, close: u8) {
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Skips a balanced generic-argument group starting at `<`. `->` inside
+    /// (`Fn() -> T` bounds) does not close a level.
+    fn skip_angles(&mut self) {
+        let mut depth = 0usize;
+        let mut prev_dash = false;
+        while let Some(t) = self.bump() {
+            if t.is_punct(b'<') {
+                depth += 1;
+            } else if t.is_punct(b'>') && !prev_dash {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+            prev_dash = t.is_punct(b'-');
+        }
+    }
+
+    /// Skips tokens until a `;` at zero `()`/`[]`/`{}` depth (consuming
+    /// it) — the shape of `const`/`static`/`type`/`struct X(..);` items.
+    fn skip_to_semi(&mut self) {
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        let mut brace = 0isize;
+        while let Some(t) = self.bump() {
+            match t.kind {
+                TokKind::Punct(b'(') => paren += 1,
+                TokKind::Punct(b')') => paren -= 1,
+                TokKind::Punct(b'[') => bracket += 1,
+                TokKind::Punct(b']') => bracket -= 1,
+                TokKind::Punct(b'{') => brace += 1,
+                TokKind::Punct(b'}') => {
+                    brace -= 1;
+                    // `struct X { .. }` has no trailing semicolon: a brace
+                    // group closing at depth zero ends the item too.
+                    if brace == 0 && paren == 0 && bracket == 0 {
+                        return;
+                    }
+                }
+                TokKind::Punct(b';') if paren == 0 && bracket == 0 && brace == 0 => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Skips an attribute (`#[...]` / `#![...]`) whose `#` is current.
+    fn skip_attribute(&mut self) {
+        self.bump(); // '#'
+        if self.at_punct(b'!') {
+            self.bump();
+        }
+        if self.at_punct(b'[') {
+            self.skip_group(b'[', b']');
+        }
+    }
+
+    /// Parses items until the matching `}` of the enclosing scope (consumed
+    /// when `consume_close`), or end of input at top level.
+    fn parse_scope(&mut self, mods: &mut Vec<String>, ty: Option<&str>, consume_close: bool) {
+        while let Some(t) = self.peek() {
+            if t.is_punct(b'}') {
+                if consume_close {
+                    self.bump();
+                }
+                return;
+            }
+            if t.is_punct(b'#') {
+                self.skip_attribute();
+                continue;
+            }
+            if t.kind == (TokKind::Ident { raw: false }) {
+                match t.text(self.code) {
+                    "pub" => {
+                        self.bump();
+                        if self.at_punct(b'(') {
+                            self.skip_group(b'(', b')');
+                        }
+                        continue;
+                    }
+                    // Modifiers that may precede `fn`/`impl`/`trait`.
+                    "unsafe" | "async" | "default" => {
+                        self.bump();
+                        continue;
+                    }
+                    "const" | "static" => {
+                        self.bump();
+                        if self.at_kw("fn") {
+                            continue; // `const fn` — the fn arm handles it
+                        }
+                        self.skip_to_semi();
+                        continue;
+                    }
+                    "extern" => {
+                        self.bump();
+                        // `extern "C" fn` (ABI string is blanked) or an
+                        // `extern { ... }` foreign block, skipped whole.
+                        if self.at_punct(b'{') {
+                            self.skip_group(b'{', b'}');
+                        }
+                        continue;
+                    }
+                    "fn" => {
+                        self.parse_fn(mods, ty);
+                        continue;
+                    }
+                    "impl" => {
+                        self.parse_impl(mods);
+                        continue;
+                    }
+                    "trait" => {
+                        self.bump();
+                        let name = self
+                            .bump()
+                            .and_then(|t| t.ident_name(self.code).map(str::to_string));
+                        self.skip_to_brace_open();
+                        if self.at_punct(b'{') {
+                            self.bump();
+                            self.parse_scope(mods, name.as_deref(), true);
+                        }
+                        continue;
+                    }
+                    "mod" => {
+                        self.bump();
+                        let name = self
+                            .bump()
+                            .and_then(|t| t.ident_name(self.code).map(str::to_string));
+                        if self.at_punct(b'{') {
+                            self.bump();
+                            if let Some(n) = name {
+                                mods.push(n);
+                                self.parse_scope(mods, None, true);
+                                mods.pop();
+                            } else {
+                                self.parse_scope(mods, None, true);
+                            }
+                        } else if self.at_punct(b';') {
+                            self.bump();
+                        }
+                        continue;
+                    }
+                    "use" => {
+                        self.bump();
+                        self.parse_use();
+                        continue;
+                    }
+                    "struct" | "enum" | "union" | "type" => {
+                        self.bump();
+                        self.skip_to_semi();
+                        continue;
+                    }
+                    "macro_rules" => {
+                        self.bump(); // macro_rules
+                        self.bump(); // !
+                        self.bump(); // name
+                        match self.peek().map(|t| t.kind) {
+                            Some(TokKind::Punct(b'{')) => self.skip_group(b'{', b'}'),
+                            Some(TokKind::Punct(b'(')) => {
+                                self.skip_group(b'(', b')');
+                                self.bump(); // ';'
+                            }
+                            _ => {}
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Unknown token at item level: skip it, descending into no
+            // structure (balanced groups are skipped whole so a stray
+            // brace cannot desynchronize scope tracking).
+            match t.kind {
+                TokKind::Punct(b'{') => self.skip_group(b'{', b'}'),
+                TokKind::Punct(b'(') => self.skip_group(b'(', b')'),
+                TokKind::Punct(b'[') => self.skip_group(b'[', b']'),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips to (not past) the next `{` at zero angle/paren depth.
+    fn skip_to_brace_open(&mut self) {
+        loop {
+            match self.peek().map(|t| t.kind) {
+                None | Some(TokKind::Punct(b'{')) | Some(TokKind::Punct(b';')) => return,
+                Some(TokKind::Punct(b'<')) => self.skip_angles(),
+                Some(TokKind::Punct(b'(')) => self.skip_group(b'(', b')'),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_fn(&mut self, mods: &[String], ty: Option<&str>) {
+        let fn_tok = match self.bump() {
+            Some(t) => t,
+            None => return,
+        };
+        let Some(name) = self
+            .bump()
+            .and_then(|t| t.ident_name(self.code).map(str::to_string))
+        else {
+            return;
+        };
+        // Generic parameters: `fn f<F: Fn() -> u32, const N: usize>`.
+        if self.at_punct(b'<') {
+            self.skip_angles();
+        }
+        // Argument list (nested generics, `impl Trait`, closures in
+        // defaults — all balanced parens).
+        if self.at_punct(b'(') {
+            self.skip_group(b'(', b')');
+        }
+        // Return type / where clause, up to the body `{` or a `;`. A `;`
+        // inside `[u8; 4]` or parenthesized bounds must not terminate.
+        let mut body = None;
+        loop {
+            match self.peek().map(|t| t.kind) {
+                None => break,
+                Some(TokKind::Punct(b';')) => {
+                    self.bump();
+                    break;
+                }
+                Some(TokKind::Punct(b'{')) => {
+                    let open = self.peek().map(|t| t.start).unwrap_or(0);
+                    self.skip_group(b'{', b'}');
+                    let close = self.toks.get(self.i - 1).map(|t| t.end).unwrap_or(open);
+                    body = Some((open, close));
+                    break;
+                }
+                Some(TokKind::Punct(b'<')) => self.skip_angles(),
+                Some(TokKind::Punct(b'(')) => self.skip_group(b'(', b')'),
+                Some(TokKind::Punct(b'[')) => self.skip_group(b'[', b']'),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.out.fns.push(FnItem {
+            name,
+            modules: mods.to_vec(),
+            type_name: ty.map(str::to_string),
+            line: self.masked.line_of(fn_tok.start),
+            offset: fn_tok.start,
+            body,
+        });
+    }
+
+    /// `impl<G> Type`, `impl Trait for Type`, `impl Trait for &mut Type` —
+    /// the self type is the last path segment before `<`/`{`/`where`,
+    /// taken after `for` when present.
+    fn parse_impl(&mut self, mods: &mut Vec<String>) {
+        self.bump(); // impl
+        if self.at_punct(b'<') {
+            self.skip_angles();
+        }
+        let mut candidate: Option<String> = None;
+        let mut after_for = false;
+        loop {
+            let Some(t) = self.peek() else { return };
+            match t.kind {
+                TokKind::Punct(b'{') => break,
+                TokKind::Punct(b';') => {
+                    self.bump();
+                    return;
+                }
+                TokKind::Punct(b'<') => self.skip_angles(),
+                TokKind::Punct(b'(') => self.skip_group(b'(', b')'),
+                TokKind::Ident { .. } => {
+                    let name = t.ident_name(self.code).unwrap_or("").to_string();
+                    self.bump();
+                    match name.as_str() {
+                        "for" => {
+                            after_for = true;
+                            candidate = None;
+                        }
+                        "where" => {
+                            self.skip_to_brace_open();
+                        }
+                        "dyn" | "mut" | "const" => {}
+                        _ => {
+                            // Walk the rest of a `a::b::C` path; the last
+                            // segment names the type.
+                            let mut last = name;
+                            while self.at_punct(b':')
+                                && self.toks.get(self.i + 1).is_some_and(|t| t.is_punct(b':'))
+                            {
+                                self.bump();
+                                self.bump();
+                                if let Some(seg) = self
+                                    .peek()
+                                    .and_then(|t| t.ident_name(self.code).map(str::to_string))
+                                {
+                                    self.bump();
+                                    last = seg;
+                                }
+                            }
+                            if candidate.is_none() || after_for {
+                                candidate = Some(last);
+                                after_for = false;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.bump(); // '{'
+        self.parse_scope(mods, candidate.as_deref(), true);
+    }
+
+    /// Parses one `use` declaration (tree form included) up to its `;`.
+    fn parse_use(&mut self) {
+        let mut prefix = Vec::new();
+        self.parse_use_tree(&mut prefix);
+        if self.at_punct(b';') {
+            self.bump();
+        }
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            let Some(t) = self.peek() else { return };
+            match t.kind {
+                TokKind::Ident { .. } => {
+                    let seg = t.ident_name(self.code).unwrap_or("").to_string();
+                    self.bump();
+                    if self.at_punct(b':')
+                        && self.toks.get(self.i + 1).is_some_and(|t| t.is_punct(b':'))
+                    {
+                        // `seg::...` — descend.
+                        self.bump();
+                        self.bump();
+                        prefix.push(seg);
+                        continue;
+                    }
+                    // Terminal segment, with optional `as` rename.
+                    let mut alias = seg.clone();
+                    if self.at_kw("as") {
+                        self.bump();
+                        if let Some(a) = self
+                            .peek()
+                            .and_then(|t| t.ident_name(self.code).map(str::to_string))
+                        {
+                            self.bump();
+                            alias = a;
+                        }
+                    }
+                    let mut path = prefix.clone();
+                    path.push(seg);
+                    self.out.imports.push(Import { alias, path });
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                TokKind::Punct(b'*') => {
+                    self.bump();
+                    self.out.imports.push(Import {
+                        alias: "*".to_string(),
+                        path: prefix.clone(),
+                    });
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                TokKind::Punct(b'{') => {
+                    self.bump();
+                    loop {
+                        if self.at_punct(b'}') {
+                            self.bump();
+                            break;
+                        }
+                        if self.at_punct(b',') {
+                            self.bump();
+                            continue;
+                        }
+                        if self.peek().is_none() {
+                            break;
+                        }
+                        let before = prefix.len();
+                        self.parse_use_tree(prefix);
+                        prefix.truncate(before);
+                    }
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                _ => {
+                    // `;` or anything unexpected ends the tree.
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&mask(src))
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not found in {:?}", p.fns))
+    }
+
+    #[test]
+    fn free_fn_with_body_span() {
+        let src = "fn alpha() {\n    beta();\n}\nfn beta() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        let a = fn_named(&p, "alpha");
+        assert_eq!(a.line, 1);
+        let (s, e) = a.body.expect("body");
+        assert!(src[s..e].contains("beta()"));
+        assert!(!src[s..e].contains("fn beta"));
+    }
+
+    #[test]
+    fn impl_methods_carry_the_self_type() {
+        let src = "struct Sim;\nimpl Sim {\n    pub fn run(&mut self) {}\n    fn helper(x: u32) -> u32 { x }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].type_name.as_deref(), Some("Sim"));
+        assert_eq!(p.fns[0].name, "run");
+        assert_eq!(p.fns[1].type_name.as_deref(), Some("Sim"));
+    }
+
+    #[test]
+    fn trait_impl_takes_the_type_after_for() {
+        let src = "impl Iterator for TraceIter<'_> {\n    fn next(&mut self) -> Option<u32> { None }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].type_name.as_deref(), Some("TraceIter"));
+        assert_eq!(p.fns[0].name, "next");
+    }
+
+    #[test]
+    fn qualified_trait_path_still_finds_the_type() {
+        let src = "impl std::fmt::Display for DesignKind {\n    fn fmt(&self) {}\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].type_name.as_deref(), Some("DesignKind"));
+    }
+
+    #[test]
+    fn reference_self_type_in_trait_impl() {
+        let src = "impl<'a> From<&'a mut Network> for Wrapper {\n    fn from(n: &'a mut Network) -> Self { Wrapper }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].type_name.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn nested_generics_in_signatures_parse() {
+        let src = "fn build(slots: Vec<Option<Box<dyn CachePolicy>>>) -> Vec<Option<Box<dyn CachePolicy>>> {\n    body()\n}\n";
+        let p = parsed(src);
+        let f = fn_named(&p, "build");
+        let (s, e) = f.body.expect("body");
+        assert!(src[s..e].contains("body()"));
+    }
+
+    #[test]
+    fn fn_bound_arrow_inside_generics() {
+        let src = "fn apply<F: Fn(u32) -> Vec<u64>, const N: usize>(f: F) -> [u8; 4] {\n    inner()\n}\nfn after() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2, "{:?}", p.fns);
+        let f = fn_named(&p, "apply");
+        assert!(src[f.body.expect("body").0..].starts_with('{'));
+    }
+
+    #[test]
+    fn impl_trait_args_and_return() {
+        let src = "fn run(reqs: impl Iterator<Item = Request> + Clone) -> impl Fn() -> u32 {\n    go()\n}\n";
+        let p = parsed(src);
+        let f = fn_named(&p, "run");
+        let (s, e) = f.body.expect("body");
+        assert_eq!(&src[s..e], "{\n    go()\n}");
+    }
+
+    #[test]
+    fn array_semicolon_in_return_type_does_not_end_the_fn() {
+        let src = "fn digest() -> [u8; 32] {\n    compute()\n}\n";
+        let p = parsed(src);
+        assert!(fn_named(&p, "digest").body.is_some());
+    }
+
+    #[test]
+    fn raw_identifier_fn_name() {
+        let src = "fn r#fn() { r#match() }\nfn r#match() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "fn");
+        assert_eq!(p.fns[1].name, "match");
+    }
+
+    #[test]
+    fn trait_decl_without_body_and_default_method() {
+        let src = "trait Policy {\n    fn touch(&mut self, k: u64);\n    fn warm(&mut self) { self.touch(0) }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[0].type_name.as_deref(), Some("Policy"));
+    }
+
+    #[test]
+    fn inline_modules_nest() {
+        let src = "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn shallow() {}\n}\nfn top() {}\n";
+        let p = parsed(src);
+        assert_eq!(fn_named(&p, "deep").modules, vec!["outer", "inner"]);
+        assert_eq!(fn_named(&p, "shallow").modules, vec!["outer"]);
+        assert!(fn_named(&p, "top").modules.is_empty());
+    }
+
+    #[test]
+    fn use_trees_flatten_with_renames_and_globs() {
+        let src = "use std::collections::{HashMap, BTreeMap as Ordered};\nuse crate::instrument::{peak_rss_kb, CellClock};\nuse icn_topology::*;\nuse a::b::c;\n";
+        let p = parsed(src);
+        let find = |alias: &str| {
+            p.imports
+                .iter()
+                .find(|i| i.alias == alias)
+                .unwrap_or_else(|| panic!("missing {alias}: {:?}", p.imports))
+        };
+        assert_eq!(find("HashMap").path, vec!["std", "collections", "HashMap"]);
+        assert_eq!(find("Ordered").path, vec!["std", "collections", "BTreeMap"]);
+        assert_eq!(
+            find("peak_rss_kb").path,
+            vec!["crate", "instrument", "peak_rss_kb"]
+        );
+        assert_eq!(
+            find("CellClock").path,
+            vec!["crate", "instrument", "CellClock"]
+        );
+        assert_eq!(find("*").path, vec!["icn_topology"]);
+        assert_eq!(find("c").path, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn nested_use_tree_groups() {
+        let src = "use icn_core::{sim::{Simulator, Request}, sweep::run_cells};\n";
+        let p = parsed(src);
+        assert_eq!(p.imports.len(), 3);
+        assert_eq!(p.imports[0].path, vec!["icn_core", "sim", "Simulator"]);
+        assert_eq!(p.imports[1].path, vec!["icn_core", "sim", "Request"]);
+        assert_eq!(p.imports[2].path, vec!["icn_core", "sweep", "run_cells"]);
+    }
+
+    #[test]
+    fn strings_cannot_fake_items() {
+        let src = "fn real() {\n    let s = \"fn fake() {}\";\n    s.len();\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn const_static_and_macro_items_are_skipped_whole() {
+        let src = "const T: [u8; 2] = [1, 2];\nstatic S: u32 = { 4 };\nmacro_rules! m { ($x:expr) => { $x.unwrap() }; }\nfn survivor() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "survivor");
+    }
+
+    #[test]
+    fn const_fn_and_unsafe_fn_are_fns() {
+        let src = "const fn a() -> u32 { 1 }\npub(crate) unsafe fn b() {}\nasync fn c() {}\n";
+        let p = parsed(src);
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn struct_with_braces_then_fn() {
+        let src = "pub struct Config {\n    pub jobs: usize,\n}\nenum Kind { A, B(u32) }\nfn after() {}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "after");
+    }
+
+    #[test]
+    fn where_clause_before_body() {
+        let src = "fn spawn<F, D>(f: F, d: D) -> u32\nwhere\n    F: Fn(usize) -> Option<u32> + Sync,\n    D: Fn(u64),\n{\n    f(0).map_or(0, |x| x)\n}\n";
+        let p = parsed(src);
+        let f = fn_named(&p, "spawn");
+        let (s, e) = f.body.expect("body");
+        assert!(src[s..e].contains("map_or"));
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let src = "// header\n\nfn first() {}\n\nmod m {\n    fn second() {}\n}\n";
+        let p = parsed(src);
+        assert_eq!(fn_named(&p, "first").line, 3);
+        assert_eq!(fn_named(&p, "second").line, 6);
+    }
+}

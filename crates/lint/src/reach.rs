@@ -1,0 +1,299 @@
+//! `deterministic-core-reach`: interprocedural taint reachability.
+//!
+//! The per-file `deterministic-core` rule bans nondeterminism *sources*
+//! (wall clocks, ambient entropy, default-`RandomState` hashing, ...) in
+//! `crates/{core,cache}` — but a source hidden in a helper in
+//! `crates/topology` or `crates/workload` escapes it, even when the
+//! deterministic entry points call that helper on every request. This rule
+//! closes the gap: starting from the entry points listed under
+//! `[reach] entries` in `lint.toml`, it walks the conservative call graph
+//! and reports any reachable function whose body contains a source, with
+//! the full call chain in the diagnostic.
+//!
+//! Conservatism rules (what keeps false positives tolerable):
+//! - the universe is the library code of `crates/{core,cache,topology,
+//!   workload}` minus `instrument.rs` (the sanctioned clock shim) — obs
+//!   and idICN deadline machinery are out of scope by construction;
+//! - call edges on `#[cfg(feature = "obs")]`-gated or test-only lines do
+//!   not exist (the default build never takes them);
+//! - sources on gated/test lines are exempt, and a site may be justified
+//!   with a `deterministic-core-reach` allow directive — or with a
+//!   per-file `deterministic-core` allow already covering it, so one
+//!   justification serves both rules;
+//! - thread/channel primitives are sanctioned inside `sweep.rs` (the one
+//!   blessed parallelism site, policed separately by the per-file rule).
+
+use crate::callgraph::CallGraph;
+use crate::rules::{
+    token_offsets, RuleOutcome, Suppressed, Violation, DETERMINISTIC, INSTRUMENT_FILE, REACH,
+    SWEEP_FILE,
+};
+use crate::symtab::{FileUnit, SymbolTable};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Crates whose library code forms the reachability universe.
+pub const UNIVERSE_CRATES: &[&str] = &["core", "cache", "topology", "workload"];
+
+struct SourcePattern {
+    text: &'static str,
+    call: bool,
+    why: &'static str,
+    /// Sanctioned in `sweep.rs` (the blessed `std::thread::scope` site).
+    sweep_ok: bool,
+}
+
+const SOURCES: &[SourcePattern] = &[
+    SourcePattern {
+        text: "Instant::now",
+        call: false,
+        why: "wall clock on the deterministic path",
+        sweep_ok: false,
+    },
+    SourcePattern {
+        text: "SystemTime",
+        call: false,
+        why: "wall clock on the deterministic path",
+        sweep_ok: false,
+    },
+    SourcePattern {
+        text: "thread_rng",
+        call: false,
+        why: "unseeded entropy on the deterministic path",
+        sweep_ok: false,
+    },
+    SourcePattern {
+        text: "from_entropy",
+        call: false,
+        why: "unseeded entropy on the deterministic path",
+        sweep_ok: false,
+    },
+    SourcePattern {
+        text: "std::env",
+        call: false,
+        why: "ambient environment read on the deterministic path",
+        sweep_ok: false,
+    },
+    SourcePattern {
+        text: "HashMap",
+        call: false,
+        why: "default-RandomState iteration order on the deterministic path",
+        sweep_ok: false,
+    },
+    SourcePattern {
+        text: "HashSet",
+        call: false,
+        why: "default-RandomState iteration order on the deterministic path",
+        sweep_ok: false,
+    },
+    SourcePattern {
+        text: "std::thread",
+        call: false,
+        why: "thread scheduling on the deterministic path (outside sweep.rs)",
+        sweep_ok: true,
+    },
+    SourcePattern {
+        text: "mpsc",
+        call: false,
+        why: "completion-order channel on the deterministic path (outside sweep.rs)",
+        sweep_ok: true,
+    },
+    SourcePattern {
+        text: "Mutex",
+        call: false,
+        why: "lock-order-dependent state on the deterministic path (outside sweep.rs)",
+        sweep_ok: true,
+    },
+    SourcePattern {
+        text: "RwLock",
+        call: false,
+        why: "lock-order-dependent state on the deterministic path (outside sweep.rs)",
+        sweep_ok: true,
+    },
+    SourcePattern {
+        text: "Condvar",
+        call: false,
+        why: "wakeup-order-dependent state on the deterministic path (outside sweep.rs)",
+        sweep_ok: true,
+    },
+];
+
+/// True when `def` belongs to the reachability universe.
+pub fn in_universe(def_unit: &FileUnit, is_test: bool) -> bool {
+    !is_test
+        && !def_unit.non_lib
+        && def_unit
+            .crate_dir
+            .as_deref()
+            .is_some_and(|c| UNIVERSE_CRATES.contains(&c))
+        && def_unit.file_name() != INSTRUMENT_FILE
+}
+
+/// Runs the rule. `entries` come from `[reach] entries` in `lint.toml`;
+/// with no entries the rule is inert.
+pub fn check(
+    units: &[FileUnit],
+    tab: &SymbolTable,
+    graph: &CallGraph,
+    entries: &[String],
+) -> RuleOutcome {
+    let mut out = RuleOutcome::default();
+    if entries.is_empty() {
+        return out;
+    }
+
+    let universe: Vec<bool> = tab
+        .fns
+        .iter()
+        .map(|f| in_universe(&units[f.unit], f.is_test))
+        .collect();
+
+    // Source sites per universe function, found once up front.
+    let sources: BTreeMap<usize, Vec<SourceSite>> = tab
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| universe[*id])
+        .filter_map(|(id, f)| {
+            let sites = fn_sources(&units[f.unit], f);
+            (!sites.is_empty()).then_some((id, sites))
+        })
+        .collect();
+
+    let mut reported: BTreeSet<(String, usize)> = BTreeSet::new();
+    for entry in entries {
+        let roots: Vec<usize> = tab
+            .resolve_entry(entry)
+            .into_iter()
+            .filter(|&id| universe[id])
+            .collect();
+        if roots.is_empty() {
+            out.violations.push(Violation {
+                rule: REACH,
+                path: "lint.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "[reach] entry `{entry}` resolves to no function in the \
+                     universe — renamed? fix the entry"
+                ),
+            });
+            continue;
+        }
+        // BFS with parent pointers so the diagnostic can print the chain.
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+                e.insert(None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            if let Some(sites) = sources.get(&f) {
+                let chain = chain_of(tab, &parent, f);
+                for s in sites {
+                    let unit = &units[tab.fns[f].unit];
+                    let key = (unit.rel.clone(), s.line);
+                    if reported.contains(&key) {
+                        continue;
+                    }
+                    reported.insert(key);
+                    match s.allowed_as {
+                        Some(rule) => out.suppressed.push(Suppressed {
+                            path: unit.rel.clone(),
+                            line: s.line,
+                            rule,
+                        }),
+                        None => out.violations.push(Violation {
+                            rule: REACH,
+                            path: unit.rel.clone(),
+                            line: s.line,
+                            message: format!(
+                                "`{}` ({}) is reachable from entry `{}`: {}",
+                                s.text, s.why, entry, chain
+                            ),
+                        }),
+                    }
+                }
+            }
+            for e in &graph.edges[f] {
+                if universe[e.callee] && !parent.contains_key(&e.callee) {
+                    parent.insert(e.callee, Some(f));
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+    }
+    out
+}
+
+struct SourceSite {
+    text: &'static str,
+    why: &'static str,
+    line: usize,
+    /// When a `lint:allow` covers the site, the rule name it was credited
+    /// under (`deterministic-core-reach` preferred, the per-file
+    /// `deterministic-core` accepted).
+    allowed_as: Option<&'static str>,
+}
+
+/// Nondeterminism sources in one function's body, minus gated/test lines.
+fn fn_sources(unit: &FileUnit, def: &crate::symtab::FnDef) -> Vec<SourceSite> {
+    let Some((start, end)) = def.body else {
+        return Vec::new();
+    };
+    let body = &unit.source.masked.code[start..end];
+    let in_sweep = unit.file_name() == SWEEP_FILE;
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for p in SOURCES {
+        if p.sweep_ok && in_sweep {
+            continue;
+        }
+        for off in token_offsets(body, p.text, p.call) {
+            let line = unit.source.masked.line_of(start + off);
+            if unit.source.is_test_line(line) || unit.source.is_obs_gated(line) {
+                continue;
+            }
+            if !seen.insert(line) {
+                continue;
+            }
+            let allowed_as = if unit.source.is_allowed(REACH, line) {
+                Some(REACH)
+            } else if unit.source.is_allowed(DETERMINISTIC, line) {
+                Some(DETERMINISTIC)
+            } else {
+                None
+            };
+            out.push(SourceSite {
+                text: p.text,
+                why: p.why,
+                line,
+                allowed_as,
+            });
+        }
+    }
+    out.sort_by_key(|s| s.line);
+    out
+}
+
+/// `entry → ... → sink` rendered with short display names.
+fn chain_of(tab: &SymbolTable, parent: &BTreeMap<usize, Option<usize>>, mut f: usize) -> String {
+    let mut rev = vec![display_name(&tab.fns[f].path)];
+    while let Some(Some(p)) = parent.get(&f) {
+        rev.push(display_name(&tab.fns[*p].path));
+        f = *p;
+    }
+    rev.reverse();
+    rev.join(" -> ")
+}
+
+/// Last two path segments (`Simulator::run`), or the bare name for free
+/// fns directly under the crate root.
+fn display_name(path: &str) -> String {
+    let parts: Vec<&str> = path.split("::").collect();
+    if parts.len() >= 2 {
+        parts[parts.len() - 2..].join("::")
+    } else {
+        path.to_string()
+    }
+}

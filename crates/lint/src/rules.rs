@@ -305,15 +305,56 @@ pub const FEATURE_GATE: &str = "feature-gate-obs";
 pub const VENDOR_FROZEN: &str = "vendor-frozen";
 /// See [`NO_PANIC`].
 pub const ALLOW_NEEDS_REASON: &str = "allow-needs-reason";
+/// Interprocedural taint reachability (see [`crate::reach`]).
+pub const REACH: &str = "deterministic-core-reach";
+/// `unsafe` sites need `// SAFETY:` + inventory (see [`crate::audit`]).
+pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+/// Allocation ban in configured hot paths (see [`crate::hotpath`]).
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// A `lint:allow` that suppresses nothing (engine-level, see
+/// [`crate::engine`]): stale suppressions hide future violations.
+pub const STALE_ALLOW: &str = "stale-allow";
 
-/// All content rules (vendor-frozen works on hashes, not content).
+/// The per-file content rules (vendor-frozen works on hashes, not content;
+/// the interprocedural rules run workspace-wide, not per file).
 pub const CONTENT_RULES: &[&str] = &[NO_PANIC, DETERMINISTIC, FEATURE_GATE, ALLOW_NEEDS_REASON];
 
-/// Runs every content rule over one analysed file. `rel_path` is
-/// workspace-relative with `/` separators.
-pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
+/// A `lint:allow` suppression that actually fired: rule `rule` matched at
+/// `path:line` and was silenced by a directive. The engine aggregates
+/// these to detect directives that suppress nothing ([`STALE_ALLOW`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suppressed {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line of the *suppressed match* (the covering directive
+    /// sits on this line or the one above).
+    pub line: usize,
+    /// Rule name the directive was credited under.
+    pub rule: &'static str,
+}
+
+/// What one rule pass produced: diagnostics plus the suppressions it
+/// honored.
+#[derive(Debug, Default)]
+pub struct RuleOutcome {
+    /// Violations (before baseline reconciliation).
+    pub violations: Vec<Violation>,
+    /// Matches silenced by `lint:allow` directives.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl RuleOutcome {
+    /// Folds another outcome into this one.
+    pub fn merge(&mut self, other: RuleOutcome) {
+        self.violations.extend(other.violations);
+        self.suppressed.extend(other.suppressed);
+    }
+}
+
+/// Runs one per-file content rule over one analysed file.
+pub fn check_rule(rule: &'static str, rel_path: &str, file: &SourceFile) -> RuleOutcome {
     let origin = FileOrigin::of(rel_path);
-    let mut out = Vec::new();
+    let mut out = RuleOutcome::default();
 
     let lib_scoped =
         origin.crate_name.is_some_and(|c| LIB_CRATES.contains(&c)) && origin.is_lib_source();
@@ -326,89 +367,112 @@ pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
         && origin.is_lib_source()
         && origin.file_name() != INSTRUMENT_FILE;
 
-    if lib_scoped {
-        scan_patterns(NO_PANIC, PANIC_PATTERNS, rel_path, file, &mut out);
-    }
-    if det_scoped {
-        scan_patterns(DETERMINISTIC, ENTROPY_PATTERNS, rel_path, file, &mut out);
-        if origin.file_name() == SWEEP_FILE {
-            scan_patterns(
-                DETERMINISTIC,
-                ORDERED_MERGE_PATTERNS,
-                rel_path,
-                file,
-                &mut out,
-            );
+    match rule {
+        NO_PANIC if lib_scoped => {
+            scan_patterns(NO_PANIC, PANIC_PATTERNS, rel_path, file, &mut out);
         }
-        if origin.file_name() == FAULT_FILE {
-            scan_patterns(
-                DETERMINISTIC,
-                PURE_SCHEDULE_PATTERNS,
-                rel_path,
-                file,
-                &mut out,
-            );
-        }
-        if origin.file_name() == COSTS_FILE {
-            scan_patterns(
-                DETERMINISTIC,
-                DENSE_CONSTRUCTION_PATTERNS,
-                rel_path,
-                file,
-                &mut out,
-            );
-        }
-    }
-    if gate_scoped {
-        for off in token_offsets(&file.masked.code, "icn_obs", false) {
-            let line = file.masked.line_of(off);
-            if file.is_test_line(line) || file.is_obs_gated(line) {
-                continue;
+        DETERMINISTIC if det_scoped => {
+            scan_patterns(DETERMINISTIC, ENTROPY_PATTERNS, rel_path, file, &mut out);
+            if origin.file_name() == SWEEP_FILE {
+                scan_patterns(
+                    DETERMINISTIC,
+                    ORDERED_MERGE_PATTERNS,
+                    rel_path,
+                    file,
+                    &mut out,
+                );
             }
-            if file.is_allowed(FEATURE_GATE, line) {
-                continue;
+            if origin.file_name() == FAULT_FILE {
+                scan_patterns(
+                    DETERMINISTIC,
+                    PURE_SCHEDULE_PATTERNS,
+                    rel_path,
+                    file,
+                    &mut out,
+                );
             }
-            out.push(Violation {
-                rule: FEATURE_GATE,
-                path: rel_path.to_string(),
-                line,
-                message: "`icn_obs` reference outside `#[cfg(feature = \"obs\")]` \
-                          (and outside instrument.rs)"
-                    .to_string(),
-            });
+            if origin.file_name() == COSTS_FILE {
+                scan_patterns(
+                    DETERMINISTIC,
+                    DENSE_CONSTRUCTION_PATTERNS,
+                    rel_path,
+                    file,
+                    &mut out,
+                );
+            }
         }
-        for p in GATED_TIMING_PATTERNS {
-            for off in token_offsets(&file.masked.code, p.text, p.call) {
+        FEATURE_GATE if gate_scoped => {
+            for off in token_offsets(&file.masked.code, "icn_obs", false) {
                 let line = file.masked.line_of(off);
                 if file.is_test_line(line) || file.is_obs_gated(line) {
                     continue;
                 }
                 if file.is_allowed(FEATURE_GATE, line) {
+                    out.suppressed.push(Suppressed {
+                        path: rel_path.to_string(),
+                        line,
+                        rule: FEATURE_GATE,
+                    });
                     continue;
                 }
-                out.push(Violation {
+                out.violations.push(Violation {
                     rule: FEATURE_GATE,
                     path: rel_path.to_string(),
                     line,
-                    message: format!("`{}`: {}", p.text, p.why),
+                    message: "`icn_obs` reference outside `#[cfg(feature = \"obs\")]` \
+                              (and outside instrument.rs)"
+                        .to_string(),
                 });
             }
+            for p in GATED_TIMING_PATTERNS {
+                for off in token_offsets(&file.masked.code, p.text, p.call) {
+                    let line = file.masked.line_of(off);
+                    if file.is_test_line(line) || file.is_obs_gated(line) {
+                        continue;
+                    }
+                    if file.is_allowed(FEATURE_GATE, line) {
+                        out.suppressed.push(Suppressed {
+                            path: rel_path.to_string(),
+                            line,
+                            rule: FEATURE_GATE,
+                        });
+                        continue;
+                    }
+                    out.violations.push(Violation {
+                        rule: FEATURE_GATE,
+                        path: rel_path.to_string(),
+                        line,
+                        message: format!("`{}`: {}", p.text, p.why),
+                    });
+                }
+            }
         }
-    }
-
-    // Directives are themselves linted: an allow without a reason defeats
-    // the audit trail the directive exists to create.
-    for d in &file.allows {
-        if !d.has_reason {
-            out.push(Violation {
-                rule: ALLOW_NEEDS_REASON,
-                path: rel_path.to_string(),
-                line: d.line,
-                message: "lint:allow directive must carry a `: <reason>`".to_string(),
-            });
+        // Directives are themselves linted: an allow without a reason
+        // defeats the audit trail the directive exists to create.
+        ALLOW_NEEDS_REASON => {
+            for d in &file.allows {
+                if !d.has_reason {
+                    out.violations.push(Violation {
+                        rule: ALLOW_NEEDS_REASON,
+                        path: rel_path.to_string(),
+                        line: d.line,
+                        message: "lint:allow directive must carry a `: <reason>`".to_string(),
+                    });
+                }
+            }
         }
+        _ => {}
     }
+    out
+}
 
+/// Runs every per-file content rule over one analysed file. `rel_path` is
+/// workspace-relative with `/` separators.
+pub fn check_file(rel_path: &str, file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for rule in CONTENT_RULES {
+        out.extend(check_rule(rule, rel_path, file).violations);
+    }
     out
 }
 
@@ -417,15 +481,23 @@ fn scan_patterns(
     patterns: &[Pattern],
     rel_path: &str,
     file: &SourceFile,
-    out: &mut Vec<Violation>,
+    out: &mut RuleOutcome,
 ) {
     for p in patterns {
         for off in token_offsets(&file.masked.code, p.text, p.call) {
             let line = file.masked.line_of(off);
-            if file.is_test_line(line) || file.is_allowed(rule, line) {
+            if file.is_test_line(line) {
                 continue;
             }
-            out.push(Violation {
+            if file.is_allowed(rule, line) {
+                out.suppressed.push(Suppressed {
+                    path: rel_path.to_string(),
+                    line,
+                    rule,
+                });
+                continue;
+            }
+            out.violations.push(Violation {
                 rule,
                 path: rel_path.to_string(),
                 line,
@@ -437,7 +509,7 @@ fn scan_patterns(
 
 /// Byte offsets of identifier-boundary matches of `pat` in `code`; with
 /// `call`, the token must be immediately followed by `(`.
-fn token_offsets(code: &str, pat: &str, call: bool) -> Vec<usize> {
+pub(crate) fn token_offsets(code: &str, pat: &str, call: bool) -> Vec<usize> {
     let b = code.as_bytes();
     let mut out = Vec::new();
     let mut from = 0usize;

@@ -1,0 +1,373 @@
+//! Workspace symbol table: every `fn` item, keyed by its full module path.
+//!
+//! Built from the per-file [`crate::parser`] output plus each file's
+//! position in the workspace: `crates/core/src/sim.rs` contributes
+//! functions under `icn_core::sim::...` (crate names come from each
+//! crate's `Cargo.toml`, module segments from the file path and inline
+//! `mod` nesting, `Simulator::run` style suffixes from `impl` blocks).
+//! The table is what lets config entries like
+//! `icn_core::sweep::run_cells*` or `FaultSchedule` name real functions,
+//! and what the call graph resolves against.
+
+use crate::parser::ParsedFile;
+use crate::rules::FileOrigin;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// One file, analysed and parsed, with its workspace position resolved.
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Lexical analysis (masking, test/obs regions, allows).
+    pub source: SourceFile,
+    /// Item-level parse.
+    pub parsed: ParsedFile,
+    /// `crates/<dir>` component, if any (e.g. `core`).
+    pub crate_dir: Option<String>,
+    /// Rust crate name (e.g. `icn_core`), underscored.
+    pub crate_name: String,
+    /// Module path of the file itself (e.g. `["sim"]` for `src/sim.rs`,
+    /// empty for `src/lib.rs`).
+    pub file_mods: Vec<String>,
+    /// True for files outside `src/` (tests, benches, examples, bins):
+    /// their fns exist but never join the deterministic-core universe.
+    pub non_lib: bool,
+}
+
+impl FileUnit {
+    /// Builds a unit from a path, its source text, and the
+    /// directory→crate-name map (see [`crate_names`]).
+    pub fn build(rel: &str, src: &str, names: &BTreeMap<String, String>) -> Self {
+        let source = SourceFile::analyze(src);
+        let parsed = crate::parser::parse(&source.masked);
+        let origin = FileOrigin::of(rel);
+        let crate_dir = origin.crate_name.map(str::to_string);
+        let crate_name = match &crate_dir {
+            Some(dir) => names
+                .get(dir)
+                .cloned()
+                .unwrap_or_else(|| default_crate_name(dir)),
+            None => "crate".to_string(),
+        };
+        let (file_mods, non_lib) = file_module_path(origin.in_crate);
+        Self {
+            rel: rel.to_string(),
+            source,
+            parsed,
+            crate_dir,
+            crate_name,
+            file_mods,
+            non_lib,
+        }
+    }
+
+    /// File name component (`sim.rs`).
+    pub fn file_name(&self) -> &str {
+        self.rel.rsplit('/').next().unwrap_or(&self.rel)
+    }
+}
+
+/// Fallback crate name for a `crates/<dir>` directory without a readable
+/// `Cargo.toml` (fixtures): `core` → `icn_core`, but directories already
+/// carrying `icn` (like `idicn`) stay as-is.
+pub fn default_crate_name(dir: &str) -> String {
+    let base = if dir.contains("icn") {
+        dir.to_string()
+    } else {
+        format!("icn_{dir}")
+    };
+    base.replace('-', "_")
+}
+
+/// Module segments contributed by a file's path inside its crate, and
+/// whether the file is outside the library tree. `src/lib.rs` and
+/// `src/main.rs` contribute none; `src/a/b.rs` and `src/a/b/mod.rs`
+/// contribute `["a", "b"]`; `tests/...`/`benches/...` contribute their
+/// stem but are marked non-lib.
+fn file_module_path(in_crate: &str) -> (Vec<String>, bool) {
+    let (tree, non_lib) = match in_crate.strip_prefix("src/") {
+        Some(rest) if !rest.starts_with("bin/") => (rest, false),
+        _ => (in_crate, true),
+    };
+    let mut mods: Vec<String> = tree
+        .strip_suffix(".rs")
+        .unwrap_or(tree)
+        .split('/')
+        .map(str::to_string)
+        .collect();
+    if mods.last().is_some_and(|m| m == "mod") {
+        mods.pop();
+    }
+    if mods.last().is_some_and(|m| m == "lib" || m == "main") {
+        mods.pop();
+    }
+    if non_lib {
+        // Drop the leading `src/bin`/`tests`/`benches`/`examples`
+        // directories; the remaining stem only needs to be unique, not
+        // meaningful.
+        while mods.len() > 1
+            && matches!(
+                mods[0].as_str(),
+                "src" | "bin" | "tests" | "benches" | "examples"
+            )
+        {
+            mods.remove(0);
+        }
+    }
+    (mods, non_lib)
+}
+
+/// One function definition in the workspace.
+pub struct FnDef {
+    /// Index into the engine's `FileUnit` list.
+    pub unit: usize,
+    /// Full path: `icn_core::sim::Simulator::run`.
+    pub path: String,
+    /// Bare name (`run`).
+    pub name: String,
+    /// Self type for methods (`Simulator`).
+    pub type_name: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Body byte span in the file's source, when present.
+    pub body: Option<(usize, usize)>,
+    /// Defined in test-only code (`#[cfg(test)]` region, `#[test]` fn, or
+    /// a non-`src/` file).
+    pub is_test: bool,
+}
+
+/// All function definitions in the workspace, with lookup indices.
+pub struct SymbolTable {
+    /// Every definition; indices are stable handles.
+    pub fns: Vec<FnDef>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Collects every `fn` from the parsed units.
+    pub fn build(units: &[FileUnit]) -> Self {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (ui, u) in units.iter().enumerate() {
+            for f in &u.parsed.fns {
+                let mut segs: Vec<&str> = Vec::new();
+                segs.push(&u.crate_name);
+                segs.extend(u.file_mods.iter().map(String::as_str));
+                segs.extend(f.modules.iter().map(String::as_str));
+                if let Some(t) = &f.type_name {
+                    segs.push(t);
+                }
+                segs.push(&f.name);
+                let id = fns.len();
+                fns.push(FnDef {
+                    unit: ui,
+                    path: segs.join("::"),
+                    name: f.name.clone(),
+                    type_name: f.type_name.clone(),
+                    line: f.line,
+                    body: f.body,
+                    is_test: u.non_lib || u.source.is_test_line(f.line),
+                });
+                by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        Self { fns, by_name }
+    }
+
+    /// All definitions with the given bare name.
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Definitions whose full path ends with the given segments (so
+    /// `["Simulator", "run"]` matches `icn_core::sim::Simulator::run`).
+    pub fn resolve_suffix(&self, segs: &[&str]) -> Vec<usize> {
+        let Some(last) = segs.last() else {
+            return Vec::new();
+        };
+        self.by_name(last)
+            .iter()
+            .copied()
+            .filter(|&id| path_ends_with(&self.fns[id].path, segs))
+            .collect()
+    }
+
+    /// Resolves a config entry to definitions. Supported shapes:
+    /// - `icn_core::sim::Simulator::run` — exact path suffix;
+    /// - `icn_core::sweep::run_cells*` — trailing `*` prefix-matches the
+    ///   final segment (`run_cells`, `run_cells_with`, ...);
+    /// - `icn_core::fault::FaultSchedule` — a type or module: matches every
+    ///   fn whose path continues with exactly one more segment.
+    pub fn resolve_entry(&self, entry: &str) -> Vec<usize> {
+        let segs: Vec<&str> = entry.split("::").collect();
+        if segs.is_empty() {
+            return Vec::new();
+        }
+        if let Some(stem) = segs.last().and_then(|s| s.strip_suffix('*')) {
+            let prefix: Vec<&str> = segs[..segs.len() - 1].to_vec();
+            return self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    f.name.starts_with(stem) && {
+                        let mut whole = prefix.clone();
+                        whole.push(&f.name);
+                        path_ends_with(&f.path, &whole)
+                    }
+                })
+                .map(|(id, _)| id)
+                .collect();
+        }
+        let exact = self.resolve_suffix(&segs);
+        if !exact.is_empty() {
+            return exact;
+        }
+        // Container form: all fns directly inside the named type/module.
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                let mut whole = segs.clone();
+                whole.push(&f.name);
+                path_ends_with(&f.path, &whole)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// True when `path` (`a::b::c`) ends with the segment sequence `segs`.
+fn path_ends_with(path: &str, segs: &[&str]) -> bool {
+    let parts: Vec<&str> = path.split("::").collect();
+    segs.len() <= parts.len() && parts[parts.len() - segs.len()..] == segs[..]
+}
+
+/// Reads the `name = "..."` of each `crates/<dir>/Cargo.toml` under `root`,
+/// keyed by directory name, with `-` normalized to `_`.
+pub fn crate_names(root: &std::path::Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        for line in manifest.lines() {
+            let line = line.trim();
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start();
+                if let Some(v) = v.strip_prefix('=') {
+                    let v = v.trim().trim_matches('"');
+                    out.insert(dir_name.to_string(), v.replace('-', "_"));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        FileUnit::build(rel, src, &BTreeMap::new())
+    }
+
+    #[test]
+    fn paths_combine_crate_file_mods_and_impl_type() {
+        let u = unit(
+            "crates/core/src/sim.rs",
+            "impl Simulator {\n    pub fn run(&mut self) {}\n}\nfn helper() {}\nmod inner {\n    fn deep() {}\n}\n",
+        );
+        let tab = SymbolTable::build(&[u]);
+        let paths: Vec<&str> = tab.fns.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "icn_core::sim::Simulator::run",
+                "icn_core::sim::helper",
+                "icn_core::sim::inner::deep",
+            ]
+        );
+    }
+
+    #[test]
+    fn lib_rs_contributes_no_module_segment() {
+        let u = unit("crates/cache/src/lib.rs", "pub fn touch() {}\n");
+        let tab = SymbolTable::build(&[u]);
+        assert_eq!(tab.fns[0].path, "icn_cache::touch");
+    }
+
+    #[test]
+    fn test_files_and_cfg_test_fns_are_marked() {
+        let a = unit("crates/core/tests/equiv.rs", "fn check() {}\n");
+        let b = unit(
+            "crates/core/src/sim.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        );
+        let tab = SymbolTable::build(&[a, b]);
+        let by_path: BTreeMap<&str, bool> = tab
+            .fns
+            .iter()
+            .map(|f| (f.path.as_str(), f.is_test))
+            .collect();
+        assert!(by_path["icn_core::equiv::check"]);
+        assert!(!by_path["icn_core::sim::lib"]);
+        assert!(by_path["icn_core::sim::tests::t"]);
+    }
+
+    #[test]
+    fn suffix_resolution_matches_partial_paths() {
+        let u = unit(
+            "crates/core/src/sweep.rs",
+            "pub fn run_cells() {}\npub fn run_cells_with() {}\npub fn run_cells_reported() {}\n",
+        );
+        let tab = SymbolTable::build(&[u]);
+        assert_eq!(tab.resolve_suffix(&["sweep", "run_cells"]).len(), 1);
+        assert_eq!(tab.resolve_suffix(&["run_cells_with"]).len(), 1);
+        assert!(tab.resolve_suffix(&["other", "run_cells"]).is_empty());
+    }
+
+    #[test]
+    fn entry_glob_and_container_forms() {
+        let u = unit(
+            "crates/core/src/fault.rs",
+            "pub struct FaultSchedule;\nimpl FaultSchedule {\n    pub fn new() {}\n    pub fn is_down() {}\n}\npub fn free() {}\n",
+        );
+        let v = unit(
+            "crates/core/src/sweep.rs",
+            "pub fn run_cells() {}\npub fn run_cells_with() {}\n",
+        );
+        let tab = SymbolTable::build(&[u, v]);
+        assert_eq!(tab.resolve_entry("icn_core::sweep::run_cells*").len(), 2);
+        assert_eq!(tab.resolve_entry("fault::FaultSchedule").len(), 2);
+        assert_eq!(tab.resolve_entry("FaultSchedule::new").len(), 1);
+        assert!(tab.resolve_entry("icn_core::nothing").is_empty());
+    }
+
+    #[test]
+    fn crate_name_fallback_heuristic() {
+        assert_eq!(default_crate_name("core"), "icn_core");
+        assert_eq!(default_crate_name("idicn"), "idicn");
+        assert_eq!(default_crate_name("icn-lint"), "icn_lint");
+    }
+
+    #[test]
+    fn bin_and_bench_files_are_non_lib() {
+        let a = unit("crates/bench/src/bin/fig6.rs", "fn main() {}\n");
+        let b = unit("crates/core/benches/hot.rs", "fn spin() {}\n");
+        let c = unit("crates/core/src/sim.rs", "fn lib() {}\n");
+        assert!(a.non_lib);
+        assert!(b.non_lib);
+        assert!(!c.non_lib);
+    }
+}

@@ -341,8 +341,8 @@ fn vendor_edits_require_a_hash_bump() {
 
     // Freeze it, scan again: clean.
     let config = Config {
-        baseline: Vec::new(),
         vendor: engine::vendor_digests(&fx.root).expect("digests"),
+        ..Config::default()
     };
     assert!(fx.scan(&config).ok());
 
@@ -427,6 +427,269 @@ fn regression_new_unwrap_in_core_sim_fails() {
     let report = fx.scan(&config);
     assert!(!report.ok());
     assert_eq!(report.new[0].rule, "no-panic-in-lib");
+}
+
+/// Guard for the PR 7 acceptance criterion: a nondeterminism source hidden
+/// behind a helper in *another crate* — invisible to the per-file
+/// `deterministic-core` rule — must be reported by the reach analysis with
+/// the full call chain in the diagnostic.
+#[test]
+fn cross_module_taint_chain_reports_the_full_chain() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/sim.rs",
+        concat!(
+            "use icn_topology::net::jitter_ns;\n",
+            "pub struct Simulator;\n",
+            "impl Simulator {\n",
+            "    pub fn run(&mut self) -> u64 {\n",
+            "        self.step()\n",
+            "    }\n",
+            "    fn step(&mut self) -> u64 {\n",
+            "        jitter_ns()\n",
+            "    }\n",
+            "}\n",
+        ),
+    )
+    .write(
+        "crates/topology/src/net.rs",
+        concat!(
+            "pub fn jitter_ns() -> u64 {\n",
+            "    std::time::Instant::now().elapsed().as_nanos() as u64\n",
+            "}\n",
+        ),
+    );
+    let config = Config {
+        reach_entries: vec!["icn_core::sim::Simulator::run".into()],
+        ..Config::default()
+    };
+    let report = fx.scan(&config);
+    assert_eq!(
+        keys(&report),
+        vec!["deterministic-core-reach:crates/topology/src/net.rs:2"]
+    );
+    let msg = &report.new[0].message;
+    assert!(msg.contains("Instant::now"), "{msg}");
+    assert!(
+        msg.contains("Simulator::run -> Simulator::step -> net::jitter_ns"),
+        "chain must be printed: {msg}"
+    );
+}
+
+/// Obs-gated instrumentation reachable from an entry point must not be a
+/// reach finding: the default build compiles it to nothing.
+#[test]
+fn obs_gated_source_is_not_a_reach_finding() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/sim.rs",
+        concat!(
+            "use icn_topology::net::stamp;\n",
+            "pub struct Simulator;\n",
+            "impl Simulator {\n",
+            "    pub fn run(&mut self) {\n",
+            "        stamp();\n",
+            "    }\n",
+            "}\n",
+        ),
+    )
+    .write(
+        "crates/topology/src/net.rs",
+        concat!(
+            "pub fn stamp() {\n",
+            "    #[cfg(feature = \"obs\")]\n",
+            "    let _t = std::time::Instant::now();\n",
+            "}\n",
+        ),
+    );
+    let config = Config {
+        reach_entries: vec!["icn_core::sim::Simulator::run".into()],
+        ..Config::default()
+    };
+    let report = fx.scan(&config);
+    assert!(report.ok(), "unexpected: {:?}", report.new);
+}
+
+/// A justified reach exemption: the allow directive suppresses the finding
+/// and is credited, so `stale-allow` stays quiet about it.
+#[test]
+fn reach_allow_suppresses_and_is_not_stale() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/sim.rs",
+        concat!(
+            "pub struct Simulator;\n",
+            "impl Simulator {\n",
+            "    pub fn run(&mut self) {\n",
+            "        mode();\n",
+            "    }\n",
+            "}\n",
+            "fn mode() -> bool {\n",
+            "    // lint:allow(deterministic-core-reach): build-mode switch, not per-run input\n",
+            "    std::env::var_os(\"ICN_MODE\").is_some()\n",
+            "}\n",
+        ),
+    );
+    let config = Config {
+        reach_entries: vec!["icn_core::sim::Simulator::run".into()],
+        ..Config::default()
+    };
+    let report = fx.scan(&config);
+    assert!(report.ok(), "unexpected: {:?}", report.new);
+}
+
+#[test]
+fn unsafe_audit_demands_safety_comment_and_inventory() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/cache/src/lru.rs",
+        concat!(
+            "fn naked(p: *const u8) -> u8 {\n",
+            "    unsafe { *p }\n",
+            "}\n",
+            "fn justified(p: *const u8) -> u8 {\n",
+            "    // SAFETY: caller guarantees p is valid for reads\n",
+            "    unsafe { *p }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.scan(&Config::default());
+    assert_eq!(
+        keys(&report),
+        vec![
+            "unsafe-audit:crates/cache/src/lru.rs:2",
+            "unsafe-audit:crates/cache/src/lru.rs:6",
+        ]
+    );
+    assert!(
+        report.new[0].message.contains("SAFETY:"),
+        "{:?}",
+        report.new
+    );
+    assert!(
+        report.new[1].message.contains("--write-baseline"),
+        "{:?}",
+        report.new
+    );
+
+    // Justified and inventoried: clean, and the inventory is reported.
+    fx.write(
+        "crates/cache/src/lru.rs",
+        concat!(
+            "fn justified(p: *const u8) -> u8 {\n",
+            "    // SAFETY: caller guarantees p is valid for reads\n",
+            "    unsafe { *p }\n",
+            "}\n",
+        ),
+    );
+    let config = Config {
+        unsafe_sites: vec!["crates/cache/src/lru.rs:3".into()],
+        ..Config::default()
+    };
+    let report = fx.scan(&config);
+    assert!(report.ok(), "unexpected: {:?}", report.new);
+    assert_eq!(
+        report.unsafe_inventory,
+        vec!["crates/cache/src/lru.rs:3".to_string()]
+    );
+
+    // Removing the unsafe leaves the inventory entry stale.
+    fx.write("crates/cache/src/lru.rs", "fn safe_now() {}\n");
+    let report = fx.scan(&config);
+    assert!(report.ok());
+    assert_eq!(
+        report.stale_unsafe,
+        vec!["crates/cache/src/lru.rs:3".to_string()]
+    );
+}
+
+/// Guard for the PR 5 invariant: allocation in a configured hot-path root
+/// *or one of its direct callees* fails the scan; cold siblings the root
+/// never calls are untouched.
+#[test]
+fn hot_path_alloc_bans_roots_and_direct_callees() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/sim.rs",
+        concat!(
+            "pub struct Simulator;\n",
+            "impl Simulator {\n",
+            "    pub fn process(&mut self) {\n",
+            "        self.refill();\n",
+            "        let _label = format!(\"req\");\n",
+            "    }\n",
+            "    fn refill(&mut self) {\n",
+            "        let _v: Vec<u32> = Vec::new();\n",
+            "    }\n",
+            "    fn cold(&mut self) {\n",
+            "        let _s = String::new();\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let config = Config {
+        hot_path: vec!["Simulator::process".into()],
+        ..Config::default()
+    };
+    let report = fx.scan(&config);
+    assert_eq!(
+        keys(&report),
+        vec![
+            "hot-path-alloc:crates/core/src/sim.rs:5",
+            "hot-path-alloc:crates/core/src/sim.rs:8",
+        ]
+    );
+    assert!(
+        report.new[0].message.contains("`format!`"),
+        "{:?}",
+        report.new
+    );
+    assert!(
+        report.new[1].message.contains("direct callee"),
+        "{:?}",
+        report.new
+    );
+}
+
+#[test]
+fn stale_allow_directive_is_flagged() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/topology/src/net.rs",
+        concat!(
+            "fn fine() -> u32 {\n",
+            "    // lint:allow(no-panic-in-lib): leftover from a removed unwrap\n",
+            "    7\n",
+            "}\n",
+        ),
+    );
+    let report = fx.scan(&Config::default());
+    assert_eq!(
+        keys(&report),
+        vec!["stale-allow:crates/topology/src/net.rs:2"]
+    );
+    assert!(report.new[0].message.contains("suppresses nothing"));
+}
+
+/// A configured entry that resolves to no function is itself a violation:
+/// renames must not silently disable the analysis.
+#[test]
+fn unresolvable_reach_and_hot_path_entries_are_flagged() {
+    let fx = Fixture::new();
+    fx.write("crates/core/src/sim.rs", "pub fn run_all() {}\n");
+    let config = Config {
+        reach_entries: vec!["icn_core::sim::gone".into()],
+        hot_path: vec!["Simulator::vanished".into()],
+        ..Config::default()
+    };
+    let report = fx.scan(&config);
+    assert_eq!(
+        keys(&report),
+        vec![
+            "deterministic-core-reach:lint.toml:0",
+            "hot-path-alloc:lint.toml:0",
+        ]
+    );
 }
 
 #[test]

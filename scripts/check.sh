@@ -13,8 +13,14 @@ cargo test -q --workspace
 echo "=== cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "=== icn-lint (panic paths, determinism, feature gates)"
-cargo run -q -p icn-lint -- --workspace
+echo "=== icn-lint (panic paths, determinism, reach/unsafe/hot-path audits)"
+# --budget-ms keeps the scan a developer-loop tool: if the interprocedural
+# analysis ever gets slow, this fails loudly instead of silently taxing
+# every check.sh run (per-rule breakdown: icn-lint --workspace --json).
+cargo run -q -p icn-lint -- --workspace --budget-ms 2000
+
+echo "=== sanitizers (advisory; skipped without a nightly toolchain)"
+scripts/sanitize.sh || echo "warning: sanitizer run reported issues (advisory only)" >&2
 
 echo "=== cargo fmt --check"
 cargo fmt --check --all

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Advisory sanitizer pass over the sweep engine's concurrency tests.
+#
+# ThreadSanitizer and AddressSanitizer need a nightly toolchain with the
+# rust-src component (-Zsanitizer requires -Zbuild-std). The determinism
+# story does not depend on them — the byte-compare cross-checks in
+# check.sh are the gate — so this script is advisory by design: when no
+# suitable nightly is installed it says so and exits 0, and check.sh
+# treats a non-zero exit as a warning, never a failure.
+#
+# Run explicitly with a nightly toolchain installed:
+#   scripts/sanitize.sh            # both sanitizers
+#   SAN=thread scripts/sanitize.sh # just TSan
+set -u
+cd "$(dirname "$0")/.."
+
+if ! cargo +nightly --version >/dev/null 2>&1; then
+    echo "sanitize: no nightly toolchain installed — skipping (advisory)"
+    exit 0
+fi
+sysroot="$(rustc +nightly --print sysroot 2>/dev/null || true)"
+if [ -z "$sysroot" ] || [ ! -d "$sysroot/lib/rustlib/src/rust/library" ]; then
+    echo "sanitize: nightly lacks the rust-src component — skipping (advisory)"
+    echo "  (rustup component add rust-src --toolchain nightly)"
+    exit 0
+fi
+
+host="$(rustc +nightly -vV | sed -n 's/^host: //p')"
+status=0
+for san in ${SAN:-thread address}; do
+    echo "=== ${san} sanitizer: sweep + fault determinism tests"
+    # The sweep engine owns the only sanctioned thread spawn; its tests
+    # (submission-order merge, JOBS-invariance) are where a data race or
+    # a stray unsafe would surface.
+    if ! RUSTFLAGS="-Zsanitizer=${san}" \
+        cargo +nightly test -Zbuild-std --target "$host" \
+        -p icn-core --lib sweep:: fault:: 2>&1 | tail -20; then
+        echo "sanitize: ${san} sanitizer run FAILED (advisory)" >&2
+        status=1
+    fi
+done
+exit "$status"
