@@ -19,11 +19,17 @@ pub mod hash;
 pub mod lfu;
 pub mod lru;
 pub mod policy;
+pub mod prob;
 pub mod slot;
+pub mod tinylfu;
+pub mod ttl;
 
 pub use budget::{per_node_budgets, BudgetPolicy};
 pub use fifo::Fifo;
 pub use lfu::Lfu;
 pub use lru::{CompactLru, Lru};
 pub use policy::{CachePolicy, PolicyKind};
+pub use prob::ProbCache;
 pub use slot::CacheSlot;
+pub use tinylfu::TinyLfu;
+pub use ttl::Ttl;

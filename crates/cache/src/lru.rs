@@ -227,6 +227,13 @@ impl CompactLru {
         }
     }
 
+    /// The key the next capacity eviction would displace (the
+    /// least-recently-used one), without evicting it. Admission filters
+    /// (TinyLFU) compare a candidate against this victim.
+    pub fn lru_victim(&self) -> Option<Key> {
+        (self.tail != NIL).then(|| self.slots[self.tail as usize].key)
+    }
+
     /// Keys from most- to least-recently used.
     pub fn iter_mru(&self) -> impl Iterator<Item = Key> + '_ {
         let mut cur = self.head;

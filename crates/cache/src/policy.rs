@@ -49,6 +49,19 @@ pub enum PolicyKind {
     Lfu,
     /// First-in-first-out.
     Fifo,
+    /// LRU with probabilistic admission: new keys enter with probability
+    /// `admit_pct`/100 (a deterministic per-attempt hash coin).
+    Prob {
+        /// Admission probability in percent, 0–100.
+        admit_pct: u8,
+    },
+    /// Leased entries expiring `ttl` logical ticks after insertion.
+    Ttl {
+        /// Lease length in logical ticks (request indices).
+        ttl: u32,
+    },
+    /// LRU with TinyLFU admission (4-bit count–min sketch with aging).
+    TinyLfu,
 }
 
 impl PolicyKind {
@@ -58,6 +71,11 @@ impl PolicyKind {
             PolicyKind::Lru => Box::new(crate::lru::CompactLru::new(capacity)),
             PolicyKind::Lfu => Box::new(crate::lfu::Lfu::new(capacity)),
             PolicyKind::Fifo => Box::new(crate::fifo::Fifo::new(capacity)),
+            PolicyKind::Prob { admit_pct } => {
+                Box::new(crate::prob::ProbCache::new(capacity, admit_pct))
+            }
+            PolicyKind::Ttl { ttl } => Box::new(crate::ttl::Ttl::new(capacity, ttl as u64)),
+            PolicyKind::TinyLfu => Box::new(crate::tinylfu::TinyLfu::new(capacity)),
         }
     }
 }

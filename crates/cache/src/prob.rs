@@ -1,0 +1,188 @@
+//! Probabilistic insertion (ProbCache-style) over an LRU core.
+//!
+//! In-network caches see every transit object; inserting all of them
+//! thrashes small caches with single-access content. The classic ICN
+//! remedy (Laoutaris et al.'s ProbCache family) is to *admit* each new
+//! object only with some probability `p`, so repeatedly requested objects
+//! win cache residency while one-hit wonders mostly pass through.
+//!
+//! The coin must not perturb simulator determinism, so it is not drawn
+//! from an RNG stream shared with anything else: each admission attempt
+//! hashes `(key, attempt-counter)` with SplitMix64 and compares against
+//! the configured percentage. The same sequence of operations always
+//! admits the same keys.
+
+use crate::lru::CompactLru;
+use crate::policy::{CachePolicy, Key};
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of its input.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// LRU cache that admits *new* keys only with a fixed probability.
+///
+/// Present keys always refresh (a hit is a hit); absent keys flip the
+/// deterministic per-attempt coin and are dropped on the floor when it
+/// comes up tails — the cache state is then untouched.
+///
+/// # Examples
+/// ```
+/// use icn_cache::{CachePolicy, ProbCache};
+///
+/// let mut always = ProbCache::new(2, 100); // p = 1 degenerates to LRU
+/// always.insert(1);
+/// assert!(always.contains(1));
+///
+/// let mut never = ProbCache::new(2, 0); // p = 0 admits nothing
+/// never.insert(1);
+/// assert!(!never.contains(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbCache {
+    inner: CompactLru,
+    admit_pct: u8,
+    /// Admission attempts so far — the per-attempt coin's nonce.
+    attempts: u64,
+}
+
+impl ProbCache {
+    /// Creates a cache of `capacity` keys admitting new keys with
+    /// probability `admit_pct`/100. `admit_pct` is clamped to 100.
+    pub fn new(capacity: usize, admit_pct: u8) -> Self {
+        Self {
+            inner: CompactLru::new(capacity),
+            admit_pct: admit_pct.min(100),
+            attempts: 0,
+        }
+    }
+
+    /// The admission probability in percent.
+    pub fn admit_pct(&self) -> u8 {
+        self.admit_pct
+    }
+}
+
+impl CachePolicy for ProbCache {
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn touch(&mut self, key: Key) {
+        self.inner.touch(key);
+    }
+
+    fn insert(&mut self, key: Key) -> Option<Key> {
+        if self.inner.capacity() == 0 {
+            return None;
+        }
+        if self.inner.contains(key) {
+            return self.inner.insert(key); // refresh, never evicts
+        }
+        self.attempts = self.attempts.wrapping_add(1);
+        // Deterministic coin: hash the key with the attempt nonce so the
+        // same key can win on a later attempt.
+        let coin = splitmix64(key ^ splitmix64(self.attempts));
+        if coin % 100 < self.admit_pct as u64 {
+            self.inner.insert(key)
+        } else {
+            None
+        }
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+        self.attempts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_zero_admits_nothing_pct_hundred_everything() {
+        let mut never = ProbCache::new(4, 0);
+        let mut always = ProbCache::new(4, 100);
+        for k in 0..100u64 {
+            assert_eq!(never.insert(k), None);
+            always.insert(k);
+        }
+        assert_eq!(never.len(), 0);
+        assert_eq!(always.len(), 4);
+    }
+
+    #[test]
+    fn admission_rate_tracks_percentage() {
+        let mut c = ProbCache::new(100_000, 30);
+        for k in 0..10_000u64 {
+            c.insert(k);
+        }
+        let rate = c.len() as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "admit rate {rate}");
+    }
+
+    #[test]
+    fn present_keys_always_refresh() {
+        let mut c = ProbCache::new(2, 100);
+        c.insert(1);
+        c.insert(2);
+        c.insert(1); // refresh: 2 becomes the victim
+        let mut denying = c.clone();
+        denying.admit_pct = 0;
+        assert_eq!(denying.insert(1), None);
+        assert!(denying.contains(1), "refresh must bypass the coin");
+    }
+
+    #[test]
+    fn rejected_attempts_advance_the_nonce() {
+        // The same key retried must eventually win: the coin depends on
+        // the attempt counter, not the key alone.
+        let mut c = ProbCache::new(4, 50);
+        let mut admitted = false;
+        for _ in 0..64 {
+            if c.insert(42).is_some() || c.contains(42) {
+                admitted = true;
+                break;
+            }
+        }
+        assert!(admitted, "key 42 never admitted at p = 0.5 in 64 tries");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = ProbCache::new(8, 40);
+            (0..500u64).map(|k| c.insert(k % 50)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clear_resets_the_nonce() {
+        let mut a = ProbCache::new(8, 40);
+        let before: Vec<_> = (0..100u64).map(|k| a.insert(k)).collect();
+        a.clear();
+        let after: Vec<_> = (0..100u64).map(|k| a.insert(k)).collect();
+        assert_eq!(before, after, "clear must reset admission state");
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c = ProbCache::new(0, 100);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.len(), 0);
+    }
+}

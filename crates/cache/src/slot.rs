@@ -17,6 +17,9 @@ use crate::fifo::Fifo;
 use crate::lfu::Lfu;
 use crate::lru::CompactLru;
 use crate::policy::{CachePolicy, Key, PolicyKind};
+use crate::prob::ProbCache;
+use crate::tinylfu::TinyLfu;
+use crate::ttl::Ttl;
 
 /// A cache slot for one router: either a concrete policy or nothing.
 ///
@@ -32,6 +35,12 @@ pub enum CacheSlot {
     Fifo(Fifo),
     /// Least-frequently-used eviction.
     Lfu(Lfu),
+    /// Probabilistic-admission LRU (ProbCache-style).
+    Prob(ProbCache),
+    /// Logical-time TTL leases.
+    Ttl(Ttl),
+    /// TinyLFU admission filter over LRU.
+    TinyLfu(TinyLfu),
 }
 
 impl CacheSlot {
@@ -43,6 +52,9 @@ impl CacheSlot {
             PolicyKind::Lru => CacheSlot::Lru(CompactLru::new(capacity)),
             PolicyKind::Fifo => CacheSlot::Fifo(Fifo::new(capacity)),
             PolicyKind::Lfu => CacheSlot::Lfu(Lfu::new(capacity)),
+            PolicyKind::Prob { admit_pct } => CacheSlot::Prob(ProbCache::new(capacity, admit_pct)),
+            PolicyKind::Ttl { ttl } => CacheSlot::Ttl(Ttl::new(capacity, ttl as u64)),
+            PolicyKind::TinyLfu => CacheSlot::TinyLfu(TinyLfu::new(capacity)),
         }
     }
 
@@ -62,6 +74,9 @@ impl CacheSlot {
             CacheSlot::Lru(c) => c.capacity(),
             CacheSlot::Fifo(c) => c.capacity(),
             CacheSlot::Lfu(c) => c.capacity(),
+            CacheSlot::Prob(c) => c.capacity(),
+            CacheSlot::Ttl(c) => c.capacity(),
+            CacheSlot::TinyLfu(c) => c.capacity(),
         }
     }
 
@@ -74,6 +89,9 @@ impl CacheSlot {
             CacheSlot::Lru(c) => c.len(),
             CacheSlot::Fifo(c) => c.len(),
             CacheSlot::Lfu(c) => c.len(),
+            CacheSlot::Prob(c) => c.len(),
+            CacheSlot::Ttl(c) => c.len(),
+            CacheSlot::TinyLfu(c) => c.len(),
         }
     }
 
@@ -93,6 +111,9 @@ impl CacheSlot {
             CacheSlot::Lru(c) => c.contains(key),
             CacheSlot::Fifo(c) => c.contains(key),
             CacheSlot::Lfu(c) => c.contains(key),
+            CacheSlot::Prob(c) => c.contains(key),
+            CacheSlot::Ttl(c) => c.contains(key),
+            CacheSlot::TinyLfu(c) => c.contains(key),
         }
     }
 
@@ -104,6 +125,9 @@ impl CacheSlot {
             CacheSlot::Lru(c) => c.touch(key),
             CacheSlot::Fifo(c) => c.touch(key),
             CacheSlot::Lfu(c) => c.touch(key),
+            CacheSlot::Prob(c) => c.touch(key),
+            CacheSlot::Ttl(c) => c.touch(key),
+            CacheSlot::TinyLfu(c) => c.touch(key),
         }
     }
 
@@ -116,6 +140,44 @@ impl CacheSlot {
             CacheSlot::Lru(c) => c.insert(key),
             CacheSlot::Fifo(c) => c.insert(key),
             CacheSlot::Lfu(c) => c.insert(key),
+            CacheSlot::Prob(c) => c.insert(key),
+            CacheSlot::Ttl(c) => c.insert(key),
+            CacheSlot::TinyLfu(c) => c.insert(key),
+        }
+    }
+
+    /// Inserts `key` at logical time `now` (the request index). Only the
+    /// TTL variant consumes the clock — every other variant behaves
+    /// exactly like [`CacheSlot::insert`] — so the simulator can call
+    /// this unconditionally on its response path.
+    #[inline]
+    pub fn insert_at(&mut self, key: Key, now: u64) -> Option<Key> {
+        match self {
+            CacheSlot::Ttl(c) => c.insert_at(key, now),
+            other => other.insert(key),
+        }
+    }
+
+    /// Retires `key` from a TTL slot if its live lease ends exactly at
+    /// `stamp` (see [`Ttl::expire`]); `false` — and a no-op — on every
+    /// other variant or on a stale stamp.
+    #[inline]
+    pub fn expire(&mut self, key: Key, stamp: u64) -> bool {
+        match self {
+            CacheSlot::Ttl(c) => c.expire(key, stamp),
+            _ => false,
+        }
+    }
+
+    /// The lease length when this slot expires entries on logical time
+    /// (`None` for every non-TTL variant). The simulator uses this to
+    /// decide whether to maintain an expiry queue at all.
+    #[inline]
+    #[must_use]
+    pub fn ttl(&self) -> Option<u64> {
+        match self {
+            CacheSlot::Ttl(c) => Some(c.ttl()),
+            _ => None,
         }
     }
 
@@ -127,6 +189,9 @@ impl CacheSlot {
             CacheSlot::Lru(c) => c.clear(),
             CacheSlot::Fifo(c) => c.clear(),
             CacheSlot::Lfu(c) => c.clear(),
+            CacheSlot::Prob(c) => c.clear(),
+            CacheSlot::Ttl(c) => c.clear(),
+            CacheSlot::TinyLfu(c) => c.clear(),
         }
     }
 }
@@ -199,6 +264,54 @@ mod tests {
     }
 
     #[test]
+    fn prob_slot_mirrors_boxed_policy() {
+        drive_equivalence(PolicyKind::Prob { admit_pct: 70 });
+    }
+
+    #[test]
+    fn ttl_slot_mirrors_boxed_policy() {
+        drive_equivalence(PolicyKind::Ttl { ttl: 24 });
+    }
+
+    #[test]
+    fn tinylfu_slot_mirrors_boxed_policy() {
+        drive_equivalence(PolicyKind::TinyLfu);
+    }
+
+    #[test]
+    fn insert_at_matches_insert_for_clockless_policies() {
+        // Only the TTL variant reads the logical clock; all others must
+        // behave identically through insert_at and insert.
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Lfu,
+            PolicyKind::Prob { admit_pct: 55 },
+            PolicyKind::TinyLfu,
+        ] {
+            let mut timed = CacheSlot::build(kind, 4);
+            let mut plain = CacheSlot::build(kind, 4);
+            assert_eq!(timed.ttl(), None);
+            for i in 0..500u64 {
+                let key = i % 11;
+                assert_eq!(timed.insert_at(key, i * 1_000), plain.insert(key));
+                assert!(!timed.expire(key, i * 1_000 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_slot_exposes_lease_plumbing() {
+        let mut slot = CacheSlot::build(PolicyKind::Ttl { ttl: 10 }, 4);
+        assert_eq!(slot.ttl(), Some(10));
+        assert_eq!(slot.insert_at(1, 5), None); // lease ends at 15
+        assert!(!slot.expire(1, 14), "stale stamp ignored");
+        assert!(slot.contains(1));
+        assert!(slot.expire(1, 15));
+        assert!(!slot.contains(1));
+    }
+
+    #[test]
     fn none_slot_is_an_inert_empty_cache() {
         let mut slot = CacheSlot::None;
         assert!(!slot.is_equipped());
@@ -214,7 +327,14 @@ mod tests {
 
     #[test]
     fn equipped_variants_report_equipped() {
-        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Lfu] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Lfu,
+            PolicyKind::Prob { admit_pct: 50 },
+            PolicyKind::Ttl { ttl: 8 },
+            PolicyKind::TinyLfu,
+        ] {
             assert!(CacheSlot::build(kind, 4).is_equipped());
         }
     }

@@ -1,0 +1,283 @@
+//! TinyLFU admission filtering over an LRU core.
+//!
+//! Small in-network caches live or die by *admission*: evicting a
+//! frequently requested object for a one-hit wonder costs more than
+//! never admitting the wonder at all. TinyLFU (Einziger & Friedman)
+//! keeps an approximate frequency histogram of the recent request
+//! stream in a tiny counting sketch and admits a new object only when
+//! it has been seen more often than the object it would displace.
+//!
+//! This implementation uses a 4-row count–min sketch of 4-bit counters
+//! (two per byte), saturating at 15, with the standard aging rule: after
+//! `16 × capacity` increments every counter is halved, so stale
+//! popularity decays geometrically. Everything is a pure function of the
+//! operation sequence — no RNG, no clock — so simulator determinism is
+//! preserved.
+
+use crate::lru::CompactLru;
+use crate::policy::{CachePolicy, Key};
+
+/// Number of sketch rows (independent hash functions).
+const ROWS: usize = 4;
+/// Per-row hash seeds (arbitrary odd 64-bit constants).
+const SEEDS: [u64; ROWS] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x2545_f491_4f6c_dd1d,
+];
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// LRU cache guarded by a TinyLFU admission filter.
+///
+/// Hits and insertions feed the frequency sketch; a new key is admitted
+/// only if its sketched frequency *exceeds* the current LRU victim's, so
+/// cold keys cannot displace proven-warm residents. Present keys always
+/// refresh.
+///
+/// # Examples
+/// ```
+/// use icn_cache::{CachePolicy, TinyLfu};
+///
+/// let mut c = TinyLfu::new(2);
+/// c.insert(1);
+/// c.insert(1); // 1 is now twice as frequent as anything else
+/// c.insert(2);
+/// // 3 has been seen once, the victim (2) once too: not strictly more
+/// // frequent, so 3 is rejected and the cache is unchanged.
+/// c.insert(3);
+/// assert!(c.contains(1) && c.contains(2) && !c.contains(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TinyLfu {
+    inner: CompactLru,
+    /// Packed 4-bit counters: `ROWS × width` nibbles, two per byte.
+    sketch: Vec<u8>,
+    /// Counters per row; a power of two, so row indexing is a mask.
+    width: usize,
+    /// Increments since the last halving.
+    increments: u64,
+    /// Halve every counter once `increments` reaches this.
+    halve_at: u64,
+}
+
+impl TinyLfu {
+    /// Creates a TinyLFU-admission LRU of `capacity` keys. The sketch is
+    /// sized at 4× capacity counters per row (min 64), the usual
+    /// over-provisioning that keeps collision noise below one count.
+    pub fn new(capacity: usize) -> Self {
+        let width = (capacity * 4).next_power_of_two().max(64);
+        Self {
+            inner: CompactLru::new(capacity),
+            sketch: vec![0; ROWS * width / 2],
+            width,
+            increments: 0,
+            halve_at: (capacity as u64 * 16).max(64),
+        }
+    }
+
+    #[inline]
+    fn nibble_index(&self, row: usize, key: Key) -> usize {
+        let slot = (splitmix64(key ^ SEEDS[row]) as usize) & (self.width - 1);
+        row * self.width + slot
+    }
+
+    #[inline]
+    fn get_nibble(&self, idx: usize) -> u8 {
+        let b = self.sketch[idx / 2];
+        if idx.is_multiple_of(2) {
+            b & 0x0f
+        } else {
+            b >> 4
+        }
+    }
+
+    #[inline]
+    fn bump_nibble(&mut self, idx: usize) {
+        let b = &mut self.sketch[idx / 2];
+        if idx.is_multiple_of(2) {
+            if *b & 0x0f < 0x0f {
+                *b += 1;
+            }
+        } else if *b >> 4 < 0x0f {
+            *b += 0x10;
+        }
+    }
+
+    /// Records one occurrence of `key` in the sketch, aging all counters
+    /// when the sample budget is spent.
+    fn record(&mut self, key: Key) {
+        for row in 0..ROWS {
+            let idx = self.nibble_index(row, key);
+            self.bump_nibble(idx);
+        }
+        self.increments += 1;
+        if self.increments >= self.halve_at {
+            // Halve both packed nibbles at once: shifting the byte right
+            // spills each nibble's low bit into the neighbour, and the
+            // 0x77 mask clears exactly those spilled bits.
+            for b in &mut self.sketch {
+                *b = (*b >> 1) & 0x77;
+            }
+            self.increments /= 2;
+        }
+    }
+
+    /// Count–min estimate of `key`'s recent frequency (0–15).
+    pub fn estimate(&self, key: Key) -> u8 {
+        (0..ROWS)
+            .map(|row| self.get_nibble(self.nibble_index(row, key)))
+            .fold(u8::MAX, u8::min)
+    }
+}
+
+impl CachePolicy for TinyLfu {
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn touch(&mut self, key: Key) {
+        self.record(key);
+        self.inner.touch(key);
+    }
+
+    fn insert(&mut self, key: Key) -> Option<Key> {
+        if self.inner.capacity() == 0 {
+            return None;
+        }
+        self.record(key);
+        if self.inner.contains(key) {
+            return self.inner.insert(key); // refresh
+        }
+        if self.inner.len() < self.inner.capacity() {
+            return self.inner.insert(key); // room — no one to defend
+        }
+        match self.inner.lru_victim() {
+            Some(victim) if self.estimate(key) > self.estimate(victim) => self.inner.insert(key),
+            _ => None,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+        self.sketch.iter_mut().for_each(|b| *b = 0);
+        self.increments = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_keys_cannot_displace_warm_residents() {
+        let mut c = TinyLfu::new(4);
+        for k in 0..4u64 {
+            c.insert(k);
+            c.touch(k); // warm every resident to frequency 2
+        }
+        for cold in 100..150u64 {
+            assert_eq!(c.insert(cold), None, "cold {cold} displaced a resident");
+        }
+        for k in 0..4u64 {
+            assert!(c.contains(k));
+        }
+    }
+
+    #[test]
+    fn hot_key_eventually_displaces_the_victim() {
+        let mut c = TinyLfu::new(2);
+        c.insert(1);
+        c.insert(2);
+        // Repeated insert attempts raise 9's sketched frequency past the
+        // victim's single count; one of them must win admission.
+        let results = [c.insert(9), c.insert(9), c.insert(9)];
+        assert!(
+            results.iter().any(|r| r.is_some()),
+            "hot key should win admission: {results:?}"
+        );
+        assert!(c.contains(9));
+    }
+
+    #[test]
+    fn fills_free_capacity_unconditionally() {
+        let mut c = TinyLfu::new(8);
+        for k in 0..8u64 {
+            assert_eq!(c.insert(k), None);
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn estimates_saturate_at_fifteen() {
+        // Capacity 16 → halve_at = 256, so no aging interferes here.
+        let mut c = TinyLfu::new(16);
+        for _ in 0..100 {
+            c.touch(7);
+        }
+        assert_eq!(c.estimate(7), 15);
+    }
+
+    #[test]
+    fn halving_ages_old_frequencies() {
+        let mut c = TinyLfu::new(4); // halve_at = 64
+        for _ in 0..10 {
+            c.touch(7);
+        }
+        let before = c.estimate(7);
+        // Burn through the sample budget on other keys.
+        for i in 0..200u64 {
+            c.touch(1_000 + i);
+        }
+        assert!(
+            c.estimate(7) < before,
+            "estimate {} should decay below {before}",
+            c.estimate(7)
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = TinyLfu::new(8);
+            (0..2_000u64)
+                .map(|i| c.insert(splitmix64(i) % 40))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c = TinyLfu::new(0);
+        assert_eq!(c.insert(1), None);
+        assert!(!c.contains(1));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets_sketch_and_cache() {
+        let mut c = TinyLfu::new(4);
+        for _ in 0..20 {
+            c.insert(1);
+        }
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.estimate(1), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! TTL (leased) caching on logical request time.
+//!
+//! CDN edge caches commonly bound staleness with a time-to-live: an
+//! object inserted at time `t` may serve hits until `t + ttl`, then
+//! vanishes regardless of demand. Under non-stationary workloads a TTL
+//! behaves very differently from LRU — it sheds yesterday's flash crowd
+//! by itself but also drops still-hot objects.
+//!
+//! Wall clocks are banned in the deterministic core (see DESIGN.md), so
+//! leases are measured in *logical time*: the request index. The
+//! simulator drives [`Ttl::insert_at`] with its request counter and
+//! retires due leases with [`Ttl::expire`]; standalone (trait) use ticks
+//! an internal clock, one unit per insertion.
+
+use crate::hash::FastMap;
+use crate::policy::{CachePolicy, Key};
+use std::collections::VecDeque;
+
+/// Fixed-capacity cache whose entries expire `ttl` logical ticks after
+/// their last insertion.
+///
+/// Semantics:
+/// * an entry inserted (or re-inserted) at time `t` holds a lease
+///   `[t, t + ttl)` — it serves hits strictly before `t + ttl`;
+/// * re-inserting a present key renews its lease (and its eviction
+///   position); [`CachePolicy::touch`] does **not** — leases are
+///   fixed-term, not sliding;
+/// * when full, the entry closest to expiry (equivalently: least
+///   recently *inserted*) is evicted first.
+///
+/// # Examples
+/// ```
+/// use icn_cache::{CachePolicy, Ttl};
+///
+/// let mut c = Ttl::new(8, 2); // 2-tick leases
+/// c.insert(1); // t = 1
+/// assert!(c.contains(1));
+/// c.insert(2); // t = 2
+/// c.insert(3); // t = 3: object 1's lease [1, 3) is up
+/// assert!(!c.contains(1));
+/// assert!(c.contains(2) && c.contains(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ttl {
+    /// Key → (lease-end stamp, insertion sequence number). The sequence
+    /// number uniquely identifies the *current* insertion: two renewals
+    /// at the same tick share a stamp, so the stamp alone cannot tell a
+    /// live log entry from a tombstone.
+    map: FastMap<Key, (u64, u64)>,
+    /// Insertion log `(lease-end, sequence, key)`, oldest first.
+    /// Refreshes append a new entry and leave the old one behind as a
+    /// stale tombstone (detected by a sequence mismatch against `map`),
+    /// so the front is always the next lease to run out.
+    order: VecDeque<(u64, u64, Key)>,
+    capacity: usize,
+    ttl: u64,
+    /// Logical clock: the largest time ever observed (trait-mode inserts
+    /// tick it by one).
+    now: u64,
+    /// Monotone insertion counter feeding the sequence numbers.
+    seq: u64,
+}
+
+impl Ttl {
+    /// Creates a cache of `capacity` keys with `ttl`-tick leases
+    /// (`ttl` ≥ 1).
+    pub fn new(capacity: usize, ttl: u64) -> Self {
+        assert!(ttl >= 1, "ttl must be at least one tick");
+        Self {
+            map: FastMap::default(),
+            order: VecDeque::new(),
+            capacity,
+            ttl,
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// The lease length in logical ticks.
+    pub fn ttl(&self) -> u64 {
+        self.ttl
+    }
+
+    /// Drops every entry whose lease ends at or before `now`.
+    fn purge_due(&mut self, now: u64) {
+        while let Some(&(exp, seq, key)) = self.order.front() {
+            if exp > now {
+                break;
+            }
+            self.order.pop_front();
+            // A stale tombstone (key refreshed or evicted since) no
+            // longer matches the live sequence number.
+            if self.map.get(&key) == Some(&(exp, seq)) {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Inserts `key` at logical time `now` (non-decreasing across calls),
+    /// first retiring any due leases. Present keys renew their lease.
+    /// Returns the key displaced by a *capacity* eviction, if any —
+    /// lease expiries are not reported (the caller saw them coming:
+    /// every insertion's lease end is `now + ttl`).
+    pub fn insert_at(&mut self, key: Key, now: u64) -> Option<Key> {
+        self.now = self.now.max(now);
+        self.purge_due(now);
+        if self.capacity == 0 {
+            return None;
+        }
+        let stamp = now + self.ttl;
+        self.seq += 1;
+        if self.map.contains_key(&key) {
+            self.map.insert(key, (stamp, self.seq));
+            self.order.push_back((stamp, self.seq, key));
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            // Pop stale tombstones until the earliest live lease — the
+            // eviction victim — surfaces.
+            loop {
+                match self.order.pop_front() {
+                    Some((exp, seq, old)) => {
+                        if self.map.get(&old) == Some(&(exp, seq)) {
+                            self.map.remove(&old);
+                            break Some(old);
+                        }
+                    }
+                    None => break None,
+                }
+            }
+        } else {
+            None
+        };
+        self.map.insert(key, (stamp, self.seq));
+        self.order.push_back((stamp, self.seq, key));
+        evicted
+    }
+
+    /// Retires `key` if its live lease ends exactly at `stamp`; returns
+    /// whether it did. A mismatched stamp means the lease was renewed (or
+    /// the key evicted) in the meantime — the call is then a no-op, which
+    /// lets an external expiry queue hold stale entries safely.
+    pub fn expire(&mut self, key: Key, stamp: u64) -> bool {
+        if self.map.get(&key).is_some_and(|&(exp, _)| exp == stamp) {
+            self.map.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl CachePolicy for Ttl {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// No-op beyond the trait's contract: TTL leases are fixed-term, so a
+    /// hit neither extends the lease nor changes the eviction order.
+    fn touch(&mut self, _key: Key) {}
+
+    fn insert(&mut self, key: Key) -> Option<Key> {
+        self.insert_at(key, self.now + 1)
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.now = 0;
+        self.seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_expire_on_schedule() {
+        let mut c = Ttl::new(16, 3);
+        c.insert_at(1, 10); // lease [10, 13)
+        assert!(c.contains(1));
+        assert_eq!(c.insert_at(2, 12), None);
+        assert!(c.contains(1), "still leased at t = 12");
+        c.insert_at(3, 13); // purge runs: 1's lease is up
+        assert!(!c.contains(1));
+        assert!(c.contains(2) && c.contains(3));
+    }
+
+    #[test]
+    fn reinsert_renews_the_lease() {
+        let mut c = Ttl::new(16, 3);
+        c.insert_at(1, 0);
+        c.insert_at(1, 2); // renewed: lease now [2, 5)
+        c.insert_at(9, 4);
+        assert!(c.contains(1), "renewed lease outlives the original");
+        c.insert_at(9, 5);
+        assert!(!c.contains(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_earliest_lease() {
+        let mut c = Ttl::new(2, 100);
+        c.insert_at(1, 0);
+        c.insert_at(2, 1);
+        assert_eq!(c.insert_at(3, 2), Some(1), "oldest lease evicted");
+        c.insert_at(2, 3); // renew 2: now 3 holds the earliest lease
+        assert_eq!(c.insert_at(4, 4), Some(3));
+    }
+
+    #[test]
+    fn same_tick_renewal_is_not_the_victim() {
+        // Regression: renewing a key at the same tick reuses its stamp,
+        // so a stamp-only tombstone check mistook the old log entry for
+        // live and evicted the freshly renewed key. Sequence numbers
+        // disambiguate.
+        let mut c = Ttl::new(2, 10);
+        c.insert_at(1, 5);
+        c.insert_at(2, 5);
+        c.insert_at(1, 5); // renew 1 at the very same tick
+        assert_eq!(c.insert_at(3, 5), Some(2), "2 holds the oldest insertion");
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn touch_does_not_extend_leases() {
+        let mut c = Ttl::new(4, 2);
+        c.insert_at(1, 0);
+        c.touch(1);
+        c.touch(1);
+        c.insert_at(2, 2);
+        assert!(!c.contains(1), "touch must not renew a fixed-term lease");
+    }
+
+    #[test]
+    fn expire_respects_stamps() {
+        let mut c = Ttl::new(4, 5);
+        c.insert_at(1, 0); // stamp 5
+        assert!(!c.expire(1, 4), "wrong stamp is a no-op");
+        assert!(c.contains(1));
+        c.insert_at(1, 2); // renewed: stamp 7
+        assert!(!c.expire(1, 5), "stale stamp after renewal is a no-op");
+        assert!(c.expire(1, 7));
+        assert!(!c.contains(1));
+        assert!(!c.expire(1, 7), "already gone");
+    }
+
+    #[test]
+    fn trait_clock_ticks_per_insert() {
+        let mut c = Ttl::new(16, 2);
+        c.insert(1); // t = 1, lease [1, 3)
+        c.insert(2); // t = 2
+        assert!(c.contains(1));
+        c.insert(3); // t = 3
+        assert!(!c.contains(1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c = Ttl::new(0, 5);
+        assert_eq!(c.insert_at(1, 0), None);
+        assert_eq!(c.len(), 0);
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn tombstones_do_not_count_as_entries() {
+        let mut c = Ttl::new(2, 10);
+        for t in 0..50u64 {
+            c.insert_at(t % 3, t);
+            assert!(c.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Ttl::new(4, 3);
+        c.insert_at(1, 5);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        c.insert(2); // internal clock restarted at 1
+        assert!(c.contains(2));
+    }
+}

@@ -1,0 +1,238 @@
+//! Property tests pinning the new admission/expiry policies against
+//! naive, obviously-correct reference models: a Vec-based TTL cache
+//! driven in lockstep logical time, and a TinyLFU mirror built on
+//! unpacked byte counters plus a Vec LRU. Any divergence in membership,
+//! lengths, or evictions fails the property.
+
+use icn_cache::policy::CachePolicy;
+use icn_cache::{TinyLfu, Ttl};
+use proptest::prelude::*;
+
+/// Naive TTL cache: a Vec of `(key, lease_end)` in insertion order.
+struct NaiveTtl {
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+    ttl: u64,
+}
+
+impl NaiveTtl {
+    fn new(capacity: usize, ttl: u64) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity,
+            ttl,
+        }
+    }
+
+    fn purge(&mut self, now: u64) {
+        self.entries.retain(|&(_, exp)| exp > now);
+    }
+
+    fn insert_at(&mut self, key: u64, now: u64) -> Option<u64> {
+        self.purge(now);
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            // Renew: move to the back with a fresh lease.
+            self.entries.remove(pos);
+            self.entries.push((key, now + self.ttl));
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            // Entries are kept in insertion order and every lease is
+            // `insertion + ttl`, so the front is the earliest lease.
+            Some(self.entries.remove(0).0)
+        } else {
+            None
+        };
+        self.entries.push((key, now + self.ttl));
+        evicted
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.entries.iter().any(|&(k, _)| k == key)
+    }
+}
+
+const ROWS: usize = 4;
+const SEEDS: [u64; ROWS] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x2545_f491_4f6c_dd1d,
+];
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Naive TinyLFU: unpacked u8 counters (vs the packed nibbles of the
+/// real one) and a Vec-based LRU (front = MRU), same hash functions,
+/// same saturation/halving/admission rules.
+struct NaiveTinyLfu {
+    order: Vec<u64>,
+    counters: Vec<u8>, // ROWS * width, one byte per 4-bit counter
+    width: usize,
+    increments: u64,
+    halve_at: u64,
+    capacity: usize,
+}
+
+impl NaiveTinyLfu {
+    fn new(capacity: usize) -> Self {
+        let width = (capacity * 4).next_power_of_two().max(64);
+        Self {
+            order: Vec::new(),
+            counters: vec![0; ROWS * width],
+            width,
+            increments: 0,
+            halve_at: (capacity as u64 * 16).max(64),
+            capacity,
+        }
+    }
+
+    fn slot(&self, row: usize, key: u64) -> usize {
+        row * self.width + ((splitmix64(key ^ SEEDS[row]) as usize) & (self.width - 1))
+    }
+
+    fn record(&mut self, key: u64) {
+        for row in 0..ROWS {
+            let s = self.slot(row, key);
+            if self.counters[s] < 15 {
+                self.counters[s] += 1;
+            }
+        }
+        self.increments += 1;
+        if self.increments >= self.halve_at {
+            for c in &mut self.counters {
+                *c /= 2;
+            }
+            self.increments /= 2;
+        }
+    }
+
+    fn estimate(&self, key: u64) -> u8 {
+        (0..ROWS)
+            .map(|row| self.counters[self.slot(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn touch(&mut self, key: u64) {
+        self.record(key);
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.insert(0, k);
+        }
+    }
+
+    fn insert(&mut self, key: u64) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.record(key);
+        if self.order.contains(&key) {
+            self.touch_without_record(key);
+            return None;
+        }
+        if self.order.len() < self.capacity {
+            self.order.insert(0, key);
+            return None;
+        }
+        let victim = *self.order.last().expect("full cache has a victim");
+        if self.estimate(key) > self.estimate(victim) {
+            self.order.pop();
+            self.order.insert(0, key);
+            Some(victim)
+        } else {
+            None
+        }
+    }
+
+    fn touch_without_record(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.insert(0, k);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn ttl_matches_naive_model(
+        capacity in 0usize..8,
+        ttl in 1u64..20,
+        script in prop::collection::vec((0u64..12, 0u64..4), 0..300),
+    ) {
+        // Logical time advances by 0–3 ticks per op (repeats and jumps).
+        let mut naive = NaiveTtl::new(capacity, ttl);
+        let mut real = Ttl::new(capacity, ttl);
+        let mut now = 0u64;
+        for (key, dt) in script {
+            now += dt;
+            prop_assert_eq!(
+                naive.insert_at(key, now),
+                real.insert_at(key, now),
+                "insert({}) @ {} diverged", key, now
+            );
+            prop_assert_eq!(naive.entries.len(), real.len(), "len @ {}", now);
+            for probe in 0..12u64 {
+                prop_assert_eq!(
+                    naive.contains(probe),
+                    real.contains(probe),
+                    "contains({}) @ {}", probe, now
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_trait_mode_matches_naive_model(
+        capacity in 0usize..8,
+        ttl in 1u64..20,
+        script in prop::collection::vec(0u64..12, 0..300),
+    ) {
+        // Trait mode: the internal clock ticks once per insert.
+        let mut naive = NaiveTtl::new(capacity, ttl);
+        let mut real = Ttl::new(capacity, ttl);
+        let mut now = 0u64;
+        for key in script {
+            now += 1;
+            prop_assert_eq!(naive.insert_at(key, now), real.insert(key));
+            prop_assert_eq!(naive.entries.len(), real.len());
+        }
+    }
+
+    #[test]
+    fn tinylfu_matches_naive_model(
+        capacity in 0usize..8,
+        script in prop::collection::vec((0u64..20, 0u8..3), 0..400),
+    ) {
+        let mut naive = NaiveTinyLfu::new(capacity);
+        let mut real = TinyLfu::new(capacity);
+        for (key, op) in script {
+            match op {
+                0 => {
+                    prop_assert_eq!(
+                        naive.insert(key),
+                        real.insert(key),
+                        "insert({}) diverged", key
+                    );
+                }
+                1 => {
+                    naive.touch(key);
+                    real.touch(key);
+                }
+                _ => {
+                    prop_assert_eq!(naive.estimate(key), real.estimate(key));
+                }
+            }
+            prop_assert_eq!(naive.order.len(), real.len());
+            prop_assert_eq!(naive.order.contains(&key), real.contains(key));
+        }
+    }
+}

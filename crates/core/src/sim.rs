@@ -33,6 +33,7 @@ use icn_topology::{Network, NodeId};
 use icn_workload::trace::Request;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// Where a request was ultimately served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +153,15 @@ pub struct Simulator<'a> {
     /// fault-free hot path — every fault check starts with one
     /// `Option::is_none` branch.
     fault: Option<FaultState>,
+    /// Pending lease expiries under a TTL policy: `(lease end, node,
+    /// object)` in insertion order. Stamps are `insert time + ttl` with a
+    /// monotone insert clock, so the front is always the next lease due —
+    /// a plain queue, no heap needed. Entries for renewed or flushed
+    /// leases go stale; [`CacheSlot::expire`] rejects them by stamp.
+    ttl_queue: VecDeque<(u64, NodeId, u32)>,
+    /// Lease length when the configured policy is TTL (all equipped slots
+    /// share one policy); `None` keeps the expiry drain off the hot path.
+    ttl_len: Option<u64>,
     /// Drives probabilistic insertion decisions; fixed seed keeps runs
     /// reproducible.
     rng: StdRng,
@@ -236,6 +246,7 @@ impl<'a> Simulator<'a> {
             net.tree.depth,
         );
         let costs = CostTable::new(net, cfg.latency);
+        let ttl_len = caches.iter().find_map(CacheSlot::ttl);
         Self {
             net,
             spec,
@@ -248,6 +259,8 @@ impl<'a> Simulator<'a> {
             object_sizes,
             capacity,
             fault,
+            ttl_queue: VecDeque::new(),
+            ttl_len,
             rng: StdRng::seed_from_u64(0xd1ce_cafe),
             metrics,
             obs: None,
@@ -386,6 +399,9 @@ impl<'a> Simulator<'a> {
         let leaf = self.net.leaf(req.pop as u32, req.leaf as u32);
         let origin_pop = self.origins[req.object as usize] as u32;
         self.metrics.requests += 1;
+        if self.ttl_len.is_some() {
+            self.expire_due(idx);
+        }
         if self.fault.is_some() {
             let fault_span = self.obs.as_ref().and_then(|o| o.fault_span(idx));
             self.advance_faults(idx);
@@ -394,6 +410,34 @@ impl<'a> Simulator<'a> {
         match self.spec.routing {
             Routing::ShortestPathToOrigin => self.process_sp(idx, leaf, req.object, origin_pop),
             Routing::NearestReplica => self.process_nr(idx, leaf, req.object, origin_pop),
+        }
+    }
+
+    /// Retires every lease due at or before `now`: an entry inserted at
+    /// `t` serves hits strictly before `t + ttl`, so a stamp of `now` is
+    /// already dead when request `now` is processed. Stale queue entries
+    /// — the lease was renewed (new stamp) or the cache flushed by a
+    /// crash — fail [`CacheSlot::expire`]'s stamp check and are dropped
+    /// without touching the directory.
+    fn expire_due(&mut self, now: u64) {
+        while let Some(&(stamp, node, object)) = self.ttl_queue.front() {
+            if stamp > now {
+                break;
+            }
+            self.ttl_queue.pop_front();
+            if self.caches[node as usize].expire(object as u64, stamp)
+                && self.spec.routing == Routing::NearestReplica
+            {
+                if let Some(masks) = &mut self.masks {
+                    let (p, t) = (self.net.pop_of(node), self.net.tree_index(node));
+                    masks.remove(object, p, self.costs.rank_of(t));
+                } else {
+                    let dir = &mut self.replica_dir[object as usize];
+                    if let Some(pos) = dir.iter().position(|&n| n == node) {
+                        dir.swap_remove(pos);
+                    }
+                }
+            }
         }
     }
 
@@ -763,17 +807,17 @@ impl<'a> Simulator<'a> {
             Server::Sibling { via_idx, .. } => {
                 // Response: sibling -> parent -> via node -> ... -> leaf.
                 if via_idx + 1 < path.len() {
-                    self.insert_on_response(path[via_idx + 1], object, &mut lcd_available);
+                    self.insert_on_response(idx, path[via_idx + 1], object, &mut lcd_available);
                 }
-                self.insert_on_response(path[via_idx], object, &mut lcd_available);
+                self.insert_on_response(idx, path[via_idx], object, &mut lcd_available);
                 for j in (0..via_idx).rev() {
-                    self.insert_on_response(path[j], object, &mut lcd_available);
+                    self.insert_on_response(idx, path[j], object, &mut lcd_available);
                 }
             }
             _ => {
                 // Walk downstream from the server toward the leaf.
                 for j in (0..serve_idx).rev() {
-                    self.insert_on_response(path[j], object, &mut lcd_available);
+                    self.insert_on_response(idx, path[j], object, &mut lcd_available);
                 }
             }
         }
@@ -959,7 +1003,7 @@ impl<'a> Simulator<'a> {
         self.net.path_nodes_into(server_node, leaf, &mut nodes);
         let mut lcd_available = true;
         for &n in nodes.iter().skip(1) {
-            self.insert_on_response(n, object, &mut lcd_available);
+            self.insert_on_response(idx, n, object, &mut lcd_available);
         }
         self.nodes_buf = nodes;
     }
@@ -1189,11 +1233,11 @@ impl<'a> Simulator<'a> {
         self.caches[node as usize].touch(object as u64);
     }
 
-    /// Inserts `object` into the cache at `node` (if any), keeping the
-    /// nearest-replica directory in sync. The origin PoP root never caches
-    /// its own objects — it already hosts them in its (infinite) origin
-    /// store.
-    fn cache_insert(&mut self, node: NodeId, object: u32) {
+    /// Inserts `object` into the cache at `node` (if any) at logical time
+    /// `idx`, keeping the nearest-replica directory in sync. The origin
+    /// PoP root never caches its own objects — it already hosts them in
+    /// its (infinite) origin store.
+    fn cache_insert(&mut self, idx: u64, node: NodeId, object: u32) {
         if self.origins[object as usize] as u32 == self.net.pop_of(node)
             && self.net.tree_index(node) == 0
         {
@@ -1209,9 +1253,19 @@ impl<'a> Simulator<'a> {
             return;
         }
         let had = c.contains(object as u64);
-        let evicted = c.insert(object as u64);
+        let evicted = c.insert_at(object as u64, idx);
+        let stored = c.contains(object as u64);
+        // Under a TTL policy every successful insert — fresh or renewal —
+        // opens a lease ending at `idx + ttl`; queue it for the drain in
+        // [`Simulator::expire_due`]. Renewals leave the old queue entry
+        // behind as a stale stamp.
+        if let Some(ttl) = self.ttl_len {
+            if stored {
+                self.ttl_queue.push_back((idx + ttl, node, object));
+            }
+        }
         if track {
-            let inserted = !had && c.contains(object as u64);
+            let inserted = !had && stored;
             if let Some(masks) = &mut self.masks {
                 let (p, t) = (self.net.pop_of(node), self.net.tree_index(node));
                 let r = self.costs.rank_of(t);
@@ -1240,7 +1294,13 @@ impl<'a> Simulator<'a> {
     /// whether the leave-copy-down slot (the first cache-equipped router
     /// below the server) is still unclaimed.
     #[inline]
-    fn insert_on_response(&mut self, node: NodeId, object: u32, lcd_available: &mut bool) {
+    fn insert_on_response(
+        &mut self,
+        idx: u64,
+        node: NodeId,
+        object: u32,
+        lcd_available: &mut bool,
+    ) {
         let equipped = self.caches[node as usize].is_equipped();
         let insert = match self.cfg.insertion {
             InsertionPolicy::Everywhere => true,
@@ -1254,7 +1314,7 @@ impl<'a> Simulator<'a> {
             InsertionPolicy::Probabilistic { p } => equipped && self.rng.gen::<f64>() < p,
         };
         if insert {
-            self.cache_insert(node, object);
+            self.cache_insert(idx, node, object);
         }
     }
 
@@ -1582,6 +1642,130 @@ mod tests {
         }
     }
 
+    /// Every cached object must appear in the nearest-replica directory
+    /// at exactly its holders — the invariant lease expiry and crash
+    /// flushes both have to preserve.
+    fn assert_directory_matches_caches(sim: &Simulator, objects: u32) {
+        for o in 0..objects {
+            let dir = sim.replicas_of(o);
+            for n in 0..sim.net.node_count() {
+                assert_eq!(
+                    sim.caches[n as usize].contains(o as u64),
+                    dir.contains(&n),
+                    "object {o} at node {n}: directory out of sync"
+                );
+            }
+        }
+    }
+
+    mod ttl {
+        use super::*;
+        use icn_cache::PolicyKind;
+
+        #[test]
+        fn leases_expire_and_misses_return() {
+            // Edge + 2-tick leases: warm (origin), hit inside the lease,
+            // expired miss (origin again, re-warm), hit again.
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.f_fraction = 0.5;
+            cfg.policy = PolicyKind::Ttl { ttl: 2 };
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let r = req(0, 0, 0);
+            let m = sim.run(&[r, r, r, r]);
+            assert_eq!(m.origin_hits, 2, "lease [0, 2) is up at idx 2");
+            assert_eq!(m.cache_hits, 2);
+        }
+
+        #[test]
+        fn expiry_drops_directory_entries() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 8];
+            let sizes = vec![1u32; 8];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.f_fraction = 0.5;
+            cfg.policy = PolicyKind::Ttl { ttl: 3 };
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            // idx 0 replicates object 0 along the response path (leases
+            // end at 3); idx 1–3 keep time moving with another object.
+            let m = sim
+                .run(&[req(0, 0, 0), req(0, 1, 1), req(0, 1, 1), req(0, 1, 1)])
+                .clone();
+            assert!(
+                sim.replicas_of(0).is_empty(),
+                "object 0's leases were due at idx 3"
+            );
+            assert_directory_matches_caches(&sim, 8);
+            // Requests 2 and 3 hit object 1's still-live lease at its leaf.
+            assert_eq!(m.cache_hits, 2);
+        }
+
+        #[test]
+        fn renewal_outlives_the_original_stamp() {
+            // Regression for the expiry queue's stamp check: a renewed
+            // lease leaves its old queue entry behind, and that stale
+            // entry must not expire the renewal when it drains.
+            //
+            // Capacity gating forces the renewal: with 1 serve per node
+            // per window, the leaf's copy is unusable at idx 2, a farther
+            // replica serves, and the response re-inserts at the leaf —
+            // renewing its lease to [2, 12) while (10, leaf, 0) is still
+            // queued.
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.f_fraction = 0.5;
+            cfg.policy = PolicyKind::Ttl { ttl: 10 };
+            cfg.capacity = Some(crate::capacity::ServingCapacity {
+                per_node: 1,
+                window: 1_000,
+            });
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let mut reqs = vec![req(0, 0, 0), req(0, 0, 0), req(0, 0, 0)];
+            // Filler requests push logical time to idx 10, draining the
+            // stamp-10 entries (object 0's original leases).
+            reqs.extend((3..=10).map(|_| req(0, 3, 1)));
+            sim.run(&reqs);
+            let leaf = net.leaf(0, 0);
+            assert_eq!(
+                sim.replicas_of(0),
+                vec![leaf],
+                "only the renewed leaf lease survives the stamp-10 drain"
+            );
+            assert_directory_matches_caches(&sim, 4);
+        }
+
+        #[test]
+        fn reference_mode_is_bit_identical_under_ttl() {
+            // Expiry syncs whichever directory representation is live —
+            // bitmask (flat) or Vec (reference). Both must agree.
+            let net = two_pop_net();
+            let origins = vec![1u16; 8];
+            let sizes = vec![1u32; 8];
+            let reqs: Vec<Request> = (0..300u64)
+                .map(|i| req((i % 2) as u16, (i % 4) as u16, (i * 7 % 8) as u32))
+                .collect();
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.f_fraction = 0.25;
+            cfg.policy = PolicyKind::Ttl { ttl: 17 };
+            let mut flat = Simulator::new(&net, cfg.clone(), &origins, &sizes);
+            let mut reference = Simulator::new(&net, cfg, &origins, &sizes);
+            reference.set_reference(true);
+            let a = flat.run(&reqs).clone();
+            let b = reference.run(&reqs).clone();
+            assert_eq!(a, b);
+            assert_directory_matches_caches(&flat, 8);
+            assert_directory_matches_caches(&reference, 8);
+        }
+    }
+
     mod faults {
         use super::*;
         use crate::capacity::ServingCapacity;
@@ -1793,6 +1977,33 @@ mod tests {
                 "crashed nodes must not advertise replicas: {:?}",
                 sim.replicas_of(0)
             );
+        }
+
+        #[test]
+        fn crash_flushes_are_safe_under_ttl_leases() {
+            // A crash flush empties caches while the expiry queue still
+            // holds their lease stamps; those entries must drain as
+            // no-ops, and post-crash re-insertions (new stamps) must not
+            // be expired by them. The directory stays exact throughout.
+            let net = two_pop_net();
+            let origins = vec![1u16; 8];
+            let sizes = vec![1u32; 8];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.policy = icn_cache::PolicyKind::Ttl { ttl: 9 };
+            cfg.fault = Some(FaultConfig {
+                node_crash_rate: 0.3,
+                window: 40,
+                ..FaultConfig::zero(5)
+            });
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let reqs: Vec<Request> = (0..400u64)
+                .map(|i| req((i % 2) as u16, (i % 4) as u16, (i * 3 % 8) as u32))
+                .collect();
+            let m = sim.run(&reqs).clone();
+            assert_eq!(m.requests, 400);
+            assert_directory_matches_caches(&sim, 8);
         }
 
         #[test]

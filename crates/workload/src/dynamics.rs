@@ -1,0 +1,565 @@
+//! Non-stationary workload dynamics: diurnal cycles, flash crowds, churn.
+//!
+//! The static-Zipf IRM synthesizer in [`crate::trace`] models the paper's
+//! *daily aggregate* logs, but Wang et al.'s "Good Ruler" critique (see
+//! PAPERS.md) argues that stationary workloads systematically mismeasure
+//! ICN caching: real popularity drifts over the day, spikes on breaking
+//! content, and ages out. This module adds those three effects on top of
+//! the streaming [`crate::trace::TraceIter`]:
+//!
+//! * **Diurnal cycles** — the per-PoP request mix and the Zipf exponent
+//!   oscillate over a configurable period, with each PoP phase-shifted
+//!   (PoPs peak at different "local times of day").
+//! * **Flash crowds** — seeded events in which an otherwise-unpopular
+//!   object abruptly captures a fraction of all requests and then decays
+//!   exponentially with a configurable half-life.
+//! * **Content churn** — every `interval` requests a random slice of the
+//!   object universe swaps popularity ranks, modeling new content
+//!   displacing old without changing the Zipf *marginal* shape.
+//!
+//! All dynamics are driven by the request index (logical time) and seeded
+//! RNGs — never wall clock — so streams are bit-identical for a given
+//! config at any parallelism. Memory is O(phases × objects + events),
+//! independent of trace length, matching `TraceIter`'s streaming
+//! discipline. Crucially, a `TraceConfig` with `dynamics: None` consumes
+//! *exactly* the RNG draw sequence of the pre-dynamics synthesizer, so
+//! every existing figure is bit-for-bit unchanged.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Number of discrete phases a diurnal period is quantized into. Eight
+/// phases keep the precomputed sampler state small while making the cycle
+/// clearly non-stationary (3-hour "slots" on a 24-hour period).
+pub const DIURNAL_PHASES: usize = 8;
+
+/// How many half-lives a flash event stays active before it is retired
+/// from the scan window (intensity has decayed by 2⁻¹⁶ ≈ 1.5e-5 by then).
+const FLASH_RETIRE_HALF_LIVES: u64 = 16;
+
+/// Diurnal popularity/request-rate cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diurnal {
+    /// Cycle length in requests (logical time). One simulated "day".
+    pub period: u64,
+    /// Modulation depth in `[0, 1)`: PoP request shares and the Zipf
+    /// exponent swing by ±`amplitude` over a period.
+    pub amplitude: f64,
+}
+
+/// Seeded flash-crowd events: sudden spikes that decay exponentially.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowds {
+    /// Number of events over the trace.
+    pub events: u32,
+    /// Peak fraction of all requests captured by an event at its onset,
+    /// in `(0, 1]`.
+    pub peak: f64,
+    /// Requests for the event's intensity to halve.
+    pub half_life: u64,
+}
+
+/// Content churn: periodic rotation of object popularity ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Churn {
+    /// Requests between rotations.
+    pub interval: u64,
+    /// Fraction of the object universe whose ranks are reshuffled per
+    /// rotation, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Composition of the three dynamics; any subset may be active.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DynamicsConfig {
+    /// Diurnal cycle, if any.
+    pub diurnal: Option<Diurnal>,
+    /// Flash-crowd events, if any.
+    pub flash: Option<FlashCrowds>,
+    /// Content churn, if any.
+    pub churn: Option<Churn>,
+}
+
+impl DynamicsConfig {
+    /// A diurnal-only preset: four "days" over the trace, ±30% swing.
+    pub fn diurnal(requests: usize) -> Self {
+        Self {
+            diurnal: Some(Diurnal {
+                period: (requests as u64 / 4).max(DIURNAL_PHASES as u64),
+                amplitude: 0.3,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// A flash-crowd-only preset: four events, each peaking at half of
+    /// all requests and decaying over ~1/16 of the trace per half-life —
+    /// in aggregate the events capture roughly 18% of the trace's
+    /// requests (∫ peak·2^(−t/half_life) dt = peak·half_life/ln 2 each).
+    pub fn flash(requests: usize) -> Self {
+        Self {
+            flash: Some(FlashCrowds {
+                events: 4,
+                peak: 0.5,
+                half_life: (requests as u64 / 16).max(8),
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// A churn-only preset: 16 rotations over the trace, each reshuffling
+    /// 5% of the universe.
+    pub fn churn(requests: usize) -> Self {
+        Self {
+            churn: Some(Churn {
+                interval: (requests as u64 / 16).max(8),
+                fraction: 0.05,
+            }),
+            ..Self::default()
+        }
+    }
+
+    /// True when no dynamics are configured (equivalent to `None`).
+    pub fn is_static(&self) -> bool {
+        self.diurnal.is_none() && self.flash.is_none() && self.churn.is_none()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DiurnalState {
+    period: u64,
+    /// One Zipf sampler per phase, exponent modulated around the base α.
+    zipfs: Vec<Zipf>,
+    /// Per-phase cumulative PoP-selection weights (PoPs phase-shifted).
+    cums: Vec<Vec<f64>>,
+}
+
+impl DiurnalState {
+    fn new(cfg: Diurnal, objects: u32, alpha: f64, populations: &[u64]) -> Self {
+        assert!(cfg.period >= 1, "diurnal period must be >= 1");
+        assert!(
+            (0.0..1.0).contains(&cfg.amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+        let total: u64 = populations.iter().sum();
+        let k = DIURNAL_PHASES;
+        let tau = std::f64::consts::TAU;
+        let zipfs = (0..k)
+            .map(|i| {
+                let phase = tau * i as f64 / k as f64;
+                Zipf::new(
+                    objects as usize,
+                    (alpha * (1.0 + cfg.amplitude * phase.sin())).max(0.0),
+                )
+            })
+            .collect();
+        let cums = (0..k)
+            .map(|i| {
+                // Each PoP's activity peaks at a different phase of the
+                // cycle, spread evenly — "local time of day".
+                let weights: Vec<f64> = populations
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &pop)| {
+                        let phase =
+                            tau * (i as f64 / k as f64 + p as f64 / populations.len() as f64);
+                        (pop as f64 / total as f64) * (1.0 + cfg.amplitude * phase.sin())
+                    })
+                    .collect();
+                let sum: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                let mut cum: Vec<f64> = weights
+                    .iter()
+                    .map(|w| {
+                        acc += w / sum;
+                        acc
+                    })
+                    .collect();
+                if let Some(last) = cum.last_mut() {
+                    *last = 1.0;
+                }
+                cum
+            })
+            .collect();
+        Self {
+            period: cfg.period,
+            zipfs,
+            cums,
+        }
+    }
+
+    fn phase(&self, t: u64) -> usize {
+        ((t % self.period) as u128 * DIURNAL_PHASES as u128 / self.period as u128) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlashEvent {
+    start: u64,
+    object: u32,
+}
+
+#[derive(Debug, Clone)]
+struct FlashState {
+    peak: f64,
+    half_life: u64,
+    /// All events, sorted by start time.
+    events: Vec<FlashEvent>,
+    /// Active window `events[lo..hi]`: started but not yet retired. With a
+    /// shared half-life, events retire in start order, so two cursors
+    /// suffice.
+    lo: usize,
+    hi: usize,
+}
+
+impl FlashState {
+    fn new(cfg: FlashCrowds, objects: u32, requests: u64, seed: u64) -> Self {
+        assert!(cfg.events >= 1, "flash needs at least one event");
+        assert!(
+            cfg.peak > 0.0 && cfg.peak <= 1.0,
+            "flash peak must be in (0, 1]"
+        );
+        assert!(cfg.half_life >= 1, "flash half-life must be >= 1");
+        // Dedicated RNG: event placement must not perturb the main
+        // request-draw stream.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf1a5_70c1);
+        let horizon = requests.max(1);
+        // Flash objects come from the cold tail (outside the top 10%), so
+        // an event genuinely *changes* what is popular.
+        let tail_lo = (objects / 10).min(objects - 1);
+        let mut events: Vec<FlashEvent> = (0..cfg.events)
+            .map(|_| FlashEvent {
+                start: rng.gen_range(0..horizon),
+                object: rng.gen_range(tail_lo..objects),
+            })
+            .collect();
+        events.sort_unstable_by_key(|e| (e.start, e.object));
+        Self {
+            peak: cfg.peak,
+            half_life: cfg.half_life,
+            events,
+            lo: 0,
+            hi: 0,
+        }
+    }
+
+    fn advance(&mut self, t: u64) {
+        while self.hi < self.events.len() && self.events[self.hi].start <= t {
+            self.hi += 1;
+        }
+        let retire = self.half_life.saturating_mul(FLASH_RETIRE_HALF_LIVES);
+        while self.lo < self.hi && t - self.events[self.lo].start >= retire {
+            self.lo += 1;
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.lo < self.hi
+    }
+
+    /// Maps a uniform draw `u` to a flash object when it lands inside the
+    /// combined intensity of the active events, scanning them in start
+    /// order with cumulative intensities.
+    fn pick(&self, t: u64, u: f64) -> Option<u32> {
+        let mut acc = 0.0;
+        for e in &self.events[self.lo..self.hi] {
+            let age = (t - e.start) as f64 / self.half_life as f64;
+            acc += self.peak * (-age).exp2();
+            if u < acc {
+                return Some(e.object);
+            }
+        }
+        None
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ChurnState {
+    interval: u64,
+    swaps_per_rotation: usize,
+    /// Current rank → object id permutation (identity at t = 0).
+    remap: Vec<u32>,
+    rng: StdRng,
+    next_rotation: u64,
+}
+
+impl ChurnState {
+    fn new(cfg: Churn, objects: u32, seed: u64) -> Self {
+        assert!(cfg.interval >= 1, "churn interval must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&cfg.fraction),
+            "churn fraction must be in [0, 1]"
+        );
+        Self {
+            interval: cfg.interval,
+            swaps_per_rotation: ((objects as f64 * cfg.fraction / 2.0).round() as usize).max(1),
+            remap: (0..objects).collect(),
+            // Dedicated RNG: rotations must not perturb the main stream.
+            rng: StdRng::seed_from_u64(seed ^ 0xc4u64.rotate_left(32)),
+            next_rotation: cfg.interval,
+        }
+    }
+
+    fn advance(&mut self, t: u64) {
+        while t >= self.next_rotation {
+            let n = self.remap.len();
+            for _ in 0..self.swaps_per_rotation {
+                let i = self.rng.gen_range(0..n);
+                let j = self.rng.gen_range(0..n);
+                self.remap.swap(i, j);
+            }
+            self.next_rotation += self.interval;
+        }
+    }
+
+    fn remap(&self, object: u32) -> u32 {
+        self.remap[object as usize]
+    }
+}
+
+/// Live dynamics state carried by a [`crate::trace::TraceIter`].
+///
+/// Built once per stream from a [`DynamicsConfig`]; all randomness comes
+/// from dedicated seeded RNGs (event placement, churn swaps) or from the
+/// main trace RNG at well-defined points in the per-request draw order
+/// (documented on [`crate::trace::TraceIter`]).
+#[derive(Debug, Clone)]
+pub struct DynamicsState {
+    diurnal: Option<DiurnalState>,
+    flash: Option<FlashState>,
+    churn: Option<ChurnState>,
+}
+
+impl DynamicsState {
+    /// Builds the per-stream state. `populations` and `requests` mirror
+    /// the owning `TraceIter`'s config; `seed` is the trace seed (the
+    /// dedicated flash/churn RNGs derive from it with fixed xors).
+    pub fn new(
+        cfg: &DynamicsConfig,
+        objects: u32,
+        alpha: f64,
+        populations: &[u64],
+        requests: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(objects >= 1, "dynamics need a non-empty universe");
+        Self {
+            diurnal: cfg
+                .diurnal
+                .map(|d| DiurnalState::new(d, objects, alpha, populations)),
+            flash: cfg
+                .flash
+                .map(|f| FlashState::new(f, objects, requests as u64, seed)),
+            churn: cfg.churn.map(|c| ChurnState::new(c, objects, seed)),
+        }
+    }
+
+    /// Advances logical time to request index `t`: opens/retires flash
+    /// events and applies any due churn rotations. Must be called once per
+    /// request, with non-decreasing `t`.
+    pub fn advance(&mut self, t: u64) {
+        if let Some(f) = &mut self.flash {
+            f.advance(t);
+        }
+        if let Some(c) = &mut self.churn {
+            c.advance(t);
+        }
+    }
+
+    /// The PoP-selection cumulative weights for time `t`, when a diurnal
+    /// cycle overrides the static ones.
+    pub fn pop_cum(&self, t: u64) -> Option<&[f64]> {
+        self.diurnal.as_ref().map(|d| d.cums[d.phase(t)].as_slice())
+    }
+
+    /// The Zipf sampler for time `t`, when a diurnal cycle overrides the
+    /// static one.
+    pub fn zipf(&self, t: u64) -> Option<&Zipf> {
+        self.diurnal.as_ref().map(|d| &d.zipfs[d.phase(t)])
+    }
+
+    /// True while at least one flash event is active (after `advance(t)`).
+    /// Only then does the stream spend an RNG draw on the flash coin.
+    pub fn flash_active(&self) -> bool {
+        self.flash.as_ref().is_some_and(FlashState::active)
+    }
+
+    /// Resolves the flash coin `u` at time `t` to an event's object, if it
+    /// landed inside the active events' combined intensity.
+    pub fn flash_pick(&self, t: u64, u: f64) -> Option<u32> {
+        self.flash.as_ref().and_then(|f| f.pick(t, u))
+    }
+
+    /// Applies the current churn permutation to a freshly drawn object id.
+    pub fn remap(&self, object: u32) -> u32 {
+        match &self.churn {
+            Some(c) => c.remap(object),
+            None => object,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_active_and_composable() {
+        assert!(DynamicsConfig::default().is_static());
+        for d in [
+            DynamicsConfig::diurnal(10_000),
+            DynamicsConfig::flash(10_000),
+            DynamicsConfig::churn(10_000),
+        ] {
+            assert!(!d.is_static());
+        }
+        let combo = DynamicsConfig {
+            diurnal: DynamicsConfig::diurnal(1_000).diurnal,
+            flash: DynamicsConfig::flash(1_000).flash,
+            churn: DynamicsConfig::churn(1_000).churn,
+        };
+        let mut s = DynamicsState::new(&combo, 500, 1.0, &[3, 7], 1_000, 9);
+        for t in 0..1_000 {
+            s.advance(t);
+            let _ = s.remap(123);
+        }
+    }
+
+    #[test]
+    fn diurnal_phases_cycle_and_cums_are_valid() {
+        let d = DiurnalState::new(
+            Diurnal {
+                period: 800,
+                amplitude: 0.4,
+            },
+            100,
+            1.0,
+            &[1, 2, 7],
+        );
+        assert_eq!(d.phase(0), 0);
+        assert_eq!(d.phase(799), DIURNAL_PHASES - 1);
+        assert_eq!(d.phase(800), 0); // wraps
+        for cum in &d.cums {
+            assert_eq!(*cum.last().unwrap(), 1.0);
+            assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+            assert!(cum.iter().all(|&c| c > 0.0));
+        }
+        // Phases genuinely differ: the cycle moves the PoP mix.
+        assert!(d.cums[0][0] != d.cums[DIURNAL_PHASES / 2][0]);
+    }
+
+    #[test]
+    fn flash_events_activate_decay_and_retire() {
+        let mut f = FlashState::new(
+            FlashCrowds {
+                events: 3,
+                peak: 0.5,
+                half_life: 50,
+            },
+            1_000,
+            10_000,
+            42,
+        );
+        assert!(f.events.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(f.events.iter().all(|e| (100..1_000).contains(&e.object)));
+        let first = f.events[0].start;
+        f.advance(first.saturating_sub(1));
+        if first > 0 {
+            assert!(!f.active());
+        }
+        f.advance(first);
+        assert!(f.active());
+        // At onset, a sub-peak draw hits the event object.
+        assert_eq!(f.pick(first, 0.49), Some(f.events[0].object));
+        // Far past every event, all are retired.
+        f.advance(u64::MAX - 1);
+        assert!(!f.active());
+    }
+
+    #[test]
+    fn flash_intensity_halves_per_half_life() {
+        let f = FlashState {
+            peak: 0.5,
+            half_life: 100,
+            events: vec![FlashEvent {
+                start: 0,
+                object: 7,
+            }],
+            lo: 0,
+            hi: 1,
+        };
+        // Intensity 0.5 at onset, 0.25 after one half-life.
+        assert_eq!(f.pick(0, 0.4999), Some(7));
+        assert_eq!(f.pick(100, 0.2499), Some(7));
+        assert_eq!(f.pick(100, 0.2501), None);
+    }
+
+    #[test]
+    fn churn_is_a_permutation_and_rotates_on_schedule() {
+        let mut c = ChurnState::new(
+            Churn {
+                interval: 100,
+                fraction: 0.2,
+            },
+            1_000,
+            5,
+        );
+        let identity: Vec<u32> = (0..1_000).collect();
+        assert_eq!(c.remap, identity);
+        c.advance(99);
+        assert_eq!(c.remap, identity, "no rotation before the interval");
+        c.advance(100);
+        assert_ne!(c.remap, identity, "first rotation at t = interval");
+        let after_first = c.remap.clone();
+        c.advance(150);
+        assert_eq!(c.remap, after_first, "stable between rotations");
+        c.advance(1_000);
+        // Always a permutation: sorted remap is the identity.
+        let mut sorted = c.remap.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity);
+    }
+
+    #[test]
+    fn churn_catch_up_matches_step_by_step() {
+        // Jumping straight to t applies the same rotations as walking
+        // every request index (while-loop catch-up).
+        let cfg = Churn {
+            interval: 64,
+            fraction: 0.1,
+        };
+        let mut a = ChurnState::new(cfg, 300, 77);
+        let mut b = ChurnState::new(cfg, 300, 77);
+        for t in 0..=700 {
+            a.advance(t);
+        }
+        b.advance(700);
+        assert_eq!(a.remap, b.remap);
+    }
+
+    #[test]
+    fn dedicated_rngs_are_deterministic() {
+        let cfg = DynamicsConfig {
+            diurnal: None,
+            flash: Some(FlashCrowds {
+                events: 5,
+                peak: 0.3,
+                half_life: 20,
+            }),
+            churn: Some(Churn {
+                interval: 50,
+                fraction: 0.5,
+            }),
+        };
+        let mk = || DynamicsState::new(&cfg, 2_000, 1.0, &[1], 5_000, 0xabcd);
+        let (mut a, mut b) = (mk(), mk());
+        for t in 0..5_000u64 {
+            a.advance(t);
+            b.advance(t);
+            assert_eq!(a.flash_active(), b.flash_active());
+            assert_eq!(a.remap(t as u32 % 2_000), b.remap(t as u32 % 2_000));
+        }
+    }
+}

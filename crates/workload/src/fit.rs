@@ -54,14 +54,24 @@ pub fn fit_zipf(counts: &[u64]) -> Option<ZipfFit> {
         }
         -weighted_log_rank + total as f64 * hlog / h
     };
-    // score is decreasing in α; bracket the root in [0, 8].
+    // score is decreasing in α with score(∞) = -weighted_log_rank < 0 for
+    // any support ≥ 2, so a root always exists. Start from the bracket
+    // [0, 8] that covers every realistic CDN exponent, but *expand* it by
+    // doubling when the root lies beyond — steep degenerate inputs (e.g.
+    // counts [1000, 1], whose MLE is ln(1000)/ln(2) ≈ 9.97) used to come
+    // back stuck at the fixed bracket boundary. `MAX_ALPHA` is a safety
+    // rail far past the point where `i^-α` underflows for every i ≥ 2
+    // (which forces the score negative), so the expansion terminates.
+    const MAX_ALPHA: f64 = 4096.0;
     let (mut lo, mut hi) = (0.0f64, 8.0f64);
     let alpha_mle = if score(lo) <= 0.0 {
         0.0 // empirically flatter than uniform-ish; clamp
-    } else if score(hi) >= 0.0 {
-        hi
     } else {
-        for _ in 0..60 {
+        while score(hi) >= 0.0 && hi < MAX_ALPHA {
+            lo = hi;
+            hi *= 2.0;
+        }
+        for _ in 0..100 {
             let mid = 0.5 * (lo + hi);
             if score(mid) > 0.0 {
                 lo = mid;
@@ -71,6 +81,9 @@ pub fn fit_zipf(counts: &[u64]) -> Option<ZipfFit> {
         }
         0.5 * (lo + hi)
     };
+    if !alpha_mle.is_finite() {
+        return None;
+    }
 
     // --- Log-log OLS. ---
     let xs: Vec<f64> = (1..=n).map(|i| (i as f64).ln()).collect();
@@ -88,10 +101,15 @@ pub fn fit_zipf(counts: &[u64]) -> Option<ZipfFit> {
         syy += dy * dy;
     }
     let slope = sxy / sxx;
+    if !slope.is_finite() {
+        return None;
+    }
+    // Float rounding can push the ratio a hair past 1; R² is a fraction of
+    // explained variance by definition, so clamp it into [0, 1].
     let r_squared = if syy == 0.0 {
         1.0
     } else {
-        (sxy * sxy) / (sxx * syy)
+        ((sxy * sxy) / (sxx * syy)).clamp(0.0, 1.0)
     };
 
     Some(ZipfFit {
@@ -192,6 +210,35 @@ mod tests {
     fn uniform_counts_fit_alpha_zero() {
         let fit = fit_zipf(&vec![100u64; 500]).unwrap();
         assert!(fit.alpha_mle < 0.02, "uniform data: {fit:?}");
+    }
+
+    #[test]
+    fn steep_two_point_input_is_not_bracket_stuck() {
+        // Regression: counts [1000, 1] have the closed-form two-rank MLE
+        // α = ln(1000)/ln(2) ≈ 9.966 — beyond the old fixed bracket
+        // [0, 8], which returned exactly 8.0 instead of expanding.
+        let fit = fit_zipf(&[1000, 1]).unwrap();
+        let expected = 1000f64.ln() / 2f64.ln();
+        assert!(
+            (fit.alpha_mle - expected).abs() < 1e-3,
+            "MLE {} vs closed form {expected}",
+            fit.alpha_mle
+        );
+    }
+
+    #[test]
+    fn extremely_steep_inputs_stay_finite() {
+        // Even pathological ratios (α ≈ 60) resolve to a finite root, and
+        // R² stays a valid fraction.
+        let fit = fit_zipf(&[u64::MAX / 2, 1]).unwrap();
+        let expected = ((u64::MAX / 2) as f64).ln() / 2f64.ln();
+        assert!(fit.alpha_mle.is_finite() && fit.alpha_mle > 8.0);
+        assert!(
+            (fit.alpha_mle - expected).abs() < 1e-2,
+            "MLE {} vs closed form {expected}",
+            fit.alpha_mle
+        );
+        assert!((0.0..=1.0).contains(&fit.r_squared));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Determinism properties of the non-stationary dynamics: whatever the
+//! combination of diurnal / flash / churn knobs, the same seed must
+//! produce the same request stream bit for bit, a different seed must
+//! not, and dynamics must never break the stream's structural invariants
+//! (ids in range, exact length) or the size ⟂ popularity independence
+//! that churn remapping relies on.
+
+use icn_workload::dynamics::{Churn, Diurnal, DynamicsConfig, FlashCrowds};
+use icn_workload::sizes::SizeModel;
+use icn_workload::trace::{Locality, Trace, TraceConfig, TraceIter};
+use proptest::prelude::*;
+
+fn cfg_with(
+    seed: u64,
+    requests: usize,
+    objects: u32,
+    dynamics: DynamicsConfig,
+    locality: bool,
+) -> TraceConfig {
+    TraceConfig {
+        requests,
+        objects,
+        alpha: 1.0,
+        skew: 0.0,
+        locality: locality.then_some(Locality { q: 0.5, window: 32 }),
+        sizes: SizeModel::Unit,
+        seed,
+        dynamics: Some(dynamics),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_seed_is_bit_identical_any_dynamics(
+        seed in 0u64..1_000_000,
+        period in 16u64..5_000,
+        amplitude in 0.0f64..0.9,
+        events in 1u32..6,
+        peak in 0.05f64..0.9,
+        half_life in 1u64..500,
+        interval in 8u64..2_000,
+        fraction in 0.0f64..1.0,
+        locality in (0usize..2).prop_map(|b| b == 1),
+    ) {
+        let dynamics = DynamicsConfig {
+            diurnal: Some(Diurnal { period, amplitude }),
+            flash: Some(FlashCrowds { events, peak, half_life }),
+            churn: Some(Churn { interval, fraction }),
+        };
+        let cfg = cfg_with(seed, 3_000, 800, dynamics, locality);
+        let pops = [1_000u64, 2_000, 7_000];
+        let a: Vec<_> = TraceIter::new(&cfg, &pops, 4).collect();
+        let b: Vec<_> = TraceIter::new(&cfg, &pops, 4).collect();
+        prop_assert_eq!(&a, &b, "same seed must be bit-identical");
+        prop_assert_eq!(a.len(), 3_000);
+        prop_assert!(a.iter().all(|r| r.object < 800 && r.pop < 3 && r.leaf < 4));
+
+        let mut other = cfg.clone();
+        other.seed = seed.wrapping_add(1);
+        let c: Vec<_> = TraceIter::new(&other, &pops, 4).collect();
+        prop_assert_ne!(&a, &c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn each_dynamic_alone_is_deterministic(
+        seed in 0u64..100_000,
+        which in 0usize..3,
+    ) {
+        let dynamics = match which {
+            0 => DynamicsConfig::diurnal(2_000),
+            1 => DynamicsConfig::flash(2_000),
+            _ => DynamicsConfig::churn(2_000),
+        };
+        let cfg = cfg_with(seed, 2_000, 500, dynamics, true);
+        let pops = [5u64, 5];
+        let a: Vec<_> = TraceIter::new(&cfg, &pops, 2).collect();
+        let b: Vec<_> = TraceIter::new(&cfg, &pops, 2).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sizes_stay_popularity_independent_under_churn(
+        seed in 0u64..50_000,
+        interval in 16u64..500,
+        fraction in 0.05f64..0.8,
+    ) {
+        // Sizes are drawn per object id *before* any churn; because churn
+        // only permutes which id is requested (never which size an id
+        // has), the per-id size table is untouched and the correlation
+        // between a request's object size and its popularity stays noise.
+        let mut cfg = cfg_with(
+            seed,
+            20_000,
+            1_000,
+            DynamicsConfig { diurnal: None, flash: None, churn: Some(Churn { interval, fraction }) },
+            false,
+        );
+        cfg.sizes = SizeModel::BoundedPareto { alpha: 1.2, min: 1 << 10, max: 1 << 26 };
+        let churned = Trace::synthesize(cfg.clone(), &[1_000, 9_000], 4);
+        cfg.dynamics = None;
+        let plain = Trace::synthesize(cfg, &[1_000, 9_000], 4);
+        prop_assert_eq!(
+            &churned.object_sizes,
+            &plain.object_sizes,
+            "churn must not touch the per-id size table"
+        );
+        // Spearman-style check on the churned trace: the mean log-size of
+        // requests for the hot half vs the cold half of the id space must
+        // be statistically indistinguishable (heavy-tailed sizes make raw
+        // means noisy; log tames the tail).
+        let mean_log = |t: &Trace, hot: bool| {
+            let (mut s, mut n) = (0.0f64, 0u64);
+            for r in &t.requests {
+                if (r.object < 500) == hot {
+                    s += (t.object_sizes[r.object as usize] as f64).ln();
+                    n += 1;
+                }
+            }
+            s / n.max(1) as f64
+        };
+        let (hot, cold) = (mean_log(&churned, true), mean_log(&churned, false));
+        // ln sizes span [ln 2^10, ln 2^26] ≈ [6.9, 18]; independence keeps
+        // the two request-weighted means within a loose band.
+        prop_assert!(
+            (hot - cold).abs() < 1.5,
+            "size–popularity correlation after churn: hot {hot:.2} vs cold {cold:.2}"
+        );
+    }
+}
+
+#[test]
+fn streamed_and_materialized_dynamics_agree() {
+    // Trace::synthesize collects TraceIter, so the streaming and batch
+    // paths cannot drift — pin that for a fully-dynamic config.
+    let dynamics = DynamicsConfig {
+        diurnal: DynamicsConfig::diurnal(10_000).diurnal,
+        flash: DynamicsConfig::flash(10_000).flash,
+        churn: DynamicsConfig::churn(10_000).churn,
+    };
+    let cfg = cfg_with(99, 10_000, 2_000, dynamics, true);
+    let pops = [1_000u64, 2_000, 7_000];
+    let streamed: Vec<_> = TraceIter::new(&cfg, &pops, 4).collect();
+    let materialized = Trace::synthesize(cfg, &pops, 4);
+    assert_eq!(streamed, materialized.requests);
+}

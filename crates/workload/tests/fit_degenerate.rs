@@ -1,0 +1,56 @@
+//! Property tests for `fit_zipf` over degenerate rank-frequency vectors:
+//! whatever the input, the estimator must return either `None` or a fit
+//! with a finite, non-negative exponent and an R² inside `[0, 1]` — never
+//! NaN, never an estimate stuck at an arbitrary bracket boundary.
+
+use icn_workload::fit::fit_zipf;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn degenerate_vectors_yield_sane_fits_or_none(
+        counts in prop::collection::vec(0u64..=1_000_000, 0..40),
+    ) {
+        match fit_zipf(&counts) {
+            Some(fit) => {
+                prop_assert!(
+                    fit.alpha_mle.is_finite() && fit.alpha_mle >= 0.0,
+                    "alpha_mle {:?}", fit
+                );
+                prop_assert!(fit.alpha_regression.is_finite(), "{fit:?}");
+                prop_assert!(
+                    (0.0..=1.0).contains(&fit.r_squared),
+                    "r_squared {:?}", fit
+                );
+                prop_assert!(fit.support >= 2);
+                prop_assert_eq!(fit.total, counts.iter().sum::<u64>());
+            }
+            None => {
+                // Only inputs with fewer than two requested objects are
+                // unfittable.
+                prop_assert!(counts.iter().filter(|&&c| c > 0).count() < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn steep_two_rank_inputs_match_the_closed_form(hi in 2u64..=u64::MAX / 2) {
+        // For exactly two ranks the MLE has the closed form
+        // α = log2(c1/c2); the adaptive bracket must find it no matter
+        // how far past the old fixed [0, 8] bracket it lies.
+        let fit = fit_zipf(&[hi, 1]).expect("two distinct objects");
+        let expected = (hi as f64).ln() / 2f64.ln();
+        prop_assert!(
+            (fit.alpha_mle - expected).abs() < 1e-2 * expected.max(1.0),
+            "hi={hi}: MLE {} vs closed form {expected}",
+            fit.alpha_mle
+        );
+    }
+
+    #[test]
+    fn all_equal_counts_fit_alpha_zero(c in 1u64..=1_000_000, n in 2usize..200) {
+        let fit = fit_zipf(&vec![c; n]).expect("n >= 2 objects");
+        prop_assert!(fit.alpha_mle < 0.05, "uniform input: {fit:?}");
+        prop_assert!((0.0..=1.0).contains(&fit.r_squared));
+    }
+}

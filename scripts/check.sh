@@ -38,10 +38,12 @@ out4="$(mktemp /tmp/fig6-jobs4.XXXXXX.txt)"
 outref="$(mktemp /tmp/fig6-reference.XXXXXX.txt)"
 fail1="$(mktemp /tmp/failures-jobs1.XXXXXX.txt)"
 fail4="$(mktemp /tmp/failures-jobs4.XXXXXX.txt)"
+dyn1="$(mktemp /tmp/dynamics-jobs1.XXXXXX.txt)"
+dyn4="$(mktemp /tmp/dynamics-jobs4.XXXXXX.txt)"
 benchjson="$(mktemp /tmp/bench-sim.XXXXXX.json)"
 benchjson2="$(mktemp /tmp/bench-sim2.XXXXXX.json)"
 outprof="$(mktemp /tmp/fig6-profiled.XXXXXX.txt)"
-trap 'rm -f "$sidecar" "$out1" "$out4" "$outref" "$fail1" "$fail4" "$benchjson" "$benchjson2" "$outprof"' EXIT
+trap 'rm -f "$sidecar" "$out1" "$out4" "$outref" "$fail1" "$fail4" "$dyn1" "$dyn4" "$benchjson" "$benchjson2" "$outprof"' EXIT
 SCALE="${SCALE:-0.02}" cargo run --release -p icn-bench --bin fig6 -- \
     --telemetry "$sidecar" >/dev/null
 cargo run --release -p icn-bench --bin telemetry_check -- "$sidecar" >/dev/null
@@ -98,5 +100,16 @@ SCALE="${SCALE:-0.02}" JOBS=4 cargo run --release -p icn-bench --bin failures \
     >"$fail4" 2>/dev/null
 cmp "$fail1" "$fail4"
 echo "faulted sweep JOBS=1 and JOBS=4 stdout byte-identical"
+
+echo "=== workload-dynamics smoke (dynamics --smoke, JOBS=1 vs JOBS=4)"
+# Exercises the streaming dynamics (diurnal/flash/churn), the TTL expiry
+# queue, and TinyLFU admission through the parallel sweep path; dynamics
+# are pure functions of the trace seed, so stdout must not move a byte.
+JOBS=1 cargo run --release -p icn-bench --bin dynamics -- --smoke \
+    >"$dyn1" 2>/dev/null
+JOBS=4 cargo run --release -p icn-bench --bin dynamics -- --smoke \
+    >"$dyn4" 2>/dev/null
+cmp "$dyn1" "$dyn4"
+echo "dynamics sweep JOBS=1 and JOBS=4 stdout byte-identical"
 
 echo "all checks passed"

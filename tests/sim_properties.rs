@@ -71,6 +71,7 @@ proptest! {
             },
             sizes: icn_workload::sizes::SizeModel::Unit,
             seed,
+            dynamics: None,
         };
         let trace = Trace::synthesize(cfg, &net.core.populations, net.leaves_per_pop());
         let origins = assign_origins(
@@ -127,6 +128,7 @@ proptest! {
             locality: None,
             sizes: icn_workload::sizes::SizeModel::Unit,
             seed,
+            dynamics: None,
         };
         let s = icn_core::sweep::Scenario::build(
             core,
