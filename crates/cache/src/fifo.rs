@@ -24,6 +24,20 @@ impl Fifo {
             ..Default::default()
         }
     }
+
+    /// Removes `key` if present; returns whether it was cached. The queue
+    /// entry is dropped too (not tombstoned) so the capacity invariant —
+    /// `queue.len() == set.len()` — survives external removals.
+    pub fn remove(&mut self, key: Key) -> bool {
+        if self.set.remove(&key) {
+            if let Some(pos) = self.queue.iter().position(|&k| k == key) {
+                self.queue.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl CachePolicy for Fifo {

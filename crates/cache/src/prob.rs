@@ -65,6 +65,12 @@ impl ProbCache {
     pub fn admit_pct(&self) -> u8 {
         self.admit_pct
     }
+
+    /// Removes `key` if present; returns whether it was cached. Does not
+    /// touch the attempt nonce — removals are not admission attempts.
+    pub fn remove(&mut self, key: Key) -> bool {
+        self.inner.remove(key)
+    }
 }
 
 impl CachePolicy for ProbCache {

@@ -158,6 +158,25 @@ impl CacheSlot {
         }
     }
 
+    /// Removes `key` outright if present, returning whether it was
+    /// cached; `false` — and a no-op — on [`CacheSlot::None`]. Unlike
+    /// [`CacheSlot::expire`] this works on every policy and ignores
+    /// leases: it is the fault path's "this copy is poisoned, drop it"
+    /// primitive, so admission/recency bookkeeping (TinyLFU sketch, Prob
+    /// nonce) is deliberately left untouched.
+    #[inline]
+    pub fn remove(&mut self, key: Key) -> bool {
+        match self {
+            CacheSlot::None => false,
+            CacheSlot::Lru(c) => c.remove(key),
+            CacheSlot::Fifo(c) => c.remove(key),
+            CacheSlot::Lfu(c) => c.remove(key),
+            CacheSlot::Prob(c) => c.remove(key),
+            CacheSlot::Ttl(c) => c.remove(key),
+            CacheSlot::TinyLfu(c) => c.remove(key),
+        }
+    }
+
     /// Retires `key` from a TTL slot if its live lease ends exactly at
     /// `stamp` (see [`Ttl::expire`]); `false` — and a no-op — on every
     /// other variant or on a stale stamp.
@@ -309,6 +328,33 @@ mod tests {
         assert!(slot.contains(1));
         assert!(slot.expire(1, 15));
         assert!(!slot.contains(1));
+    }
+
+    #[test]
+    fn remove_works_on_every_policy_and_keeps_capacity_sound() {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Lfu,
+            PolicyKind::Prob { admit_pct: 100 },
+            PolicyKind::Ttl { ttl: 1_000 },
+            PolicyKind::TinyLfu,
+        ] {
+            let mut slot = CacheSlot::build(kind, 4);
+            for k in 0..4u64 {
+                slot.insert(k);
+            }
+            assert!(slot.remove(2), "{kind:?}");
+            assert!(!slot.remove(2), "double remove reports absent");
+            assert!(!slot.contains(2));
+            assert_eq!(slot.len(), 3, "{kind:?}");
+            // Refill past the removal: the cache never exceeds capacity.
+            for k in 10..30u64 {
+                slot.insert(k);
+                assert!(slot.len() <= 4, "{kind:?} grew past capacity");
+            }
+        }
+        assert!(!CacheSlot::None.remove(1));
     }
 
     #[test]

@@ -130,6 +130,13 @@ impl TinyLfu {
         }
     }
 
+    /// Removes `key` if present; returns whether it was cached. The
+    /// frequency sketch is left alone: the key's popularity history is
+    /// still valid evidence for future admission decisions.
+    pub fn remove(&mut self, key: Key) -> bool {
+        self.inner.remove(key)
+    }
+
     /// Count–min estimate of `key`'s recent frequency (0–15).
     pub fn estimate(&self, key: Key) -> u8 {
         (0..ROWS)

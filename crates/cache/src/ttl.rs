@@ -136,6 +136,14 @@ impl Ttl {
         evicted
     }
 
+    /// Removes `key` if present regardless of its lease; returns whether
+    /// it was cached. The order-log entry stays behind as a tombstone —
+    /// its sequence number no longer matches the (absent) map entry, so
+    /// both `purge_due` and the capacity-eviction loop skip it.
+    pub fn remove(&mut self, key: Key) -> bool {
+        self.map.remove(&key).is_some()
+    }
+
     /// Retires `key` if its live lease ends exactly at `stamp`; returns
     /// whether it did. A mismatched stamp means the lease was renewed (or
     /// the key evicted) in the meantime — the call is then a no-op, which

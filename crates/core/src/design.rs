@@ -68,6 +68,12 @@ pub struct DesignSpec {
     /// Every cache can hold the entire object universe (Figure 10's
     /// Inf-Budget reference).
     pub infinite_budget: bool,
+    /// Content names self-certify their payload (ICN's name–data binding):
+    /// a corrupted cached replica is *detected* on serve and re-fetched.
+    /// Host-addressed (EDGE) designs serve the poisoned object instead —
+    /// see `RunMetrics::corrupt_served`. True for the pervasive ICN
+    /// designs; an EDGE deployment would need a separate integrity layer.
+    pub self_certifying: bool,
 }
 
 /// The named designs evaluated in the paper.
@@ -139,6 +145,7 @@ impl DesignKind {
             sibling_coop: false,
             budget_multiplier: 1.0,
             infinite_budget: false,
+            self_certifying: false,
         };
         match self {
             DesignKind::NoCache => DesignSpec {
@@ -147,11 +154,13 @@ impl DesignKind {
             },
             DesignKind::IcnSp => DesignSpec {
                 cache_set: CacheSet::All,
+                self_certifying: true,
                 ..base
             },
             DesignKind::IcnNr => DesignSpec {
                 cache_set: CacheSet::All,
                 routing: Routing::NearestReplica,
+                self_certifying: true,
                 ..base
             },
             DesignKind::Edge => base,
@@ -190,6 +199,7 @@ impl DesignKind {
                 cache_set: CacheSet::All,
                 routing: Routing::NearestReplica,
                 infinite_budget: true,
+                self_certifying: true,
                 ..base
             },
         }
@@ -248,6 +258,31 @@ mod tests {
             DesignKind::IcnSp.spec(&net).routing,
             Routing::ShortestPathToOrigin
         );
+    }
+
+    #[test]
+    fn only_icn_designs_self_certify() {
+        let net = net();
+        for kind in [
+            DesignKind::IcnSp,
+            DesignKind::IcnNr,
+            DesignKind::InfiniteIcnNr,
+        ] {
+            assert!(kind.spec(&net).self_certifying, "{:?}", kind);
+        }
+        for kind in [
+            DesignKind::NoCache,
+            DesignKind::Edge,
+            DesignKind::EdgeCoop,
+            DesignKind::EdgeNorm,
+            DesignKind::TwoLevels,
+            DesignKind::TwoLevelsCoop,
+            DesignKind::NormCoop,
+            DesignKind::DoubleBudgetCoop,
+            DesignKind::InfiniteEdge,
+        ] {
+            assert!(!kind.spec(&net).self_certifying, "{:?}", kind);
+        }
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub struct RunMetrics {
     /// Empty in fault-free runs, so fault-free metrics stay bit-identical
     /// to runs built before fault injection existed.
     pub fault_latency_hist: Histogram,
+    /// Requests answered with a *poisoned* cached replica by a design that
+    /// cannot detect corruption (no content self-certification). These
+    /// requests count as served/reachable but not as *correct* — see
+    /// [`RunMetrics::correct_availability_pct`]. Always 0 fault-free.
+    pub corrupt_served: u64,
+    /// Poisoned replicas *caught* by content self-certification at serve
+    /// time: the copy is evicted, the wasted fetch charged as latency, and
+    /// the request re-served from the next candidate (or the origin).
+    /// Always 0 fault-free.
+    pub corrupt_detected: u64,
 }
 
 impl RunMetrics {
@@ -69,6 +79,8 @@ impl RunMetrics {
             coop_hits: 0,
             failed_requests: 0,
             fault_latency_hist: Histogram::new(),
+            corrupt_served: 0,
+            corrupt_detected: 0,
         }
     }
 
@@ -84,6 +96,22 @@ impl RunMetrics {
             100.0
         } else {
             self.served() as f64 / self.requests as f64 * 100.0
+        }
+    }
+
+    /// *Correct* availability in percent: the fraction of requests served
+    /// with intact content. [`RunMetrics::availability_pct`] counts a
+    /// request as available as soon as *something* answered — this
+    /// subtracts the answers that delivered a poisoned replica
+    /// ([`RunMetrics::corrupt_served`]), splitting availability into
+    /// reachable-vs-correct. Identical to plain availability for
+    /// self-certifying designs (they never serve poison) and for
+    /// fault-free runs.
+    pub fn correct_availability_pct(&self) -> f64 {
+        if self.requests == 0 {
+            100.0
+        } else {
+            (self.served() - self.corrupt_served) as f64 / self.requests as f64 * 100.0
         }
     }
 
@@ -301,6 +329,20 @@ mod tests {
             "p99 {}",
             m.latency_p99()
         );
+    }
+
+    #[test]
+    fn correct_availability_subtracts_poisoned_serves() {
+        let mut m = metrics(0.0, 100, vec![0], vec![0]);
+        m.failed_requests = 10;
+        m.corrupt_served = 5;
+        assert_eq!(m.availability_pct(), 90.0);
+        assert_eq!(m.correct_availability_pct(), 85.0);
+        // Detection does not reduce correctness — the request was
+        // re-served with intact content.
+        m.corrupt_detected = 7;
+        assert_eq!(m.correct_availability_pct(), 85.0);
+        assert_eq!(RunMetrics::new(0, 0, 2).correct_availability_pct(), 100.0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::config::{ExperimentConfig, InsertionPolicy};
 use crate::costs::CostTable;
 use crate::design::{DesignSpec, Routing};
 use crate::dir::{ReplicaMasks, MAX_MASK_TREE};
-use crate::fault::FaultSchedule;
+use crate::fault::{FaultGroups, FaultSchedule, NO_GROUP};
 use crate::instrument::SimObs;
 use crate::metrics::{RunMetrics, LATENCY_HIST_SCALE};
 use icn_cache::budget::per_node_budgets;
@@ -50,7 +50,16 @@ enum Server {
 /// Where a nearest-replica request is served once faults are considered.
 enum NrChoice {
     /// A live replica at this cost.
-    Replica(f64, NodeId),
+    Replica {
+        /// Path cost from the requesting leaf to the replica.
+        cost: f64,
+        /// The serving router.
+        node: NodeId,
+        /// The replica is corrupted and the design cannot detect it: the
+        /// poisoned bytes are delivered and counted as an integrity
+        /// failure (`corrupt_served`).
+        poisoned: bool,
+    },
     /// No eligible replica; the (reachable) origin serves.
     Origin,
     /// Origin unreachable and no live replica: the request fails.
@@ -81,12 +90,27 @@ struct FaultState {
     /// Serving-capacity gate applied to *degraded* origin PoPs, reusing
     /// the §5.1 capacity model (indexed by PoP, not router).
     origin_capacity: CapacityTracker,
+    /// Topology-derived shared-risk groups (§ DESIGN.md "Correlated fault
+    /// model"); `None` unless the config carries a disaster layer with a
+    /// positive group rate, so independent-fault runs pay nothing.
+    groups: Option<FaultGroups>,
+    /// Per-group down state for the current window (scratch, parallel to
+    /// `groups`).
+    group_down: Vec<bool>,
+    /// PoPs degraded this window by cascading overload (scratch).
+    cascade: Vec<bool>,
 }
 
 impl FaultState {
     fn new(schedule: FaultSchedule, net: &Network) -> Self {
         let origin_capacity =
             CapacityTracker::new(schedule.config().degraded_origin, net.pops() as usize);
+        let groups = schedule
+            .config()
+            .disaster
+            .filter(|d| d.group_rate > 0.0)
+            .map(|_| FaultGroups::derive(net));
+        let group_count = groups.as_ref().map_or(0, |g| g.count() as usize);
         Self {
             schedule,
             window: u64::MAX,
@@ -96,11 +120,35 @@ impl FaultState {
             any_link_down: false,
             fault_active: false,
             origin_capacity,
+            groups,
+            group_down: vec![false; group_count],
+            cascade: vec![false; net.pops() as usize],
         }
     }
 
     /// Re-evaluates every entity's fault state for window `w`.
-    fn rebuild(&mut self, w: u64) {
+    fn rebuild(&mut self, w: u64, net: &Network) {
+        // Cascading overload seeds are read off the *outgoing* window's
+        // state before it is overwritten: a degraded origin that actually
+        // saturated its capacity sheds load onto its core neighbors next
+        // window. Consecutive windows only — a cascade dies across a gap
+        // in the request stream, and a zero-rate schedule (never degraded,
+        // never saturated) can never seed one. The seed vector includes
+        // any prior cascade, so sustained overload compounds outward.
+        let cascading = self
+            .schedule
+            .config()
+            .disaster
+            .is_some_and(|d| d.cascade_overload);
+        if cascading {
+            let consecutive = self.window != u64::MAX && w == self.window + 1;
+            for q in 0..self.cascade.len() {
+                self.cascade[q] = consecutive
+                    && net.core.neighbors(q as u32).iter().any(|&p| {
+                        self.origin_degraded[p as usize] && self.origin_capacity.is_saturated(p)
+                    });
+            }
+        }
         self.window = w;
         let mut any_node = false;
         for (n, down) in self.node_down.iter_mut().enumerate() {
@@ -116,6 +164,41 @@ impl FaultState {
         for (p, deg) in self.origin_degraded.iter_mut().enumerate() {
             *deg = self.schedule.origin_degraded(p as u16, w);
             any_origin |= *deg;
+        }
+        // Shared-risk overlay: every member of a down group is down,
+        // OR-ed over the independent per-entity state.
+        if let Some(groups) = &self.groups {
+            let mut any_group = false;
+            for g in 0..groups.count() {
+                let down = self.schedule.group_down(g, w);
+                self.group_down[g as usize] = down;
+                any_group |= down;
+            }
+            if any_group {
+                for (n, down) in self.node_down.iter_mut().enumerate() {
+                    let g = groups.node_group(n as u32);
+                    if g != NO_GROUP && self.group_down[g as usize] {
+                        *down = true;
+                        any_node = true;
+                    }
+                }
+                for (l, down) in self.link_down.iter_mut().enumerate() {
+                    for g in groups.link_groups_of(l as u32) {
+                        if g != NO_GROUP && self.group_down[g as usize] {
+                            *down = true;
+                            any_link = true;
+                        }
+                    }
+                }
+            }
+        }
+        if cascading {
+            for (q, deg) in self.origin_degraded.iter_mut().enumerate() {
+                if self.cascade[q] {
+                    *deg = true;
+                    any_origin = true;
+                }
+            }
         }
         self.any_link_down = any_link;
         self.fault_active = any_node || any_link || any_origin;
@@ -461,15 +544,53 @@ impl<'a> Simulator<'a> {
             };
             for step in first..=w {
                 for n in 0..self.net.node_count() {
-                    if self.caches[n as usize].is_equipped() && fault.schedule.node_crashes(n, step)
-                    {
+                    if !self.caches[n as usize].is_equipped() {
+                        continue;
+                    }
+                    // A shared-risk group event is a power event for every
+                    // member: cold restart, same as an individual crash.
+                    let crashed = fault.schedule.node_crashes(n, step)
+                        || fault.groups.as_ref().is_some_and(|g| {
+                            let grp = g.node_group(n);
+                            grp != NO_GROUP && fault.schedule.group_event(grp, step)
+                        });
+                    if crashed {
                         self.flush_cache(n);
                     }
                 }
             }
-            fault.rebuild(w);
+            fault.rebuild(w, self.net);
         }
         self.fault = Some(fault);
+    }
+
+    /// True when the cached copy of `object` at `node` is corrupted in the
+    /// current fault window (always false without a fault schedule).
+    #[inline]
+    fn replica_corrupted(&self, node: NodeId, object: u32) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.schedule.replica_corrupted(node, object, f.window))
+    }
+
+    /// Drops a detected-poisoned replica of `object` at `node`: cache
+    /// removal plus nearest-replica directory sync (the same invariant
+    /// lease expiry maintains in [`Simulator::expire_due`]).
+    fn evict_replica(&mut self, node: NodeId, object: u32) {
+        if !self.caches[node as usize].remove(object as u64) {
+            return;
+        }
+        if self.spec.routing == Routing::NearestReplica {
+            if let Some(masks) = &mut self.masks {
+                let (p, t) = (self.net.pop_of(node), self.net.tree_index(node));
+                masks.remove(object, p, self.costs.rank_of(t));
+            } else {
+                let dir = &mut self.replica_dir[object as usize];
+                if let Some(pos) = dir.iter().position(|&n| n == node) {
+                    dir.swap_remove(pos);
+                }
+            }
+        }
     }
 
     /// Empties the cache at `node` (crash semantics), keeping the
@@ -619,14 +740,35 @@ impl<'a> Simulator<'a> {
         } else {
             None
         };
+        // Latency charged for detected-corrupt fetches discarded along the
+        // way (the wasted round trip to the poisoned copy and back).
+        let mut penalty = 0.0;
+        // The eventual serve delivers corrupted bytes the design cannot
+        // detect.
+        let mut poisoned = false;
         let probe_span = self.obs.as_ref().and_then(|o| o.probe_span(idx));
         'walk: for (i, &node) in path.iter().enumerate() {
             if i == last || i > reach {
                 break; // the origin always serves what it owns
             }
             if self.cache_contains(node, object) && self.try_capacity(node, idx) {
-                server = Some(Server::Cache { node, path_idx: i });
-                break;
+                if self.replica_corrupted(node, object) {
+                    if self.spec.self_certifying {
+                        // Self-certified names: the poisoned copy is caught
+                        // on receipt, discarded, and the walk continues —
+                        // at the cost of the wasted fetch.
+                        self.metrics.corrupt_detected += 1;
+                        self.evict_replica(node, object);
+                        penalty += self.path_cost(path[0], node) + 1.0;
+                    } else {
+                        poisoned = true;
+                        server = Some(Server::Cache { node, path_idx: i });
+                        break;
+                    }
+                } else {
+                    server = Some(Server::Cache { node, path_idx: i });
+                    break;
+                }
             }
             if self.spec.sibling_coop
                 && self.caches[node as usize].is_equipped()
@@ -647,6 +789,15 @@ impl<'a> Simulator<'a> {
                         && self.cache_contains(sib, object)
                         && self.try_capacity(sib, idx)
                     {
+                        if self.replica_corrupted(sib, object) {
+                            if self.spec.self_certifying {
+                                self.metrics.corrupt_detected += 1;
+                                self.evict_replica(sib, object);
+                                penalty += self.path_cost(path[0], sib) + 1.0;
+                                continue; // next sibling may hold a clean copy
+                            }
+                            poisoned = true;
+                        }
                         found = Some(sib);
                         break;
                     }
@@ -671,7 +822,11 @@ impl<'a> Simulator<'a> {
             server = None;
         }
         match server {
-            Some(server) => self.account_sp(idx, &path, server, leaf, object, origin_pop),
+            Some(server) => self.account_sp(
+                idx, &path, server, leaf, object, origin_pop, penalty, poisoned,
+            ),
+            // Failed requests deliver nothing: detection penalties are
+            // dropped with the request (no latency is recorded at all).
             None => self.record_failed(idx, object),
         }
         self.path_buf = path;
@@ -692,7 +847,10 @@ impl<'a> Simulator<'a> {
     }
 
     /// Accounts latency, congestion, response-path caching, and server load
-    /// for a shortest-path serve.
+    /// for a shortest-path serve. `penalty` is extra latency from detected
+    /// corrupt fetches discarded before this serve; `poisoned` marks a
+    /// serve that delivered corrupted bytes undetected.
+    #[allow(clippy::too_many_arguments)]
     fn account_sp(
         &mut self,
         idx: u64,
@@ -701,6 +859,8 @@ impl<'a> Simulator<'a> {
         _leaf: NodeId,
         object: u32,
         origin_pop: u32,
+        penalty: f64,
+        poisoned: bool,
     ) {
         // Held to the end of the function: the span covers latency and
         // congestion accounting plus response-path insertion.
@@ -752,8 +912,11 @@ impl<'a> Simulator<'a> {
         } else {
             self.costs.path_cost(path[0], path[serve_idx])
         };
-        let latency = cost + detour_cost + 1.0;
+        let latency = cost + detour_cost + 1.0 + penalty;
         self.record_served(latency);
+        if poisoned {
+            self.metrics.corrupt_served += 1;
+        }
 
         // Server-side bookkeeping.
         let serving_level = match server {
@@ -836,25 +999,41 @@ impl<'a> Simulator<'a> {
             let _probe_span = self.obs.as_ref().and_then(|o| o.probe_span(idx));
             self.cache_contains(leaf, object) && self.try_capacity(leaf, idx)
         };
+        // Latency charged for detected-corrupt fetches discarded before
+        // the eventual serve.
+        let mut penalty = 0.0;
         if leaf_hit {
-            self.record_served(1.0);
-            self.metrics.cache_hits += 1;
-            let level = self.net.level_of(leaf);
-            self.metrics.hits_by_level[level as usize] += 1;
-            self.cache_touch(leaf, object);
-            if let Some(o) = &self.obs {
-                o.trace_with(|design| TraceRecord {
-                    seq: idx,
-                    object: object as u64,
-                    design,
-                    level,
-                    hops: 0,
-                    hit: true,
-                    coop: false,
-                    cost_milli: LATENCY_HIST_SCALE as u64,
-                });
+            let leaf_poisoned = self.replica_corrupted(leaf, object);
+            if leaf_poisoned && self.spec.self_certifying {
+                // The local copy fails verification: discard it, charge
+                // the wasted local fetch, and fall through to the full
+                // replica selection below.
+                self.metrics.corrupt_detected += 1;
+                self.evict_replica(leaf, object);
+                penalty = 1.0;
+            } else {
+                if leaf_poisoned {
+                    self.metrics.corrupt_served += 1;
+                }
+                self.record_served(1.0);
+                self.metrics.cache_hits += 1;
+                let level = self.net.level_of(leaf);
+                self.metrics.hits_by_level[level as usize] += 1;
+                self.cache_touch(leaf, object);
+                if let Some(o) = &self.obs {
+                    o.trace_with(|design| TraceRecord {
+                        seq: idx,
+                        object: object as u64,
+                        design,
+                        level,
+                        hops: 0,
+                        hit: true,
+                        coop: false,
+                        cost_milli: LATENCY_HIST_SCALE as u64,
+                    });
+                }
+                return;
             }
-            return;
         }
 
         let origin_cost = self.path_cost(leaf, origin_root);
@@ -929,16 +1108,24 @@ impl<'a> Simulator<'a> {
                 best.filter(|&(c, _)| c < origin_cost)
             };
             match server {
-                Some((c, n)) => NrChoice::Replica(c, n),
+                Some((c, n)) => NrChoice::Replica {
+                    cost: c,
+                    node: n,
+                    poisoned: false,
+                },
                 None => NrChoice::Origin,
             }
         } else {
-            self.select_nr_faulted(leaf, object, origin_root, origin_cost, idx)
+            self.select_nr_faulted(leaf, object, origin_root, origin_cost, idx, &mut penalty)
         };
         drop(dir_span);
 
-        let (cost, server_node, is_origin) = match choice {
-            NrChoice::Replica(c, n) => (c, n, false),
+        let (cost, server_node, is_origin, poisoned) = match choice {
+            NrChoice::Replica {
+                cost,
+                node,
+                poisoned,
+            } => (cost, node, false, poisoned),
             NrChoice::Origin => {
                 // A degraded, saturated origin fails the request.
                 if !self.try_origin(origin_pop, idx) {
@@ -946,7 +1133,7 @@ impl<'a> Simulator<'a> {
                     self.record_failed(idx, object);
                     return;
                 }
-                (origin_cost, origin_root, true)
+                (origin_cost, origin_root, true, false)
             }
             NrChoice::Failed => {
                 drop(route_span);
@@ -958,8 +1145,11 @@ impl<'a> Simulator<'a> {
         // Covers latency/congestion accounting and response-path insertion.
         let _transfer_span = self.obs.as_ref().and_then(|o| o.transfer_span(idx));
 
-        let latency = cost + 1.0;
+        let latency = cost + 1.0 + penalty;
         self.record_served(latency);
+        if poisoned {
+            self.metrics.corrupt_served += 1;
+        }
         let serving_level = if is_origin {
             self.metrics.origin_hits += 1;
             self.metrics.origin_served[origin_pop as usize] += 1;
@@ -1140,6 +1330,9 @@ impl<'a> Simulator<'a> {
     /// or a stable sort in reference mode — identical probe sequences),
     /// so under a zero-failure schedule every liveness check passes and
     /// the selection reduces exactly to the fault-free paths.
+    /// `penalty` accumulates the wasted round-trip latency of replicas
+    /// whose corruption was caught by self-certification (the copy is
+    /// evicted and the scan continues).
     fn select_nr_faulted(
         &mut self,
         leaf: NodeId,
@@ -1147,6 +1340,7 @@ impl<'a> Simulator<'a> {
         origin_root: NodeId,
         origin_cost: f64,
         idx: u64,
+        penalty: &mut f64,
     ) -> NrChoice {
         let _select_span = self.obs.as_ref().and_then(|o| o.select_span(idx));
         let origin_reachable = self.path_live(leaf, origin_root);
@@ -1181,7 +1375,18 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 if self.try_capacity(node, idx) {
-                    choice = Some(NrChoice::Replica(cost, node));
+                    let corrupted = self.replica_corrupted(node, object);
+                    if corrupted && self.spec.self_certifying {
+                        self.metrics.corrupt_detected += 1;
+                        self.evict_replica(node, object);
+                        *penalty += cost + 1.0;
+                        continue; // scan on for a clean copy
+                    }
+                    choice = Some(NrChoice::Replica {
+                        cost,
+                        node,
+                        poisoned: corrupted,
+                    });
                     break;
                 }
             }
@@ -1196,7 +1401,18 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 if self.try_capacity(node, idx) {
-                    choice = Some(NrChoice::Replica(cost, node));
+                    let corrupted = self.replica_corrupted(node, object);
+                    if corrupted && self.spec.self_certifying {
+                        self.metrics.corrupt_detected += 1;
+                        self.evict_replica(node, object);
+                        *penalty += cost + 1.0;
+                        continue; // scan on for a clean copy
+                    }
+                    choice = Some(NrChoice::Replica {
+                        cost,
+                        node,
+                        poisoned: corrupted,
+                    });
                     break;
                 }
             }
@@ -1773,17 +1989,9 @@ mod tests {
 
         fn link_only(seed: u64, rate: f64, window: u32) -> FaultConfig {
             FaultConfig {
-                seed,
                 window,
-                node_crash_rate: 0.0,
-                node_outage_windows: 1,
                 link_failure_rate: rate,
-                link_outage_windows: 1,
-                origin_degraded_rate: 0.0,
-                degraded_origin: ServingCapacity {
-                    per_node: u32::MAX,
-                    window: 1_000,
-                },
+                ..FaultConfig::zero(seed)
             }
         }
 
@@ -2004,6 +2212,190 @@ mod tests {
             let m = sim.run(&reqs).clone();
             assert_eq!(m.requests, 400);
             assert_directory_matches_caches(&sim, 8);
+        }
+
+        #[test]
+        fn zero_disaster_layer_is_bit_identical_to_no_fault_run() {
+            // A disaster layer with zero rates (and zero corruption) must
+            // not perturb a single bit of any design's run.
+            let net = two_pop_net();
+            let origins = vec![1u16; 8];
+            let sizes = vec![1u32; 8];
+            let reqs: Vec<Request> = (0..200).map(|i| req(0, (i % 4) as u16, i % 8)).collect();
+            for design in [DesignKind::Edge, DesignKind::IcnSp, DesignKind::IcnNr] {
+                let mut plain = sim_with(&net, design, &origins, &sizes);
+                let base = plain.run(&reqs).clone();
+                let mut cfg = ExperimentConfig::baseline(design);
+                cfg.f_fraction = 0.5;
+                cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+                cfg.fault = Some(FaultConfig {
+                    disaster: Some(crate::fault::DisasterConfig {
+                        group_rate: 0.0,
+                        group_mttr_windows: 4,
+                        geometric_repair: false,
+                        cascade_overload: true,
+                    }),
+                    ..FaultConfig::zero(0xd15a)
+                });
+                let mut faulted = Simulator::new(&net, cfg, &origins, &sizes);
+                let m = faulted.run(&reqs).clone();
+                assert_eq!(base, m, "{design:?}: zero disaster layer perturbed the run");
+                assert_eq!(m.corrupt_served, 0);
+                assert_eq!(m.corrupt_detected, 0);
+                assert_eq!(m.correct_availability_pct(), 100.0);
+            }
+        }
+
+        #[test]
+        fn certain_group_failure_takes_down_every_subtree_and_bundle() {
+            // group_rate = 1: every PoP subtree and every core bundle is
+            // down in every window. No router can serve or store, no core
+            // link is live, and every leaf's uplink is dead — total
+            // blackout.
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(FaultConfig {
+                disaster: Some(crate::fault::DisasterConfig {
+                    group_rate: 1.0,
+                    group_mttr_windows: 1,
+                    geometric_repair: false,
+                    cascade_overload: false,
+                }),
+                ..FaultConfig::zero(17)
+            });
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = sim.run(&[req(0, 0, 0), req(0, 1, 1), req(1, 0, 2)]);
+            assert_eq!(m.failed_requests, 3, "a total disaster fails everything");
+            assert_eq!(m.availability_pct(), 0.0);
+        }
+
+        #[test]
+        fn cascading_overload_spreads_saturation_to_core_neighbors() {
+            // Find a seed where pop 1 (the only core neighbor of pop 0) is
+            // degraded in windows 0 and 1 while pop 0 is not — any pop-0
+            // degradation in the test must then come from the cascade.
+            let degraded_cfg = |seed: u64, cascade: bool| FaultConfig {
+                window: 2,
+                origin_degraded_rate: 0.5,
+                degraded_origin: ServingCapacity {
+                    per_node: 1,
+                    window: 2,
+                },
+                disaster: Some(crate::fault::DisasterConfig {
+                    group_rate: 0.0,
+                    group_mttr_windows: 1,
+                    geometric_repair: false,
+                    cascade_overload: cascade,
+                }),
+                ..FaultConfig::zero(seed)
+            };
+            let seed = (0..1_000_000u64)
+                .find(|&s| {
+                    let sch = FaultSchedule::new(degraded_cfg(s, true));
+                    (0..2).all(|w| sch.origin_degraded(1, w) && !sch.origin_degraded(0, w))
+                })
+                .expect("no seed with the wanted degradation pattern");
+            let net = two_pop_net();
+            // Objects 0..2 owned by pop 1; objects 2..4 owned by pop 0.
+            let origins = vec![1u16, 1, 0, 0];
+            let sizes = vec![1u32; 4];
+            // Window 0: two requests saturate degraded pop 1 (capacity 1,
+            // one fails). Window 1: pop 0 inherits the shed load via the
+            // cascade, so its second serve fails too.
+            let reqs = [req(0, 0, 0), req(0, 1, 0), req(0, 0, 2), req(0, 1, 2)];
+            let mut cfg = ExperimentConfig::baseline(DesignKind::NoCache);
+            cfg.fault = Some(degraded_cfg(seed, true));
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = sim.run(&reqs).clone();
+            assert_eq!(m.failed_requests, 2, "cascade saturates pop 0 in window 1");
+
+            // Control: identical schedule without the cascade rule — pop 0
+            // stays healthy and serves both window-1 requests.
+            let mut cfg = ExperimentConfig::baseline(DesignKind::NoCache);
+            cfg.fault = Some(degraded_cfg(seed, false));
+            let mut control = Simulator::new(&net, cfg, &origins, &sizes);
+            let c = control.run(&reqs).clone();
+            assert_eq!(c.failed_requests, 1, "without cascade only pop 1 sheds");
+        }
+
+        #[test]
+        fn corruption_is_served_by_edge_but_detected_by_icn() {
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let corrupt = FaultConfig {
+                corruption_rate: 1.0,
+                ..FaultConfig::zero(23)
+            };
+            // EDGE cannot verify: the poisoned leaf copy is delivered.
+            let mut cfg = ExperimentConfig::baseline(DesignKind::Edge);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(corrupt);
+            let mut edge = Simulator::new(&net, cfg, &origins, &sizes);
+            let e = edge.run(&[req(0, 0, 0), req(0, 0, 0)]).clone();
+            assert_eq!(e.cache_hits, 1, "EDGE still counts the (poisoned) hit");
+            assert_eq!(e.corrupt_served, 1);
+            assert_eq!(e.corrupt_detected, 0);
+            assert_eq!(e.availability_pct(), 100.0, "reachability is unharmed");
+            assert_eq!(
+                e.correct_availability_pct(),
+                50.0,
+                "but one serve was poison"
+            );
+
+            // ICN-NR self-certifies: every poisoned replica on the path is
+            // caught, evicted, and charged as a wasted round trip; the
+            // origin delivers the authentic copy.
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnNr);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(corrupt);
+            let mut icn = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = icn.run(&[req(0, 0, 0), req(0, 0, 0)]).clone();
+            assert_eq!(
+                m.corrupt_served, 0,
+                "self-certification never serves poison"
+            );
+            assert_eq!(
+                m.corrupt_detected, 3,
+                "leaf, interior, and pop-root replicas all caught"
+            );
+            assert_eq!(m.origin_hits, 2, "the clean copy comes from the origin");
+            assert_eq!(m.correct_availability_pct(), 100.0);
+            // Warm serve at 4; retry serve = origin (3 + 1) + wasted
+            // fetches at the leaf (0 + 1), interior (1 + 1), root (2 + 1).
+            assert_eq!(m.total_latency, 4.0 + 10.0);
+            assert_directory_matches_caches(&icn, 4);
+        }
+
+        #[test]
+        fn detected_corruption_in_sp_walk_retries_upstream() {
+            // ICN-SP with a poisoned leaf copy: the walk discards it and
+            // the next on-path copy (or origin) serves, charged the wasted
+            // fetch.
+            let net = two_pop_net();
+            let origins = vec![1u16; 4];
+            let sizes = vec![1u32; 4];
+            let corrupt = FaultConfig {
+                corruption_rate: 1.0,
+                ..FaultConfig::zero(29)
+            };
+            let mut cfg = ExperimentConfig::baseline(DesignKind::IcnSp);
+            cfg.f_fraction = 0.5;
+            cfg.budget_policy = icn_cache::budget::BudgetPolicy::Uniform;
+            cfg.fault = Some(corrupt);
+            let mut sim = Simulator::new(&net, cfg, &origins, &sizes);
+            let m = sim.run(&[req(0, 0, 0), req(0, 0, 0)]).clone();
+            assert_eq!(m.corrupt_served, 0);
+            assert_eq!(m.corrupt_detected, 3, "all three on-path copies caught");
+            assert_eq!(m.origin_hits, 2);
+            // Warm 4; retry = origin 4 + wasted fetches at costs 0/1/2 + 1.
+            assert_eq!(m.total_latency, 4.0 + 10.0);
         }
 
         #[test]

@@ -7,20 +7,35 @@
 use icn_core::capacity::ServingCapacity;
 use icn_core::config::ExperimentConfig;
 use icn_core::design::DesignKind;
-use icn_core::fault::{FaultConfig, FaultSchedule};
+use icn_core::fault::{DisasterConfig, FaultConfig, FaultSchedule};
 use icn_core::sweep::{run_cells, Scenario, SweepCell};
 use icn_topology::{pop, AccessTree};
 use icn_workload::origin::OriginPolicy;
 use icn_workload::trace::TraceConfig;
 use proptest::prelude::*;
 
+fn disaster_configs() -> impl Strategy<Value = Option<DisasterConfig>> {
+    prop_oneof![
+        Just(None),
+        (0.0f64..0.3, 1u32..8, 0u8..4).prop_map(|(group_rate, group_mttr_windows, flags)| {
+            Some(DisasterConfig {
+                group_rate,
+                group_mttr_windows,
+                geometric_repair: flags & 1 != 0,
+                cascade_overload: flags & 2 != 0,
+            })
+        }),
+    ]
+}
+
 fn fault_configs() -> impl Strategy<Value = FaultConfig> {
     (
         (0u64..u64::MAX, 1u32..5_000, 0.0f64..0.5, 1u32..5),
         (0.0f64..0.5, 1u32..5, 0.0f64..0.5, 1u32..200),
+        (1u32..5, 0.0f64..0.3, disaster_configs()),
     )
         .prop_map(
-            |((seed, window, ncr, now), (lfr, low, odr, cap))| FaultConfig {
+            |((seed, window, ncr, now), (lfr, low, odr, cap), (odw, corr, disaster))| FaultConfig {
                 seed,
                 window,
                 node_crash_rate: ncr,
@@ -28,10 +43,13 @@ fn fault_configs() -> impl Strategy<Value = FaultConfig> {
                 link_failure_rate: lfr,
                 link_outage_windows: low,
                 origin_degraded_rate: odr,
+                origin_degraded_windows: odw,
                 degraded_origin: ServingCapacity {
                     per_node: cap,
                     window,
                 },
+                corruption_rate: corr,
+                disaster,
             },
         )
 }
@@ -77,13 +95,20 @@ proptest! {
     ) {
         let s = FaultSchedule::new(cfg);
         if s.node_crashes(entity, window) {
-            for k in 0..cfg.node_outage_windows as u64 {
-                prop_assert!(
-                    s.node_down(entity, window + k),
-                    "crash at {window} but up at {} (outage {})",
-                    window + k,
-                    cfg.node_outage_windows
-                );
+            if cfg.disaster.is_some_and(|d| d.geometric_repair) {
+                // Geometric repair: the span is drawn per event (mean
+                // `node_outage_windows`), but the crash window itself is
+                // always covered.
+                prop_assert!(s.node_down(entity, window));
+            } else {
+                for k in 0..cfg.node_outage_windows as u64 {
+                    prop_assert!(
+                        s.node_down(entity, window + k),
+                        "crash at {window} but up at {} (outage {})",
+                        window + k,
+                        cfg.node_outage_windows
+                    );
+                }
             }
         }
     }
@@ -114,7 +139,7 @@ proptest! {
         rate in 0.0f64..0.3,
     ) {
         let s = tiny_scenario();
-        let cells: Vec<SweepCell<'_>> = [DesignKind::IcnNr, DesignKind::Edge, DesignKind::EdgeCoop]
+        let mut cells: Vec<SweepCell<'_>> = [DesignKind::IcnNr, DesignKind::Edge, DesignKind::EdgeCoop]
             .iter()
             .map(|&d| {
                 let mut cfg = ExperimentConfig::baseline(d);
@@ -122,6 +147,15 @@ proptest! {
                 SweepCell { scenario: &s, cfg }
             })
             .collect();
+        // Correlated-disaster cells must honor the same guarantee.
+        for d in [DesignKind::IcnNr, DesignKind::Edge] {
+            let mut cfg = ExperimentConfig::baseline(d);
+            let mut fc = FaultConfig::uniform(seed, rate);
+            fc.corruption_rate = rate;
+            fc.disaster = Some(DisasterConfig::full(rate / 4.0));
+            cfg.fault = Some(fc);
+            cells.push(SweepCell { scenario: &s, cfg });
+        }
         let sequential = run_cells(&cells, 1);
         for jobs in [2, 8] {
             let parallel = run_cells(&cells, jobs);

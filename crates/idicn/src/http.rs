@@ -15,7 +15,7 @@
 use crate::{Error, Result};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,9 +29,26 @@ const MAX_BODY_BYTES: usize = 64 << 20;
 /// either succeed or are refused immediately; the deadline guards against
 /// black-holed addresses (a mobile server that moved away mid-transfer).
 pub const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
-/// Read/write deadline applied to **every** TCP stream this crate touches,
-/// outbound and accepted alike — no socket may hang a worker forever.
+/// Default read/write deadline applied to **every** TCP stream this crate
+/// touches, outbound and accepted alike — no socket may hang a worker
+/// forever. The live value is process-wide and adjustable with
+/// [`set_io_timeout`] (chaos tests shrink it so injected stalls resolve in
+/// milliseconds instead of seconds).
 pub const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+static IO_TIMEOUT_MS: AtomicU64 = AtomicU64::new(5_000);
+
+/// The current process-wide I/O deadline (defaults to [`IO_TIMEOUT`]).
+pub fn io_timeout() -> Duration {
+    Duration::from_millis(IO_TIMEOUT_MS.load(Ordering::Relaxed))
+}
+
+/// Overrides the process-wide I/O deadline. Sub-millisecond values clamp
+/// up to 1 ms (a zero socket timeout would mean "block forever", the exact
+/// opposite of a deadline).
+pub fn set_io_timeout(deadline: Duration) {
+    IO_TIMEOUT_MS.store(deadline.as_millis().max(1) as u64, Ordering::Relaxed);
+}
 
 /// Reclassifies I/O errors whose kind is a deadline expiry into
 /// [`Error::Timeout`] so callers can tell "slow peer" from "broken pipe".
@@ -248,7 +265,11 @@ fn read_body<R: BufRead>(r: &mut R, headers: &Headers) -> Result<Vec<u8>> {
         if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
             Error::Timeout(e)
         } else {
-            Error::Protocol(format!("short body: {e}"))
+            // A body shorter than its Content-Length means the transport
+            // died mid-transfer (peer crash, connection cut) — a transient
+            // I/O failure worth retrying, not a protocol violation by a
+            // healthy peer.
+            Error::Io(e)
         }
     })?;
     Ok(body)
@@ -427,7 +448,10 @@ pub fn serve_on(listener: TcpListener, handler: Handler) -> Result<HttpServer> {
                     std::thread::spawn(move || handle_connection(stream, h, f));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+                    // 1 ms, not coarser: every fresh connection pays up to
+                    // one poll interval of accept latency, and soak tests
+                    // open four connections per end-to-end request.
+                    std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(_) => break,
             }
@@ -445,7 +469,7 @@ fn handle_connection(stream: TcpStream, handler: Handler, shutdown: Arc<AtomicBo
     // Bounded read timeout so keep-alive connections notice shutdown.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     // A stalled reader must not pin this worker thread forever either.
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(io_timeout()));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -499,8 +523,8 @@ pub fn request_once(addr: SocketAddr, req: &HttpRequest) -> Result<HttpResponse>
         }
     })?;
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_read_timeout(Some(io_timeout()))?;
+    stream.set_write_timeout(Some(io_timeout()))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut req = req.clone();
@@ -567,9 +591,18 @@ mod tests {
         // Bad content-length.
         let bad = "GET / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n";
         assert!(read_request(&mut Cursor::new(bad.as_bytes().to_vec())).is_err());
-        // Truncated body.
+    }
+
+    #[test]
+    fn truncated_body_is_a_transient_io_error() {
+        // A connection cut mid-body must classify as retryable transport
+        // failure, not as a protocol violation.
         let bad = "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
-        assert!(read_request(&mut Cursor::new(bad.as_bytes().to_vec())).is_err());
+        let err = read_request(&mut Cursor::new(bad.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err:?}");
+        let bad = "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc";
+        let err = read_response(&mut Cursor::new(bad.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err:?}");
     }
 
     #[test]

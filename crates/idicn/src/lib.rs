@@ -37,6 +37,8 @@
 //!   subset with `FindProxyForURL` semantics;
 //! * [`adhoc`] — mDNS-style ad hoc content sharing (the Alice & Bob
 //!   scenario of §6.2);
+//! * [`chaos`] — a deterministic fault-injecting forwarder (resets,
+//!   stalls, truncation, content corruption) for soak-testing the overlay;
 //! * [`mobility`] — dynamic re-registration plus HTTP-Range session
 //!   resumption (§6.3).
 
@@ -44,6 +46,7 @@
 
 pub mod access;
 pub mod adhoc;
+pub mod chaos;
 pub mod chunk;
 pub mod crypto;
 pub mod error;

@@ -414,11 +414,10 @@ impl EdgeProxy {
         let locations = self.resolve_locations(name, request_id)?;
         let mut last_err = ProxyError::NotFound(name.to_flat());
         for url in locations {
-            if !self.inner.breaker.allows(&url) {
-                self.inner.breaker_skips.inc();
-                trace.breaker_skips += 1;
-                continue;
-            }
+            // Parse BEFORE consulting the breaker: `allows` may claim the
+            // single half-open trial slot, and a claimed probe must always
+            // reach a record_success/record_failure below — bailing out on
+            // a bad URL after claiming would wedge the slot for a cooldown.
             let (addr, path) = match parse_http_url(&url) {
                 Ok(parsed) => parsed,
                 Err(e) => {
@@ -426,6 +425,11 @@ impl EdgeProxy {
                     continue;
                 }
             };
+            if !self.inner.breaker.allows(&url) {
+                self.inner.breaker_skips.inc();
+                trace.breaker_skips += 1;
+                continue;
+            }
             let attempt = self.inner.retry.run(|attempt| {
                 if attempt > 0 {
                     self.inner.retries.inc();

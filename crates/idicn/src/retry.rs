@@ -28,8 +28,10 @@ pub fn is_transient(e: &Error) -> bool {
 }
 
 /// SplitMix64 finalizer (same construction as `icn_core::fault::mix`).
+/// Shared with [`crate::chaos`], whose injection schedule is drawn from
+/// the same family of pure hashes.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -117,6 +119,11 @@ impl RetryPolicy {
 struct BreakerEntry {
     consecutive_failures: u32,
     open_until: Option<Instant>,
+    /// When the cooldown has passed, exactly one caller is admitted as the
+    /// half-open trial; this records when that probe was claimed so
+    /// concurrent callers are rejected until the probe reports back (or,
+    /// if it never does, until a full cooldown expires the claim).
+    half_open_at: Option<Instant>,
 }
 
 /// A per-key circuit breaker (keys are upstream URLs in the edge proxy).
@@ -138,12 +145,34 @@ impl CircuitBreaker {
     }
 
     /// True when a request to `key` may proceed: the circuit is closed, or
-    /// it is open but the cooldown has passed (half-open trial).
+    /// it is open, the cooldown has passed, and *this* caller won the
+    /// single half-open trial slot. While a trial is outstanding every
+    /// other caller is rejected — a thundering herd of probes would defeat
+    /// the breaker's whole purpose. A caller admitted here MUST report the
+    /// outcome via [`CircuitBreaker::record_success`] /
+    /// [`CircuitBreaker::record_failure`]; a probe that never reports
+    /// (crashed caller) expires after one further cooldown, re-admitting a
+    /// fresh trial.
     pub fn allows(&self, key: &str) -> bool {
-        let entries = self.entries.lock();
-        match entries.get(key).and_then(|e| e.open_until) {
-            Some(until) => Instant::now() >= until,
-            None => true,
+        let mut entries = self.entries.lock();
+        let Some(e) = entries.get_mut(key) else {
+            return true;
+        };
+        let Some(until) = e.open_until else {
+            return true;
+        };
+        let now = Instant::now();
+        if now < until {
+            return false; // still cooling down
+        }
+        match e.half_open_at {
+            // A probe is in flight and has not gone stale: reject.
+            Some(claimed) if now < claimed + self.cooldown => false,
+            // No probe (or a stuck one): this caller becomes the trial.
+            _ => {
+                e.half_open_at = Some(now);
+                true
+            }
         }
     }
 
@@ -163,6 +192,9 @@ impl CircuitBreaker {
         if e.consecutive_failures >= self.threshold {
             let was_closed = e.open_until.is_none_or(|t| Instant::now() >= t);
             e.open_until = Some(Instant::now() + self.cooldown);
+            // A failed half-open probe re-opens the circuit; the trial slot
+            // frees up for the next post-cooldown caller.
+            e.half_open_at = None;
             was_closed
         } else {
             false
@@ -307,6 +339,84 @@ mod tests {
         b.record_success("u");
         assert!(b.allows("u"));
         assert_eq!(b.open_circuits(), 0);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_concurrent_probe() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Barrier};
+
+        let b = Arc::new(CircuitBreaker::new(1, Duration::from_millis(30)));
+        assert!(b.record_failure("u"), "open the circuit");
+        std::thread::sleep(Duration::from_millis(40)); // past the cooldown
+
+        // Eight threads race for the half-open trial; exactly one may win.
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (b, admitted, barrier) = (b.clone(), admitted.clone(), barrier.clone());
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    if b.allows("u") {
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(admitted.load(Ordering::SeqCst), 1, "single trial slot");
+
+        // The probe fails: circuit re-opens, nobody gets through.
+        assert!(b.record_failure("u"), "failed probe re-opens");
+        assert!(!b.allows("u"), "cooling down again");
+
+        // Next round: the probe succeeds and the circuit closes for all.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allows("u"), "next trial admitted");
+        b.record_success("u");
+        assert!(b.allows("u") && b.allows("u"), "closed circuit admits all");
+    }
+
+    #[test]
+    fn stuck_half_open_probe_expires_after_a_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(20));
+        assert!(b.record_failure("u"));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allows("u"), "probe claimed");
+        // The claimant never reports back (crashed mid-request). Until the
+        // claim goes stale the slot stays taken...
+        assert!(!b.allows("u"), "fresh claim blocks other callers");
+        // ...and one cooldown later a new trial is admitted.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.allows("u"), "stale claim expired");
+    }
+
+    #[test]
+    fn backoff_schedule_is_reproducible_across_runs() {
+        // Two full run_with_sleep schedules under the same seed observe the
+        // identical delay sequence — retries never consult the wall clock.
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        let schedule = |p: &RetryPolicy| {
+            let mut delays = Vec::new();
+            let _ = p.run_with_sleep(|d| delays.push(d), |_| -> Result<()> { Err(transient()) });
+            delays
+        };
+        let a = schedule(&policy);
+        let b = schedule(&policy);
+        assert_eq!(a.len(), 5, "max_attempts - 1 sleeps");
+        assert_eq!(a, b, "same seed, same schedule");
+        // And a different jitter seed moves at least one delay.
+        let other = schedule(&RetryPolicy {
+            jitter_seed: 0xbeef,
+            ..policy
+        });
+        assert_ne!(a, other, "jitter seed steers the schedule");
     }
 
     #[test]

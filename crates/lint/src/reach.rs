@@ -12,8 +12,10 @@
 //!
 //! Conservatism rules (what keeps false positives tolerable):
 //! - the universe is the library code of `crates/{core,cache,topology,
-//!   workload}` minus `instrument.rs` (the sanctioned clock shim) — obs
-//!   and idICN deadline machinery are out of scope by construction;
+//!   workload}` minus `instrument.rs` (the sanctioned clock shim), plus
+//!   the single seeded-schedule file of `crates/idicn` (`chaos.rs`) —
+//!   obs and the rest of idICN (sockets, deadlines, retry sleeps) are
+//!   out of scope by construction;
 //! - call edges on `#[cfg(feature = "obs")]`-gated or test-only lines do
 //!   not exist (the default build never takes them);
 //! - sources on gated/test lines are exempt, and a site may be justified
@@ -31,8 +33,18 @@ use crate::rules::{
 use crate::symtab::{FileUnit, SymbolTable};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// Crates whose library code forms the reachability universe.
-pub const UNIVERSE_CRATES: &[&str] = &["core", "cache", "topology", "workload"];
+/// Crates whose library code forms the reachability universe. `idicn`
+/// participates through exactly one file — see [`IDICN_UNIVERSE_FILE`].
+pub const UNIVERSE_CRATES: &[&str] = &["core", "cache", "topology", "workload", "idicn"];
+
+/// The one `idicn` file in the universe: the seeded chaos schedule
+/// (`ChaosPolicy`), which must stay a pure function of `(seed, index)`
+/// like the simulator's `FaultSchedule`. The rest of the crate is real
+/// networking — sockets, deadlines, retry sleeps — and admitting it
+/// would flood the over-approximate call graph with edges from common
+/// method names (`run`, `from`) into legitimately nondeterministic
+/// code.
+pub const IDICN_UNIVERSE_FILE: &str = "chaos.rs";
 
 struct SourcePattern {
     text: &'static str,
@@ -126,6 +138,8 @@ pub fn in_universe(def_unit: &FileUnit, is_test: bool) -> bool {
             .as_deref()
             .is_some_and(|c| UNIVERSE_CRATES.contains(&c))
         && def_unit.file_name() != INSTRUMENT_FILE
+        && (def_unit.crate_dir.as_deref() != Some("idicn")
+            || def_unit.file_name() == IDICN_UNIVERSE_FILE)
 }
 
 /// Runs the rule. `entries` come from `[reach] entries` in `lint.toml`;

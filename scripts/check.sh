@@ -8,6 +8,9 @@ echo "=== cargo build --release"
 cargo build --release --workspace
 
 echo "=== cargo test"
+# Includes the idICN chaos soak (crates/idicn/tests/chaos_soak.rs):
+# thousands of requests through the overlay with deterministic resets,
+# stalls, truncation, and content corruption on the wire.
 cargo test -q --workspace
 
 echo "=== cargo clippy -- -D warnings"
@@ -38,12 +41,14 @@ out4="$(mktemp /tmp/fig6-jobs4.XXXXXX.txt)"
 outref="$(mktemp /tmp/fig6-reference.XXXXXX.txt)"
 fail1="$(mktemp /tmp/failures-jobs1.XXXXXX.txt)"
 fail4="$(mktemp /tmp/failures-jobs4.XXXXXX.txt)"
+dis1="$(mktemp /tmp/disasters-jobs1.XXXXXX.txt)"
+dis4="$(mktemp /tmp/disasters-jobs4.XXXXXX.txt)"
 dyn1="$(mktemp /tmp/dynamics-jobs1.XXXXXX.txt)"
 dyn4="$(mktemp /tmp/dynamics-jobs4.XXXXXX.txt)"
 benchjson="$(mktemp /tmp/bench-sim.XXXXXX.json)"
 benchjson2="$(mktemp /tmp/bench-sim2.XXXXXX.json)"
 outprof="$(mktemp /tmp/fig6-profiled.XXXXXX.txt)"
-trap 'rm -f "$sidecar" "$out1" "$out4" "$outref" "$fail1" "$fail4" "$dyn1" "$dyn4" "$benchjson" "$benchjson2" "$outprof"' EXIT
+trap 'rm -f "$sidecar" "$out1" "$out4" "$outref" "$fail1" "$fail4" "$dis1" "$dis4" "$dyn1" "$dyn4" "$benchjson" "$benchjson2" "$outprof"' EXIT
 SCALE="${SCALE:-0.02}" cargo run --release -p icn-bench --bin fig6 -- \
     --telemetry "$sidecar" >/dev/null
 cargo run --release -p icn-bench --bin telemetry_check -- "$sidecar" >/dev/null
@@ -100,6 +105,17 @@ SCALE="${SCALE:-0.02}" JOBS=4 cargo run --release -p icn-bench --bin failures \
     >"$fail4" 2>/dev/null
 cmp "$fail1" "$fail4"
 echo "faulted sweep JOBS=1 and JOBS=4 stdout byte-identical"
+
+echo "=== correlated-disaster smoke (disasters --smoke, JOBS=1 vs JOBS=4)"
+# Shared-risk groups, geometric repair, cascading overload, and content
+# corruption are all pure functions of (seed, entity, window); routing a
+# disaster sweep through the parallel batch path must not move a byte.
+JOBS=1 cargo run --release -p icn-bench --bin disasters -- --smoke \
+    >"$dis1" 2>/dev/null
+JOBS=4 cargo run --release -p icn-bench --bin disasters -- --smoke \
+    >"$dis4" 2>/dev/null
+cmp "$dis1" "$dis4"
+echo "disaster sweep JOBS=1 and JOBS=4 stdout byte-identical"
 
 echo "=== workload-dynamics smoke (dynamics --smoke, JOBS=1 vs JOBS=4)"
 # Exercises the streaming dynamics (diurnal/flash/churn), the TTL expiry
