@@ -28,6 +28,7 @@ pub mod fault;
 pub mod instrument;
 pub mod latency;
 pub mod metrics;
+pub mod shard;
 pub mod sim;
 pub mod sweep;
 
@@ -37,5 +38,6 @@ pub use design::{CacheSet, DesignKind, DesignSpec, Routing};
 pub use fault::{FaultConfig, FaultSchedule};
 pub use latency::LatencyModel;
 pub use metrics::{Improvement, RunMetrics};
+pub use shard::{ShardOpts, ShardRun};
 pub use sim::Simulator;
 pub use sweep::Scenario;

@@ -74,35 +74,40 @@ enum NrChoice {
 /// [`Simulator::advance_faults`] — the run loop visits request indices in
 /// order, so windows advance gap-free and crash events (which flush cache
 /// contents) are never skipped.
-struct FaultState {
-    schedule: FaultSchedule,
+///
+/// `pub(crate)` because the epoch-sharded engine (`crate::shard`) keeps
+/// one per lane: the schedule is a pure function of `(seed, entity,
+/// window)`, so every lane materializes the same per-window answers
+/// independently.
+pub(crate) struct FaultState {
+    pub(crate) schedule: FaultSchedule,
     /// Window the vectors below describe; `u64::MAX` forces the first
     /// rebuild at request 0.
-    window: u64,
-    node_down: Vec<bool>,
-    link_down: Vec<bool>,
-    origin_degraded: Vec<bool>,
+    pub(crate) window: u64,
+    pub(crate) node_down: Vec<bool>,
+    pub(crate) link_down: Vec<bool>,
+    pub(crate) origin_degraded: Vec<bool>,
     /// Fast skip for path-liveness checks when no link is down.
-    any_link_down: bool,
+    pub(crate) any_link_down: bool,
     /// True when any fault (node, link, or origin) is active this window;
     /// drives the latency-under-failure histogram.
-    fault_active: bool,
+    pub(crate) fault_active: bool,
     /// Serving-capacity gate applied to *degraded* origin PoPs, reusing
     /// the §5.1 capacity model (indexed by PoP, not router).
-    origin_capacity: CapacityTracker,
+    pub(crate) origin_capacity: CapacityTracker,
     /// Topology-derived shared-risk groups (§ DESIGN.md "Correlated fault
     /// model"); `None` unless the config carries a disaster layer with a
     /// positive group rate, so independent-fault runs pay nothing.
-    groups: Option<FaultGroups>,
+    pub(crate) groups: Option<FaultGroups>,
     /// Per-group down state for the current window (scratch, parallel to
     /// `groups`).
-    group_down: Vec<bool>,
+    pub(crate) group_down: Vec<bool>,
     /// PoPs degraded this window by cascading overload (scratch).
-    cascade: Vec<bool>,
+    pub(crate) cascade: Vec<bool>,
 }
 
 impl FaultState {
-    fn new(schedule: FaultSchedule, net: &Network) -> Self {
+    pub(crate) fn new(schedule: FaultSchedule, net: &Network) -> Self {
         let origin_capacity =
             CapacityTracker::new(schedule.config().degraded_origin, net.pops() as usize);
         let groups = schedule
@@ -127,7 +132,7 @@ impl FaultState {
     }
 
     /// Re-evaluates every entity's fault state for window `w`.
-    fn rebuild(&mut self, w: u64, net: &Network) {
+    pub(crate) fn rebuild(&mut self, w: u64, net: &Network) {
         // Cascading overload seeds are read off the *outgoing* window's
         // state before it is overwritten: a degraded origin that actually
         // saturated its capacity sheds load onto its core neighbors next
@@ -217,6 +222,13 @@ pub struct Simulator<'a> {
     /// One enum-dispatched slot per router: cache probes inline instead of
     /// chasing a `Box<dyn CachePolicy>` vtable per hop.
     caches: Vec<CacheSlot>,
+    /// `equipped[n]` = the router carries a cache — a struct-of-arrays
+    /// mirror of `CacheSlot::is_equipped`. The hot gates (sibling coop,
+    /// response-path insertion, crash flushing) test equipment far more
+    /// often than they touch cache contents; a flat `bool` load keeps
+    /// those passes on one contiguous array instead of striding through
+    /// the enum slots.
+    equipped: Vec<bool>,
     /// `replica_dir[object]` = cache-equipped routers currently holding the
     /// object, in *arbitrary* order (selection breaks cost ties by
     /// `NodeId`, so insertion order never matters). Maintained under
@@ -260,8 +272,18 @@ pub struct Simulator<'a> {
     /// allocating a fresh `Vec` per probe would be a per-miss heap hit.
     siblings_buf: Vec<u32>,
     /// Scratch for nearest-replica candidate lists (capacity-limited and
-    /// faulted selection) — same rationale as `siblings_buf`.
-    cand_buf: Vec<(f64, NodeId)>,
+    /// faulted selection) — same rationale as `siblings_buf`. Split into
+    /// parallel cost/node arrays so the select-min scan is two contiguous
+    /// slice walks (struct-of-arrays: no `(f64, u32)` padding, and the
+    /// cost lane vectorizes) instead of striding through 16-byte tuples.
+    cand_cost: Vec<f64>,
+    /// Candidate node ids, parallel to `cand_cost`.
+    cand_node: Vec<NodeId>,
+    /// Tuple-shaped candidate scratch for the reference mode's legacy
+    /// allocate-and-stable-sort selection (kept deliberately in the old
+    /// array-of-structs shape — reference mode exercises the legacy
+    /// implementation).
+    cand_pairs: Vec<(f64, NodeId)>,
     /// Validation mode (`ICN_SIM_REFERENCE=1`): route every path-cost
     /// query through [`LatencyModel::path_cost`] and every candidate scan
     /// through the legacy allocate-and-stable-sort implementation, under
@@ -330,12 +352,14 @@ impl<'a> Simulator<'a> {
         );
         let costs = CostTable::new(net, cfg.latency);
         let ttl_len = caches.iter().find_map(CacheSlot::ttl);
+        let equipped = caches.iter().map(CacheSlot::is_equipped).collect();
         Self {
             net,
             spec,
             cfg,
             costs,
             caches,
+            equipped,
             replica_dir,
             masks,
             origins,
@@ -351,7 +375,9 @@ impl<'a> Simulator<'a> {
             nodes_buf: Vec::new(),
             links_buf: Vec::new(),
             siblings_buf: Vec::new(),
-            cand_buf: Vec::new(),
+            cand_cost: Vec::new(),
+            cand_node: Vec::new(),
+            cand_pairs: Vec::new(),
             reference,
         }
     }
@@ -544,7 +570,7 @@ impl<'a> Simulator<'a> {
             };
             for step in first..=w {
                 for n in 0..self.net.node_count() {
-                    if !self.caches[n as usize].is_equipped() {
+                    if !self.equipped[n as usize] {
                         continue;
                     }
                     // A shared-risk group event is a power event for every
@@ -771,7 +797,7 @@ impl<'a> Simulator<'a> {
                 }
             }
             if self.spec.sibling_coop
-                && self.caches[node as usize].is_equipped()
+                && self.equipped[node as usize]
                 && self.node_up(node)
                 && self.net.tree_index(node) != 0
             {
@@ -1063,27 +1089,19 @@ impl<'a> Simulator<'a> {
                 } else if let Some(masks) = &self.masks {
                     // Rank-ordered masks: one candidate per foreign PoP
                     // (its first set bit is provably that PoP's
-                    // (cost, NodeId)-minimal replica), full bit iteration
-                    // only within the leaf's own PoP.
+                    // (cost, NodeId)-minimal replica). The leaf's own PoP
+                    // still needs per-candidate LCA costs, but its walk
+                    // runs deepest-rank-first with a climb-difference
+                    // lower bound that stops the scan early — see
+                    // [`CostFrom::min_in_own_mask`].
+                    //
+                    // [`CostFrom::min_in_own_mask`]: crate::costs::CostFrom::min_in_own_mask
                     let from = self.costs.from(leaf);
-                    let (pa, ta) = (from.pop(), from.tree());
+                    let pa = from.pop();
                     let tn = self.net.tree.nodes();
                     for &(p, mask) in masks.entries(object) {
                         if p == pa {
-                            let mut bits = mask;
-                            while bits != 0 {
-                                let r = bits.trailing_zeros();
-                                bits &= bits - 1;
-                                let t = self.costs.t_of_rank(r);
-                                if t == ta {
-                                    continue; // the requesting leaf itself
-                                }
-                                let c = from.to_tree(t);
-                                let n = p * tn + t;
-                                if best.is_none_or(|(bc, bn)| c < bc || (c == bc && n < bn)) {
-                                    best = Some((c, n));
-                                }
-                            }
+                            from.min_in_own_mask(mask, &mut best);
                         } else {
                             let r = mask.trailing_zeros();
                             let c = from.to_pop_rank(p, r);
@@ -1210,27 +1228,20 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Index of the `(cost, NodeId)`-minimal candidate, `None` when empty.
-    /// The composite key is a total order over candidates (node ids are
-    /// unique within a directory), so the minimum — and therefore every
-    /// selection built on it — is independent of candidate order.
-    #[inline]
-    fn min_candidate(cands: &[(f64, NodeId)]) -> Option<usize> {
-        let mut best: Option<(usize, f64, NodeId)> = None;
-        for (i, &(c, n)) in cands.iter().enumerate() {
-            if best.is_none_or(|(_, bc, bn)| c < bc || (c == bc && n < bn)) {
-                best = Some((i, c, n));
-            }
-        }
-        best.map(|(i, _, _)| i)
-    }
-
-    /// Expands the mask directory's candidates for `object` into `out` as
-    /// `(cost, node)` pairs, skipping `leaf` — the mask-mode equivalent of
+    /// Expands the mask directory's candidates for `object` into the
+    /// parallel `costs_out`/`nodes_out` arrays, skipping `leaf` and any
+    /// candidate at or above `max_cost` — the mask-mode equivalent of
     /// iterating `replica_dir[object]`. Used by the capacity-limited and
     /// faulted selections, which may need to probe past the per-PoP
     /// minimum and therefore want the full candidate set.
-    fn extend_cands_from_masks(&self, object: u32, leaf: NodeId, out: &mut Vec<(f64, NodeId)>) {
+    fn extend_cands_from_masks(
+        &self,
+        object: u32,
+        leaf: NodeId,
+        max_cost: f64,
+        costs_out: &mut Vec<f64>,
+        nodes_out: &mut Vec<NodeId>,
+    ) {
         let Some(masks) = &self.masks else {
             return; // callers gate on `masks.is_some()`
         };
@@ -1243,13 +1254,17 @@ impl<'a> Simulator<'a> {
                 let r = bits.trailing_zeros();
                 bits &= bits - 1;
                 let t = self.costs.t_of_rank(r);
-                if p == pa {
+                let c = if p == pa {
                     if t == ta {
                         continue; // the requesting leaf itself
                     }
-                    out.push((from.to_tree(t), p * tn + t));
+                    from.to_tree(t)
                 } else {
-                    out.push((from.to_pop_rank(p, r), p * tn + t));
+                    from.to_pop_rank(p, r)
+                };
+                if c < max_cost {
+                    costs_out.push(c);
+                    nodes_out.push(p * tn + t);
                 }
             }
         }
@@ -1271,9 +1286,12 @@ impl<'a> Simulator<'a> {
         idx: u64,
     ) -> Option<(f64, NodeId)> {
         let _select_span = self.obs.as_ref().and_then(|o| o.select_span(idx));
-        let mut cands = std::mem::take(&mut self.cand_buf);
-        cands.clear();
         if self.reference {
+            // Legacy shape: gather tuples, stable sort, then walk in order
+            // — same `(cost, NodeId)` contract, same capacity probe
+            // sequence as the flat select-min below.
+            let mut cands = std::mem::take(&mut self.cand_pairs);
+            cands.clear();
             cands.extend(
                 self.replica_dir[object as usize]
                     .iter()
@@ -1281,41 +1299,48 @@ impl<'a> Simulator<'a> {
                     .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n))
                     .filter(|&(c, _)| c < origin_cost),
             );
-        } else if self.masks.is_some() {
-            self.extend_cands_from_masks(object, leaf, &mut cands);
-            cands.retain(|&(c, _)| c < origin_cost);
-        } else {
-            let from = self.costs.from(leaf);
-            cands.extend(
-                self.replica_dir[object as usize]
-                    .iter()
-                    .filter(|&&n| n != leaf)
-                    .map(|&n| (from.to(n), n))
-                    .filter(|&(c, _)| c < origin_cost),
-            );
-        }
-        let mut chosen = None;
-        if self.reference {
-            // Legacy shape: stable sort, then walk in order — same
-            // `(cost, NodeId)` contract, same capacity probe sequence.
             cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut chosen = None;
             for &(cost, node) in &cands {
                 if self.try_capacity(node, idx) {
                     chosen = Some((cost, node));
                     break;
                 }
             }
+            self.cand_pairs = cands;
+            return chosen;
+        }
+        let mut costs = std::mem::take(&mut self.cand_cost);
+        let mut nodes = std::mem::take(&mut self.cand_node);
+        costs.clear();
+        nodes.clear();
+        if self.masks.is_some() {
+            self.extend_cands_from_masks(object, leaf, origin_cost, &mut costs, &mut nodes);
         } else {
-            while let Some(i) = Self::min_candidate(&cands) {
-                let (cost, node) = cands[i];
-                if self.try_capacity(node, idx) {
-                    chosen = Some((cost, node));
-                    break;
+            let from = self.costs.from(leaf);
+            for &n in &self.replica_dir[object as usize] {
+                if n == leaf {
+                    continue;
                 }
-                cands.swap_remove(i);
+                let c = from.to(n);
+                if c < origin_cost {
+                    costs.push(c);
+                    nodes.push(n);
+                }
             }
         }
-        self.cand_buf = cands;
+        let mut chosen = None;
+        while let Some(i) = min_candidate(&costs, &nodes) {
+            let (cost, node) = (costs[i], nodes[i]);
+            if self.try_capacity(node, idx) {
+                chosen = Some((cost, node));
+                break;
+            }
+            costs.swap_remove(i);
+            nodes.swap_remove(i);
+        }
+        self.cand_cost = costs;
+        self.cand_node = nodes;
         chosen
     }
 
@@ -1344,28 +1369,16 @@ impl<'a> Simulator<'a> {
     ) -> NrChoice {
         let _select_span = self.obs.as_ref().and_then(|o| o.select_span(idx));
         let origin_reachable = self.path_live(leaf, origin_root);
-        let mut cands = std::mem::take(&mut self.cand_buf);
-        cands.clear();
+        let mut choice = None;
         if self.reference {
+            let mut cands = std::mem::take(&mut self.cand_pairs);
+            cands.clear();
             cands.extend(
                 self.replica_dir[object as usize]
                     .iter()
                     .filter(|&&n| n != leaf)
                     .map(|&n| (self.cfg.latency.path_cost(self.net, leaf, n), n)),
             );
-        } else if self.masks.is_some() {
-            self.extend_cands_from_masks(object, leaf, &mut cands);
-        } else {
-            let from = self.costs.from(leaf);
-            cands.extend(
-                self.replica_dir[object as usize]
-                    .iter()
-                    .filter(|&&n| n != leaf)
-                    .map(|&n| (from.to(n), n)),
-            );
-        }
-        let mut choice = None;
-        if self.reference {
             cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             for &(cost, node) in &cands {
                 if origin_reachable && cost >= origin_cost {
@@ -1390,13 +1403,31 @@ impl<'a> Simulator<'a> {
                     break;
                 }
             }
+            self.cand_pairs = cands;
         } else {
-            while let Some(i) = Self::min_candidate(&cands) {
-                let (cost, node) = cands[i];
+            let mut costs = std::mem::take(&mut self.cand_cost);
+            let mut nodes = std::mem::take(&mut self.cand_node);
+            costs.clear();
+            nodes.clear();
+            if self.masks.is_some() {
+                self.extend_cands_from_masks(object, leaf, f64::INFINITY, &mut costs, &mut nodes);
+            } else {
+                let from = self.costs.from(leaf);
+                for &n in &self.replica_dir[object as usize] {
+                    if n == leaf {
+                        continue;
+                    }
+                    costs.push(from.to(n));
+                    nodes.push(n);
+                }
+            }
+            while let Some(i) = min_candidate(&costs, &nodes) {
+                let (cost, node) = (costs[i], nodes[i]);
                 if origin_reachable && cost >= origin_cost {
                     break; // origin is at least as close; prefer it
                 }
-                cands.swap_remove(i);
+                costs.swap_remove(i);
+                nodes.swap_remove(i);
                 if !self.node_up(node) || !self.path_live(leaf, node) {
                     continue;
                 }
@@ -1416,8 +1447,9 @@ impl<'a> Simulator<'a> {
                     break;
                 }
             }
+            self.cand_cost = costs;
+            self.cand_node = nodes;
         }
-        self.cand_buf = cands;
         choice.unwrap_or(if origin_reachable {
             NrChoice::Origin
         } else {
@@ -1463,11 +1495,11 @@ impl<'a> Simulator<'a> {
         if !self.node_up(node) {
             return;
         }
-        let track = self.spec.routing == Routing::NearestReplica;
-        let c = &mut self.caches[node as usize];
-        if !c.is_equipped() {
+        if !self.equipped[node as usize] {
             return;
         }
+        let track = self.spec.routing == Routing::NearestReplica;
+        let c = &mut self.caches[node as usize];
         let had = c.contains(object as u64);
         let evicted = c.insert_at(object as u64, idx);
         let stored = c.contains(object as u64);
@@ -1517,7 +1549,7 @@ impl<'a> Simulator<'a> {
         object: u32,
         lcd_available: &mut bool,
     ) {
-        let equipped = self.caches[node as usize].is_equipped();
+        let equipped = self.equipped[node as usize];
         let insert = match self.cfg.insertion {
             InsertionPolicy::Everywhere => true,
             InsertionPolicy::LeaveCopyDown => {
@@ -1543,6 +1575,25 @@ impl<'a> Simulator<'a> {
             Some(t) => t.try_serve(node, idx),
         }
     }
+}
+
+/// Index of the `(cost, NodeId)`-minimal candidate in the parallel
+/// `costs`/`nodes` arrays, `None` when empty. The composite key is a total
+/// order over candidates (node ids are unique within a directory), so the
+/// minimum — and therefore every selection built on it — is independent of
+/// candidate order. Takes struct-of-arrays slices so the scan is two
+/// contiguous walks; shared with the epoch-sharded engine
+/// (`crate::shard`), whose probe loops must match this one bit-for-bit.
+#[inline]
+pub(crate) fn min_candidate(costs: &[f64], nodes: &[NodeId]) -> Option<usize> {
+    debug_assert_eq!(costs.len(), nodes.len());
+    let mut best: Option<(usize, f64, NodeId)> = None;
+    for (i, (&c, &n)) in costs.iter().zip(nodes).enumerate() {
+        if best.is_none_or(|(_, bc, bn)| c < bc || (c == bc && n < bn)) {
+            best = Some((i, c, n));
+        }
+    }
+    best.map(|(i, _, _)| i)
 }
 
 #[cfg(test)]

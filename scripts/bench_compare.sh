@@ -28,6 +28,16 @@ for f in "$baseline" "$candidate"; do
         echo "bench_compare: cannot read $f" >&2
         exit 2
     fi
+    # Every section perf emits must be present in both files; a silent
+    # partial comparison would report "ok" while skipping whole sections
+    # (e.g. a baseline written before the shard sweep existed).
+    for section in '"total"' '"profile"' '"designs"' '"shards"'; do
+        if ! grep -q "$section" "$f"; then
+            echo "bench_compare: $f is missing the $section section" \
+                "(stale baseline? regenerate with: perf --out)" >&2
+            exit 2
+        fi
+    done
 done
 
 # Emits "<key> <requests_per_sec>" lines: one TOTAL plus one per design.
